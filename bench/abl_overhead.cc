@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A1 (ablation) — does the measurement protocol's bookkeeping matter?
+ *
+ * Two knobs of the methodology are switched off one at a time:
+ *   - overhead subtraction (run the region twice, once empty): on real
+ *     hardware the framework contributes counts; on the simulator the
+ *     empty framework is silent, which this ablation demonstrates —
+ *     and that itself validates the subtraction as harmless.
+ *   - flush-after (charging trailing writebacks to the region): without
+ *     it, up to one LLC of dirty kernel output leaks out of Q. The
+ *     leak is exactly the output array size for LLC-resident kernels.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+#include "support/units.hh"
+
+int
+main()
+{
+    using namespace rfl;
+    using namespace rfl::roofline;
+
+    rfl::bench::banner("A1", "ablation: overhead subtraction and "
+                             "flush-after");
+
+    Experiment exp;
+
+    const std::vector<std::string> specs = {
+        "daxpy:n=16384",   // 256 KiB: resident, big relative leak
+        "daxpy:n=1048576", // 16 MiB: streaming, small relative leak
+        "triad:n=16384",
+        "dgemm-blocked:n=128",
+    };
+
+    Table t({"kernel", "size", "Q full protocol", "Q no-flush-after",
+             "leak %", "Q no-subtract", "subtract delta %"});
+    MeasureOptions base;
+    base.repetitions = 1;
+
+    for (const std::string &spec : specs) {
+        const Measurement full = exp.measureSpec(spec, base);
+
+        MeasureOptions no_flush = base;
+        no_flush.flushAfter = false;
+        const Measurement nf = exp.measureSpec(spec, no_flush);
+
+        MeasureOptions no_sub = base;
+        no_sub.subtractOverhead = false;
+        const Measurement ns = exp.measureSpec(spec, no_sub);
+
+        const double leak =
+            100.0 * (1.0 - nf.trafficBytes / full.trafficBytes);
+        const double sub_delta =
+            100.0 * (ns.trafficBytes / full.trafficBytes - 1.0);
+        t.addRow({full.kernel, full.sizeLabel,
+                  formatBytes(full.trafficBytes),
+                  formatBytes(nf.trafficBytes), formatSig(leak, 3),
+                  formatBytes(ns.trafficBytes),
+                  formatSig(sub_delta, 3)});
+    }
+
+    t.print(std::cout);
+    std::printf(
+        "\nconclusions: omitting the closing flush under-counts write\n"
+        "traffic by up to the dirty working set (33%% for daxpy, whose\n"
+        "model is 1/3 writes) for LLC-resident sizes, and by a\n"
+        "vanishing fraction for streaming sizes — matching the paper's\n"
+        "observation that cold-cache traffic validation needs writeback\n"
+        "accounting. Overhead subtraction is a no-op on the simulator\n"
+        "(the framework is silent) but stays in the protocol for parity\n"
+        "with real-PMU backends.\n");
+    return 0;
+}

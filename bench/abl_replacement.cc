@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A3 (ablation) — sensitivity of measured traffic to the replacement
+ * policy.
+ *
+ * The methodology's analytic traffic models implicitly assume LRU-like
+ * behaviour. This ablation re-runs the traffic validation with the
+ * simulated caches switched to FIFO and random replacement: streaming
+ * kernels are insensitive (compulsory misses dominate — the models stay
+ * valid on any real machine), while reuse-heavy kernels (blocked dgemm,
+ * LLC-resident dgemv re-runs) show the policy in the measured Q.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+#include "support/units.hh"
+
+int
+main()
+{
+    using namespace rfl;
+    using namespace rfl::roofline;
+
+    rfl::bench::banner("A3", "ablation: cache replacement policy");
+
+    const sim::ReplPolicy policies[] = {
+        sim::ReplPolicy::LRU,
+        sim::ReplPolicy::FIFO,
+        sim::ReplPolicy::Random,
+    };
+
+    const std::vector<std::string> specs = {
+        "daxpy:n=1048576",   // streaming: policy-insensitive
+        "triad:n=1048576",   // streaming
+        "dgemm-blocked:n=192", // blocked reuse, fits caches: insensitive
+        // Working sets just past the 10 MiB L3 — the classic case where
+        // LRU suffers streaming worst-case eviction but random
+        // replacement retains a useful fraction across passes:
+        "fft:n=524288",          // 12 MiB, log2(n)+1 passes
+        "dgemv:m=1152,n=1152",   // 10.2 MiB matrix + vectors
+    };
+
+    Table t({"kernel", "size", "Q (LRU)", "Q (FIFO)", "Q (Random)",
+             "FIFO/LRU", "Rand/LRU"});
+
+    for (const std::string &spec : specs) {
+        double q[3] = {0, 0, 0};
+        double runtime[3] = {0, 0, 0};
+        std::string kernel_name, size_label;
+        for (int p = 0; p < 3; ++p) {
+            sim::MachineConfig cfg = sim::MachineConfig::defaultPlatform();
+            cfg.l1.repl = policies[p];
+            cfg.l2.repl = policies[p];
+            cfg.l3.repl = policies[p];
+            Experiment exp(cfg);
+            MeasureOptions opts;
+            opts.repetitions = 1;
+            const Measurement m = exp.measureSpec(spec, opts);
+            q[p] = m.trafficBytes;
+            runtime[p] = m.seconds;
+            kernel_name = m.kernel;
+            size_label = m.sizeLabel;
+        }
+        t.addRow({kernel_name, size_label, formatBytes(q[0]),
+                  formatBytes(q[1]), formatBytes(q[2]),
+                  formatSig(q[1] / q[0], 4), formatSig(q[2] / q[0], 4)});
+        (void)runtime;
+    }
+
+    t.print(std::cout);
+    std::printf(
+        "\nconclusions: the streaming validation kernels measure the\n"
+        "same Q under any replacement policy (their traffic is\n"
+        "compulsory), so the methodology's analytic checks transfer to\n"
+        "machines whose LLC policy is unknown — while reuse-blocked\n"
+        "kernels see policy in Q, which is measurement, not error.\n");
+    return 0;
+}

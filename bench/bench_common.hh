@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared scaffolding for the reproduction bench binaries.
+ *
+ * Every binary reproduces one table or figure of Ofenbeck et al.,
+ * "Applying the Roofline Model" (ISPASS 2014) — see DESIGN.md §4 for the
+ * experiment index. Binaries run standalone with no arguments, print the
+ * reproduced rows/series to stdout, and write .csv/.dat/.gp artifacts to
+ * the output directory ($RFL_OUT_DIR or ./out). $RFL_FAST shrinks sweeps.
+ */
+
+#ifndef RFL_BENCH_COMMON_HH
+#define RFL_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "roofline/experiment.hh"
+#include "support/cli.hh"
+
+namespace rfl::bench
+{
+
+/** Print the standard experiment banner. */
+inline void
+banner(const char *id, const char *what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", id, what);
+    std::printf("reproduces: Ofenbeck et al., \"Applying the Roofline "
+                "Model\", ISPASS 2014\n");
+    std::printf("==============================================================\n\n");
+}
+
+/** Sweep sizes, thinned in fast mode (keeps first/last, every other). */
+inline std::vector<size_t>
+thin(std::vector<size_t> sizes)
+{
+    if (!fastMode() || sizes.size() <= 3)
+        return sizes;
+    std::vector<size_t> out;
+    for (size_t i = 0; i < sizes.size(); i += 2)
+        out.push_back(sizes[i]);
+    if (out.back() != sizes.back())
+        out.push_back(sizes.back());
+    return out;
+}
+
+} // namespace rfl::bench
+
+#endif // RFL_BENCH_COMMON_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * F1 — the bare platform roofline with all ceilings, per scenario.
+ *
+ * Reproduces the paper's "measured roofline of the machine" figures:
+ * compute ceilings for scalar / scalar+FMA / AVX / AVX+FMA and bandwidth
+ * ceilings per probe flavor, for single-core, single-socket and
+ * two-socket execution. No kernel points — this is the canvas every
+ * other figure draws on.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace rfl;
+    using namespace rfl::roofline;
+
+    rfl::bench::banner("F1", "platform rooflines with all ceilings");
+
+    Experiment exp;
+    sim::Machine &machine = exp.machine();
+
+    struct ScenarioDef
+    {
+        const char *name;
+        const char *file;
+        std::vector<int> cores;
+    };
+    const ScenarioDef scenarios[] = {
+        {"single core", "fig_ceilings_1core",
+         singleThreadCores(machine)},
+        {"single socket", "fig_ceilings_1socket",
+         oneSocketCores(machine)},
+        {"two sockets", "fig_ceilings_2socket", allCores(machine)},
+    };
+
+    for (const ScenarioDef &s : scenarios) {
+        const RooflineModel &model = exp.modelFor(s.cores);
+        RooflinePlot plot(std::string(machine.config().name) + " (" +
+                              s.name + ")",
+                          model);
+        exp.emit(plot, s.file);
+    }
+    return 0;
+}

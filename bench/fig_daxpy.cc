@@ -1,0 +1,63 @@
+/**
+ * @file
+ * F2 — daxpy roofline size sweep, cold and warm caches, single core.
+ *
+ * The paper's introductory application figure: a memory-bound kernel
+ * swept across working-set sizes. Cold-cache points sit at I = 1/12 on
+ * the bandwidth roof; warm-cache points migrate right (toward infinite
+ * intensity) while the set fits the LLC and collapse back onto the cold
+ * points once it streams.
+ */
+
+#include <memory>
+
+#include "bench_common.hh"
+#include "kernels/daxpy.hh"
+
+int
+main()
+{
+    using namespace rfl;
+    using namespace rfl::roofline;
+
+    rfl::bench::banner("F2", "daxpy roofline size sweep (cold vs warm)");
+
+    Experiment exp;
+    const std::vector<int> cores = singleThreadCores(exp.machine());
+    const RooflineModel &model = exp.modelFor(cores);
+
+    const std::vector<size_t> sizes =
+        rfl::bench::thin(pow2Sizes(1 << 12, 1 << 21));
+
+    auto factory = [](size_t n) -> std::unique_ptr<kernels::Kernel> {
+        return std::make_unique<kernels::Daxpy>(n);
+    };
+
+    MeasureOptions cold;
+    cold.cores = cores;
+    cold.repetitions = 1;
+    const std::vector<Measurement> cold_ms =
+        exp.sweep(sizes, factory, cold);
+
+    MeasureOptions warm = cold;
+    warm.protocol = CacheProtocol::Warm;
+    const std::vector<Measurement> warm_ms =
+        exp.sweep(sizes, factory, warm);
+
+    RooflinePlot plot("daxpy sweep, single core (a=cold ... "
+                      "later letters=warm)",
+                      model);
+    std::vector<Measurement> all = cold_ms;
+    for (const Measurement &m : warm_ms) {
+        // Warm LLC-resident points have ~zero traffic (I -> inf); plot
+        // clips them by skipping, exactly like the paper annotates them
+        // off-scale. Keep them in the CSV.
+        plot.addMeasurement(m);
+        all.push_back(m);
+    }
+    for (const Measurement &m : cold_ms)
+        plot.addMeasurement(m);
+
+    exp.emit(plot, "fig_daxpy", all);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * F3 — dgemv roofline size sweep, cold and warm caches, single core.
+ *
+ * dgemv sits between daxpy and dgemm: intensity is bounded by 1/4
+ * flops/byte for large matrices (A is streamed once), so it stays memory
+ * bound at every size — the sweep shows points marching along the
+ * bandwidth roof as sizes leave the caches.
+ */
+
+#include <memory>
+
+#include "bench_common.hh"
+#include "kernels/dgemv.hh"
+
+int
+main()
+{
+    using namespace rfl;
+    using namespace rfl::roofline;
+
+    rfl::bench::banner("F3", "dgemv roofline size sweep");
+
+    Experiment exp;
+    const std::vector<int> cores = singleThreadCores(exp.machine());
+    const RooflineModel &model = exp.modelFor(cores);
+
+    const std::vector<size_t> sizes =
+        rfl::bench::thin({64, 128, 256, 512, 768, 1024, 1536});
+
+    auto factory = [](size_t n) -> std::unique_ptr<kernels::Kernel> {
+        return std::make_unique<kernels::Dgemv>(n, n);
+    };
+
+    MeasureOptions cold;
+    cold.cores = cores;
+    cold.repetitions = 1;
+    const std::vector<Measurement> cold_ms =
+        exp.sweep(sizes, factory, cold);
+
+    MeasureOptions warm = cold;
+    warm.protocol = CacheProtocol::Warm;
+    const std::vector<Measurement> warm_ms =
+        exp.sweep(sizes, factory, warm);
+
+    RooflinePlot plot("dgemv square sweep, single core", model);
+    std::vector<Measurement> all;
+    for (const Measurement &m : cold_ms) {
+        plot.addMeasurement(m);
+        all.push_back(m);
+    }
+    for (const Measurement &m : warm_ms) {
+        plot.addMeasurement(m);
+        all.push_back(m);
+    }
+    exp.emit(plot, "fig_dgemv", all);
+    return 0;
+}

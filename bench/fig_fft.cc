@@ -1,0 +1,58 @@
+/**
+ * @file
+ * F5 — FFT roofline size sweep.
+ *
+ * FFT's operational intensity grows like log(n) while cache resident and
+ * saturates once the transform streams per stage; the sweep traces the
+ * point's path from the memory roof toward the ridge, the behaviour the
+ * paper uses to demonstrate intensity that depends on problem size.
+ */
+
+#include <memory>
+
+#include "bench_common.hh"
+#include "kernels/fft.hh"
+
+int
+main()
+{
+    using namespace rfl;
+    using namespace rfl::roofline;
+
+    rfl::bench::banner("F5", "FFT roofline size sweep");
+
+    Experiment exp;
+    const std::vector<int> cores = singleThreadCores(exp.machine());
+    const RooflineModel &model = exp.modelFor(cores);
+
+    const std::vector<size_t> sizes =
+        rfl::bench::thin(pow2Sizes(1 << 8, 1 << 18));
+
+    auto factory = [](size_t n) -> std::unique_ptr<kernels::Kernel> {
+        return std::make_unique<kernels::Fft>(n);
+    };
+
+    MeasureOptions cold;
+    cold.cores = cores;
+    cold.repetitions = 1;
+    const std::vector<Measurement> cold_ms =
+        exp.sweep(sizes, factory, cold);
+
+    MeasureOptions warm = cold;
+    warm.protocol = CacheProtocol::Warm;
+    const std::vector<Measurement> warm_ms =
+        exp.sweep(sizes, factory, warm);
+
+    RooflinePlot plot("radix-2 FFT sweep, single core", model);
+    std::vector<Measurement> all;
+    for (const Measurement &m : cold_ms) {
+        plot.addMeasurement(m);
+        all.push_back(m);
+    }
+    for (const Measurement &m : warm_ms) {
+        plot.addMeasurement(m);
+        all.push_back(m);
+    }
+    exp.emit(plot, "fig_fft", all);
+    return 0;
+}

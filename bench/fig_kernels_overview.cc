@@ -1,0 +1,55 @@
+/**
+ * @file
+ * F11 (summary) — every kernel on one roofline.
+ *
+ * The paper-style closing figure: the whole kernel suite measured under
+ * one protocol (cold, single core) on one plot, spanning the intensity
+ * axis from sum (1/8) through the dgemm family (n/16) — the at-a-glance
+ * picture of which kernels a platform executes well.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace rfl;
+    using namespace rfl::roofline;
+
+    rfl::bench::banner("F11", "kernel-suite overview roofline");
+
+    Experiment exp;
+    const std::vector<int> cores = singleThreadCores(exp.machine());
+    const RooflineModel &model = exp.modelFor(cores);
+
+    const std::vector<std::string> specs = {
+        "sum:n=1048576",
+        "dot:n=1048576",
+        "daxpy:n=1048576",
+        "triad:n=1048576",
+        "triad-nt:n=1048576",
+        "stencil3:n=1048576",
+        "spmv-csr:rows=32768,nnz=16",
+        "dgemv:m=768,n=768",
+        "fft:n=262144",
+        "dgemm-naive:n=128",
+        "dgemm-blocked:n=128",
+        "dgemm-opt:n=192",
+    };
+
+    MeasureOptions opts;
+    opts.cores = cores;
+    opts.repetitions = 1;
+
+    RooflinePlot plot("kernel suite, single core, cold caches", model);
+    std::vector<Measurement> all;
+    for (const std::string &spec : specs) {
+        const Measurement m = exp.measureSpec(spec, opts);
+        plot.addMeasurement(m);
+        all.push_back(m);
+    }
+    exp.emit(plot, "fig_kernels_overview", all);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Native-path microbenchmarks (google-benchmark).
+ *
+ * Wall-clock throughput of the instrumented kernels on the HOST CPU via
+ * NativeEngine — the path a user takes on real hardware, where runtime T
+ * is wall time and W comes from the engine's software counters (or the
+ * perf backend where the kernel allows it). Not a paper artifact per se;
+ * it demonstrates that the single-source kernels are usable natively and
+ * reports the host's actual throughput for context.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/registry.hh"
+
+namespace
+{
+
+using namespace rfl::kernels;
+
+void
+runNativeKernel(benchmark::State &state, const char *spec)
+{
+    const std::unique_ptr<Kernel> kernel = createKernel(spec);
+    kernel->init(42);
+    NativeEngine warm(4, true);
+    kernel->run(warm, 0, 1); // touch memory once
+
+    for (auto _ : state) {
+        NativeEngine e(4, true);
+        kernel->run(e, 0, 1);
+        benchmark::DoNotOptimize(kernel->checksum());
+    }
+    NativeEngine counter(4, true);
+    kernel->run(counter, 0, 1);
+    state.counters["flops"] = benchmark::Counter(
+        static_cast<double>(counter.counters().flops()),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+
+#define RFL_NATIVE_BENCH(name, spec)                                      \
+    void name(benchmark::State &state)                                    \
+    {                                                                     \
+        runNativeKernel(state, spec);                                     \
+    }                                                                     \
+    BENCHMARK(name)->Unit(benchmark::kMicrosecond)
+
+RFL_NATIVE_BENCH(BM_daxpy_64k, "daxpy:n=65536");
+RFL_NATIVE_BENCH(BM_dot_64k, "dot:n=65536");
+RFL_NATIVE_BENCH(BM_triad_64k, "triad:n=65536");
+RFL_NATIVE_BENCH(BM_sum_64k, "sum:n=65536");
+RFL_NATIVE_BENCH(BM_stencil3_64k, "stencil3:n=65536");
+RFL_NATIVE_BENCH(BM_dgemv_256, "dgemv:m=256,n=256");
+RFL_NATIVE_BENCH(BM_dgemm_naive_96, "dgemm-naive:n=96");
+RFL_NATIVE_BENCH(BM_dgemm_blocked_96, "dgemm-blocked:n=96");
+RFL_NATIVE_BENCH(BM_dgemm_opt_96, "dgemm-opt:n=96");
+RFL_NATIVE_BENCH(BM_fft_16k, "fft:n=16384");
+RFL_NATIVE_BENCH(BM_spmv_8k, "spmv-csr:rows=8192,nnz=16");
+
+} // namespace
+
+BENCHMARK_MAIN();

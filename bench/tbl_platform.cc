@@ -1,0 +1,90 @@
+/**
+ * @file
+ * T1 — platform characterization table.
+ *
+ * The paper's platform table: measured peak compute per scenario and
+ * vector width (the register-resident FMA-chain benchmark) and measured
+ * peak bandwidth per streaming-probe flavor, plus the resulting ridge
+ * points. Nothing comes from a datasheet; everything is measured through
+ * the same counters the kernel measurements use.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "support/csv.hh"
+#include "support/table.hh"
+#include "support/units.hh"
+
+int
+main()
+{
+    using namespace rfl;
+    using namespace rfl::roofline;
+
+    rfl::bench::banner("T1", "platform characterization");
+
+    Experiment exp;
+    sim::Machine &machine = exp.machine();
+    std::printf("machine: %s (%d sockets x %d cores, %.1f GHz)\n\n",
+                machine.config().name.c_str(), machine.numSockets(),
+                machine.config().coresPerSocket,
+                machine.config().core.freqGHz);
+
+    struct ScenarioDef
+    {
+        const char *name;
+        std::vector<int> cores;
+    };
+    const ScenarioDef scenarios[] = {
+        {"single core", singleThreadCores(machine)},
+        {"single socket", oneSocketCores(machine)},
+        {"two sockets", allCores(machine)},
+    };
+
+    Table compute({"scenario", "scalar", "scalar+FMA", "AVX", "AVX+FMA"});
+    for (const ScenarioDef &s : scenarios) {
+        PlatformProbe &probe = exp.probe();
+        compute.addRow(
+            {s.name,
+             formatFlopRate(probe.computePeak(s.cores, 1, false)),
+             formatFlopRate(probe.computePeak(s.cores, 1, true)),
+             formatFlopRate(probe.computePeak(s.cores, 4, false)),
+             formatFlopRate(probe.computePeak(s.cores, 4, true))});
+    }
+    std::printf("measured peak compute (FMA-chain benchmark):\n");
+    compute.print(std::cout);
+
+    Table bw({"scenario", "read", "copy", "scale", "triad", "nt-set"});
+    CsvWriter csv(outputDirectory() + "/tbl_platform.csv",
+                  {"scenario", "probe", "imc_bytes_per_sec",
+                   "useful_bytes_per_sec"});
+    for (const ScenarioDef &s : scenarios) {
+        std::vector<std::string> row{s.name};
+        for (BwProbe probe : allBwProbes()) {
+            const BandwidthResult r =
+                exp.probe().bandwidthPeak(s.cores, probe);
+            row.push_back(formatByteRate(r.bytesPerSec));
+            csv.addRow({s.name, bwProbeName(probe),
+                        formatSig(r.bytesPerSec, 8),
+                        formatSig(r.usefulBytesPerSec, 8)});
+        }
+        bw.addRow(row);
+    }
+    std::printf("\nmeasured peak DRAM bandwidth (IMC counters):\n");
+    bw.print(std::cout);
+
+    Table ridge({"scenario", "peak pi", "peak beta", "ridge [flop/B]"});
+    for (const ScenarioDef &s : scenarios) {
+        const RooflineModel &model = exp.modelFor(s.cores);
+        ridge.addRow({s.name, formatFlopRate(model.peakCompute()),
+                      formatByteRate(model.peakBandwidth()),
+                      formatSig(model.ridgePoint(), 3)});
+    }
+    std::printf("\nroofline summary:\n");
+    ridge.print(std::cout);
+    std::printf("\nwrote %s/tbl_platform.csv\n",
+                outputDirectory().c_str());
+    return 0;
+}

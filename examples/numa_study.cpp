@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Example: NUMA placement study.
+ *
+ * The methodology's most operational lesson: without binding threads and
+ * memory (numactl in the paper), multi-socket measurements are wrong —
+ * points land above the single-socket roof because the OS quietly uses
+ * the other socket's memory channels. This example measures triad
+ * bandwidth for each placement policy and core set and shows where each
+ * policy helps or hurts.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "roofline/experiment.hh"
+#include "support/table.hh"
+#include "support/units.hh"
+
+int
+main()
+{
+    using namespace rfl;
+    using namespace rfl::roofline;
+
+    Experiment exp;
+    sim::Machine &machine = exp.machine();
+
+    struct ScenarioDef
+    {
+        const char *name;
+        std::vector<int> cores;
+    };
+    const ScenarioDef scenarios[] = {
+        {"1 core s0", {0}},
+        {"4 cores s0", {0, 1, 2, 3}},
+        {"4 cores s1", {4, 5, 6, 7}},
+        {"8 cores", {0, 1, 2, 3, 4, 5, 6, 7}},
+    };
+    const sim::MemPolicy policies[] = {
+        sim::MemPolicy::Socket0,
+        sim::MemPolicy::LocalToAccessor,
+        sim::MemPolicy::Interleave,
+    };
+
+    Table t({"cores", "policy", "triad BW [GB/s]", "runtime"});
+    for (const ScenarioDef &s : scenarios) {
+        for (sim::MemPolicy policy : policies) {
+            machine.setMemPolicy(policy);
+            MeasureOptions opts;
+            opts.cores = s.cores;
+            opts.repetitions = 1;
+            const Measurement m =
+                exp.measureSpec("triad:n=4194304", opts);
+            t.addRow({s.name, sim::memPolicyName(policy),
+                      formatSig(m.trafficBytes / m.seconds / 1e9, 4),
+                      formatSeconds(m.seconds)});
+        }
+    }
+    machine.setMemPolicy(sim::MemPolicy::LocalToAccessor);
+
+    t.print(std::cout);
+    std::printf(
+        "\nreading the table:\n"
+        " - socket0 policy: socket-1 cores pay the remote penalty and a\n"
+        "   full 8-core run bottlenecks on one socket's controller;\n"
+        " - local binding (the paper's numactl discipline): each socket\n"
+        "   streams from its own DRAM, bandwidth doubles with sockets;\n"
+        " - interleave: single-core runs get HIGHER apparent bandwidth\n"
+        "   than one socket can deliver (both controllers serve it) —\n"
+        "   exactly the unbound-measurement artifact the paper warns\n"
+        "   invalidates single-socket rooflines.\n");
+    return 0;
+}

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Execution engines: the instrumentation seam between kernels and
+ * machines.
+ *
+ * Every kernel is written once as a template over an engine E and runs:
+ *   - on the host CPU via NativeEngine (real arithmetic, software op
+ *     counts, wall-clock timing outside the engine), and
+ *   - on the simulated machine via SimEngine (same arithmetic, plus every
+ *     load/store routed through the cache hierarchy and every FP op
+ *     retired into the simulated core PMU).
+ *
+ * The engine exposes scalar ops and variable-width vector ops (a `Vec` of
+ * up to 8 doubles). A kernel compiled "for AVX" is simply the same source
+ * run with an engine whose lanes() == 4; this is how the paper's
+ * scalar/SSE/AVX ceiling comparison is reproduced without multiple kernel
+ * bodies.
+ *
+ * FP counting convention (both engines, hardware-faithful): each op
+ * retires one event of its width class; an FMA retires TWO events of its
+ * width class. Total flops are later derived as sum(count * lanes).
+ */
+
+#ifndef RFL_KERNELS_ENGINE_HH
+#define RFL_KERNELS_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/core.hh"
+#include "sim/machine.hh"
+#include "support/logging.hh"
+
+namespace rfl::kernels
+{
+
+/** Fixed-capacity vector of doubles with runtime width (1..8 lanes). */
+struct Vec
+{
+    std::array<double, 8> v{};
+    int w = 1;
+
+    double &operator[](int i) { return v[static_cast<size_t>(i)]; }
+    double operator[](int i) const { return v[static_cast<size_t>(i)]; }
+};
+
+/** Software op counters kept by NativeEngine (mirrors sim CoreCounters).*/
+struct NativeCounters
+{
+    /** FP retirements by width class; FMA counted twice. */
+    std::array<uint64_t, 4> fpRetired{};
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t otherUops = 0;
+
+    /** @return width-weighted flops (same formula as the PMU layer). */
+    uint64_t
+    flops() const
+    {
+        uint64_t total = 0;
+        for (int i = 0; i < 4; ++i) {
+            total += fpRetired[static_cast<size_t>(i)] *
+                     static_cast<uint64_t>(
+                         sim::vecLanes(static_cast<sim::VecWidth>(i)));
+        }
+        return total;
+    }
+};
+
+/**
+ * Engine running on the host CPU.
+ *
+ * All instrumentation is plain counter increments so the native path
+ * stays fast enough for real peak/bandwidth probing.
+ */
+class NativeEngine
+{
+  public:
+    /**
+     * @param lanes    vector width in doubles (1, 2, 4 or 8)
+     * @param use_fma  whether fmadd() fuses (1 uop, 2 ops retired) or
+     *                 splits into mul+add
+     */
+    explicit NativeEngine(int lanes = 1, bool use_fma = true)
+        : lanes_(lanes), fma_(use_fma)
+    {
+        RFL_ASSERT(lanes == 1 || lanes == 2 || lanes == 4 || lanes == 8);
+    }
+
+    int lanes() const { return lanes_; }
+    bool fmaEnabled() const { return fma_; }
+
+    const NativeCounters &counters() const { return counters_; }
+    void clearCounters() { counters_ = NativeCounters{}; }
+
+    // --- scalar ---
+    double
+    load(const double *p)
+    {
+        ++counters_.loads;
+        return *p;
+    }
+
+    void
+    store(double *p, double x)
+    {
+        ++counters_.stores;
+        *p = x;
+    }
+
+    /** Non-temporal store; identical to store() on the native path. */
+    void
+    storeNT(double *p, double x)
+    {
+        ++counters_.stores;
+        *p = x;
+    }
+
+    /**
+     * Count a non-FP load of @p bytes (index arrays, pointer chasing).
+     * The caller dereferences the pointer itself.
+     */
+    void
+    loadRaw(const void *p, uint32_t bytes)
+    {
+        (void)p;
+        (void)bytes;
+        ++counters_.loads;
+    }
+
+    double
+    add(double a, double b)
+    {
+        countFp(1, false);
+        return a + b;
+    }
+
+    double
+    sub(double a, double b)
+    {
+        countFp(1, false);
+        return a - b;
+    }
+
+    double
+    mul(double a, double b)
+    {
+        countFp(1, false);
+        return a * b;
+    }
+
+    double
+    div(double a, double b)
+    {
+        countFp(1, false);
+        return a / b;
+    }
+
+    /** a*b + c. Retires 2 ops (fused) or a mul + an add when !fma. */
+    double
+    fmadd(double a, double b, double c)
+    {
+        if (fma_) {
+            countFp(1, true);
+        } else {
+            countFp(1, false);
+            countFp(1, false);
+        }
+        return a * b + c;
+    }
+
+    // --- vector (width = lanes()) ---
+    Vec
+    vload(const double *p)
+    {
+        ++counters_.loads;
+        Vec r;
+        r.w = lanes_;
+        for (int i = 0; i < lanes_; ++i)
+            r[i] = p[i];
+        return r;
+    }
+
+    void
+    vstore(double *p, const Vec &x)
+    {
+        ++counters_.stores;
+        for (int i = 0; i < lanes_; ++i)
+            p[i] = x[i];
+    }
+
+    void
+    vstoreNT(double *p, const Vec &x)
+    {
+        vstore(p, x);
+    }
+
+    Vec
+    vbroadcast(double s) const
+    {
+        Vec r;
+        r.w = lanes_;
+        for (int i = 0; i < lanes_; ++i)
+            r[i] = s;
+        return r;
+    }
+
+    Vec
+    vadd(const Vec &a, const Vec &b)
+    {
+        countFp(lanes_, false);
+        Vec r;
+        r.w = lanes_;
+        for (int i = 0; i < lanes_; ++i)
+            r[i] = a[i] + b[i];
+        return r;
+    }
+
+    Vec
+    vmul(const Vec &a, const Vec &b)
+    {
+        countFp(lanes_, false);
+        Vec r;
+        r.w = lanes_;
+        for (int i = 0; i < lanes_; ++i)
+            r[i] = a[i] * b[i];
+        return r;
+    }
+
+    Vec
+    vfmadd(const Vec &a, const Vec &b, const Vec &c)
+    {
+        if (fma_) {
+            countFp(lanes_, true);
+        } else {
+            countFp(lanes_, false);
+            countFp(lanes_, false);
+        }
+        Vec r;
+        r.w = lanes_;
+        for (int i = 0; i < lanes_; ++i)
+            r[i] = a[i] * b[i] + c[i];
+        return r;
+    }
+
+    /** Horizontal sum; retires lanes-1 scalar adds. */
+    double
+    vreduce(const Vec &a)
+    {
+        double s = a[0];
+        for (int i = 1; i < lanes_; ++i)
+            s += a[i];
+        if (lanes_ > 1) {
+            counters_.fpRetired[0] +=
+                static_cast<uint64_t>(lanes_ - 1);
+        }
+        return s;
+    }
+
+    /** Account @p iters loop iterations of @p uops_per_iter integer work.*/
+    void
+    loop(uint64_t iters, uint64_t uops_per_iter = 2)
+    {
+        counters_.otherUops += iters * uops_per_iter;
+    }
+
+  private:
+    void
+    countFp(int width_lanes, bool fma)
+    {
+        const auto w =
+            static_cast<size_t>(sim::widthForLanes(width_lanes));
+        counters_.fpRetired[w] += fma ? 2 : 1;
+    }
+
+    int lanes_;
+    bool fma_;
+    NativeCounters counters_;
+};
+
+/**
+ * Engine driving the simulated machine on behalf of one simulated core.
+ *
+ * Performs the same arithmetic as NativeEngine (results stay verifiable)
+ * while routing every memory access through the cache hierarchy and
+ * retiring every FP op into the simulated core's counters.
+ */
+class SimEngine
+{
+  public:
+    /**
+     * @param machine simulated platform (must outlive the engine)
+     * @param core    simulated core executing this engine's stream
+     * @param lanes   vector width in doubles; must not exceed the
+     *                machine's maxVectorDoubles
+     * @param use_fma use FMA when the machine has it
+     */
+    SimEngine(sim::Machine &machine, int core, int lanes, bool use_fma)
+        : machine_(machine), core_(core), lanes_(lanes),
+          fma_(use_fma && machine.config().core.hasFma)
+    {
+        RFL_ASSERT(lanes == 1 || lanes == 2 || lanes == 4 || lanes == 8);
+        if (lanes > machine.config().core.maxVectorDoubles) {
+            fatal("SimEngine: %d lanes exceeds machine vector width %d",
+                  lanes, machine.config().core.maxVectorDoubles);
+        }
+    }
+
+    int lanes() const { return lanes_; }
+    bool fmaEnabled() const { return fma_; }
+    int core() const { return core_; }
+    sim::Machine &machine() { return machine_; }
+
+    // --- scalar ---
+    double
+    load(const double *p)
+    {
+        machine_.load(core_, reinterpret_cast<uint64_t>(p), 8);
+        return *p;
+    }
+
+    void
+    store(double *p, double x)
+    {
+        machine_.store(core_, reinterpret_cast<uint64_t>(p), 8);
+        *p = x;
+    }
+
+    void
+    storeNT(double *p, double x)
+    {
+        machine_.storeNT(core_, reinterpret_cast<uint64_t>(p), 8);
+        *p = x;
+    }
+
+    /** Non-FP load of @p bytes routed through the hierarchy. */
+    void
+    loadRaw(const void *p, uint32_t bytes)
+    {
+        machine_.load(core_, reinterpret_cast<uint64_t>(p), bytes);
+    }
+
+    double
+    add(double a, double b)
+    {
+        machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+        return a + b;
+    }
+
+    double
+    sub(double a, double b)
+    {
+        machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+        return a - b;
+    }
+
+    double
+    mul(double a, double b)
+    {
+        machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+        return a * b;
+    }
+
+    double
+    div(double a, double b)
+    {
+        machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+        return a / b;
+    }
+
+    double
+    fmadd(double a, double b, double c)
+    {
+        if (fma_) {
+            machine_.retireFp(core_, sim::VecWidth::Scalar, true);
+        } else {
+            machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+            machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+        }
+        return a * b + c;
+    }
+
+    // --- vector ---
+    Vec
+    vload(const double *p)
+    {
+        machine_.load(core_, reinterpret_cast<uint64_t>(p),
+                      static_cast<uint32_t>(8 * lanes_));
+        Vec r;
+        r.w = lanes_;
+        for (int i = 0; i < lanes_; ++i)
+            r[i] = p[i];
+        return r;
+    }
+
+    void
+    vstore(double *p, const Vec &x)
+    {
+        machine_.store(core_, reinterpret_cast<uint64_t>(p),
+                       static_cast<uint32_t>(8 * lanes_));
+        for (int i = 0; i < lanes_; ++i)
+            p[i] = x[i];
+    }
+
+    void
+    vstoreNT(double *p, const Vec &x)
+    {
+        machine_.storeNT(core_, reinterpret_cast<uint64_t>(p),
+                         static_cast<uint32_t>(8 * lanes_));
+        for (int i = 0; i < lanes_; ++i)
+            p[i] = x[i];
+    }
+
+    Vec
+    vbroadcast(double s) const
+    {
+        Vec r;
+        r.w = lanes_;
+        for (int i = 0; i < lanes_; ++i)
+            r[i] = s;
+        return r;
+    }
+
+    Vec
+    vadd(const Vec &a, const Vec &b)
+    {
+        machine_.retireFp(core_, sim::widthForLanes(lanes_), false);
+        Vec r;
+        r.w = lanes_;
+        for (int i = 0; i < lanes_; ++i)
+            r[i] = a[i] + b[i];
+        return r;
+    }
+
+    Vec
+    vmul(const Vec &a, const Vec &b)
+    {
+        machine_.retireFp(core_, sim::widthForLanes(lanes_), false);
+        Vec r;
+        r.w = lanes_;
+        for (int i = 0; i < lanes_; ++i)
+            r[i] = a[i] * b[i];
+        return r;
+    }
+
+    Vec
+    vfmadd(const Vec &a, const Vec &b, const Vec &c)
+    {
+        if (fma_) {
+            machine_.retireFp(core_, sim::widthForLanes(lanes_), true);
+        } else {
+            machine_.retireFp(core_, sim::widthForLanes(lanes_), false);
+            machine_.retireFp(core_, sim::widthForLanes(lanes_), false);
+        }
+        Vec r;
+        r.w = lanes_;
+        for (int i = 0; i < lanes_; ++i)
+            r[i] = a[i] * b[i] + c[i];
+        return r;
+    }
+
+    double
+    vreduce(const Vec &a)
+    {
+        double s = a[0];
+        for (int i = 1; i < lanes_; ++i)
+            s += a[i];
+        if (lanes_ > 1) {
+            machine_.retireFp(core_, sim::VecWidth::Scalar, false,
+                              static_cast<uint64_t>(lanes_ - 1));
+        }
+        return s;
+    }
+
+    void
+    loop(uint64_t iters, uint64_t uops_per_iter = 2)
+    {
+        machine_.retireOther(core_, iters * uops_per_iter);
+    }
+
+  private:
+    sim::Machine &machine_;
+    int core_;
+    int lanes_;
+    bool fma_;
+};
+
+} // namespace rfl::kernels
+
+#endif // RFL_KERNELS_ENGINE_HH

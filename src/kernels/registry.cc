@@ -1,0 +1,140 @@
+#include "kernels/registry.hh"
+
+#include <map>
+
+#include "kernels/daxpy.hh"
+#include "kernels/dgemm.hh"
+#include "kernels/dgemv.hh"
+#include "kernels/dot.hh"
+#include "kernels/fft.hh"
+#include "kernels/pchase.hh"
+#include "kernels/spmv.hh"
+#include "kernels/stencil.hh"
+#include "kernels/strided.hh"
+#include "kernels/sum.hh"
+#include "kernels/triad.hh"
+#include "support/logging.hh"
+
+namespace rfl::kernels
+{
+
+namespace
+{
+
+/** key=value parameters of a spec with defaulting lookup. */
+class Params
+{
+  public:
+    explicit Params(const std::string &text)
+    {
+        size_t pos = 0;
+        while (pos < text.size()) {
+            size_t comma = text.find(',', pos);
+            if (comma == std::string::npos)
+                comma = text.size();
+            const std::string item = text.substr(pos, comma - pos);
+            const size_t eq = item.find('=');
+            if (eq == std::string::npos)
+                fatal("kernel spec: bad parameter '%s'", item.c_str());
+            map_[item.substr(0, eq)] = item.substr(eq + 1);
+            pos = comma + 1;
+        }
+    }
+
+    size_t
+    get(const std::string &key, size_t fallback) const
+    {
+        auto it = map_.find(key);
+        if (it == map_.end())
+            return fallback;
+        return static_cast<size_t>(std::stoull(it->second));
+    }
+
+  private:
+    std::map<std::string, std::string> map_;
+};
+
+} // namespace
+
+std::unique_ptr<Kernel>
+createKernel(const std::string &spec)
+{
+    const size_t colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    const Params params(colon == std::string::npos
+                            ? std::string()
+                            : spec.substr(colon + 1));
+
+    if (name == "daxpy")
+        return std::make_unique<Daxpy>(params.get("n", 1 << 16));
+    if (name == "dot")
+        return std::make_unique<Dot>(params.get("n", 1 << 16));
+    if (name == "triad")
+        return std::make_unique<Triad>(params.get("n", 1 << 16), false);
+    if (name == "triad-nt")
+        return std::make_unique<Triad>(params.get("n", 1 << 16), true);
+    if (name == "sum")
+        return std::make_unique<SumReduction>(params.get("n", 1 << 16));
+    if (name == "stencil3")
+        return std::make_unique<Stencil3>(params.get("n", 1 << 16));
+    if (name == "dgemv") {
+        const size_t n = params.get("n", 512);
+        return std::make_unique<Dgemv>(params.get("m", n), n);
+    }
+    if (name == "dgemm-naive")
+        return std::make_unique<DgemmNaive>(params.get("n", 128));
+    if (name == "dgemm-blocked") {
+        return std::make_unique<DgemmBlocked>(params.get("n", 128),
+                                              params.get("block", 0));
+    }
+    if (name == "dgemm-opt")
+        return std::make_unique<DgemmRegBlocked>(params.get("n", 128));
+    if (name == "fft")
+        return std::make_unique<Fft>(params.get("n", 1 << 12));
+    if (name == "spmv-csr") {
+        return std::make_unique<SpmvCsr>(params.get("rows", 4096),
+                                         params.get("nnz", 16));
+    }
+    if (name == "strided-sum") {
+        return std::make_unique<StridedSum>(params.get("n", 65536),
+                                            params.get("stride", 8));
+    }
+    if (name == "pointer-chase") {
+        return std::make_unique<PointerChase>(params.get("nodes", 4096),
+                                              params.get("hops", 0));
+    }
+    fatal("unknown kernel '%s'", name.c_str());
+}
+
+std::vector<std::string>
+kernelNames()
+{
+    return {"daxpy",       "dot",           "triad",
+            "triad-nt",    "sum",           "stencil3",
+            "dgemv",       "dgemm-naive",   "dgemm-blocked",
+            "dgemm-opt",   "fft",           "spmv-csr",
+            "strided-sum", "pointer-chase"};
+}
+
+std::vector<std::string>
+kernelHelp()
+{
+    return {
+        "daxpy:n=<len>             y = a*x + y",
+        "dot:n=<len>               s = x . y",
+        "triad:n=<len>             a = b + s*c (regular stores)",
+        "triad-nt:n=<len>          a = b + s*c (non-temporal stores)",
+        "sum:n=<len>               s = sum(x)",
+        "stencil3:n=<len>          3-point stencil",
+        "dgemv:m=<rows>,n=<cols>   y = A*x + y",
+        "dgemm-naive:n=<dim>       C += A*B, triple loop",
+        "dgemm-blocked:n=<dim>,block=<b>  C += A*B, tiled",
+        "dgemm-opt:n=<dim>         C += A*B, register-blocked",
+        "fft:n=<pow2>              in-place radix-2 complex FFT",
+        "spmv-csr:rows=<r>,nnz=<per-row>  y = A*x, CSR",
+        "strided-sum:n=<touches>,stride=<doubles>  strided read probe",
+        "pointer-chase:nodes=<n>,hops=<h> dependent-load latency probe",
+    };
+}
+
+} // namespace rfl::kernels

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Kernel factory: build kernels from textual specs.
+ *
+ * A spec is "<name>" or "<name>:key=value,key=value", e.g.
+ *   "daxpy:n=65536"
+ *   "dgemm-blocked:n=256,block=32"
+ *   "spmv-csr:rows=8192,nnz=16"
+ * Unknown names or malformed specs call fatal() (user error).
+ */
+
+#ifndef RFL_KERNELS_REGISTRY_HH
+#define RFL_KERNELS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace rfl::kernels
+{
+
+/** @return a new kernel built from @p spec (see file comment). */
+std::unique_ptr<Kernel> createKernel(const std::string &spec);
+
+/** @return the list of recognized kernel names. */
+std::vector<std::string> kernelNames();
+
+/** @return usage line for each kernel (name, parameters, defaults). */
+std::vector<std::string> kernelHelp();
+
+} // namespace rfl::kernels
+
+#endif // RFL_KERNELS_REGISTRY_HH

@@ -1,0 +1,52 @@
+#include "kernels/triad.hh"
+
+#include "support/logging.hh"
+
+namespace rfl::kernels
+{
+
+Triad::Triad(size_t n, bool nt) : n_(n), nt_(nt), a_(n), b_(n), c_(n)
+{
+    RFL_ASSERT(n > 0);
+}
+
+std::string
+Triad::sizeLabel() const
+{
+    return "n=" + std::to_string(n_);
+}
+
+void
+Triad::init(uint64_t seed)
+{
+    Rng rng(seed);
+    s_ = rng.nextDouble(0.5, 2.0);
+    for (size_t i = 0; i < n_; ++i) {
+        a_[i] = 0.0;
+        b_[i] = rng.nextDouble(-1.0, 1.0);
+        c_[i] = rng.nextDouble(-1.0, 1.0);
+    }
+}
+
+void
+Triad::run(NativeEngine &e, int part, int nparts)
+{
+    runT(e, part, nparts);
+}
+
+void
+Triad::run(SimEngine &e, int part, int nparts)
+{
+    runT(e, part, nparts);
+}
+
+double
+Triad::checksum() const
+{
+    double s = 0.0;
+    for (size_t i = 0; i < n_; ++i)
+        s += a_[i];
+    return s;
+}
+
+} // namespace rfl::kernels

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Counter-backend interface.
+ *
+ * A backend turns begin()/end() region markers into a Counts record. Two
+ * implementations exist:
+ *   - SimBackend:  reads the simulated machine's counters (always
+ *                  available, fully deterministic).
+ *   - PerfEventBackend: perf_event_open(2); available only when the host
+ *                  kernel permits, used opportunistically on real
+ *                  hardware.
+ */
+
+#ifndef RFL_PMU_BACKEND_HH
+#define RFL_PMU_BACKEND_HH
+
+#include <string>
+
+#include "pmu/event.hh"
+
+namespace rfl::pmu
+{
+
+/**
+ * Abstract counting backend. Regions must be properly nested-free:
+ * begin() ... end() with no overlap.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** @return backend name for reports, e.g. "sim" or "perf_event". */
+    virtual std::string name() const = 0;
+
+    /** @return whether this backend can produce @p id. */
+    virtual bool supports(EventId id) const = 0;
+
+    /** Mark the start of a measured region. */
+    virtual void begin() = 0;
+
+    /** Mark the end of the region; @return counters for the region. */
+    virtual Counts end() = 0;
+};
+
+/**
+ * RAII region: begins on construction, ends (and stores the counts) on
+ * finish() or destruction.
+ */
+class Region
+{
+  public:
+    explicit Region(Backend &backend) : backend_(backend)
+    {
+        backend_.begin();
+    }
+
+    ~Region()
+    {
+        if (!finished_)
+            finish();
+    }
+
+    Region(const Region &) = delete;
+    Region &operator=(const Region &) = delete;
+
+    /** End the region (idempotent) and @return its counts. */
+    const Counts &
+    finish()
+    {
+        if (!finished_) {
+            counts_ = backend_.end();
+            finished_ = true;
+        }
+        return counts_;
+    }
+
+  private:
+    Backend &backend_;
+    Counts counts_;
+    bool finished_ = false;
+};
+
+} // namespace rfl::pmu
+
+#endif // RFL_PMU_BACKEND_HH

@@ -1,0 +1,169 @@
+#include "pmu/event.hh"
+
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace rfl::pmu
+{
+
+const char *
+eventName(EventId id)
+{
+    switch (id) {
+      case EventId::Cycles: return "cycles";
+      case EventId::Instructions: return "instructions";
+      case EventId::FpScalarDouble: return "fp_scalar_double";
+      case EventId::Fp128PackedDouble: return "fp_128b_packed_double";
+      case EventId::Fp256PackedDouble: return "fp_256b_packed_double";
+      case EventId::Fp512PackedDouble: return "fp_512b_packed_double";
+      case EventId::L1Hits: return "l1_hits";
+      case EventId::L1Misses: return "l1_misses";
+      case EventId::L2Hits: return "l2_hits";
+      case EventId::L2Misses: return "l2_misses";
+      case EventId::L3Hits: return "l3_hits";
+      case EventId::L3Misses: return "l3_misses";
+      case EventId::ImcCasReads: return "imc_cas_reads";
+      case EventId::ImcCasWrites: return "imc_cas_writes";
+      case EventId::ImcPrefetchReads: return "imc_prefetch_reads";
+      case EventId::ImcNtWrites: return "imc_nt_writes";
+      case EventId::NumEvents: break;
+    }
+    panic("eventName: bad event id %d", static_cast<int>(id));
+}
+
+const char *
+eventDescription(EventId id)
+{
+    switch (id) {
+      case EventId::Cycles:
+        return "unhalted core cycles during the region";
+      case EventId::Instructions:
+        return "retired micro-operations (approximate on sim)";
+      case EventId::FpScalarDouble:
+        return "retired scalar double FP ops (FMA counts twice)";
+      case EventId::Fp128PackedDouble:
+        return "retired 128-bit packed double FP ops";
+      case EventId::Fp256PackedDouble:
+        return "retired 256-bit packed double FP ops";
+      case EventId::Fp512PackedDouble:
+        return "retired 512-bit packed double FP ops";
+      case EventId::L1Hits: return "demand hits in the L1 data cache";
+      case EventId::L1Misses: return "demand misses in the L1 data cache";
+      case EventId::L2Hits: return "demand hits in the private L2";
+      case EventId::L2Misses: return "demand misses in the private L2";
+      case EventId::L3Hits: return "demand hits in the shared L3";
+      case EventId::L3Misses: return "demand misses in the shared L3";
+      case EventId::ImcCasReads:
+        return "uncore IMC full-line DRAM reads, all sockets";
+      case EventId::ImcCasWrites:
+        return "uncore IMC full-line DRAM writes, all sockets";
+      case EventId::ImcPrefetchReads:
+        return "IMC reads initiated by hardware prefetchers";
+      case EventId::ImcNtWrites:
+        return "IMC writes from non-temporal stores";
+      case EventId::NumEvents: break;
+    }
+    panic("eventDescription: bad event id %d", static_cast<int>(id));
+}
+
+std::vector<EventId>
+allEvents()
+{
+    std::vector<EventId> events;
+    events.reserve(numEvents);
+    for (int i = 0; i < numEvents; ++i)
+        events.push_back(static_cast<EventId>(i));
+    return events;
+}
+
+Counts::Counts()
+    : values_(static_cast<size_t>(numEvents), 0),
+      supported_(static_cast<size_t>(numEvents), false)
+{
+}
+
+void
+Counts::set(EventId id, uint64_t value)
+{
+    values_[static_cast<size_t>(id)] = value;
+    supported_[static_cast<size_t>(id)] = true;
+}
+
+uint64_t
+Counts::get(EventId id) const
+{
+    return values_[static_cast<size_t>(id)];
+}
+
+bool
+Counts::supported(EventId id) const
+{
+    return supported_[static_cast<size_t>(id)];
+}
+
+Counts
+Counts::operator-(const Counts &rhs) const
+{
+    Counts d;
+    for (int i = 0; i < numEvents; ++i) {
+        const auto id = static_cast<EventId>(i);
+        if (supported(id) && rhs.supported(id))
+            d.set(id, get(id) - rhs.get(id));
+    }
+    d.setSeconds(seconds_ - rhs.seconds_);
+    return d;
+}
+
+Counts
+Counts::subtractClamped(const Counts &overhead) const
+{
+    Counts d;
+    for (int i = 0; i < numEvents; ++i) {
+        const auto id = static_cast<EventId>(i);
+        if (!supported(id))
+            continue;
+        const uint64_t a = get(id);
+        const uint64_t b = overhead.supported(id) ? overhead.get(id) : 0;
+        d.set(id, a > b ? a - b : 0);
+    }
+    const double s = seconds_ - overhead.seconds_;
+    d.setSeconds(s > 0 ? s : 0.0);
+    return d;
+}
+
+double
+Counts::flops() const
+{
+    return static_cast<double>(get(EventId::FpScalarDouble)) * 1.0 +
+           static_cast<double>(get(EventId::Fp128PackedDouble)) * 2.0 +
+           static_cast<double>(get(EventId::Fp256PackedDouble)) * 4.0 +
+           static_cast<double>(get(EventId::Fp512PackedDouble)) * 8.0;
+}
+
+double
+Counts::trafficBytes(uint32_t line_bytes) const
+{
+    return static_cast<double>(get(EventId::ImcCasReads) +
+                               get(EventId::ImcCasWrites)) *
+           line_bytes;
+}
+
+double
+Counts::operationalIntensity(uint32_t line_bytes) const
+{
+    const double q = trafficBytes(line_bytes);
+    if (q == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return flops() / q;
+}
+
+double
+Counts::flopsPerSecond() const
+{
+    if (seconds_ <= 0.0)
+        return 0.0;
+    return flops() / seconds_;
+}
+
+} // namespace rfl::pmu

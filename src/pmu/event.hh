@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Performance-monitoring event model.
+ *
+ * The event set mirrors what the paper's methodology reads on real
+ * hardware: the FP_ARITH retirement events by SIMD width (for work W),
+ * per-level cache hit/miss events, and the uncore IMC CAS counters (for
+ * memory traffic Q). Backends (simulated machine or perf_event) map these
+ * logical events onto whatever they can count.
+ */
+
+#ifndef RFL_PMU_EVENT_HH
+#define RFL_PMU_EVENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfl::pmu
+{
+
+/** Logical PMU events. */
+enum class EventId : int
+{
+    Cycles = 0,        ///< unhalted core cycles of the region
+    Instructions,      ///< retired uops/instructions (approximate)
+
+    FpScalarDouble,    ///< FP_ARITH_INST_RETIRED.SCALAR_DOUBLE
+    Fp128PackedDouble, ///< FP_ARITH_INST_RETIRED.128B_PACKED_DOUBLE
+    Fp256PackedDouble, ///< FP_ARITH_INST_RETIRED.256B_PACKED_DOUBLE
+    Fp512PackedDouble, ///< FP_ARITH_INST_RETIRED.512B_PACKED_DOUBLE
+
+    L1Hits,            ///< demand hits in L1D
+    L1Misses,          ///< demand misses in L1D
+    L2Hits,
+    L2Misses,
+    L3Hits,
+    L3Misses,
+
+    ImcCasReads,       ///< uncore: full-line DRAM reads (all sockets)
+    ImcCasWrites,      ///< uncore: full-line DRAM writes (all sockets)
+    ImcPrefetchReads,  ///< subset of CAS reads initiated by prefetchers
+    ImcNtWrites,       ///< subset of CAS writes from non-temporal stores
+
+    NumEvents,         // sentinel
+};
+
+/** Number of logical events. */
+constexpr int numEvents = static_cast<int>(EventId::NumEvents);
+
+/** @return short mnemonic, e.g. "fp_256b_packed_double". */
+const char *eventName(EventId id);
+
+/** @return one-line description for docs/help output. */
+const char *eventDescription(EventId id);
+
+/** @return all events in enum order (excluding the sentinel). */
+std::vector<EventId> allEvents();
+
+/**
+ * Event values of one measured region plus the region's runtime.
+ *
+ * Values of events the backend does not support are 0 and flagged
+ * unsupported; consumers must check supported() before trusting a 0.
+ */
+class Counts
+{
+  public:
+    Counts();
+
+    /** Set the value of @p id and mark it supported. */
+    void set(EventId id, uint64_t value);
+
+    /** @return counter value (0 when unsupported). */
+    uint64_t get(EventId id) const;
+
+    /** @return whether the backend produced this event. */
+    bool supported(EventId id) const;
+
+    /** Region wall/virtual time in seconds. */
+    double seconds() const { return seconds_; }
+    void setSeconds(double s) { seconds_ = s; }
+
+    /** Element-wise difference of supported events (this - rhs). */
+    Counts operator-(const Counts &rhs) const;
+
+    /**
+     * Subtract @p overhead, clamping at zero: the framework-overhead run
+     * can legitimately count more of an event (e.g. prefetch noise) than
+     * the kernel run, and traffic must not go negative.
+     */
+    Counts subtractClamped(const Counts &overhead) const;
+
+    /**
+     * Derived work W: total double-precision flops, width-weighted
+     * (scalar*1 + 128b*2 + 256b*4 + 512b*8). FMA needs no special case:
+     * hardware bumps the counter by 2 per FMA.
+     */
+    double flops() const;
+
+    /** Derived traffic Q in bytes: (CAS_RD + CAS_WR) * line size. */
+    double trafficBytes(uint32_t line_bytes = 64) const;
+
+    /** Derived operational intensity I = W / Q (inf when Q == 0). */
+    double operationalIntensity(uint32_t line_bytes = 64) const;
+
+    /** Derived performance P = W / T in flops/s (0 when T == 0). */
+    double flopsPerSecond() const;
+
+  private:
+    std::vector<uint64_t> values_;
+    std::vector<bool> supported_;
+    double seconds_ = 0.0;
+};
+
+} // namespace rfl::pmu
+
+#endif // RFL_PMU_EVENT_HH

@@ -1,0 +1,178 @@
+#include "pmu/perf_backend.hh"
+
+#include <chrono>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "support/logging.hh"
+
+namespace rfl::pmu
+{
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+#if defined(__linux__)
+
+int
+PerfEventBackend::openEvent(uint32_t type, uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    const long fd =
+        syscall(SYS_perf_event_open, &attr, 0 /* this thread */,
+                -1 /* any cpu */, -1 /* no group */, 0ul);
+    return static_cast<int>(fd);
+}
+
+bool
+PerfEventBackend::available()
+{
+    const int fd = openEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    if (fd < 0)
+        return false;
+    close(fd);
+    return true;
+}
+
+PerfEventBackend::PerfEventBackend()
+{
+    struct Want
+    {
+        EventId id;
+        uint32_t type;
+        uint64_t config;
+    };
+    const Want wants[] = {
+        {EventId::Cycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+        {EventId::Instructions, PERF_TYPE_HARDWARE,
+         PERF_COUNT_HW_INSTRUCTIONS},
+        {EventId::L3Hits, PERF_TYPE_HARDWARE,
+         PERF_COUNT_HW_CACHE_REFERENCES},
+        {EventId::L3Misses, PERF_TYPE_HARDWARE,
+         PERF_COUNT_HW_CACHE_MISSES},
+    };
+    for (const Want &w : wants) {
+        const int fd = openEvent(w.type, w.config);
+        if (fd >= 0)
+            fds_.push_back({w.id, fd});
+    }
+    if (fds_.empty())
+        warn("perf_event backend constructed without any live counters");
+}
+
+PerfEventBackend::~PerfEventBackend()
+{
+    for (Fd &f : fds_)
+        if (f.fd >= 0)
+            close(f.fd);
+}
+
+bool
+PerfEventBackend::supports(EventId id) const
+{
+    for (const Fd &f : fds_)
+        if (f.id == id)
+            return true;
+    return false;
+}
+
+void
+PerfEventBackend::begin()
+{
+    RFL_ASSERT(!inRegion_);
+    inRegion_ = true;
+    beginValues_.clear();
+    for (Fd &f : fds_) {
+        ioctl(f.fd, PERF_EVENT_IOC_RESET, 0);
+        ioctl(f.fd, PERF_EVENT_IOC_ENABLE, 0);
+        beginValues_.push_back(0);
+    }
+    beginSeconds_ = nowSeconds();
+}
+
+Counts
+PerfEventBackend::end()
+{
+    RFL_ASSERT(inRegion_);
+    inRegion_ = false;
+    const double seconds = nowSeconds() - beginSeconds_;
+    Counts c;
+    for (Fd &f : fds_) {
+        ioctl(f.fd, PERF_EVENT_IOC_DISABLE, 0);
+        uint64_t value = 0;
+        if (read(f.fd, &value, sizeof(value)) == sizeof(value))
+            c.set(f.id, value);
+    }
+    c.setSeconds(seconds);
+    return c;
+}
+
+#else // !__linux__
+
+int
+PerfEventBackend::openEvent(uint32_t, uint64_t)
+{
+    return -1;
+}
+
+bool
+PerfEventBackend::available()
+{
+    return false;
+}
+
+PerfEventBackend::PerfEventBackend()
+{
+    warn("perf_event backend is Linux-only");
+}
+
+PerfEventBackend::~PerfEventBackend() = default;
+
+bool
+PerfEventBackend::supports(EventId) const
+{
+    return false;
+}
+
+void
+PerfEventBackend::begin()
+{
+    inRegion_ = true;
+    beginSeconds_ = nowSeconds();
+}
+
+Counts
+PerfEventBackend::end()
+{
+    inRegion_ = false;
+    Counts c;
+    c.setSeconds(nowSeconds() - beginSeconds_);
+    return c;
+}
+
+#endif
+
+} // namespace rfl::pmu

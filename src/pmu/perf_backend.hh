@@ -1,0 +1,63 @@
+/**
+ * @file
+ * perf_event(2) counter backend for real hardware.
+ *
+ * Mirrors how the paper's tool talks to the PMU: program a group of
+ * events, enable around the region, read deltas. Only the portable
+ * generic events (cycles, instructions, LLC references/misses) are
+ * wired up; the model-specific FP_ARITH and uncore IMC events need raw
+ * event codes that vary per microarchitecture and are out of scope for a
+ * container-portable build — supports() reports exactly what is live.
+ *
+ * On kernels that forbid unprivileged counting (perf_event_paranoid >= 2
+ * without CAP_PERFMON) available() returns false and the measurement
+ * layer falls back to the simulated machine.
+ */
+
+#ifndef RFL_PMU_PERF_BACKEND_HH
+#define RFL_PMU_PERF_BACKEND_HH
+
+#include <vector>
+
+#include "pmu/backend.hh"
+
+namespace rfl::pmu
+{
+
+/** perf_event_open backend; see file comment for caveats. */
+class PerfEventBackend : public Backend
+{
+  public:
+    PerfEventBackend();
+    ~PerfEventBackend() override;
+
+    PerfEventBackend(const PerfEventBackend &) = delete;
+    PerfEventBackend &operator=(const PerfEventBackend &) = delete;
+
+    /** @return true when the host kernel lets us open a cycle counter. */
+    static bool available();
+
+    std::string name() const override { return "perf_event"; }
+    bool supports(EventId id) const override;
+    void begin() override;
+    Counts end() override;
+
+  private:
+    struct Fd
+    {
+        EventId id;
+        int fd = -1;
+    };
+
+    /** Try to open one event; returns -1 on failure. */
+    static int openEvent(uint32_t type, uint64_t config);
+
+    std::vector<Fd> fds_;
+    std::vector<uint64_t> beginValues_;
+    double beginSeconds_ = 0.0;
+    bool inRegion_ = false;
+};
+
+} // namespace rfl::pmu
+
+#endif // RFL_PMU_PERF_BACKEND_HH

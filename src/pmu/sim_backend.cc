@@ -1,0 +1,87 @@
+#include "pmu/sim_backend.hh"
+
+#include "support/logging.hh"
+
+namespace rfl::pmu
+{
+
+SimBackend::SimBackend(sim::Machine &machine) : machine_(machine)
+{
+}
+
+bool
+SimBackend::supports(EventId id) const
+{
+    return id != EventId::NumEvents;
+}
+
+void
+SimBackend::begin()
+{
+    RFL_ASSERT(!inRegion_);
+    inRegion_ = true;
+    begin_ = machine_.snapshot();
+}
+
+Counts
+SimBackend::end()
+{
+    RFL_ASSERT(inRegion_);
+    inRegion_ = false;
+    const sim::Machine::Snapshot delta = machine_.snapshot() - begin_;
+    return countsFromDelta(delta);
+}
+
+Counts
+SimBackend::countsFromDelta(const sim::Machine::Snapshot &delta) const
+{
+    Counts c;
+
+    uint64_t fp[4] = {0, 0, 0, 0};
+    uint64_t uops = 0;
+    for (const sim::CoreCounters &cc : delta.cores) {
+        for (size_t i = 0; i < 4; ++i)
+            fp[i] += cc.fpRetired[i];
+        uops += cc.totalUops();
+    }
+    c.set(EventId::FpScalarDouble, fp[0]);
+    c.set(EventId::Fp128PackedDouble, fp[1]);
+    c.set(EventId::Fp256PackedDouble, fp[2]);
+    c.set(EventId::Fp512PackedDouble, fp[3]);
+    c.set(EventId::Instructions, uops);
+
+    uint64_t l1h = 0, l1m = 0, l2h = 0, l2m = 0;
+    for (const sim::CacheStats &s : delta.l1) {
+        l1h += s.hits();
+        l1m += s.misses();
+    }
+    for (const sim::CacheStats &s : delta.l2) {
+        l2h += s.hits();
+        l2m += s.misses();
+    }
+    uint64_t l3h = 0, l3m = 0;
+    for (const sim::CacheStats &s : delta.l3) {
+        l3h += s.hits();
+        l3m += s.misses();
+    }
+    c.set(EventId::L1Hits, l1h);
+    c.set(EventId::L1Misses, l1m);
+    c.set(EventId::L2Hits, l2h);
+    c.set(EventId::L2Misses, l2m);
+    c.set(EventId::L3Hits, l3h);
+    c.set(EventId::L3Misses, l3m);
+
+    const sim::ImcStats imc = delta.totalImc();
+    c.set(EventId::ImcCasReads, imc.casReads);
+    c.set(EventId::ImcCasWrites, imc.casWrites);
+    c.set(EventId::ImcPrefetchReads, imc.prefetchReads);
+    c.set(EventId::ImcNtWrites, imc.ntWrites);
+
+    const double seconds = machine_.regionSeconds(delta);
+    c.setSeconds(seconds);
+    c.set(EventId::Cycles,
+          static_cast<uint64_t>(machine_.regionCycles(delta)));
+    return c;
+}
+
+} // namespace rfl::pmu

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Counter backend reading the simulated machine.
+ *
+ * Supports every logical event. Region runtime is the machine's modeled
+ * regionSeconds() of the counter delta, so "measured" runtime and
+ * "measured" counters are mutually consistent the way TSC + PMU reads are
+ * on real hardware.
+ */
+
+#ifndef RFL_PMU_SIM_BACKEND_HH
+#define RFL_PMU_SIM_BACKEND_HH
+
+#include "pmu/backend.hh"
+#include "sim/machine.hh"
+
+namespace rfl::pmu
+{
+
+/** Backend over a sim::Machine. The machine must outlive the backend. */
+class SimBackend : public Backend
+{
+  public:
+    explicit SimBackend(sim::Machine &machine);
+
+    std::string name() const override { return "sim"; }
+    bool supports(EventId id) const override;
+    void begin() override;
+    Counts end() override;
+
+    /** Convert a machine snapshot delta into logical event counts. */
+    Counts countsFromDelta(const sim::Machine::Snapshot &delta) const;
+
+  private:
+    sim::Machine &machine_;
+    sim::Machine::Snapshot begin_;
+    bool inRegion_ = false;
+};
+
+} // namespace rfl::pmu
+
+#endif // RFL_PMU_SIM_BACKEND_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Experiment driver: the glue used by every bench binary.
+ *
+ * An Experiment bundles a machine, its measured ceilings per scenario,
+ * and helpers to sweep kernels and emit the standard artifact set
+ * (ASCII plot + point table on stdout, .csv/.dat/.gp under the output
+ * directory).
+ */
+
+#ifndef RFL_ROOFLINE_EXPERIMENT_HH
+#define RFL_ROOFLINE_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hh"
+#include "roofline/measurement.hh"
+#include "roofline/model.hh"
+#include "roofline/platform.hh"
+#include "roofline/plot.hh"
+#include "sim/machine.hh"
+
+namespace rfl::roofline
+{
+
+/** A machine + probe + measurer with scenario helpers. */
+class Experiment
+{
+  public:
+    /** Build around the default simulated platform. */
+    Experiment();
+
+    /** Build around a specific machine configuration. */
+    explicit Experiment(const sim::MachineConfig &config);
+
+    sim::Machine &machine() { return *machine_; }
+    PlatformProbe &probe() { return *probe_; }
+    Measurer &measurer() { return *measurer_; }
+
+    /** Ceilings for a core set (characterized once, then cached). */
+    const RooflineModel &modelFor(const std::vector<int> &cores);
+
+    /**
+     * Measure one kernel spec (see kernels/registry.hh) under @p opts.
+     */
+    Measurement measureSpec(const std::string &spec,
+                            const MeasureOptions &opts = {});
+
+    /**
+     * Sweep: measure each kernel produced by @p factory for each value
+     * in @p sizes.
+     */
+    std::vector<Measurement>
+    sweep(const std::vector<size_t> &sizes,
+          const std::function<std::unique_ptr<kernels::Kernel>(size_t)>
+              &factory,
+          const MeasureOptions &opts = {});
+
+    /** Print plot + table to stdout and write csv/dat/gp artifacts. */
+    void emit(const RooflinePlot &plot, const std::string &name,
+              const std::vector<Measurement> &measurements = {}) const;
+
+  private:
+    struct CachedModel
+    {
+        std::vector<int> cores;
+        RooflineModel model;
+    };
+
+    std::unique_ptr<sim::Machine> machine_;
+    std::unique_ptr<PlatformProbe> probe_;
+    std::unique_ptr<Measurer> measurer_;
+    std::vector<CachedModel> models_;
+};
+
+/** Write a measurement list as CSV under @p dir/@p name.csv. */
+void writeMeasurementsCsv(const std::vector<Measurement> &ms,
+                          const std::string &dir,
+                          const std::string &name);
+
+/** Standard power-of-two size sweep [lo, hi]. */
+std::vector<size_t> pow2Sizes(size_t lo, size_t hi);
+
+} // namespace rfl::roofline
+
+#endif // RFL_ROOFLINE_EXPERIMENT_HH

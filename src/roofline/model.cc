@@ -1,0 +1,92 @@
+#include "roofline/model.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace rfl::roofline
+{
+
+void
+RooflineModel::addComputeCeiling(const std::string &name,
+                                 double flops_per_sec)
+{
+    RFL_ASSERT(flops_per_sec > 0);
+    compute_.push_back({name, flops_per_sec});
+}
+
+void
+RooflineModel::addBandwidthCeiling(const std::string &name,
+                                   double bytes_per_sec)
+{
+    RFL_ASSERT(bytes_per_sec > 0);
+    bw_.push_back({name, bytes_per_sec});
+}
+
+double
+RooflineModel::peakCompute() const
+{
+    double best = 0.0;
+    for (const Ceiling &c : compute_)
+        best = std::max(best, c.value);
+    return best;
+}
+
+double
+RooflineModel::peakBandwidth() const
+{
+    double best = 0.0;
+    for (const Ceiling &c : bw_)
+        best = std::max(best, c.value);
+    return best;
+}
+
+double
+RooflineModel::computeCeiling(const std::string &name) const
+{
+    for (const Ceiling &c : compute_)
+        if (c.name == name)
+            return c.value;
+    fatal("no compute ceiling named '%s'", name.c_str());
+}
+
+double
+RooflineModel::bandwidthCeiling(const std::string &name) const
+{
+    for (const Ceiling &c : bw_)
+        if (c.name == name)
+            return c.value;
+    fatal("no bandwidth ceiling named '%s'", name.c_str());
+}
+
+double
+RooflineModel::attainable(double oi) const
+{
+    return std::min(peakCompute(), oi * peakBandwidth());
+}
+
+double
+RooflineModel::attainable(double oi, const std::string &compute_name,
+                          const std::string &bandwidth_name) const
+{
+    return std::min(computeCeiling(compute_name),
+                    oi * bandwidthCeiling(bandwidth_name));
+}
+
+double
+RooflineModel::ridgePoint() const
+{
+    const double beta = peakBandwidth();
+    RFL_ASSERT(beta > 0);
+    return peakCompute() / beta;
+}
+
+double
+RooflineModel::ridgePoint(const std::string &compute_name,
+                          const std::string &bandwidth_name) const
+{
+    return computeCeiling(compute_name) /
+           bandwidthCeiling(bandwidth_name);
+}
+
+} // namespace rfl::roofline

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The roofline model proper: P(I) = min(pi, I * beta), with named
+ * compute ceilings (scalar / SSE / AVX / +FMA / multicore) and bandwidth
+ * ceilings (1 thread / 1 socket / all sockets, ...) as in the paper's
+ * plots.
+ */
+
+#ifndef RFL_ROOFLINE_MODEL_HH
+#define RFL_ROOFLINE_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace rfl::roofline
+{
+
+/** One named horizontal (compute) or diagonal (bandwidth) ceiling. */
+struct Ceiling
+{
+    std::string name;
+    double value = 0.0; ///< flops/s (compute) or bytes/s (bandwidth)
+};
+
+/**
+ * A roofline: a set of compute ceilings pi_i and bandwidth ceilings
+ * beta_j. The *roof* uses the maximum of each; attainable() against any
+ * named pair is available for ceiling analysis.
+ */
+class RooflineModel
+{
+  public:
+    RooflineModel() = default;
+
+    /** Add a compute ceiling in flops/s. */
+    void addComputeCeiling(const std::string &name, double flops_per_sec);
+
+    /** Add a bandwidth ceiling in bytes/s. */
+    void addBandwidthCeiling(const std::string &name,
+                             double bytes_per_sec);
+
+    const std::vector<Ceiling> &computeCeilings() const { return compute_; }
+    const std::vector<Ceiling> &bandwidthCeilings() const { return bw_; }
+
+    /** @return highest compute ceiling pi (0 when none). */
+    double peakCompute() const;
+
+    /** @return highest bandwidth ceiling beta (0 when none). */
+    double peakBandwidth() const;
+
+    /** @return named compute ceiling; fatal() when absent. */
+    double computeCeiling(const std::string &name) const;
+
+    /** @return named bandwidth ceiling; fatal() when absent. */
+    double bandwidthCeiling(const std::string &name) const;
+
+    /**
+     * @return attainable performance at operational intensity @p oi
+     * against the outermost roof: min(peakCompute, oi * peakBandwidth).
+     */
+    double attainable(double oi) const;
+
+    /** Attainable against a specific named ceiling pair. */
+    double attainable(double oi, const std::string &compute_name,
+                      const std::string &bandwidth_name) const;
+
+    /**
+     * @return ridge point I_r = pi / beta of the outermost roof: the
+     * intensity above which the platform is compute bound.
+     */
+    double ridgePoint() const;
+
+    /** Ridge point of a named ceiling pair. */
+    double ridgePoint(const std::string &compute_name,
+                      const std::string &bandwidth_name) const;
+
+  private:
+    std::vector<Ceiling> compute_;
+    std::vector<Ceiling> bw_;
+};
+
+} // namespace rfl::roofline
+
+#endif // RFL_ROOFLINE_MODEL_HH

@@ -1,0 +1,221 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "support/logging.hh"
+
+namespace rfl::sim
+{
+
+CacheStats
+CacheStats::operator-(const CacheStats &rhs) const
+{
+    CacheStats d;
+    d.readHits = readHits - rhs.readHits;
+    d.readMisses = readMisses - rhs.readMisses;
+    d.writeHits = writeHits - rhs.writeHits;
+    d.writeMisses = writeMisses - rhs.writeMisses;
+    d.writebacks = writebacks - rhs.writebacks;
+    d.prefetchFills = prefetchFills - rhs.prefetchFills;
+    d.prefetchHits = prefetchHits - rhs.prefetchHits;
+    return d;
+}
+
+CacheStats &
+CacheStats::operator+=(const CacheStats &rhs)
+{
+    readHits += rhs.readHits;
+    readMisses += rhs.readMisses;
+    writeHits += rhs.writeHits;
+    writeMisses += rhs.writeMisses;
+    writebacks += rhs.writebacks;
+    prefetchFills += rhs.prefetchFills;
+    prefetchHits += rhs.prefetchHits;
+    return *this;
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), numSets_(config.numSets()),
+      ways_(static_cast<size_t>(numSets_) * config.assoc),
+      rng_(0xcafef00d + config.sizeBytes)
+{
+}
+
+uint32_t
+Cache::setIndex(uint64_t line_addr) const
+{
+    return static_cast<uint32_t>(line_addr % numSets_);
+}
+
+uint64_t
+Cache::tagOf(uint64_t line_addr) const
+{
+    return line_addr / numSets_;
+}
+
+Cache::Way *
+Cache::findWay(uint64_t line_addr)
+{
+    const uint32_t set = setIndex(line_addr);
+    const uint64_t tag = tagOf(line_addr);
+    Way *base = &ways_[static_cast<size_t>(set) * config_.assoc];
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::findWay(uint64_t line_addr) const
+{
+    return const_cast<Cache *>(this)->findWay(line_addr);
+}
+
+bool
+Cache::lookup(uint64_t line_addr, bool write)
+{
+    ++tick_;
+    Way *way = findWay(line_addr);
+    if (way) {
+        if (way->prefetched) {
+            ++stats_.prefetchHits;
+            way->prefetched = false; // count the first demand touch only
+        }
+        if (config_.repl == ReplPolicy::LRU)
+            way->stamp = tick_;
+        if (write) {
+            way->dirty = true;
+            ++stats_.writeHits;
+        } else {
+            ++stats_.readHits;
+        }
+        return true;
+    }
+    if (write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+    return false;
+}
+
+uint32_t
+Cache::pickVictim(uint32_t set)
+{
+    Way *base = &ways_[static_cast<size_t>(set) * config_.assoc];
+    // Prefer an invalid way.
+    for (uint32_t w = 0; w < config_.assoc; ++w)
+        if (!base[w].valid)
+            return w;
+    if (config_.repl == ReplPolicy::Random)
+        return static_cast<uint32_t>(rng_.nextBounded(config_.assoc));
+    // LRU and FIFO both evict the smallest stamp (LRU refreshes stamps on
+    // touch, FIFO does not).
+    uint32_t victim = 0;
+    for (uint32_t w = 1; w < config_.assoc; ++w)
+        if (base[w].stamp < base[victim].stamp)
+            victim = w;
+    return victim;
+}
+
+Cache::Eviction
+Cache::fill(uint64_t line_addr, bool write, bool prefetch)
+{
+    RFL_ASSERT(!contains(line_addr));
+    ++tick_;
+    const uint32_t set = setIndex(line_addr);
+    const uint32_t victim = pickVictim(set);
+    Way &way = ways_[static_cast<size_t>(set) * config_.assoc + victim];
+
+    Eviction ev;
+    if (way.valid) {
+        ev.valid = true;
+        ev.dirty = way.dirty;
+        ev.lineAddr = way.tag * numSets_ + set;
+        if (way.dirty)
+            ++stats_.writebacks;
+    }
+
+    way.valid = true;
+    way.tag = tagOf(line_addr);
+    way.dirty = write;
+    way.prefetched = prefetch;
+    way.stamp = tick_;
+    if (prefetch)
+        ++stats_.prefetchFills;
+    return ev;
+}
+
+bool
+Cache::contains(uint64_t line_addr) const
+{
+    return findWay(line_addr) != nullptr;
+}
+
+bool
+Cache::isDirty(uint64_t line_addr) const
+{
+    const Way *way = findWay(line_addr);
+    return way && way->dirty;
+}
+
+bool
+Cache::setDirty(uint64_t line_addr)
+{
+    Way *way = findWay(line_addr);
+    if (!way)
+        return false;
+    way->dirty = true;
+    return true;
+}
+
+bool
+Cache::invalidate(uint64_t line_addr)
+{
+    Way *way = findWay(line_addr);
+    if (!way)
+        return false;
+    const bool was_dirty = way->dirty;
+    way->valid = false;
+    way->dirty = false;
+    way->prefetched = false;
+    return was_dirty;
+}
+
+void
+Cache::flushAll(std::vector<uint64_t> &dirty_out)
+{
+    for (uint32_t set = 0; set < numSets_; ++set) {
+        Way *base = &ways_[static_cast<size_t>(set) * config_.assoc];
+        for (uint32_t w = 0; w < config_.assoc; ++w) {
+            Way &way = base[w];
+            if (way.valid && way.dirty)
+                dirty_out.push_back(way.tag * numSets_ + set);
+            way.valid = false;
+            way.dirty = false;
+            way.prefetched = false;
+        }
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Way &way : ways_) {
+        way.valid = false;
+        way.dirty = false;
+        way.prefetched = false;
+    }
+}
+
+uint64_t
+Cache::residentLines() const
+{
+    uint64_t n = 0;
+    for (const Way &way : ways_)
+        if (way.valid)
+            ++n;
+    return n;
+}
+
+} // namespace rfl::sim

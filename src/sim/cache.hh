@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Set-associative cache model (one level).
+ *
+ * Write-back, write-allocate, with pluggable replacement (LRU/FIFO/random).
+ * The cache operates on line addresses (byte address >> log2(lineBytes));
+ * splitting requests into lines is the memory system's job.
+ */
+
+#ifndef RFL_SIM_CACHE_HH
+#define RFL_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "support/rng.hh"
+
+namespace rfl::sim
+{
+
+/** Per-level hit/miss/writeback statistics. */
+struct CacheStats
+{
+    uint64_t readHits = 0;
+    uint64_t readMisses = 0;
+    uint64_t writeHits = 0;
+    uint64_t writeMisses = 0;
+    /** Dirty lines pushed to the next level on eviction. */
+    uint64_t writebacks = 0;
+    /** Lines installed on behalf of the prefetcher. */
+    uint64_t prefetchFills = 0;
+    /** Demand hits on lines that were installed by the prefetcher. */
+    uint64_t prefetchHits = 0;
+
+    uint64_t hits() const { return readHits + writeHits; }
+    uint64_t misses() const { return readMisses + writeMisses; }
+    uint64_t accesses() const { return hits() + misses(); }
+
+    CacheStats operator-(const CacheStats &rhs) const;
+    CacheStats &operator+=(const CacheStats &rhs);
+};
+
+/**
+ * One cache level.
+ *
+ * Usage protocol (driven by MemorySystem):
+ *   1. lookup(line, write) — probe; on hit the line is touched and, for
+ *      writes, dirtied.
+ *   2. on miss, after the next level supplied the line, fill(line, ...)
+ *      installs it and reports an eviction victim if one was displaced.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Result of installing a line: whether a victim was displaced. */
+    struct Eviction
+    {
+        bool valid = false;   ///< a line was displaced
+        bool dirty = false;   ///< ... and it was dirty (needs writeback)
+        uint64_t lineAddr = 0;
+    };
+
+    /**
+     * Probe for @p line_addr. On a hit the replacement state is updated
+     * and the line is dirtied when @p write.
+     * @return true on hit.
+     */
+    bool lookup(uint64_t line_addr, bool write);
+
+    /**
+     * Install @p line_addr (after a miss was serviced below).
+     * @param write     whether the triggering access was a store
+     * @param prefetch  whether the fill was initiated by the prefetcher
+     * @return eviction record for the displaced victim, if any.
+     */
+    Eviction fill(uint64_t line_addr, bool write, bool prefetch);
+
+    /** @return true when the line is present (no state update). */
+    bool contains(uint64_t line_addr) const;
+
+    /** @return true when present and dirty (no state update). */
+    bool isDirty(uint64_t line_addr) const;
+
+    /**
+     * Mark the line dirty without touching replacement state or stats.
+     * Used for writebacks arriving from the level above.
+     * @return true when the line was present.
+     */
+    bool setDirty(uint64_t line_addr);
+
+    /**
+     * Remove the line if present.
+     * @return true when the removed line was dirty.
+     */
+    bool invalidate(uint64_t line_addr);
+
+    /**
+     * Drop all lines, collecting the addresses of dirty ones into
+     * @p dirty_out (for write-back to memory). Used by the cold-cache
+     * protocol's flush.
+     */
+    void flushAll(std::vector<uint64_t> &dirty_out);
+
+    /** Drop all lines without writeback bookkeeping (machine reset). */
+    void invalidateAll();
+
+    /** @return number of valid lines currently resident. */
+    uint64_t residentLines() const;
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats{}; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t stamp = 0;     ///< LRU: last touch; FIFO: insertion time
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    uint32_t setIndex(uint64_t line_addr) const;
+    uint64_t tagOf(uint64_t line_addr) const;
+    Way *findWay(uint64_t line_addr);
+    const Way *findWay(uint64_t line_addr) const;
+    uint32_t pickVictim(uint32_t set);
+
+    CacheConfig config_;
+    uint32_t numSets_;
+    std::vector<Way> ways_; ///< numSets_ * assoc, set-major
+    CacheStats stats_;
+    uint64_t tick_ = 0;     ///< monotonic access counter for LRU/FIFO
+    Rng rng_;               ///< for ReplPolicy::Random
+};
+
+} // namespace rfl::sim
+
+#endif // RFL_SIM_CACHE_HH

@@ -1,0 +1,192 @@
+#include "sim/config.hh"
+
+#include "support/logging.hh"
+
+namespace rfl::sim
+{
+
+namespace
+{
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+const char *
+replPolicyName(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::LRU: return "LRU";
+      case ReplPolicy::FIFO: return "FIFO";
+      case ReplPolicy::Random: return "Random";
+    }
+    return "?";
+}
+
+const char *
+prefetcherKindName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None: return "none";
+      case PrefetcherKind::NextLine: return "next-line";
+      case PrefetcherKind::Stream: return "stream";
+    }
+    return "?";
+}
+
+uint32_t
+CacheConfig::numSets() const
+{
+    validate();
+    return static_cast<uint32_t>(sizeBytes / (lineBytes * assoc));
+}
+
+void
+CacheConfig::validate() const
+{
+    if (lineBytes == 0 || !isPow2(lineBytes))
+        fatal("cache %s: line size %u not a power of two", name.c_str(),
+              lineBytes);
+    if (assoc == 0)
+        fatal("cache %s: associativity must be >= 1", name.c_str());
+    if (sizeBytes == 0 || sizeBytes % (lineBytes * assoc) != 0)
+        fatal("cache %s: size %llu not divisible by line*assoc",
+              name.c_str(), static_cast<unsigned long long>(sizeBytes));
+    // Non-power-of-two set counts are allowed (real sliced LLCs have
+    // them); the cache indexes sets by modulo.
+    if (bytesPerCycle <= 0)
+        fatal("cache %s: bytesPerCycle must be positive", name.c_str());
+}
+
+double
+CoreConfig::peakFlopsPerCycle(int w) const
+{
+    RFL_ASSERT(w >= 1);
+    return static_cast<double>(fpUnits) * w * (hasFma ? 2.0 : 1.0);
+}
+
+double
+CoreConfig::peakFlopsPerSec(int w) const
+{
+    return peakFlopsPerCycle(w) * freqGHz * 1e9;
+}
+
+void
+CoreConfig::validate() const
+{
+    if (freqGHz <= 0)
+        fatal("core: frequency must be positive");
+    if (issueWidth < 1 || fpUnits < 1 || loadPorts < 1 || storePorts < 1)
+        fatal("core: widths/ports must be >= 1");
+    if (maxVectorDoubles != 1 && maxVectorDoubles != 2 &&
+        maxVectorDoubles != 4 && maxVectorDoubles != 8) {
+        fatal("core: maxVectorDoubles must be 1, 2, 4 or 8");
+    }
+    if (mlp < 1)
+        fatal("core: mlp must be >= 1");
+}
+
+double
+MachineConfig::dramLatencyCycles() const
+{
+    return dramLatencyNs * core.freqGHz;
+}
+
+double
+MachineConfig::socketDramBytesPerCycle() const
+{
+    return socketDramGBs / core.freqGHz;
+}
+
+double
+MachineConfig::perCoreDramBytesPerCycle() const
+{
+    return perCoreDramGBs / core.freqGHz;
+}
+
+void
+MachineConfig::validate() const
+{
+    core.validate();
+    l1.validate();
+    l2.validate();
+    l3.validate();
+    if (l1.lineBytes != l2.lineBytes || l2.lineBytes != l3.lineBytes)
+        fatal("machine %s: all levels must share one line size",
+              name.c_str());
+    if (coresPerSocket < 1 || sockets < 1)
+        fatal("machine %s: needs at least one core and socket",
+              name.c_str());
+    if (socketDramGBs <= 0 || perCoreDramGBs <= 0)
+        fatal("machine %s: DRAM bandwidth must be positive", name.c_str());
+    if (perCoreDramGBs > socketDramGBs)
+        fatal("machine %s: per-core bandwidth exceeds socket bandwidth",
+              name.c_str());
+    tlb.validate();
+}
+
+MachineConfig
+MachineConfig::defaultPlatform()
+{
+    MachineConfig m;
+    m.name = "sim-xeon-2s4c-avx";
+
+    m.core.freqGHz = 2.5;
+    m.core.issueWidth = 4;
+    m.core.fpUnits = 2;
+    m.core.loadPorts = 2;
+    m.core.storePorts = 1;
+    m.core.maxVectorDoubles = 4; // AVX, doubles
+    m.core.hasFma = true;
+    m.core.mlp = 10;
+
+    m.l1 = {"L1D", 32 * 1024, 8, 64, ReplPolicy::LRU, 4, 64.0};
+    m.l2 = {"L2", 256 * 1024, 8, 64, ReplPolicy::LRU, 12, 32.0};
+    m.l3 = {"L3", 10 * 1024 * 1024, 16, 64, ReplPolicy::LRU, 36, 16.0};
+
+    m.l1Prefetcher = {PrefetcherKind::NextLine, 1, 1, 1};
+    m.l2Prefetcher = {PrefetcherKind::Stream, 16, 2, 8};
+
+    m.coresPerSocket = 4;
+    m.sockets = 2;
+    m.socketDramGBs = 38.4;
+    m.perCoreDramGBs = 14.0;
+    m.dramLatencyNs = 80.0;
+    m.remoteNumaLatencyFactor = 1.6;
+    m.remoteNumaBandwidthFactor = 0.6;
+    m.validate();
+    return m;
+}
+
+MachineConfig
+MachineConfig::smallTestMachine()
+{
+    MachineConfig m = defaultPlatform();
+    m.name = "sim-small-test";
+    m.l1 = {"L1D", 1024, 2, 64, ReplPolicy::LRU, 4, 64.0};
+    m.l2 = {"L2", 4096, 4, 64, ReplPolicy::LRU, 12, 32.0};
+    m.l3 = {"L3", 16384, 8, 64, ReplPolicy::LRU, 36, 16.0};
+    m.coresPerSocket = 2;
+    m.sockets = 1;
+    m.validate();
+    return m;
+}
+
+MachineConfig
+MachineConfig::scalarMachine()
+{
+    MachineConfig m = defaultPlatform();
+    m.name = "sim-scalar-1s1c";
+    m.core.maxVectorDoubles = 1;
+    m.core.hasFma = false;
+    m.coresPerSocket = 1;
+    m.sockets = 1;
+    m.validate();
+    return m;
+}
+
+} // namespace rfl::sim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Configuration structs for the simulated platform.
+ *
+ * The simulator substitutes for the paper's Sandy/Ivy-Bridge Xeon testbed
+ * (see DESIGN.md §2). Every parameter the measurement methodology is
+ * sensitive to is explicit here: cache geometry, replacement, prefetcher
+ * behaviour, core issue/port widths, SIMD width, FMA, per-core vs
+ * per-socket DRAM bandwidth, and NUMA layout.
+ */
+
+#ifndef RFL_SIM_CONFIG_HH
+#define RFL_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/tlb.hh"
+
+namespace rfl::sim
+{
+
+/** Replacement policy of a cache level. */
+enum class ReplPolicy
+{
+    LRU,    ///< least-recently-used (default on the modeled platform)
+    FIFO,   ///< insertion order
+    Random, ///< pseudo-random victim (deterministic PRNG)
+};
+
+/** @return human-readable policy name. */
+const char *replPolicyName(ReplPolicy policy);
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name = "L1D";
+    uint64_t sizeBytes = 32 * 1024;
+    uint32_t assoc = 8;
+    uint32_t lineBytes = 64;
+    ReplPolicy repl = ReplPolicy::LRU;
+    /** Load-to-use latency in core cycles for a hit in this level. */
+    uint32_t latencyCycles = 4;
+    /** Sustained fill bandwidth from this level toward the core. */
+    double bytesPerCycle = 64.0;
+
+    /** @return number of sets; panics if the geometry is inconsistent. */
+    uint32_t numSets() const;
+    /** Validate invariants (power-of-two sets, assoc >= 1, ...). */
+    void validate() const;
+};
+
+/** Hardware-prefetcher flavor. */
+enum class PrefetcherKind
+{
+    None,     ///< prefetching disabled (the paper's MSR 0x1A4 experiment)
+    NextLine, ///< adjacent-line prefetcher
+    Stream,   ///< multi-stream unit-stride detector (DCU/MLC streamer)
+};
+
+/** @return human-readable prefetcher name. */
+const char *prefetcherKindName(PrefetcherKind kind);
+
+/** Parameters of the hardware prefetcher attached to a cache level. */
+struct PrefetcherConfig
+{
+    PrefetcherKind kind = PrefetcherKind::Stream;
+    /** Number of concurrently tracked streams. */
+    int streams = 16;
+    /** Lines fetched per triggering access once a stream is confirmed. */
+    int degree = 2;
+    /** How far ahead (in lines) of the demand stream to fetch. */
+    int distance = 8;
+};
+
+/** Core front/back-end widths and SIMD capability. */
+struct CoreConfig
+{
+    double freqGHz = 2.5;
+    /** Micro-ops issued per cycle. */
+    int issueWidth = 4;
+    /** FP execution pipes (each retires one scalar or packed uop/cycle). */
+    int fpUnits = 2;
+    int loadPorts = 2;
+    int storePorts = 1;
+    /** Widest vector in doubles: 1 = scalar only, 2 = SSE, 4 = AVX. */
+    int maxVectorDoubles = 4;
+    /** Whether fused multiply-add is available. */
+    bool hasFma = true;
+    /**
+     * Maximum overlapped outstanding misses (line-fill buffers); the
+     * exposed-latency term divides the accumulated miss latency by this.
+     */
+    int mlp = 10;
+
+    /**
+     * @return peak double-precision flops/cycle for vector width @p w
+     * (uses FMA when available): fpUnits * w * (hasFma ? 2 : 1).
+     */
+    double peakFlopsPerCycle(int w) const;
+    /** @return peak flops/s at the configured frequency and width. */
+    double peakFlopsPerSec(int w) const;
+    void validate() const;
+};
+
+/** Whole-platform configuration. */
+struct MachineConfig
+{
+    std::string name = "simulated-xeon";
+    CoreConfig core;
+    CacheConfig l1;
+    CacheConfig l2;
+    CacheConfig l3;
+    /** L1 prefetcher (next-line by default). */
+    PrefetcherConfig l1Prefetcher;
+    /** L2 prefetcher (streamer by default). */
+    PrefetcherConfig l2Prefetcher;
+    int coresPerSocket = 4;
+    int sockets = 2;
+    /** Sustained DRAM bandwidth of one socket's memory controller. */
+    double socketDramGBs = 38.4;
+    /** DRAM bandwidth one core can extract alone (< socketDramGBs). */
+    double perCoreDramGBs = 14.0;
+    /** DRAM access latency. */
+    double dramLatencyNs = 80.0;
+    /** Multiplier on latency for accesses to the remote socket's DRAM. */
+    double remoteNumaLatencyFactor = 1.6;
+    /** Multiplier (<1) on bandwidth for remote-socket accesses. */
+    double remoteNumaBandwidthFactor = 0.6;
+    /** Per-core data-TLB model (see sim/tlb.hh). */
+    TlbConfig tlb;
+
+    int totalCores() const { return coresPerSocket * sockets; }
+    /** DRAM latency in core cycles. */
+    double dramLatencyCycles() const;
+    /** Socket DRAM bandwidth in bytes per core cycle. */
+    double socketDramBytesPerCycle() const;
+    /** Per-core DRAM bandwidth in bytes per core cycle. */
+    double perCoreDramBytesPerCycle() const;
+    void validate() const;
+
+    /**
+     * Default platform: a 2-socket, 4-core/socket AVX+FMA machine at
+     * 2.5 GHz with 32K/256K private caches and a 10 MiB shared L3 per
+     * socket; roughly the class of machine the paper evaluates.
+     */
+    static MachineConfig defaultPlatform();
+
+    /** Tiny caches (1K/4K/16K) for unit tests of eviction behaviour. */
+    static MachineConfig smallTestMachine();
+
+    /** Single-socket, single-core scalar machine (no SIMD, no FMA). */
+    static MachineConfig scalarMachine();
+};
+
+} // namespace rfl::sim
+
+#endif // RFL_SIM_CONFIG_HH

@@ -1,0 +1,260 @@
+#include "sim/config_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/units.hh"
+
+namespace rfl::sim
+{
+
+namespace
+{
+
+/** Trim leading/trailing whitespace. */
+std::string
+trim(const std::string &s)
+{
+    const size_t a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    const size_t b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "true" || value == "1" || value == "yes")
+        return true;
+    if (value == "false" || value == "0" || value == "no")
+        return false;
+    fatal("machine config: %s expects a boolean, got '%s'", key.c_str(),
+          value.c_str());
+}
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("machine config: %s expects a number, got '%s'",
+              key.c_str(), value.c_str());
+    return v;
+}
+
+long
+parseInt(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0')
+        fatal("machine config: %s expects an integer, got '%s'",
+              key.c_str(), value.c_str());
+    return v;
+}
+
+PrefetcherKind
+parsePrefetcher(const std::string &key, const std::string &value)
+{
+    if (value == "none")
+        return PrefetcherKind::None;
+    if (value == "next-line")
+        return PrefetcherKind::NextLine;
+    if (value == "stream")
+        return PrefetcherKind::Stream;
+    fatal("machine config: %s expects none|next-line|stream, got '%s'",
+          key.c_str(), value.c_str());
+}
+
+ReplPolicy
+parseRepl(const std::string &key, const std::string &value)
+{
+    if (value == "lru")
+        return ReplPolicy::LRU;
+    if (value == "fifo")
+        return ReplPolicy::FIFO;
+    if (value == "random")
+        return ReplPolicy::Random;
+    fatal("machine config: %s expects lru|fifo|random, got '%s'",
+          key.c_str(), value.c_str());
+}
+
+/** Apply one key=value pair onto the config. */
+void
+apply(MachineConfig &cfg, const std::string &key,
+      const std::string &value)
+{
+    auto cache_key = [&](CacheConfig &c, const std::string &sub) {
+        if (sub == "size")
+            c.sizeBytes = parseSize(value);
+        else if (sub == "assoc")
+            c.assoc = static_cast<uint32_t>(parseInt(key, value));
+        else if (sub == "latency")
+            c.latencyCycles = static_cast<uint32_t>(parseInt(key, value));
+        else if (sub == "bytes_per_cycle")
+            c.bytesPerCycle = parseDouble(key, value);
+        else if (sub == "repl")
+            c.repl = parseRepl(key, value);
+        else
+            fatal("machine config: unknown key '%s'", key.c_str());
+    };
+
+    const size_t dot = key.find('.');
+    const std::string head = key.substr(0, dot);
+    const std::string sub =
+        dot == std::string::npos ? "" : key.substr(dot + 1);
+
+    if (key == "name")
+        cfg.name = value;
+    else if (key == "sockets")
+        cfg.sockets = static_cast<int>(parseInt(key, value));
+    else if (key == "cores_per_socket")
+        cfg.coresPerSocket = static_cast<int>(parseInt(key, value));
+    else if (head == "core") {
+        if (sub == "freq_ghz")
+            cfg.core.freqGHz = parseDouble(key, value);
+        else if (sub == "issue_width")
+            cfg.core.issueWidth = static_cast<int>(parseInt(key, value));
+        else if (sub == "fp_units")
+            cfg.core.fpUnits = static_cast<int>(parseInt(key, value));
+        else if (sub == "load_ports")
+            cfg.core.loadPorts = static_cast<int>(parseInt(key, value));
+        else if (sub == "store_ports")
+            cfg.core.storePorts = static_cast<int>(parseInt(key, value));
+        else if (sub == "vector_doubles")
+            cfg.core.maxVectorDoubles =
+                static_cast<int>(parseInt(key, value));
+        else if (sub == "fma")
+            cfg.core.hasFma = parseBool(key, value);
+        else if (sub == "mlp")
+            cfg.core.mlp = static_cast<int>(parseInt(key, value));
+        else
+            fatal("machine config: unknown key '%s'", key.c_str());
+    } else if (head == "l1")
+        cache_key(cfg.l1, sub);
+    else if (head == "l2")
+        cache_key(cfg.l2, sub);
+    else if (head == "l3")
+        cache_key(cfg.l3, sub);
+    else if (head == "dram") {
+        if (sub == "socket_gbs")
+            cfg.socketDramGBs = parseDouble(key, value);
+        else if (sub == "core_gbs")
+            cfg.perCoreDramGBs = parseDouble(key, value);
+        else if (sub == "latency_ns")
+            cfg.dramLatencyNs = parseDouble(key, value);
+        else
+            fatal("machine config: unknown key '%s'", key.c_str());
+    } else if (head == "prefetch") {
+        if (sub == "l1")
+            cfg.l1Prefetcher.kind = parsePrefetcher(key, value);
+        else if (sub == "l2")
+            cfg.l2Prefetcher.kind = parsePrefetcher(key, value);
+        else if (sub == "l2_degree")
+            cfg.l2Prefetcher.degree =
+                static_cast<int>(parseInt(key, value));
+        else if (sub == "l2_distance")
+            cfg.l2Prefetcher.distance =
+                static_cast<int>(parseInt(key, value));
+        else if (sub == "l2_streams")
+            cfg.l2Prefetcher.streams =
+                static_cast<int>(parseInt(key, value));
+        else
+            fatal("machine config: unknown key '%s'", key.c_str());
+    } else if (head == "tlb") {
+        if (sub == "enabled")
+            cfg.tlb.enabled = parseBool(key, value);
+        else if (sub == "l1_entries")
+            cfg.tlb.l1Entries = static_cast<uint32_t>(parseInt(key, value));
+        else if (sub == "l2_entries")
+            cfg.tlb.l2Entries = static_cast<uint32_t>(parseInt(key, value));
+        else if (sub == "walk_cycles")
+            cfg.tlb.walkLatencyCycles = parseDouble(key, value);
+        else
+            fatal("machine config: unknown key '%s'", key.c_str());
+    } else {
+        fatal("machine config: unknown key '%s'", key.c_str());
+    }
+}
+
+} // namespace
+
+MachineConfig
+parseMachineConfig(const std::string &text)
+{
+    MachineConfig cfg = MachineConfig::defaultPlatform();
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("machine config line %d: expected key = value", lineno);
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty() || value.empty())
+            fatal("machine config line %d: empty key or value", lineno);
+        apply(cfg, key, value);
+    }
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+loadMachineConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open machine config '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseMachineConfig(text.str());
+}
+
+std::string
+formatMachineConfig(const MachineConfig &cfg)
+{
+    std::ostringstream out;
+    out << "name = " << cfg.name << "\n";
+    out << "sockets = " << cfg.sockets << "\n";
+    out << "cores_per_socket = " << cfg.coresPerSocket << "\n";
+    out << "core.freq_ghz = " << cfg.core.freqGHz << "\n";
+    out << "core.issue_width = " << cfg.core.issueWidth << "\n";
+    out << "core.fp_units = " << cfg.core.fpUnits << "\n";
+    out << "core.load_ports = " << cfg.core.loadPorts << "\n";
+    out << "core.store_ports = " << cfg.core.storePorts << "\n";
+    out << "core.vector_doubles = " << cfg.core.maxVectorDoubles << "\n";
+    out << "core.fma = " << (cfg.core.hasFma ? "true" : "false") << "\n";
+    out << "core.mlp = " << cfg.core.mlp << "\n";
+    auto cache = [&](const char *name, const CacheConfig &c) {
+        out << name << ".size = " << c.sizeBytes << "\n";
+        out << name << ".assoc = " << c.assoc << "\n";
+        out << name << ".latency = " << c.latencyCycles << "\n";
+        out << name << ".bytes_per_cycle = " << c.bytesPerCycle << "\n";
+    };
+    cache("l1", cfg.l1);
+    cache("l2", cfg.l2);
+    cache("l3", cfg.l3);
+    out << "dram.socket_gbs = " << cfg.socketDramGBs << "\n";
+    out << "dram.core_gbs = " << cfg.perCoreDramGBs << "\n";
+    out << "dram.latency_ns = " << cfg.dramLatencyNs << "\n";
+    out << "prefetch.l1 = " << prefetcherKindName(cfg.l1Prefetcher.kind)
+        << "\n";
+    out << "prefetch.l2 = " << prefetcherKindName(cfg.l2Prefetcher.kind)
+        << "\n";
+    out << "tlb.enabled = " << (cfg.tlb.enabled ? "true" : "false")
+        << "\n";
+    return out.str();
+}
+
+} // namespace rfl::sim

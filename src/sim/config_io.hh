@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Machine-configuration file I/O.
+ *
+ * Lets users describe their own platform for the simulator in a small
+ * key=value file (so roofline_tool can model "my machine" without
+ * recompiling):
+ *
+ *   # lines starting with # are comments
+ *   name = my-xeon
+ *   core.freq_ghz = 3.0
+ *   core.vector_doubles = 8
+ *   core.fma = true
+ *   l1.size = 48k          # sizes accept k/m/g suffixes
+ *   l1.assoc = 12
+ *   l3.size = 32m
+ *   sockets = 2
+ *   cores_per_socket = 8
+ *   dram.socket_gbs = 80
+ *   dram.core_gbs = 20
+ *   prefetch.l2 = stream   # none | next-line | stream
+ *
+ * Unknown keys are fatal (typos must not silently produce a different
+ * machine). Omitted keys keep the default platform's values.
+ */
+
+#ifndef RFL_SIM_CONFIG_IO_HH
+#define RFL_SIM_CONFIG_IO_HH
+
+#include <string>
+
+#include "sim/config.hh"
+
+namespace rfl::sim
+{
+
+/** Parse a config file (see file comment); fatal() on any error. */
+MachineConfig loadMachineConfig(const std::string &path);
+
+/** Parse config text (used by tests and embedded configs). */
+MachineConfig parseMachineConfig(const std::string &text);
+
+/** Render a config back to the file format (round-trip capable). */
+std::string formatMachineConfig(const MachineConfig &cfg);
+
+} // namespace rfl::sim
+
+#endif // RFL_SIM_CONFIG_IO_HH

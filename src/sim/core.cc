@@ -1,0 +1,81 @@
+#include "sim/core.hh"
+
+#include "support/logging.hh"
+
+namespace rfl::sim
+{
+
+VecWidth
+widthForLanes(int lanes)
+{
+    switch (lanes) {
+      case 1: return VecWidth::Scalar;
+      case 2: return VecWidth::W2;
+      case 4: return VecWidth::W4;
+      case 8: return VecWidth::W8;
+      default:
+        panic("widthForLanes: invalid lane count %d", lanes);
+    }
+}
+
+const char *
+vecWidthName(VecWidth w)
+{
+    switch (w) {
+      case VecWidth::Scalar: return "scalar";
+      case VecWidth::W2: return "128b-packed";
+      case VecWidth::W4: return "256b-packed";
+      case VecWidth::W8: return "512b-packed";
+    }
+    return "?";
+}
+
+uint64_t
+CoreCounters::flops() const
+{
+    uint64_t total = 0;
+    for (int i = 0; i < 4; ++i) {
+        total += fpRetired[static_cast<size_t>(i)] *
+                 static_cast<uint64_t>(vecLanes(static_cast<VecWidth>(i)));
+    }
+    return total;
+}
+
+CoreCounters
+CoreCounters::operator-(const CoreCounters &rhs) const
+{
+    CoreCounters d;
+    for (size_t i = 0; i < fpRetired.size(); ++i)
+        d.fpRetired[i] = fpRetired[i] - rhs.fpRetired[i];
+    d.fpUops = fpUops - rhs.fpUops;
+    d.loadUops = loadUops - rhs.loadUops;
+    d.storeUops = storeUops - rhs.storeUops;
+    d.otherUops = otherUops - rhs.otherUops;
+    d.l2FillBytes = l2FillBytes - rhs.l2FillBytes;
+    d.l3FillBytes = l3FillBytes - rhs.l3FillBytes;
+    d.dramFillBytes = dramFillBytes - rhs.dramFillBytes;
+    d.ntStoreBytes = ntStoreBytes - rhs.ntStoreBytes;
+    d.dramWritebackBytes = dramWritebackBytes - rhs.dramWritebackBytes;
+    d.latencyCycles = latencyCycles - rhs.latencyCycles;
+    return d;
+}
+
+CoreCounters &
+CoreCounters::operator+=(const CoreCounters &rhs)
+{
+    for (size_t i = 0; i < fpRetired.size(); ++i)
+        fpRetired[i] += rhs.fpRetired[i];
+    fpUops += rhs.fpUops;
+    loadUops += rhs.loadUops;
+    storeUops += rhs.storeUops;
+    otherUops += rhs.otherUops;
+    l2FillBytes += rhs.l2FillBytes;
+    l3FillBytes += rhs.l3FillBytes;
+    dramFillBytes += rhs.dramFillBytes;
+    ntStoreBytes += rhs.ntStoreBytes;
+    dramWritebackBytes += rhs.dramWritebackBytes;
+    latencyCycles += rhs.latencyCycles;
+    return *this;
+}
+
+} // namespace rfl::sim

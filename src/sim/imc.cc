@@ -1,0 +1,27 @@
+#include "sim/imc.hh"
+
+namespace rfl::sim
+{
+
+ImcStats
+ImcStats::operator-(const ImcStats &rhs) const
+{
+    ImcStats d;
+    d.casReads = casReads - rhs.casReads;
+    d.casWrites = casWrites - rhs.casWrites;
+    d.prefetchReads = prefetchReads - rhs.prefetchReads;
+    d.ntWrites = ntWrites - rhs.ntWrites;
+    return d;
+}
+
+ImcStats &
+ImcStats::operator+=(const ImcStats &rhs)
+{
+    casReads += rhs.casReads;
+    casWrites += rhs.casWrites;
+    prefetchReads += rhs.prefetchReads;
+    ntWrites += rhs.ntWrites;
+    return *this;
+}
+
+} // namespace rfl::sim

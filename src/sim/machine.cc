@@ -1,0 +1,547 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "support/logging.hh"
+
+namespace rfl::sim
+{
+
+const char *
+memPolicyName(MemPolicy policy)
+{
+    switch (policy) {
+      case MemPolicy::Socket0: return "socket0";
+      case MemPolicy::LocalToAccessor: return "local";
+      case MemPolicy::Interleave: return "interleave";
+    }
+    return "?";
+}
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), lineBytes_(cfg.l1.lineBytes)
+{
+    cfg_.validate();
+    const int cores = cfg_.totalCores();
+    for (int c = 0; c < cores; ++c) {
+        l1_.push_back(std::make_unique<Cache>(cfg_.l1));
+        l2_.push_back(std::make_unique<Cache>(cfg_.l2));
+        l1pf_.push_back(Prefetcher::create(cfg_.l1Prefetcher));
+        l2pf_.push_back(Prefetcher::create(cfg_.l2Prefetcher));
+        tlbs_.emplace_back(cfg_.tlb);
+    }
+    for (int s = 0; s < cfg_.sockets; ++s) {
+        l3_.push_back(std::make_unique<Cache>(cfg_.l3));
+        imcs_.emplace_back(s);
+    }
+    cores_.resize(static_cast<size_t>(cores));
+    ntCombine_.resize(static_cast<size_t>(cores), ~0ull);
+}
+
+int
+Machine::homeSocket(uint64_t addr, int accessor_socket) const
+{
+    switch (memPolicy_) {
+      case MemPolicy::Socket0:
+        return 0;
+      case MemPolicy::LocalToAccessor:
+        return accessor_socket;
+      case MemPolicy::Interleave:
+        return static_cast<int>((addr >> 12) %
+                                static_cast<uint64_t>(cfg_.sockets));
+    }
+    return 0;
+}
+
+void
+Machine::accessLine(int core, uint64_t line_addr, bool write)
+{
+    RFL_ASSERT(core >= 0 && core < numCores());
+    const int socket = socketOf(core);
+    CoreCounters &cc = cores_[core];
+
+    // A demand touch on the write-combining line drains the WC buffer:
+    // the next NT store to it is a fresh transaction.
+    if (line_addr == ntCombine_[static_cast<size_t>(core)])
+        ntCombine_[static_cast<size_t>(core)] = ~0ull;
+
+    // Address translation first; a DTLB miss serializes before the
+    // cache access can begin.
+    cc.latencyCycles += tlbs_[core].translate(line_addr * lineBytes_);
+
+    // L1 probe.
+    const bool l1_hit = l1_[core]->lookup(line_addr, write);
+
+    // The DCU (L1) prefetcher observes the L1 access stream.
+    pfScratch_.clear();
+    if (prefetchEnabled_)
+        l1pf_[core]->observe(line_addr, !l1_hit, pfScratch_);
+    std::vector<uint64_t> l1_pf = pfScratch_;
+
+    std::vector<uint64_t> l2_pf;
+    double latency = 0.0;
+
+    if (!l1_hit) {
+        cc.l2FillBytes += lineBytes_;
+        const bool l2_hit = l2_[core]->lookup(line_addr, false);
+
+        // The MLC streamer observes the L2 access stream (= L1 misses).
+        pfScratch_.clear();
+        if (prefetchEnabled_)
+            l2pf_[core]->observe(line_addr, !l2_hit, pfScratch_);
+        l2_pf = pfScratch_;
+
+        if (l2_hit) {
+            latency = cfg_.l2.latencyCycles;
+            fillL1(core, line_addr, write, false);
+        } else {
+            cc.l3FillBytes += lineBytes_;
+            const bool l3_hit = l3_[socket]->lookup(line_addr, false);
+            if (l3_hit) {
+                latency = cfg_.l3.latencyCycles;
+            } else {
+                const uint64_t byte_addr = line_addr * lineBytes_;
+                const int owner = homeSocket(byte_addr, socket);
+                imcs_[owner].read(false);
+                const bool remote = owner != socket;
+                latency = cfg_.dramLatencyCycles() *
+                          (remote ? cfg_.remoteNumaLatencyFactor : 1.0);
+                double bytes = lineBytes_;
+                if (remote)
+                    bytes /= cfg_.remoteNumaBandwidthFactor;
+                cc.dramFillBytes += static_cast<uint64_t>(bytes);
+                fillL3(core, line_addr, false, false);
+            }
+            fillL2(core, line_addr, false, false);
+            fillL1(core, line_addr, write, false);
+        }
+    }
+    cc.latencyCycles += latency;
+
+    // Service prefetch candidates after the demand access completed.
+    for (uint64_t pf_line : l1_pf)
+        prefetchLine(core, pf_line, 1);
+    for (uint64_t pf_line : l2_pf)
+        prefetchLine(core, pf_line, 2);
+}
+
+void
+Machine::prefetchLine(int core, uint64_t line_addr, int level)
+{
+    const int socket = socketOf(core);
+    CoreCounters &cc = cores_[core];
+
+    if (level <= 1 && l1_[core]->contains(line_addr))
+        return;
+    if (level == 2 && l2_[core]->contains(line_addr))
+        return;
+
+    // Locate the closest copy without disturbing demand statistics.
+    bool from_dram = false;
+    const bool in_l2 = level <= 1 && l2_[core]->contains(line_addr);
+    if (!in_l2 && !(level == 2 && l2_[core]->contains(line_addr))) {
+        if (!l3_[socket]->contains(line_addr)) {
+            const uint64_t byte_addr = line_addr * lineBytes_;
+            const int owner = homeSocket(byte_addr, socket);
+            imcs_[owner].read(true);
+            double bytes = lineBytes_;
+            if (owner != socket)
+                bytes /= cfg_.remoteNumaBandwidthFactor;
+            cc.dramFillBytes += static_cast<uint64_t>(bytes);
+            fillL3(core, line_addr, false, true);
+            from_dram = true;
+        }
+    }
+
+    if (level <= 1) {
+        if (!in_l2)
+            fillL2(core, line_addr, false, true);
+        cc.l2FillBytes += lineBytes_;
+        if (!in_l2 || from_dram)
+            cc.l3FillBytes += lineBytes_;
+        fillL1(core, line_addr, false, true);
+    } else {
+        cc.l3FillBytes += lineBytes_;
+        fillL2(core, line_addr, false, true);
+    }
+}
+
+void
+Machine::fillL1(int core, uint64_t line_addr, bool write, bool prefetch)
+{
+    const Cache::Eviction ev = l1_[core]->fill(line_addr, write, prefetch);
+    if (ev.valid && ev.dirty)
+        writebackToL2(core, ev.lineAddr);
+}
+
+void
+Machine::fillL2(int core, uint64_t line_addr, bool write, bool prefetch)
+{
+    const Cache::Eviction ev = l2_[core]->fill(line_addr, write, prefetch);
+    if (ev.valid && ev.dirty)
+        writebackToL3(core, ev.lineAddr);
+}
+
+void
+Machine::fillL3(int core, uint64_t line_addr, bool write, bool prefetch)
+{
+    const int socket = socketOf(core);
+    const Cache::Eviction ev = l3_[socket]->fill(line_addr, write, prefetch);
+    if (ev.valid && ev.dirty)
+        writebackToDram(core, ev.lineAddr);
+}
+
+void
+Machine::writebackToL2(int core, uint64_t line_addr)
+{
+    if (l2_[core]->setDirty(line_addr))
+        return;
+    const Cache::Eviction ev = l2_[core]->fill(line_addr, true, false);
+    if (ev.valid && ev.dirty)
+        writebackToL3(core, ev.lineAddr);
+}
+
+void
+Machine::writebackToL3(int core, uint64_t line_addr)
+{
+    const int socket = socketOf(core);
+    if (l3_[socket]->setDirty(line_addr))
+        return;
+    const Cache::Eviction ev = l3_[socket]->fill(line_addr, true, false);
+    if (ev.valid && ev.dirty)
+        writebackToDram(core, ev.lineAddr);
+}
+
+void
+Machine::writebackToDram(int core, uint64_t line_addr)
+{
+    const int socket = socketOf(core);
+    const uint64_t byte_addr = line_addr * lineBytes_;
+    const int owner = homeSocket(byte_addr, socket);
+    imcs_[owner].write(false);
+    CoreCounters &cc = cores_[core];
+    double bytes = lineBytes_;
+    if (owner != socket)
+        bytes /= cfg_.remoteNumaBandwidthFactor;
+    cc.dramWritebackBytes += static_cast<uint64_t>(bytes);
+}
+
+void
+Machine::load(int core, uint64_t addr, uint32_t bytes)
+{
+    RFL_ASSERT(bytes > 0);
+    cores_[core].loadUops += 1;
+    const uint64_t first = addr / lineBytes_;
+    const uint64_t last = (addr + bytes - 1) / lineBytes_;
+    for (uint64_t line = first; line <= last; ++line)
+        accessLine(core, line, false);
+}
+
+void
+Machine::store(int core, uint64_t addr, uint32_t bytes)
+{
+    RFL_ASSERT(bytes > 0);
+    cores_[core].storeUops += 1;
+    const uint64_t first = addr / lineBytes_;
+    const uint64_t last = (addr + bytes - 1) / lineBytes_;
+    for (uint64_t line = first; line <= last; ++line)
+        accessLine(core, line, true);
+}
+
+void
+Machine::storeNT(int core, uint64_t addr, uint32_t bytes)
+{
+    RFL_ASSERT(bytes > 0);
+    const int socket = socketOf(core);
+    CoreCounters &cc = cores_[core];
+    cc.storeUops += 1;
+    const uint64_t first = addr / lineBytes_;
+    const uint64_t last = (addr + bytes - 1) / lineBytes_;
+    for (uint64_t line = first; line <= last; ++line) {
+        // NT stores combine in the fill buffers and go straight to DRAM;
+        // any cached copy is invalidated (its dirty data is overwritten).
+        // Consecutive partial stores to one line merge into one CAS
+        // write (write-combining buffers).
+        if (line == ntCombine_[static_cast<size_t>(core)])
+            continue;
+        ntCombine_[static_cast<size_t>(core)] = line;
+        l1_[core]->invalidate(line);
+        l2_[core]->invalidate(line);
+        l3_[socket]->invalidate(line);
+        const int owner = homeSocket(line * lineBytes_, socket);
+        imcs_[owner].write(true);
+        double wbytes = lineBytes_;
+        if (owner != socket)
+            wbytes /= cfg_.remoteNumaBandwidthFactor;
+        cc.ntStoreBytes += static_cast<uint64_t>(wbytes);
+    }
+}
+
+void
+Machine::retireFp(int core, VecWidth w, bool fma, uint64_t count)
+{
+    const int lanes = vecLanes(w);
+    if (lanes > cfg_.core.maxVectorDoubles) {
+        panic("core %d retiring %s ops but machine supports width %d",
+              core, vecWidthName(w), cfg_.core.maxVectorDoubles);
+    }
+    if (fma && !cfg_.core.hasFma)
+        panic("core %d retiring FMA on a machine without FMA", core);
+    CoreCounters &cc = cores_[core];
+    // Hardware-faithful: one FMA retirement bumps the counter by two.
+    cc.fpRetired[static_cast<size_t>(w)] += count * (fma ? 2 : 1);
+    cc.fpUops += count;
+}
+
+void
+Machine::retireOther(int core, uint64_t uops)
+{
+    cores_[core].otherUops += uops;
+}
+
+void
+Machine::flushAllCaches(const std::vector<int> &attribute_cores)
+{
+    // Collect dirty lines per owning socket, deduplicated so a line dirty
+    // in several levels is written back exactly once (as the hardware
+    // would: there is one most-recent copy).
+    std::vector<std::vector<uint64_t>> dirty(
+        static_cast<size_t>(cfg_.sockets));
+
+    auto route = [&](uint64_t line, int socket) {
+        const int owner = homeSocket(line * lineBytes_, socket);
+        dirty[static_cast<size_t>(owner)].push_back(line);
+    };
+
+    std::vector<uint64_t> lines;
+    for (int c = 0; c < numCores(); ++c) {
+        lines.clear();
+        l1_[c]->flushAll(lines);
+        for (uint64_t line : lines)
+            route(line, socketOf(c));
+        lines.clear();
+        l2_[c]->flushAll(lines);
+        for (uint64_t line : lines)
+            route(line, socketOf(c));
+    }
+    for (int s = 0; s < cfg_.sockets; ++s) {
+        lines.clear();
+        l3_[s]->flushAll(lines);
+        for (uint64_t line : lines)
+            route(line, s);
+    }
+
+    size_t rr = 0;
+    for (int s = 0; s < cfg_.sockets; ++s) {
+        auto &v = dirty[static_cast<size_t>(s)];
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+        for (size_t i = 0; i < v.size(); ++i) {
+            imcs_[s].write(false);
+            if (!attribute_cores.empty()) {
+                const int core =
+                    attribute_cores[rr++ % attribute_cores.size()];
+                cores_[core].dramWritebackBytes += lineBytes_;
+            }
+        }
+    }
+
+    for (auto &pf : l1pf_)
+        pf->reset();
+    for (auto &pf : l2pf_)
+        pf->reset();
+    std::fill(ntCombine_.begin(), ntCombine_.end(), ~0ull);
+}
+
+void
+Machine::invalidateAllCaches()
+{
+    for (auto &c : l1_)
+        c->invalidateAll();
+    for (auto &c : l2_)
+        c->invalidateAll();
+    for (auto &c : l3_)
+        c->invalidateAll();
+    for (auto &pf : l1pf_)
+        pf->reset();
+    for (auto &pf : l2pf_)
+        pf->reset();
+    std::fill(ntCombine_.begin(), ntCombine_.end(), ~0ull);
+}
+
+void
+Machine::resetStats()
+{
+    for (auto &c : l1_)
+        c->clearStats();
+    for (auto &c : l2_)
+        c->clearStats();
+    for (auto &c : l3_)
+        c->clearStats();
+    for (auto &i : imcs_)
+        i.clearStats();
+    for (auto &pf : l1pf_)
+        pf->clearStats();
+    for (auto &pf : l2pf_)
+        pf->clearStats();
+    for (auto &tlb : tlbs_)
+        tlb.clearStats();
+    for (auto &cc : cores_)
+        cc = CoreCounters{};
+}
+
+void
+Machine::reset()
+{
+    invalidateAllCaches();
+    for (auto &tlb : tlbs_)
+        tlb.flush();
+    resetStats();
+}
+
+Machine::Snapshot
+Machine::snapshot() const
+{
+    Snapshot s;
+    s.cores = cores_;
+    for (int c = 0; c < numCores(); ++c) {
+        s.l1.push_back(l1_[c]->stats());
+        s.l2.push_back(l2_[c]->stats());
+        s.tlbs.push_back(tlbs_[c].stats());
+    }
+    for (int sk = 0; sk < cfg_.sockets; ++sk) {
+        s.l3.push_back(l3_[sk]->stats());
+        s.imcs.push_back(imcs_[sk].stats());
+    }
+    return s;
+}
+
+Machine::Snapshot
+Machine::Snapshot::operator-(const Snapshot &rhs) const
+{
+    RFL_ASSERT(cores.size() == rhs.cores.size());
+    RFL_ASSERT(imcs.size() == rhs.imcs.size());
+    Snapshot d;
+    for (size_t i = 0; i < cores.size(); ++i) {
+        d.cores.push_back(cores[i] - rhs.cores[i]);
+        d.l1.push_back(l1[i] - rhs.l1[i]);
+        d.l2.push_back(l2[i] - rhs.l2[i]);
+        d.tlbs.push_back(tlbs[i] - rhs.tlbs[i]);
+    }
+    for (size_t i = 0; i < imcs.size(); ++i) {
+        d.l3.push_back(l3[i] - rhs.l3[i]);
+        d.imcs.push_back(imcs[i] - rhs.imcs[i]);
+    }
+    return d;
+}
+
+ImcStats
+Machine::Snapshot::totalImc() const
+{
+    ImcStats total;
+    for (const ImcStats &s : imcs)
+        total += s;
+    return total;
+}
+
+uint64_t
+Machine::Snapshot::totalFlops() const
+{
+    uint64_t total = 0;
+    for (const CoreCounters &cc : cores)
+        total += cc.flops();
+    return total;
+}
+
+double
+Machine::regionCycles(const Snapshot &delta) const
+{
+    const CoreConfig &core = cfg_.core;
+    const double mlp = dependent_ ? 1.0 : static_cast<double>(core.mlp);
+
+    double machine_cycles = 0.0;
+    for (const CoreCounters &cc : delta.cores) {
+        const double issue = static_cast<double>(cc.totalUops()) /
+                             core.issueWidth;
+        const double fp = static_cast<double>(cc.fpUops) / core.fpUnits;
+        const double ld = static_cast<double>(cc.loadUops) / core.loadPorts;
+        const double st = static_cast<double>(cc.storeUops) /
+                          core.storePorts;
+        const double l2bw = static_cast<double>(cc.l2FillBytes) /
+                            cfg_.l2.bytesPerCycle;
+        const double l3bw = static_cast<double>(cc.l3FillBytes) /
+                            cfg_.l3.bytesPerCycle;
+        const double dram_bytes =
+            static_cast<double>(cc.dramFillBytes + cc.ntStoreBytes +
+                                cc.dramWritebackBytes);
+        const double dram = dram_bytes / cfg_.perCoreDramBytesPerCycle();
+        const double bound = std::max({issue, fp, ld, st, l2bw, l3bw,
+                                       dram});
+        const double cycles = bound + cc.latencyCycles / mlp;
+        machine_cycles = std::max(machine_cycles, cycles);
+    }
+
+    // Per-socket DRAM bandwidth is shared among the socket's cores.
+    for (const ImcStats &imc : delta.imcs) {
+        const double socket_bytes =
+            static_cast<double>(imc.totalBytes(lineBytes_));
+        const double socket_cycles =
+            socket_bytes / cfg_.socketDramBytesPerCycle();
+        machine_cycles = std::max(machine_cycles, socket_cycles);
+    }
+    return machine_cycles;
+}
+
+double
+Machine::regionSeconds(const Snapshot &delta) const
+{
+    return regionCycles(delta) / (cfg_.core.freqGHz * 1e9);
+}
+
+void
+Machine::printStats(std::ostream &os) const
+{
+    os << "machine." << cfg_.name << "\n";
+    auto cache_stats = [&](const std::string &prefix,
+                           const CacheStats &s) {
+        os << prefix << ".read_hits " << s.readHits << "\n";
+        os << prefix << ".read_misses " << s.readMisses << "\n";
+        os << prefix << ".write_hits " << s.writeHits << "\n";
+        os << prefix << ".write_misses " << s.writeMisses << "\n";
+        os << prefix << ".writebacks " << s.writebacks << "\n";
+        os << prefix << ".prefetch_fills " << s.prefetchFills << "\n";
+        os << prefix << ".prefetch_hits " << s.prefetchHits << "\n";
+    };
+    for (int c = 0; c < numCores(); ++c) {
+        const std::string core = "core" + std::to_string(c);
+        const CoreCounters &cc = cores_[c];
+        os << core << ".fp_scalar " << cc.fpRetired[0] << "\n";
+        os << core << ".fp_128b " << cc.fpRetired[1] << "\n";
+        os << core << ".fp_256b " << cc.fpRetired[2] << "\n";
+        os << core << ".fp_512b " << cc.fpRetired[3] << "\n";
+        os << core << ".flops " << cc.flops() << "\n";
+        os << core << ".load_uops " << cc.loadUops << "\n";
+        os << core << ".store_uops " << cc.storeUops << "\n";
+        os << core << ".other_uops " << cc.otherUops << "\n";
+        os << core << ".latency_cycles " << cc.latencyCycles << "\n";
+        cache_stats(core + ".l1d", l1_[c]->stats());
+        cache_stats(core + ".l2", l2_[c]->stats());
+        const TlbStats &t = tlbs_[c].stats();
+        os << core << ".dtlb.accesses " << t.accesses << "\n";
+        os << core << ".dtlb.misses " << t.l1Misses << "\n";
+        os << core << ".dtlb.walks " << t.walks << "\n";
+    }
+    for (int s = 0; s < cfg_.sockets; ++s) {
+        const std::string sock = "socket" + std::to_string(s);
+        cache_stats(sock + ".l3", l3_[s]->stats());
+        const ImcStats &i = imcs_[s].stats();
+        os << sock << ".imc.cas_reads " << i.casReads << "\n";
+        os << sock << ".imc.cas_writes " << i.casWrites << "\n";
+        os << sock << ".imc.prefetch_reads " << i.prefetchReads << "\n";
+        os << sock << ".imc.nt_writes " << i.ntWrites << "\n";
+    }
+}
+
+} // namespace rfl::sim

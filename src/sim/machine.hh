@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The simulated platform: sockets x cores, private L1/L2, shared L3 per
+ * socket, IMC with CAS counters, hardware prefetchers, NUMA placement,
+ * and an analytic in-order timing model.
+ *
+ * The machine is a *counting* simulator: the data path records exactly the
+ * observables the paper's methodology needs (FP retirement by SIMD width,
+ * per-level cache hits/misses, IMC CAS reads/writes) as cumulative
+ * counters. Runtime for a measured region is derived from counter deltas
+ * with a bandwidth/issue-bound max model plus an exposed-latency term, so
+ * roofline behaviour emerges from machine structure, not from the plot.
+ *
+ * Threading model: simulated cores execute their work partitions
+ * sequentially (the host has however many cores it has; simulated timing
+ * is independent of host time). Shared-L3 interleaving between co-running
+ * cores is therefore approximated; see DESIGN.md §5.
+ */
+
+#ifndef RFL_SIM_MACHINE_HH
+#define RFL_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/core.hh"
+#include "sim/imc.hh"
+#include "sim/prefetcher.hh"
+#include "sim/tlb.hh"
+
+namespace rfl::sim
+{
+
+/** Placement policy for the simulated physical memory (NUMA). */
+enum class MemPolicy
+{
+    /** Every page lives on socket 0 (no binding; worst case remote). */
+    Socket0,
+    /** Pages live on the accessing core's socket (ideal numactl bind). */
+    LocalToAccessor,
+    /** Pages round-robin across sockets at 4 KiB granularity. */
+    Interleave,
+};
+
+/** @return printable policy name. */
+const char *memPolicyName(MemPolicy policy);
+
+/**
+ * Simulated multi-socket machine. See file comment for the model.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+
+    const MachineConfig &config() const { return cfg_; }
+    int numCores() const { return cfg_.totalCores(); }
+    int numSockets() const { return cfg_.sockets; }
+    /** @return socket that owns core @p core. */
+    int socketOf(int core) const { return core / cfg_.coresPerSocket; }
+
+    /** Enable/disable all hardware prefetchers (the MSR 0x1A4 knob). */
+    void setPrefetchEnabled(bool enabled) { prefetchEnabled_ = enabled; }
+    bool prefetchEnabled() const { return prefetchEnabled_; }
+
+    /** Select the NUMA page-placement policy. */
+    void setMemPolicy(MemPolicy policy) { memPolicy_ = policy; }
+    MemPolicy memPolicy() const { return memPolicy_; }
+
+    /**
+     * Model a dependent-access workload (pointer chasing): the exposed
+     * latency term uses MLP = 1 instead of the configured line-fill
+     * parallelism.
+     */
+    void setDependentAccesses(bool dependent) { dependent_ = dependent; }
+    bool dependentAccesses() const { return dependent_; }
+
+    /** @name Data path (byte addresses; split into lines internally). */
+    ///@{
+    void load(int core, uint64_t addr, uint32_t bytes);
+    void store(int core, uint64_t addr, uint32_t bytes);
+    /** Non-temporal (streaming) store: bypasses the cache hierarchy. */
+    void storeNT(int core, uint64_t addr, uint32_t bytes);
+    ///@}
+
+    /** @name Instruction retirement. */
+    ///@{
+    /**
+     * Retire @p count FP operations of width @p w on @p core. An FMA
+     * bumps the retirement counter by 2 per operation (hardware-faithful;
+     * see core.hh).
+     */
+    void retireFp(int core, VecWidth w, bool fma, uint64_t count = 1);
+    /** Retire non-FP/non-memory uops (index arithmetic, branches). */
+    void retireOther(int core, uint64_t uops);
+    ///@}
+
+    /** @name Cache control. */
+    ///@{
+    /**
+     * Write back all dirty lines and invalidate every cache (the
+     * cold-cache protocol's flush). Writebacks count at the IMCs.
+     *
+     * @param attribute_cores when non-empty, the writeback bytes are
+     * charged round-robin to these cores' timing counters so a flush
+     * inside a measured region costs time consistent with the traffic it
+     * generates. Empty = no core attribution (flushes between regions).
+     */
+    void flushAllCaches(const std::vector<int> &attribute_cores = {});
+    /** Invalidate everything without writebacks and clear prefetchers. */
+    void invalidateAllCaches();
+    ///@}
+
+    /** Zero every statistic (caches, IMCs, cores, prefetchers). */
+    void resetStats();
+    /** Full reset: invalidate caches + clear stats + retrain prefetchers.*/
+    void reset();
+
+    /** Complete counter image for delta-based measurement. */
+    struct Snapshot
+    {
+        std::vector<CoreCounters> cores;    // per core
+        std::vector<CacheStats> l1;         // per core
+        std::vector<CacheStats> l2;         // per core
+        std::vector<CacheStats> l3;         // per socket
+        std::vector<ImcStats> imcs;         // per socket
+        std::vector<TlbStats> tlbs;         // per core
+
+        /** Component-wise difference (this - rhs). */
+        Snapshot operator-(const Snapshot &rhs) const;
+
+        /** Sum of IMC counters over all sockets. */
+        ImcStats totalImc() const;
+        /** Sum of core flops over all cores. */
+        uint64_t totalFlops() const;
+    };
+
+    /** @return current cumulative counters. */
+    Snapshot snapshot() const;
+
+    /**
+     * Modeled execution time (cycles) of the region described by counter
+     * delta @p delta: max over cores of per-core issue/port/bandwidth
+     * bounds plus the exposed-latency term, then max with per-socket DRAM
+     * bandwidth bounds.
+     */
+    double regionCycles(const Snapshot &delta) const;
+
+    /** regionCycles converted to seconds at the core frequency. */
+    double regionSeconds(const Snapshot &delta) const;
+
+    /**
+     * Dump a gem5-style statistics report of all current cumulative
+     * counters (per-core caches/TLB/retirement, per-socket L3/IMC).
+     */
+    void printStats(std::ostream &os) const;
+
+    /** @name Component access (tests, PMU backend). */
+    ///@{
+    const Cache &l1(int core) const { return *l1_[core]; }
+    const Cache &l2(int core) const { return *l2_[core]; }
+    const Cache &l3(int socket) const { return *l3_[socket]; }
+    const Imc &imc(int socket) const { return imcs_[socket]; }
+    const CoreCounters &coreCounters(int core) const { return cores_[core]; }
+    const Prefetcher &l2Prefetcher(int core) const { return *l2pf_[core]; }
+    const Tlb &tlb(int core) const { return tlbs_[core]; }
+    ///@}
+
+  private:
+    /** Deepest level that serviced a demand access. */
+    enum class ServiceLevel { L1, L2, L3, Dram };
+
+    /** @return socket owning the page of @p addr under the policy. */
+    int homeSocket(uint64_t addr, int accessor_socket) const;
+
+    /**
+     * One demand line access for @p core. Updates caches, IMC, counters
+     * and latency; triggers prefetchers.
+     */
+    void accessLine(int core, uint64_t line_addr, bool write);
+
+    /**
+     * Fetch @p line_addr into the hierarchy on behalf of the prefetcher
+     * attached at @p level (1 = fill L1+L2+L3, 2 = fill L2+L3).
+     */
+    void prefetchLine(int core, uint64_t line_addr, int level);
+
+    /** Handle an eviction from L1 (cascade into L2, maybe deeper). */
+    void writebackToL2(int core, uint64_t line_addr);
+    /** Handle an eviction from L2 (cascade into L3, maybe DRAM). */
+    void writebackToL3(int core, uint64_t line_addr);
+    /** Handle a dirty eviction from L3 (goes to the owning IMC). */
+    void writebackToDram(int core, uint64_t line_addr);
+
+    /** Install into L3 handling the victim; counts DRAM wb if dirty. */
+    void fillL3(int core, uint64_t line_addr, bool write, bool prefetch);
+    /** Install into L2 handling the victim. */
+    void fillL2(int core, uint64_t line_addr, bool write, bool prefetch);
+    /** Install into L1 handling the victim. */
+    void fillL1(int core, uint64_t line_addr, bool write, bool prefetch);
+
+    MachineConfig cfg_;
+    uint32_t lineBytes_;
+    bool prefetchEnabled_ = true;
+    bool dependent_ = false;
+    MemPolicy memPolicy_ = MemPolicy::LocalToAccessor;
+
+    std::vector<std::unique_ptr<Cache>> l1_;  // per core
+    std::vector<std::unique_ptr<Cache>> l2_;  // per core
+    std::vector<std::unique_ptr<Cache>> l3_;  // per socket
+    std::vector<Imc> imcs_;                   // per socket
+    std::vector<std::unique_ptr<Prefetcher>> l1pf_; // per core
+    std::vector<std::unique_ptr<Prefetcher>> l2pf_; // per core
+    std::vector<Tlb> tlbs_;                   // per core
+    std::vector<CoreCounters> cores_;         // per core
+
+    /**
+     * Write-combining state: last line each core NT-stored to. Partial
+     * NT stores to the same line merge in the fill buffers and cost one
+     * CAS write, like real streaming stores.
+     */
+    std::vector<uint64_t> ntCombine_;
+
+    /** Scratch vector reused for prefetch candidates. */
+    std::vector<uint64_t> pfScratch_;
+};
+
+} // namespace rfl::sim
+
+#endif // RFL_SIM_MACHINE_HH

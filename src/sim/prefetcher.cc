@@ -1,0 +1,140 @@
+#include "sim/prefetcher.hh"
+
+#include "support/logging.hh"
+
+namespace rfl::sim
+{
+
+PrefetcherStats
+PrefetcherStats::operator-(const PrefetcherStats &rhs) const
+{
+    PrefetcherStats d;
+    d.observed = observed - rhs.observed;
+    d.issued = issued - rhs.issued;
+    d.streamsAllocated = streamsAllocated - rhs.streamsAllocated;
+    return d;
+}
+
+std::unique_ptr<Prefetcher>
+Prefetcher::create(const PrefetcherConfig &cfg)
+{
+    switch (cfg.kind) {
+      case PrefetcherKind::None:
+        return std::make_unique<NonePrefetcher>();
+      case PrefetcherKind::NextLine:
+        return std::make_unique<NextLinePrefetcher>();
+      case PrefetcherKind::Stream:
+        return std::make_unique<StreamPrefetcher>(cfg);
+    }
+    panic("unknown prefetcher kind");
+}
+
+void
+NonePrefetcher::observe(uint64_t, bool, std::vector<uint64_t> &)
+{
+    ++stats_.observed;
+}
+
+void
+NextLinePrefetcher::observe(uint64_t line_addr, bool miss,
+                            std::vector<uint64_t> &out)
+{
+    ++stats_.observed;
+    if (!miss)
+        return;
+    // The DCU adjacent-line prefetcher fetches the other half of the
+    // 128-byte aligned pair.
+    out.push_back(line_addr ^ 1ull);
+    ++stats_.issued;
+}
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &cfg)
+    : cfg_(cfg), table_(static_cast<size_t>(cfg.streams))
+{
+    RFL_ASSERT(cfg.streams >= 1);
+    RFL_ASSERT(cfg.degree >= 1);
+    RFL_ASSERT(cfg.distance >= 1);
+}
+
+void
+StreamPrefetcher::observe(uint64_t line_addr, bool miss,
+                          std::vector<uint64_t> &out)
+{
+    ++stats_.observed;
+    ++tick_;
+    (void)miss; // the streamer trains on all demand accesses
+
+    // Look for a stream this access continues (within the jump window;
+    // lines hidden by lower-level prefetchers make the sequence skip).
+    for (Stream &s : table_) {
+        if (!s.valid)
+            continue;
+        if (line_addr == s.lastLine) {
+            s.lastUse = tick_; // repeat touch; keep stream alive
+            return;
+        }
+        const bool up = line_addr > s.lastLine &&
+                        line_addr - s.lastLine <= maxJump;
+        const bool down = line_addr < s.lastLine &&
+                          s.lastLine - line_addr <= maxJump;
+        if (up || down) {
+            const int dir = up ? 1 : -1;
+            if (s.trained && dir != s.dir) {
+                // Direction flip: retrain.
+                s.trained = false;
+            }
+            s.dir = dir;
+            s.lastLine = line_addr;
+            s.lastUse = tick_;
+            if (!s.trained) {
+                s.trained = true;
+                return; // first confirmation; start fetching next access
+            }
+            // Trained stream: fetch `degree` lines starting at `distance`
+            // ahead of the demand line.
+            for (int i = 0; i < cfg_.degree; ++i) {
+                const int64_t delta =
+                    static_cast<int64_t>(cfg_.distance + i) * s.dir;
+                out.push_back(line_addr + delta);
+                ++stats_.issued;
+            }
+            return;
+        }
+    }
+
+    // No matching stream: allocate one (LRU replacement).
+    Stream *victim = &table_[0];
+    for (Stream &s : table_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    victim->valid = true;
+    victim->trained = false;
+    victim->dir = 1;
+    victim->lastLine = line_addr;
+    victim->lastUse = tick_;
+    ++stats_.streamsAllocated;
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (Stream &s : table_)
+        s = Stream{};
+}
+
+int
+StreamPrefetcher::trainedStreams() const
+{
+    int n = 0;
+    for (const Stream &s : table_)
+        if (s.valid && s.trained)
+            ++n;
+    return n;
+}
+
+} // namespace rfl::sim

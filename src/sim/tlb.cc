@@ -1,0 +1,113 @@
+#include "sim/tlb.hh"
+
+namespace rfl::sim
+{
+
+namespace
+{
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+TlbConfig::validate() const
+{
+    if (!isPow2(pageBytes))
+        fatal("tlb: page size must be a power of two");
+    if (l1Assoc == 0 || l1Entries % l1Assoc != 0)
+        fatal("tlb: bad L1 geometry");
+    if (l2Assoc == 0 || l2Entries % l2Assoc != 0)
+        fatal("tlb: bad L2 geometry");
+}
+
+TlbStats
+TlbStats::operator-(const TlbStats &rhs) const
+{
+    TlbStats d;
+    d.accesses = accesses - rhs.accesses;
+    d.l1Misses = l1Misses - rhs.l1Misses;
+    d.walks = walks - rhs.walks;
+    return d;
+}
+
+Tlb::Tlb(const TlbConfig &config)
+    : config_(config), l1Sets_(config.l1Entries / config.l1Assoc),
+      l2Sets_(config.l2Entries / config.l2Assoc),
+      l1_(config.l1Entries), l2_(config.l2Entries)
+{
+    config_.validate();
+}
+
+bool
+Tlb::lookupArray(std::vector<Way> &ways, uint32_t sets, uint32_t assoc,
+                 uint64_t vpn, uint64_t tick)
+{
+    const uint32_t set = static_cast<uint32_t>(vpn % sets);
+    Way *base = &ways[static_cast<size_t>(set) * assoc];
+    for (uint32_t w = 0; w < assoc; ++w) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            base[w].stamp = tick;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Tlb::fillArray(std::vector<Way> &ways, uint32_t sets, uint32_t assoc,
+               uint64_t vpn, uint64_t tick)
+{
+    const uint32_t set = static_cast<uint32_t>(vpn % sets);
+    Way *base = &ways[static_cast<size_t>(set) * assoc];
+    Way *victim = base;
+    for (uint32_t w = 0; w < assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].stamp < victim->stamp)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->stamp = tick;
+}
+
+double
+Tlb::translate(uint64_t addr)
+{
+    if (!config_.enabled)
+        return 0.0;
+    ++tick_;
+    ++stats_.accesses;
+    const uint64_t vpn = addr / config_.pageBytes;
+
+    if (lookupArray(l1_, l1Sets_, config_.l1Assoc, vpn, tick_))
+        return 0.0;
+    ++stats_.l1Misses;
+
+    if (lookupArray(l2_, l2Sets_, config_.l2Assoc, vpn, tick_)) {
+        fillArray(l1_, l1Sets_, config_.l1Assoc, vpn, tick_);
+        return config_.l2LatencyCycles;
+    }
+    ++stats_.walks;
+    fillArray(l2_, l2Sets_, config_.l2Assoc, vpn, tick_);
+    fillArray(l1_, l1Sets_, config_.l1Assoc, vpn, tick_);
+    return config_.walkLatencyCycles;
+}
+
+void
+Tlb::flush()
+{
+    for (Way &w : l1_)
+        w.valid = false;
+    for (Way &w : l2_)
+        w.valid = false;
+}
+
+} // namespace rfl::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Two-level data-TLB model.
+ *
+ * Large-stride access patterns on paper-era Xeons are co-limited by the
+ * hardware prefetcher giving up and by DTLB misses; a roofline
+ * methodology that wants to explain *why* a point sits under the roof
+ * needs both effects. The model is a standard two-level TLB: a small
+ * set-associative L1 DTLB backed by a larger STLB; a miss in both costs
+ * a fixed page-walk latency (walks usually hit the paging-structure
+ * caches, so they add latency but no modeled DRAM traffic).
+ */
+
+#ifndef RFL_SIM_TLB_HH
+#define RFL_SIM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace rfl::sim
+{
+
+/** Geometry/penalty of the two-level DTLB. */
+struct TlbConfig
+{
+    bool enabled = true;
+    uint32_t pageBytes = 4096;
+    /** L1 DTLB entries and associativity (64 x 4-way is typical). */
+    uint32_t l1Entries = 64;
+    uint32_t l1Assoc = 4;
+    /** Second-level TLB entries and associativity. */
+    uint32_t l2Entries = 1536;
+    uint32_t l2Assoc = 8;
+    /** STLB hit penalty in cycles. */
+    double l2LatencyCycles = 7.0;
+    /** Full page-walk penalty in cycles. */
+    double walkLatencyCycles = 35.0;
+
+    void validate() const;
+};
+
+/** Per-core TLB statistics. */
+struct TlbStats
+{
+    uint64_t accesses = 0;
+    uint64_t l1Misses = 0;
+    uint64_t walks = 0; ///< missed both levels
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(l1Misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    TlbStats operator-(const TlbStats &rhs) const;
+};
+
+/**
+ * Two-level TLB (one per core). translate() returns the added latency
+ * in cycles for the translation of one page access.
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /**
+     * Translate the page containing byte address @p addr.
+     * @return extra latency cycles (0 on an L1 DTLB hit).
+     */
+    double translate(uint64_t addr);
+
+    /** Drop all translations (context switch / explicit flush). */
+    void flush();
+
+    const TlbConfig &config() const { return config_; }
+    const TlbStats &stats() const { return stats_; }
+    void clearStats() { stats_ = TlbStats{}; }
+
+  private:
+    struct Way
+    {
+        uint64_t vpn = 0;
+        uint64_t stamp = 0;
+        bool valid = false;
+    };
+
+    /** Lookup and LRU-touch @p vpn in a set-associative array. */
+    static bool lookupArray(std::vector<Way> &ways, uint32_t sets,
+                            uint32_t assoc, uint64_t vpn, uint64_t tick);
+    /** Insert @p vpn (LRU victim) into the array. */
+    static void fillArray(std::vector<Way> &ways, uint32_t sets,
+                          uint32_t assoc, uint64_t vpn, uint64_t tick);
+
+    TlbConfig config_;
+    uint32_t l1Sets_;
+    uint32_t l2Sets_;
+    std::vector<Way> l1_;
+    std::vector<Way> l2_;
+    TlbStats stats_;
+    uint64_t tick_ = 0;
+};
+
+} // namespace rfl::sim
+
+#endif // RFL_SIM_TLB_HH

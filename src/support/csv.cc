@@ -1,0 +1,85 @@
+#include "support/csv.hh"
+
+#include <filesystem>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/units.hh"
+
+namespace rfl
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> header)
+    : path_(path), arity_(header.size())
+{
+    RFL_ASSERT(arity_ > 0);
+    const std::filesystem::path p(path);
+    if (p.has_parent_path())
+        ensureDirectory(p.parent_path().string());
+    out_.open(path);
+    if (!out_)
+        fatal("CsvWriter: cannot open '%s' for writing", path.c_str());
+    writeRow(header);
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    if (cells.size() != arity_) {
+        panic("CsvWriter: %zu cells for %zu columns in '%s'", cells.size(),
+              arity_, path_.c_str());
+    }
+    writeRow(cells);
+    ++rows_;
+}
+
+void
+CsvWriter::addRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells)
+        text.push_back(formatSig(v, 12));
+    addRow(text);
+}
+
+std::string
+CsvWriter::quote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << quote(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+ensureDirectory(const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec)
+        fatal("cannot create directory '%s': %s", path.c_str(),
+              ec.message().c_str());
+}
+
+} // namespace rfl

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CSV writer for experiment output. Every bench binary dumps its raw data
+ * as CSV next to the gnuplot files so results can be post-processed.
+ */
+
+#ifndef RFL_SUPPORT_CSV_HH
+#define RFL_SUPPORT_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rfl
+{
+
+/**
+ * Streams rows of cells into a CSV file, RFC-4180-style quoting.
+ *
+ * The file is created on construction and flushed/closed on destruction.
+ * Writing to an unopenable path calls fatal().
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing and emit the header row. */
+    CsvWriter(const std::string &path, std::vector<std::string> header);
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Append one data row; must match the header arity. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Convenience overload for all-numeric rows. */
+    void addRow(const std::vector<double> &cells);
+
+    /** @return the path the writer is writing to. */
+    const std::string &path() const { return path_; }
+
+    /** @return number of data rows written so far. */
+    size_t rowCount() const { return rows_; }
+
+    /** Quote a cell per RFC 4180 if it contains comma/quote/newline. */
+    static std::string quote(const std::string &cell);
+
+  private:
+    void writeRow(const std::vector<std::string> &cells);
+
+    std::string path_;
+    std::ofstream out_;
+    size_t arity_;
+    size_t rows_ = 0;
+};
+
+/** Ensure a directory exists (mkdir -p semantics); fatal() on failure. */
+void ensureDirectory(const std::string &path);
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_CSV_HH

@@ -1,0 +1,110 @@
+#include "support/gnuplot.hh"
+
+#include <fstream>
+
+#include "support/csv.hh"
+#include "support/logging.hh"
+#include "support/units.hh"
+
+namespace rfl
+{
+
+GnuplotWriter::GnuplotWriter(std::string directory, std::string name,
+                             std::string plot_title)
+    : directory_(std::move(directory)), name_(std::move(name)),
+      title_(std::move(plot_title))
+{}
+
+void
+GnuplotWriter::setAxes(std::string xlabel, std::string ylabel, bool loglog)
+{
+    xlabel_ = std::move(xlabel);
+    ylabel_ = std::move(ylabel);
+    loglog_ = loglog;
+}
+
+void
+GnuplotWriter::addSeries(GnuplotSeries series)
+{
+    RFL_ASSERT(series.xs.size() == series.ys.size());
+    RFL_ASSERT(series.labels.empty() ||
+               series.labels.size() == series.xs.size());
+    series_.push_back({std::move(series), false});
+}
+
+void
+GnuplotWriter::addLineSeries(const std::string &title,
+                             const std::vector<double> &xs,
+                             const std::vector<double> &ys)
+{
+    GnuplotSeries s;
+    s.title = title;
+    s.xs = xs;
+    s.ys = ys;
+    RFL_ASSERT(s.xs.size() == s.ys.size());
+    series_.push_back({std::move(s), true});
+}
+
+void
+GnuplotWriter::addPointSeries(const std::string &title,
+                              const std::vector<double> &xs,
+                              const std::vector<double> &ys,
+                              const std::vector<std::string> &labels)
+{
+    GnuplotSeries s;
+    s.title = title;
+    s.xs = xs;
+    s.ys = ys;
+    s.labels = labels;
+    RFL_ASSERT(s.xs.size() == s.ys.size());
+    RFL_ASSERT(s.labels.empty() || s.labels.size() == s.xs.size());
+    series_.push_back({std::move(s), false});
+}
+
+std::string
+GnuplotWriter::write() const
+{
+    ensureDirectory(directory_);
+    const std::string dat_path = directory_ + "/" + name_ + ".dat";
+    const std::string gp_path = directory_ + "/" + name_ + ".gp";
+
+    std::ofstream dat(dat_path);
+    if (!dat)
+        fatal("GnuplotWriter: cannot open '%s'", dat_path.c_str());
+    for (size_t i = 0; i < series_.size(); ++i) {
+        const GnuplotSeries &s = series_[i].series;
+        dat << "# series " << i << ": " << s.title << "\n";
+        for (size_t j = 0; j < s.xs.size(); ++j) {
+            dat << formatSig(s.xs[j], 12) << " " << formatSig(s.ys[j], 12);
+            if (!s.labels.empty())
+                dat << " \"" << s.labels[j] << "\"";
+            dat << "\n";
+        }
+        dat << "\n\n"; // gnuplot index separator
+    }
+
+    std::ofstream gp(gp_path);
+    if (!gp)
+        fatal("GnuplotWriter: cannot open '%s'", gp_path.c_str());
+    gp << "# Auto-generated roofline figure script\n";
+    gp << "set terminal pngcairo size 900,650\n";
+    gp << "set output '" << name_ << ".png'\n";
+    gp << "set title \"" << title_ << "\"\n";
+    gp << "set xlabel \"" << xlabel_ << "\"\n";
+    gp << "set ylabel \"" << ylabel_ << "\"\n";
+    if (loglog_)
+        gp << "set logscale xy\n";
+    gp << "set key left top\n";
+    gp << "set grid\n";
+    gp << "plot \\\n";
+    for (size_t i = 0; i < series_.size(); ++i) {
+        const Entry &e = series_[i];
+        gp << "  '" << name_ << ".dat' index " << i << " using 1:2 with "
+           << (e.lines ? "lines lw 2" : "points pt 7 ps 1.2") << " title \""
+           << e.series.title << "\"";
+        gp << (i + 1 < series_.size() ? ", \\\n" : "\n");
+    }
+    return gp_path;
+}
+
+} // namespace rfl

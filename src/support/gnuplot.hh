@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Gnuplot emission helpers.
+ *
+ * Each reproduced figure is written as a pair of files:
+ *   <name>.dat — whitespace-separated series blocks (gnuplot `index` style)
+ *   <name>.gp  — a plotting script referencing the .dat file
+ * so that `gnuplot <name>.gp` regenerates the paper figure offline.
+ */
+
+#ifndef RFL_SUPPORT_GNUPLOT_HH
+#define RFL_SUPPORT_GNUPLOT_HH
+
+#include <string>
+#include <vector>
+
+namespace rfl
+{
+
+/** One named (x, y) series with an optional per-point label. */
+struct GnuplotSeries
+{
+    std::string title;
+    std::vector<double> xs;
+    std::vector<double> ys;
+    std::vector<std::string> labels; // optional; empty or per-point
+};
+
+/**
+ * Collects series and writes the .dat/.gp file pair.
+ *
+ * The default style is the roofline style of the paper: log-log axes,
+ * x = operational intensity [flops/byte], y = performance [flops/cycle
+ * or Gflop/s].
+ */
+class GnuplotWriter
+{
+  public:
+    /**
+     * @param directory output directory (created if missing)
+     * @param name      figure stem, used for <name>.dat / <name>.gp
+     * @param plot_title      title line of the plot
+     */
+    GnuplotWriter(std::string directory, std::string name,
+                  std::string plot_title);
+
+    /** Axis labels; defaults match roofline plots. */
+    void setAxes(std::string xlabel, std::string ylabel, bool loglog = true);
+
+    /** Append one series. xs/ys must have equal length. */
+    void addSeries(GnuplotSeries series);
+
+    /** Add a series drawn with lines (used for roofs/ceilings). */
+    void addLineSeries(const std::string &title,
+                       const std::vector<double> &xs,
+                       const std::vector<double> &ys);
+
+    /** Add a series drawn with labeled points (used for kernels). */
+    void addPointSeries(const std::string &title,
+                        const std::vector<double> &xs,
+                        const std::vector<double> &ys,
+                        const std::vector<std::string> &labels = {});
+
+    /** Write the .dat and .gp files; @return the .gp path. */
+    std::string write() const;
+
+    /** @return number of series added so far. */
+    size_t seriesCount() const { return series_.size(); }
+
+  private:
+    struct Entry
+    {
+        GnuplotSeries series;
+        bool lines;
+    };
+
+    std::string directory_;
+    std::string name_;
+    std::string title_;
+    std::string xlabel_ = "Operational intensity [flops/byte]";
+    std::string ylabel_ = "Performance [Gflop/s]";
+    bool loglog_ = true;
+    std::vector<Entry> series_;
+};
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_GNUPLOT_HH

@@ -1,0 +1,76 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rfl
+{
+
+namespace
+{
+
+bool g_verbose = true;
+
+void
+vreport(FILE *stream, const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(stream, "%s", prefix);
+    std::vfprintf(stream, fmt, ap);
+    std::fprintf(stream, "\n");
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!g_verbose)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stdout, "info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+} // namespace rfl

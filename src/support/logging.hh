@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error-reporting helpers.
+ *
+ * Two error channels are distinguished (following the gem5 convention):
+ *   - panic():  an internal invariant was violated (a bug in this library);
+ *               aborts so a debugger/core dump can capture the state.
+ *   - fatal():  the user asked for something impossible (bad configuration,
+ *               invalid arguments); exits with status 1.
+ *
+ * Non-fatal channels:
+ *   - warn():   something is off but execution can continue.
+ *   - inform(): status messages.
+ *
+ * All channels go to stderr except inform(), which goes to stdout.
+ */
+
+#ifndef RFL_SUPPORT_LOGGING_HH
+#define RFL_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rfl
+{
+
+/** Abort with a formatted message; use for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user-caused errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output globally (warnings are never muted). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is currently enabled. */
+bool verbose();
+
+/**
+ * Assert-like check that is always compiled in.
+ * Calls panic() with the stringified condition when @p cond is false.
+ */
+#define RFL_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::rfl::panic("assertion failed: %s (%s:%d)", #cond, __FILE__, \
+                         __LINE__);                                        \
+        }                                                                  \
+    } while (0)
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_LOGGING_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64).
+ *
+ * All workload initialization must be reproducible bit-for-bit across
+ * runs, so kernels use this generator with fixed seeds instead of
+ * std::random_device.
+ */
+
+#ifndef RFL_SUPPORT_RNG_HH
+#define RFL_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace rfl
+{
+
+/** SplitMix64: tiny, fast, well-distributed, and fully deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    /** @return next 64 random bits. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform double in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    /** @return uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_RNG_HH

@@ -1,0 +1,136 @@
+#include "support/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace rfl
+{
+
+void
+Sample::add(double v)
+{
+    values_.push_back(v);
+}
+
+void
+Sample::addAll(const std::vector<double> &vs)
+{
+    values_.insert(values_.end(), vs.begin(), vs.end());
+}
+
+void
+Sample::clear()
+{
+    values_.clear();
+}
+
+double
+Sample::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values_)
+        s += v;
+    return s / static_cast<double>(values_.size());
+}
+
+double
+Sample::stdev() const
+{
+    if (values_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : values_)
+        s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+double
+Sample::ci95() const
+{
+    if (values_.size() < 2)
+        return 0.0;
+    return 1.96 * stdev() / std::sqrt(static_cast<double>(values_.size()));
+}
+
+double
+Sample::min() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+Sample::max() const
+{
+    if (values_.empty())
+        return 0.0;
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+std::vector<double>
+Sample::sorted() const
+{
+    std::vector<double> s = values_;
+    std::sort(s.begin(), s.end());
+    return s;
+}
+
+double
+Sample::median() const
+{
+    return quantile(0.5);
+}
+
+double
+Sample::quantile(double q) const
+{
+    if (values_.empty())
+        return 0.0;
+    RFL_ASSERT(q >= 0.0 && q <= 1.0);
+    const std::vector<double> s = sorted();
+    if (s.size() == 1)
+        return s.front();
+    const double pos = q * static_cast<double>(s.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double
+Sample::cv() const
+{
+    const double m = mean();
+    if (m == 0.0)
+        return 0.0;
+    return stdev() / m;
+}
+
+double
+relativeError(double measured, double expected)
+{
+    if (expected == 0.0)
+        return measured == 0.0 ? 0.0 : 1.0;
+    return std::fabs(measured - expected) / std::fabs(expected);
+}
+
+double
+geomean(const std::vector<double> &vs)
+{
+    if (vs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double v : vs) {
+        RFL_ASSERT(v > 0.0);
+        logsum += std::log(v);
+    }
+    return std::exp(logsum / static_cast<double>(vs.size()));
+}
+
+} // namespace rfl

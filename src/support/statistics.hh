@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Small-sample statistics used by the measurement layer.
+ *
+ * The roofline methodology repeats every measurement several times and
+ * reports a summary; following the paper we keep the median (robust against
+ * OS noise on the native backend) alongside mean/stdev and a simple 95%
+ * confidence interval.
+ */
+
+#ifndef RFL_SUPPORT_STATISTICS_HH
+#define RFL_SUPPORT_STATISTICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace rfl
+{
+
+/**
+ * Accumulates a sample of doubles and produces summary statistics.
+ *
+ * All summary queries are valid once at least one value has been added;
+ * stdev()/ci95() return 0 for samples of size < 2.
+ */
+class Sample
+{
+  public:
+    Sample() = default;
+
+    /** Add one observation. */
+    void add(double v);
+
+    /** Add a batch of observations. */
+    void addAll(const std::vector<double> &vs);
+
+    /** Remove all observations. */
+    void clear();
+
+    /** @return number of observations. */
+    size_t count() const { return values_.size(); }
+
+    /** @return true when no observation has been added. */
+    bool empty() const { return values_.empty(); }
+
+    /** @return arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** @return sample standard deviation, n-1 denominator. */
+    double stdev() const;
+
+    /** @return half-width of a normal-approximation 95% CI of the mean. */
+    double ci95() const;
+
+    /** @return smallest observation (0 when empty). */
+    double min() const;
+
+    /** @return largest observation (0 when empty). */
+    double max() const;
+
+    /**
+     * @return median of the sample (0 when empty). Even-sized samples
+     * return the average of the two central order statistics.
+     */
+    double median() const;
+
+    /**
+     * @return the q-quantile (0 <= q <= 1) by linear interpolation
+     * between closest ranks.
+     */
+    double quantile(double q) const;
+
+    /** @return coefficient of variation stdev()/mean() (0 if mean is 0). */
+    double cv() const;
+
+    /** @return the raw observations in insertion order. */
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    /** Sorted copy of the data, rebuilt lazily for order statistics. */
+    std::vector<double> sorted() const;
+
+    std::vector<double> values_;
+};
+
+/** @return relative error |measured - expected| / |expected| (0/0 -> 0). */
+double relativeError(double measured, double expected);
+
+/** @return geometric mean of a vector of positive values (0 when empty). */
+double geomean(const std::vector<double> &vs);
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_STATISTICS_HH

@@ -1,0 +1,83 @@
+#include "support/table.hh"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace rfl
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    RFL_ASSERT(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        panic("Table::addRow: %zu cells for %zu columns", cells.size(),
+              headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::clearRows()
+{
+    rows_.clear();
+}
+
+bool
+Table::looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    char *end = nullptr;
+    std::strtod(cell.c_str(), &end);
+    // Allow a trailing '%' or unit-ish residue of at most 4 chars.
+    return end != cell.c_str() &&
+           static_cast<size_t>(end - cell.c_str()) + 4 >= cell.size();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            const bool right = looksNumeric(row[c]);
+            os << (c == 0 ? "| " : " ");
+            os << (right ? std::right : std::left)
+               << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace rfl

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table writer used by the bench binaries to print reproduced
+ * paper tables in a uniform format.
+ */
+
+#ifndef RFL_SUPPORT_TABLE_HH
+#define RFL_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rfl
+{
+
+/**
+ * Accumulates rows of strings and renders them with aligned columns.
+ *
+ * Numeric-looking cells are right-aligned, text cells left-aligned.
+ * Intended use:
+ * @code
+ *   Table t({"kernel", "n", "W expected", "W measured", "err %"});
+ *   t.addRow({"daxpy", "1024", "2048", "2048", "0.00"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: clear all rows, keeping the header. */
+    void clearRows();
+
+    /** @return number of data rows. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Render to @p os with a rule under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (used by tests). */
+    std::string toString() const;
+
+  private:
+    /** @return true when the cell parses as a number (right-align it). */
+    static bool looksNumeric(const std::string &cell);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_TABLE_HH

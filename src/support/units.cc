@@ -1,0 +1,107 @@
+#include "support/units.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace rfl
+{
+
+namespace
+{
+
+std::string
+formatScaled(double v, double base, const char *const *suffixes,
+             int n_suffixes, const char *unit)
+{
+    int idx = 0;
+    double scaled = v;
+    while (std::fabs(scaled) >= base && idx < n_suffixes - 1) {
+        scaled /= base;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s%s", scaled, suffixes[idx], unit);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffixes[] = {"", "Ki", "Mi", "Gi", "Ti"};
+    return formatScaled(bytes, 1024.0, suffixes, 5, "B");
+}
+
+std::string
+formatFlops(double flops)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T"};
+    return formatScaled(flops, 1000.0, suffixes, 5, "flops");
+}
+
+std::string
+formatFlopRate(double flops_per_sec)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T"};
+    return formatScaled(flops_per_sec, 1000.0, suffixes, 5, "flop/s");
+}
+
+std::string
+formatByteRate(double bytes_per_sec)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T"};
+    return formatScaled(bytes_per_sec, 1000.0, suffixes, 5, "B/s");
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+    else if (seconds < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    return buf;
+}
+
+std::string
+formatSig(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+    return buf;
+}
+
+uint64_t
+parseSize(const std::string &text)
+{
+    if (text.empty())
+        fatal("parseSize: empty size expression");
+    char *end = nullptr;
+    const double base = std::strtod(text.c_str(), &end);
+    if (end == text.c_str())
+        fatal("parseSize: cannot parse '%s'", text.c_str());
+    uint64_t mult = 1;
+    if (*end != '\0') {
+        switch (std::tolower(static_cast<unsigned char>(*end))) {
+          case 'k': mult = KiB; break;
+          case 'm': mult = MiB; break;
+          case 'g': mult = GiB; break;
+          default:
+            fatal("parseSize: unknown suffix in '%s'", text.c_str());
+        }
+    }
+    if (base < 0)
+        fatal("parseSize: negative size '%s'", text.c_str());
+    return static_cast<uint64_t>(base * static_cast<double>(mult));
+}
+
+} // namespace rfl

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Human-readable formatting and parsing of byte/flop/rate quantities.
+ */
+
+#ifndef RFL_SUPPORT_UNITS_HH
+#define RFL_SUPPORT_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rfl
+{
+
+/** Kibibyte/mebibyte/gibibyte multipliers. */
+constexpr uint64_t KiB = 1024ull;
+constexpr uint64_t MiB = 1024ull * KiB;
+constexpr uint64_t GiB = 1024ull * MiB;
+
+/** Format a byte count with a binary suffix, e.g. "20.0 MiB". */
+std::string formatBytes(double bytes);
+
+/** Format an operation count with an SI suffix, e.g. "2.0 Gflops". */
+std::string formatFlops(double flops);
+
+/** Format a rate in flops/s with an SI suffix, e.g. "38.4 Gflop/s". */
+std::string formatFlopRate(double flops_per_sec);
+
+/** Format a rate in bytes/s with an SI suffix, e.g. "12.8 GB/s". */
+std::string formatByteRate(double bytes_per_sec);
+
+/** Format a duration given in seconds, picking ns/us/ms/s. */
+std::string formatSeconds(double seconds);
+
+/** Format a double with @p digits significant digits. */
+std::string formatSig(double v, int digits = 4);
+
+/**
+ * Parse a size expression such as "64", "32k", "20M", "1G"
+ * (case-insensitive, binary multipliers). Calls fatal() on garbage.
+ */
+uint64_t parseSize(const std::string &text);
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_UNITS_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * System-level properties the whole toolchain must satisfy — these are
+ * the invariants that make the paper's methodology trustworthy:
+ *
+ *   1. No measured kernel exceeds the roof at its intensity (within a
+ *      small tolerance for measurement bias the paper also discusses).
+ *   2. Warm caches never increase measured traffic.
+ *   3. Enabling the prefetcher never decreases measured traffic, and
+ *      (for streaming kernels) does not slow execution down.
+ *   4. More cores never increase runtime for partitionable kernels.
+ *   5. Better dgemm implementations are strictly faster at (almost) the
+ *      same operational intensity.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "kernels/registry.hh"
+#include "roofline/experiment.hh"
+
+namespace
+{
+
+using namespace rfl;
+using namespace rfl::roofline;
+
+class Invariants : public ::testing::Test
+{
+  protected:
+    static Experiment &
+    experiment()
+    {
+        static Experiment exp; // shared: ceiling probing is expensive
+        return exp;
+    }
+};
+
+TEST_F(Invariants, NoKernelAboveTheRoof)
+{
+    Experiment &exp = experiment();
+    const RooflineModel &model = exp.modelFor({0});
+    MeasureOptions opts;
+    opts.repetitions = 1;
+
+    const char *specs[] = {
+        "daxpy:n=1048576",  "dot:n=1048576",       "triad:n=1048576",
+        "triad-nt:n=1048576", "sum:n=1048576",     "stencil3:n=1048576",
+        "dgemv:m=512,n=512", "dgemm-naive:n=96",   "dgemm-blocked:n=96",
+        "dgemm-opt:n=96",    "fft:n=65536",        "spmv-csr:rows=16384,nnz=16",
+    };
+    for (const char *spec : specs) {
+        const Measurement m = exp.measureSpec(spec, opts);
+        const double att = model.attainable(m.oi());
+        EXPECT_LE(m.perf(), att * 1.05)
+            << spec << ": P=" << m.perf() << " roof(I)=" << att;
+        EXPECT_GT(m.perf(), 0.0) << spec;
+    }
+}
+
+TEST_F(Invariants, WarmNeverIncreasesTraffic)
+{
+    Experiment &exp = experiment();
+    MeasureOptions cold;
+    cold.repetitions = 1;
+    MeasureOptions warm = cold;
+    warm.protocol = CacheProtocol::Warm;
+
+    for (const char *spec :
+         {"daxpy:n=16384", "dgemv:m=256,n=256", "fft:n=16384"}) {
+        const Measurement mc = exp.measureSpec(spec, cold);
+        const Measurement mw = exp.measureSpec(spec, warm);
+        EXPECT_LE(mw.trafficBytes, mc.trafficBytes * 1.01) << spec;
+        // Work is protocol-independent.
+        EXPECT_NEAR(mw.flops, mc.flops, 1e-6 * mc.flops) << spec;
+    }
+}
+
+TEST_F(Invariants, PrefetchingInflatesTrafficButNotRuntime)
+{
+    Experiment &exp = experiment();
+    MeasureOptions opts;
+    opts.repetitions = 1;
+
+    exp.machine().setPrefetchEnabled(false);
+    const Measurement off = exp.measureSpec("stencil3:n=1048576", opts);
+    exp.machine().setPrefetchEnabled(true);
+    const Measurement on = exp.measureSpec("stencil3:n=1048576", opts);
+
+    // The IMC sees at least as many bytes with the prefetcher on...
+    EXPECT_GE(on.trafficBytes, off.trafficBytes * 0.999);
+    // ...and the kernel does not get slower (latency is hidden).
+    EXPECT_LE(on.seconds, off.seconds * 1.02);
+}
+
+TEST_F(Invariants, CoreScalingNeverSlowsDown)
+{
+    Experiment &exp = experiment();
+    const char *spec = "triad:n=2097152";
+    double prev_seconds = 1e30;
+    for (int cores : {1, 2, 4}) {
+        MeasureOptions opts;
+        opts.repetitions = 1;
+        opts.cores.clear();
+        for (int c = 0; c < cores; ++c)
+            opts.cores.push_back(c);
+        const Measurement m = exp.measureSpec(spec, opts);
+        EXPECT_LE(m.seconds, prev_seconds * 1.01)
+            << cores << " cores slower than fewer";
+        prev_seconds = m.seconds;
+    }
+}
+
+TEST_F(Invariants, BandwidthBoundKernelStopsScalingAtSocketLimit)
+{
+    Experiment &exp = experiment();
+    const char *spec = "triad:n=4194304";
+    auto measure = [&](std::vector<int> cores) {
+        MeasureOptions opts;
+        opts.repetitions = 1;
+        opts.cores = std::move(cores);
+        return exp.measureSpec(spec, opts);
+    };
+    const Measurement one = measure({0});
+    const Measurement four = measure({0, 1, 2, 3});
+    const double speedup = one.seconds / four.seconds;
+    // 4 cores cannot give 4x: the socket is 38.4/14 = 2.74x a core.
+    EXPECT_LT(speedup, 3.2);
+    EXPECT_GT(speedup, 1.5);
+}
+
+TEST_F(Invariants, ComputeBoundKernelScalesNearlyLinearly)
+{
+    Experiment &exp = experiment();
+    const char *spec = "dgemm-opt:n=192";
+    auto measure = [&](std::vector<int> cores) {
+        MeasureOptions opts;
+        opts.repetitions = 1;
+        opts.cores = std::move(cores);
+        return exp.measureSpec(spec, opts);
+    };
+    const Measurement one = measure({0});
+    const Measurement four = measure({0, 1, 2, 3});
+    EXPECT_GT(one.seconds / four.seconds, 3.0);
+}
+
+TEST_F(Invariants, DgemmImplementationsClimbTowardTheRoof)
+{
+    Experiment &exp = experiment();
+    MeasureOptions opts;
+    opts.repetitions = 1;
+    const Measurement naive = exp.measureSpec("dgemm-naive:n=128", opts);
+    const Measurement blocked =
+        exp.measureSpec("dgemm-blocked:n=128", opts);
+    const Measurement opt = exp.measureSpec("dgemm-opt:n=128", opts);
+
+    EXPECT_GT(blocked.perf(), 2.0 * naive.perf());
+    EXPECT_GT(opt.perf(), 1.5 * blocked.perf());
+    // The optimized variant reaches a healthy fraction of peak.
+    const RooflineModel &model = exp.modelFor({0});
+    EXPECT_GT(opt.perf(), 0.5 * model.peakCompute());
+}
+
+TEST_F(Invariants, VectorWidthCeilingsRespected)
+{
+    // A kernel executed with scalar engines must respect the scalar
+    // ceiling, not just the AVX roof.
+    Experiment &exp = experiment();
+    const RooflineModel &model = exp.modelFor({0});
+    MeasureOptions opts;
+    opts.repetitions = 1;
+    opts.lanes = 1;
+    const Measurement m = exp.measureSpec("dgemm-opt:n=128", opts);
+    EXPECT_LE(m.perf(), model.computeCeiling("scalar+FMA") * 1.05);
+}
+
+TEST_F(Invariants, IntensityGrowsWithFftSize)
+{
+    // I(FFT) ~ log(n) once streaming: larger transforms have higher
+    // intensity in the cache-resident regime flattening beyond.
+    Experiment &exp = experiment();
+    MeasureOptions opts;
+    opts.repetitions = 1;
+    const Measurement small = exp.measureSpec("fft:n=1024", opts);
+    const Measurement large = exp.measureSpec("fft:n=65536", opts);
+    EXPECT_GT(large.oi(), small.oi());
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+/** @file Unit tests for the roofline model math. */
+
+#include <gtest/gtest.h>
+
+#include "roofline/model.hh"
+
+namespace
+{
+
+using rfl::roofline::RooflineModel;
+
+RooflineModel
+sample()
+{
+    RooflineModel m;
+    m.addComputeCeiling("scalar", 5e9);
+    m.addComputeCeiling("AVX+FMA", 40e9);
+    m.addBandwidthCeiling("read", 12e9);
+    m.addBandwidthCeiling("triad", 14e9);
+    return m;
+}
+
+TEST(Model, PeaksAreMaxima)
+{
+    const RooflineModel m = sample();
+    EXPECT_DOUBLE_EQ(m.peakCompute(), 40e9);
+    EXPECT_DOUBLE_EQ(m.peakBandwidth(), 14e9);
+}
+
+TEST(Model, NamedCeilingLookup)
+{
+    const RooflineModel m = sample();
+    EXPECT_DOUBLE_EQ(m.computeCeiling("scalar"), 5e9);
+    EXPECT_DOUBLE_EQ(m.bandwidthCeiling("read"), 12e9);
+}
+
+TEST(ModelDeath, MissingCeilingIsFatal)
+{
+    const RooflineModel m = sample();
+    EXPECT_EXIT(m.computeCeiling("nope"), ::testing::ExitedWithCode(1),
+                "no compute ceiling");
+    EXPECT_EXIT(m.bandwidthCeiling("nope"), ::testing::ExitedWithCode(1),
+                "no bandwidth ceiling");
+}
+
+TEST(Model, AttainableIsMinOfRoofs)
+{
+    const RooflineModel m = sample();
+    // Memory-bound side: I = 1 -> 14 Gflop/s.
+    EXPECT_DOUBLE_EQ(m.attainable(1.0), 14e9);
+    // Compute-bound side: I = 100 -> peak.
+    EXPECT_DOUBLE_EQ(m.attainable(100.0), 40e9);
+    // Exactly at the ridge both sides agree.
+    const double ridge = m.ridgePoint();
+    EXPECT_NEAR(m.attainable(ridge), 40e9, 1.0);
+}
+
+TEST(Model, RidgePoint)
+{
+    const RooflineModel m = sample();
+    EXPECT_NEAR(m.ridgePoint(), 40.0 / 14.0, 1e-12);
+    EXPECT_NEAR(m.ridgePoint("scalar", "read"), 5.0 / 12.0, 1e-12);
+}
+
+TEST(Model, NamedPairAttainable)
+{
+    const RooflineModel m = sample();
+    EXPECT_DOUBLE_EQ(m.attainable(0.1, "scalar", "read"), 1.2e9);
+    EXPECT_DOUBLE_EQ(m.attainable(1000.0, "scalar", "read"), 5e9);
+}
+
+TEST(Model, AttainableIsMonotoneInIntensity)
+{
+    const RooflineModel m = sample();
+    double prev = 0.0;
+    for (double oi = 0.01; oi < 100.0; oi *= 1.5) {
+        const double att = m.attainable(oi);
+        EXPECT_GE(att, prev);
+        prev = att;
+    }
+}
+
+TEST(Model, EmptyModelReportsZeroPeaks)
+{
+    const RooflineModel m;
+    EXPECT_DOUBLE_EQ(m.peakCompute(), 0.0);
+    EXPECT_DOUBLE_EQ(m.peakBandwidth(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+/** @file Tests for the native (host CPU) measurement path. */
+
+#include <gtest/gtest.h>
+
+#include "kernels/daxpy.hh"
+#include "kernels/registry.hh"
+#include "roofline/native_measurement.hh"
+
+namespace
+{
+
+using namespace rfl;
+using namespace rfl::roofline;
+
+TEST(NativeMeasurer, WorkIsCounterExact)
+{
+    NativeMeasurer nm;
+    kernels::Daxpy daxpy(1 << 16);
+    NativeMeasureOptions opts;
+    opts.repetitions = 2;
+    opts.flushBufferBytes = 1 << 20; // keep the test fast
+    const NativeMeasurement r = nm.measure(daxpy, opts);
+    EXPECT_DOUBLE_EQ(r.base.flops, 2.0 * (1 << 16));
+    EXPECT_DOUBLE_EQ(r.base.workError(), 0.0);
+    EXPECT_GT(r.base.seconds, 0.0);
+}
+
+TEST(NativeMeasurer, TrafficIsAnalyticModel)
+{
+    NativeMeasurer nm;
+    kernels::Daxpy daxpy(1 << 14);
+    NativeMeasureOptions opts;
+    opts.repetitions = 1;
+    opts.flushBufferBytes = 1 << 20;
+    const NativeMeasurement r = nm.measure(daxpy, opts);
+    EXPECT_EQ(r.trafficSource, "analytic");
+    EXPECT_DOUBLE_EQ(r.base.trafficBytes,
+                     daxpy.expectedColdTrafficBytes());
+    EXPECT_GT(r.base.oi(), 0.0);
+}
+
+TEST(NativeMeasurer, WarmProtocolUsesWarmModel)
+{
+    NativeMeasurer nm;
+    kernels::Daxpy daxpy(1 << 12); // 64 KiB: resident in any LLC
+    NativeMeasureOptions opts;
+    opts.protocol = CacheProtocol::Warm;
+    opts.repetitions = 1;
+    const NativeMeasurement r = nm.measure(daxpy, opts);
+    EXPECT_DOUBLE_EQ(r.base.trafficBytes, 0.0);
+    EXPECT_EQ(r.base.protocol, "warm");
+}
+
+TEST(NativeMeasurer, MultiThreadedRunComputesSameWork)
+{
+    NativeMeasurer nm;
+    NativeMeasureOptions one;
+    one.repetitions = 1;
+    one.flushBufferBytes = 1 << 20;
+    NativeMeasureOptions four = one;
+    four.threads = 4;
+
+    kernels::Daxpy k1(1 << 16);
+    const NativeMeasurement r1 = nm.measure(k1, one);
+    kernels::Daxpy k4(1 << 16);
+    const NativeMeasurement r4 = nm.measure(k4, four);
+
+    EXPECT_DOUBLE_EQ(r1.base.flops, r4.base.flops);
+    EXPECT_EQ(r4.base.cores, 4);
+    // Same deterministic init, same result.
+    EXPECT_DOUBLE_EQ(k1.checksum(), k4.checksum());
+}
+
+TEST(NativeMeasurer, RepetitionStatisticsPopulated)
+{
+    NativeMeasurer nm;
+    kernels::Daxpy daxpy(1 << 12);
+    NativeMeasureOptions opts;
+    opts.repetitions = 5;
+    opts.flushBufferBytes = 1 << 20;
+    const NativeMeasurement r = nm.measure(daxpy, opts);
+    EXPECT_EQ(r.base.secondsSample.count(), 5u);
+    EXPECT_EQ(r.base.flopsSample.count(), 5u);
+    // Work is deterministic even though time is not.
+    EXPECT_DOUBLE_EQ(r.base.flopsSample.cv(), 0.0);
+}
+
+TEST(NativeMeasurerDeath, NonParallelizableKernelRejectsThreads)
+{
+    NativeMeasurer nm;
+    const auto fft = kernels::createKernel("fft:n=256");
+    NativeMeasureOptions opts;
+    opts.threads = 2;
+    EXPECT_EXIT(nm.measure(*fft, opts), ::testing::ExitedWithCode(1),
+                "multi-threaded");
+}
+
+TEST(NativeMeasurer, ScalarLanesWork)
+{
+    NativeMeasurer nm;
+    kernels::Daxpy daxpy(1 << 12);
+    NativeMeasureOptions opts;
+    opts.lanes = 1;
+    opts.repetitions = 1;
+    opts.flushBufferBytes = 1 << 20;
+    const NativeMeasurement r = nm.measure(daxpy, opts);
+    EXPECT_EQ(r.base.lanes, 1);
+    EXPECT_DOUBLE_EQ(r.base.flops, 2.0 * (1 << 12));
+}
+
+TEST(NativeMeasurer, PerfFlagIsConsistent)
+{
+    NativeMeasurer nm;
+    kernels::Daxpy daxpy(1 << 12);
+    NativeMeasureOptions opts;
+    opts.repetitions = 1;
+    opts.flushBufferBytes = 1 << 20;
+    const NativeMeasurement r = nm.measure(daxpy, opts);
+    if (!nm.perfAvailable()) {
+        EXPECT_FALSE(r.perfLive);
+        EXPECT_EQ(r.perfCycles, 0u);
+    } else {
+        EXPECT_TRUE(r.perfLive);
+        EXPECT_GT(r.perfCycles, 0u);
+    }
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+/** @file Tests for platform probing and roofline plotting. */
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "roofline/platform.hh"
+#include "roofline/plot.hh"
+#include "sim/machine.hh"
+
+namespace
+{
+
+using namespace rfl;
+using namespace rfl::roofline;
+
+class PlatformTest : public ::testing::Test
+{
+  protected:
+    PlatformTest()
+        : machine_(sim::MachineConfig::defaultPlatform()),
+          probe_(machine_)
+    {
+    }
+
+    sim::Machine machine_;
+    PlatformProbe probe_;
+};
+
+TEST_F(PlatformTest, ComputePeakMatchesConfiguredPeak)
+{
+    const double peak = probe_.computePeak({0}, 4, true);
+    EXPECT_NEAR(peak, machine_.config().core.peakFlopsPerSec(4),
+                0.02 * peak);
+}
+
+TEST_F(PlatformTest, ComputePeakScalesWithWidthAndFma)
+{
+    const double scalar_nofma = probe_.computePeak({0}, 1, false);
+    const double scalar_fma = probe_.computePeak({0}, 1, true);
+    const double avx_fma = probe_.computePeak({0}, 4, true);
+    EXPECT_NEAR(scalar_fma / scalar_nofma, 2.0, 0.05);
+    EXPECT_NEAR(avx_fma / scalar_fma, 4.0, 0.1);
+}
+
+TEST_F(PlatformTest, ComputePeakScalesWithCores)
+{
+    const double one = probe_.computePeak({0}, 4, true);
+    const double four = probe_.computePeak({0, 1, 2, 3}, 4, true);
+    EXPECT_NEAR(four / one, 4.0, 0.1);
+}
+
+TEST_F(PlatformTest, SingleCoreBandwidthBelowPerCoreCap)
+{
+    const BandwidthResult r = probe_.bandwidthPeak({0}, BwProbe::NtSet);
+    EXPECT_LE(r.bytesPerSec,
+              machine_.config().perCoreDramGBs * 1e9 * 1.01);
+    EXPECT_GT(r.bytesPerSec,
+              machine_.config().perCoreDramGBs * 1e9 * 0.5);
+}
+
+TEST_F(PlatformTest, SocketBandwidthExceedsSingleCore)
+{
+    const BandwidthResult one = probe_.bandwidthPeak({0}, BwProbe::Triad);
+    const BandwidthResult four =
+        probe_.bandwidthPeak({0, 1, 2, 3}, BwProbe::Triad);
+    EXPECT_GT(four.bytesPerSec, 1.5 * one.bytesPerSec);
+    EXPECT_LE(four.bytesPerSec,
+              machine_.config().socketDramGBs * 1e9 * 1.02);
+}
+
+TEST_F(PlatformTest, NtSetMovesFewerBytesPerUsefulByte)
+{
+    // Regular stores triple the traffic of the useful bytes (allocate
+    // read + writeback); NT stores are 1:1.
+    const BandwidthResult nt = probe_.bandwidthPeak({0}, BwProbe::NtSet);
+    EXPECT_NEAR(nt.bytesPerSec, nt.usefulBytesPerSec,
+                0.02 * nt.bytesPerSec);
+    const BandwidthResult copy = probe_.bandwidthPeak({0}, BwProbe::Copy);
+    EXPECT_GT(copy.bytesPerSec, 1.3 * copy.usefulBytesPerSec);
+}
+
+TEST_F(PlatformTest, CharacterizeProducesOrderedCeilings)
+{
+    const RooflineModel model = probe_.characterize({0});
+    EXPECT_GE(model.computeCeilings().size(), 3u);
+    EXPECT_GE(model.bandwidthCeilings().size(), 1u);
+    EXPECT_LT(model.computeCeiling("scalar"),
+              model.computeCeiling("AVX+FMA"));
+    EXPECT_GT(model.ridgePoint(), 0.5);
+    EXPECT_LT(model.ridgePoint(), 20.0);
+}
+
+TEST(PlatformScenarios, CoreSetHelpers)
+{
+    sim::Machine machine(sim::MachineConfig::defaultPlatform());
+    EXPECT_EQ(singleThreadCores(machine), std::vector<int>{0});
+    EXPECT_EQ(oneSocketCores(machine).size(), 4u);
+    EXPECT_EQ(allCores(machine).size(), 8u);
+    EXPECT_EQ(scenarioName(machine, {0}), "single core");
+    EXPECT_EQ(scenarioName(machine, oneSocketCores(machine)),
+              "single socket");
+    EXPECT_EQ(scenarioName(machine, allCores(machine)), "2 sockets");
+    EXPECT_EQ(scenarioName(machine, {0, 1}), "2 cores");
+}
+
+RooflineModel
+toyModel()
+{
+    RooflineModel m;
+    m.addComputeCeiling("scalar", 5e9);
+    m.addComputeCeiling("AVX+FMA", 40e9);
+    m.addBandwidthCeiling("stream", 14e9);
+    return m;
+}
+
+TEST(Plot, PointsAndTable)
+{
+    RooflinePlot plot("test", toyModel());
+    plot.addPoint("mem-bound", 0.1, 1.2e9);
+    plot.addPoint("comp-bound", 10.0, 30e9);
+    EXPECT_EQ(plot.points().size(), 2u);
+
+    const rfl::Table table = plot.pointTable();
+    const std::string text = table.toString();
+    EXPECT_NE(text.find("mem-bound"), std::string::npos);
+    EXPECT_NE(text.find("comp-bound"), std::string::npos);
+}
+
+TEST(Plot, RejectsDegeneratePoints)
+{
+    RooflinePlot plot("test", toyModel());
+    plot.addPoint("inf", std::numeric_limits<double>::infinity(), 1e9);
+    plot.addPoint("zero-oi", 0.0, 1e9);
+    plot.addPoint("zero-perf", 1.0, 0.0);
+    EXPECT_TRUE(plot.points().empty());
+}
+
+TEST(Plot, AsciiRenderContainsRoofAndPoints)
+{
+    RooflinePlot plot("ascii-test", toyModel());
+    plot.addPoint("k1", 0.1, 1.0e9);
+    const std::string art = plot.renderAscii();
+    EXPECT_NE(art.find('='), std::string::npos);  // roof
+    EXPECT_NE(art.find('/'), std::string::npos);  // bandwidth ceiling
+    EXPECT_NE(art.find("point 'a'"), std::string::npos);
+    EXPECT_NE(art.find("ridge"), std::string::npos);
+}
+
+TEST(Plot, GnuplotFilesWritten)
+{
+    const std::string dir = "/tmp/rfl_plot_test";
+    std::filesystem::remove_all(dir);
+    RooflinePlot plot("gp-test", toyModel());
+    plot.addPoint("k", 1.0, 5e9);
+    const std::string gp = plot.writeGnuplot(dir, "fig_test");
+    EXPECT_TRUE(std::filesystem::exists(gp));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/fig_test.dat"));
+    std::ifstream in(dir + "/fig_test.dat");
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("# series"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Plot, MeasurementIntegration)
+{
+    RooflinePlot plot("m", toyModel());
+    Measurement m;
+    m.kernel = "daxpy";
+    m.sizeLabel = "n=8";
+    m.protocol = "cold";
+    m.flops = 1000;
+    m.trafficBytes = 10000;
+    m.seconds = 1e-6;
+    plot.addMeasurement(m);
+    ASSERT_EQ(plot.points().size(), 1u);
+    EXPECT_DOUBLE_EQ(plot.points()[0].oi, 0.1);
+    EXPECT_NE(plot.points()[0].label.find("daxpy"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+/** @file Unit tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+namespace
+{
+
+using namespace rfl::sim;
+
+CacheConfig
+tinyConfig(ReplPolicy repl = ReplPolicy::LRU)
+{
+    // 4 sets x 2 ways x 64 B = 512 B.
+    return {"T", 512, 2, 64, repl, 4, 64.0};
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(tinyConfig());
+    EXPECT_FALSE(c.lookup(100, false));
+    c.fill(100, false, false);
+    EXPECT_TRUE(c.lookup(100, false));
+    EXPECT_EQ(c.stats().readMisses, 1u);
+    EXPECT_EQ(c.stats().readHits, 1u);
+}
+
+TEST(Cache, WriteDirtiesLine)
+{
+    Cache c(tinyConfig());
+    c.lookup(5, true);
+    c.fill(5, true, false);
+    EXPECT_TRUE(c.isDirty(5));
+    EXPECT_EQ(c.stats().writeMisses, 1u);
+}
+
+TEST(Cache, ReadFillIsClean)
+{
+    Cache c(tinyConfig());
+    c.fill(5, false, false);
+    EXPECT_FALSE(c.isDirty(5));
+}
+
+TEST(Cache, SetDirtyOnPresentLine)
+{
+    Cache c(tinyConfig());
+    c.fill(9, false, false);
+    EXPECT_TRUE(c.setDirty(9));
+    EXPECT_TRUE(c.isDirty(9));
+    EXPECT_FALSE(c.setDirty(1234)); // absent
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(tinyConfig(ReplPolicy::LRU));
+    // Set 0 holds line addresses that are multiples of 4 (4 sets).
+    c.fill(0, false, false);
+    c.fill(4, false, false);
+    c.lookup(0, false); // touch 0: now 4 is LRU
+    const Cache::Eviction ev = c.fill(8, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 4u);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(8));
+    EXPECT_FALSE(c.contains(4));
+}
+
+TEST(Cache, FifoIgnoresTouches)
+{
+    Cache c(tinyConfig(ReplPolicy::FIFO));
+    c.fill(0, false, false);
+    c.fill(4, false, false);
+    c.lookup(0, false); // FIFO does not care
+    const Cache::Eviction ev = c.fill(8, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 0u); // oldest insertion evicted
+}
+
+TEST(Cache, EvictionReportsDirtyVictim)
+{
+    Cache c(tinyConfig());
+    c.fill(0, true, false); // dirty
+    c.fill(4, false, false);
+    const Cache::Eviction ev = c.fill(8, false, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.lineAddr, 0u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, InvalidWaysPreferredOverEviction)
+{
+    Cache c(tinyConfig());
+    c.fill(0, false, false);
+    const Cache::Eviction ev = c.fill(4, false, false);
+    EXPECT_FALSE(ev.valid); // second way was free
+}
+
+TEST(Cache, DifferentSetsDoNotConflict)
+{
+    Cache c(tinyConfig());
+    // Lines 0..3 map to sets 0..3.
+    for (uint64_t line = 0; line < 4; ++line)
+        c.fill(line, false, false);
+    for (uint64_t line = 0; line < 4; ++line)
+        EXPECT_TRUE(c.contains(line));
+    EXPECT_EQ(c.residentLines(), 4u);
+}
+
+TEST(Cache, InvalidateReturnsDirtiness)
+{
+    Cache c(tinyConfig());
+    c.fill(3, true, false);
+    c.fill(7, false, false);
+    EXPECT_TRUE(c.invalidate(3));
+    EXPECT_FALSE(c.invalidate(7));
+    EXPECT_FALSE(c.invalidate(11)); // absent
+    EXPECT_EQ(c.residentLines(), 0u);
+}
+
+TEST(Cache, FlushAllCollectsOnlyDirtyLines)
+{
+    Cache c(tinyConfig());
+    c.fill(0, true, false);
+    c.fill(1, false, false);
+    c.fill(2, true, false);
+    std::vector<uint64_t> dirty;
+    c.flushAll(dirty);
+    std::sort(dirty.begin(), dirty.end());
+    ASSERT_EQ(dirty.size(), 2u);
+    EXPECT_EQ(dirty[0], 0u);
+    EXPECT_EQ(dirty[1], 2u);
+    EXPECT_EQ(c.residentLines(), 0u);
+}
+
+TEST(Cache, PrefetchAccounting)
+{
+    Cache c(tinyConfig());
+    c.fill(0, false, true); // prefetched line
+    EXPECT_EQ(c.stats().prefetchFills, 1u);
+    c.lookup(0, false);
+    EXPECT_EQ(c.stats().prefetchHits, 1u);
+    // Only the first demand touch counts as a prefetch hit.
+    c.lookup(0, false);
+    EXPECT_EQ(c.stats().prefetchHits, 1u);
+    EXPECT_EQ(c.stats().readHits, 2u);
+}
+
+TEST(Cache, StatsDelta)
+{
+    Cache c(tinyConfig());
+    c.lookup(0, false);
+    c.fill(0, false, false);
+    const CacheStats before = c.stats();
+    c.lookup(0, false);
+    c.lookup(1, true);
+    const CacheStats delta = c.stats() - before;
+    EXPECT_EQ(delta.readHits, 1u);
+    EXPECT_EQ(delta.writeMisses, 1u);
+    EXPECT_EQ(delta.readMisses, 0u);
+}
+
+TEST(Cache, NonPowerOfTwoSetCount)
+{
+    // 10 sets: 10 x 2 x 64 = 1280 bytes.
+    CacheConfig cfg{"NP2", 1280, 2, 64, ReplPolicy::LRU, 4, 64.0};
+    EXPECT_EQ(cfg.numSets(), 10u);
+    Cache c(cfg);
+    // Lines i and i+10 share a set; fill 3 -> eviction in that set.
+    c.fill(0, false, false);
+    c.fill(10, false, false);
+    const Cache::Eviction ev = c.fill(20, false, false);
+    EXPECT_TRUE(ev.valid);
+    // Other sets are untouched.
+    c.fill(1, false, false);
+    EXPECT_TRUE(c.contains(1));
+}
+
+class CapacitySweepTest : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(CapacitySweepTest, WorkingSetLargerThanCacheAlwaysMisses)
+{
+    const uint32_t assoc = GetParam();
+    CacheConfig cfg{"S", 64u * 16 * assoc, assoc, 64, ReplPolicy::LRU, 4,
+                    64.0};
+    Cache c(cfg);
+    const uint64_t lines = 16ull * assoc; // exactly capacity
+    // Two sequential passes over 2x capacity with LRU: every access
+    // misses (the classic LRU streaming worst case).
+    for (int pass = 0; pass < 2; ++pass) {
+        for (uint64_t line = 0; line < 2 * lines; ++line) {
+            if (!c.lookup(line, false))
+                c.fill(line, false, false);
+        }
+    }
+    EXPECT_EQ(c.stats().readHits, 0u);
+    EXPECT_EQ(c.stats().readMisses, 4 * lines);
+}
+
+TEST_P(CapacitySweepTest, WorkingSetWithinCacheHitsAfterWarmup)
+{
+    const uint32_t assoc = GetParam();
+    CacheConfig cfg{"S", 64u * 16 * assoc, assoc, 64, ReplPolicy::LRU, 4,
+                    64.0};
+    Cache c(cfg);
+    const uint64_t lines = 16ull * assoc;
+    for (uint64_t line = 0; line < lines; ++line)
+        c.fill(line, false, false);
+    c.clearStats();
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint64_t line = 0; line < lines; ++line)
+            EXPECT_TRUE(c.lookup(line, false));
+    EXPECT_EQ(c.stats().readMisses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assoc, CapacitySweepTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+} // namespace

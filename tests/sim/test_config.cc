@@ -1,0 +1,101 @@
+/** @file Unit tests for configuration validation and presets. */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/core.hh"
+
+namespace
+{
+
+using namespace rfl::sim;
+
+TEST(Config, DefaultPlatformIsValid)
+{
+    const MachineConfig cfg = MachineConfig::defaultPlatform();
+    cfg.validate(); // must not exit
+    EXPECT_EQ(cfg.totalCores(), 8);
+    EXPECT_TRUE(cfg.core.hasFma);
+    EXPECT_EQ(cfg.core.maxVectorDoubles, 4);
+}
+
+TEST(Config, PresetsAreValid)
+{
+    MachineConfig::smallTestMachine().validate();
+    MachineConfig::scalarMachine().validate();
+}
+
+TEST(Config, PeakFlopsFormula)
+{
+    const CoreConfig core = MachineConfig::defaultPlatform().core;
+    // 2 pipes * 4 lanes * 2 (FMA) = 16 flops/cycle.
+    EXPECT_DOUBLE_EQ(core.peakFlopsPerCycle(4), 16.0);
+    EXPECT_DOUBLE_EQ(core.peakFlopsPerCycle(1), 4.0);
+    EXPECT_DOUBLE_EQ(core.peakFlopsPerSec(4), 16.0 * 2.5e9);
+}
+
+TEST(Config, DramUnitConversions)
+{
+    const MachineConfig cfg = MachineConfig::defaultPlatform();
+    EXPECT_NEAR(cfg.socketDramBytesPerCycle(), 38.4 / 2.5, 1e-12);
+    EXPECT_NEAR(cfg.perCoreDramBytesPerCycle(), 14.0 / 2.5, 1e-12);
+    EXPECT_NEAR(cfg.dramLatencyCycles(), 80.0 * 2.5, 1e-12);
+}
+
+TEST(Config, CacheGeometry)
+{
+    const MachineConfig cfg = MachineConfig::defaultPlatform();
+    EXPECT_EQ(cfg.l1.numSets(), 32u * 1024 / (64 * 8));
+    EXPECT_EQ(cfg.l3.numSets(),
+              10u * 1024 * 1024 / (64 * 16)); // non-pow2 is fine
+}
+
+TEST(ConfigDeath, BadGeometryIsFatal)
+{
+    CacheConfig c{"X", 1000, 3, 64, ReplPolicy::LRU, 1, 1.0};
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "fatal");
+
+    CacheConfig line{"X", 1024, 2, 48, ReplPolicy::LRU, 1, 1.0};
+    EXPECT_EXIT(line.validate(), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(ConfigDeath, PerCoreBandwidthAboveSocketIsFatal)
+{
+    MachineConfig cfg = MachineConfig::defaultPlatform();
+    cfg.perCoreDramGBs = cfg.socketDramGBs + 1.0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "fatal");
+}
+
+TEST(ConfigDeath, MixedLineSizesAreFatal)
+{
+    MachineConfig cfg = MachineConfig::defaultPlatform();
+    cfg.l2.lineBytes = 128;
+    cfg.l2.sizeBytes = 256 * 1024;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "line size");
+}
+
+TEST(VecWidth, LanesRoundTrip)
+{
+    EXPECT_EQ(vecLanes(VecWidth::Scalar), 1);
+    EXPECT_EQ(vecLanes(VecWidth::W2), 2);
+    EXPECT_EQ(vecLanes(VecWidth::W4), 4);
+    EXPECT_EQ(vecLanes(VecWidth::W8), 8);
+    for (int lanes : {1, 2, 4, 8})
+        EXPECT_EQ(vecLanes(widthForLanes(lanes)), lanes);
+}
+
+TEST(VecWidthDeath, BadLaneCountPanics)
+{
+    EXPECT_DEATH(widthForLanes(3), "panic");
+}
+
+TEST(Config, Names)
+{
+    EXPECT_STREQ(replPolicyName(ReplPolicy::LRU), "LRU");
+    EXPECT_STREQ(prefetcherKindName(PrefetcherKind::Stream), "stream");
+    EXPECT_STREQ(vecWidthName(VecWidth::W4), "256b-packed");
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/** @file Tests for the machine-config file format. */
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/config_io.hh"
+
+namespace
+{
+
+using namespace rfl::sim;
+
+TEST(ConfigIo, EmptyTextGivesDefaultPlatform)
+{
+    const MachineConfig cfg = parseMachineConfig("");
+    EXPECT_EQ(cfg.name, MachineConfig::defaultPlatform().name);
+    EXPECT_EQ(cfg.totalCores(), 8);
+}
+
+TEST(ConfigIo, CommentsAndBlanksIgnored)
+{
+    const MachineConfig cfg = parseMachineConfig(
+        "# a comment\n"
+        "\n"
+        "name = test-box   # trailing comment\n");
+    EXPECT_EQ(cfg.name, "test-box");
+}
+
+TEST(ConfigIo, OverridesApply)
+{
+    const MachineConfig cfg = parseMachineConfig(
+        "core.freq_ghz = 3.0\n"
+        "core.vector_doubles = 8\n"
+        "core.fma = false\n"
+        "l1.size = 48k\n"
+        "l1.assoc = 12\n"
+        "l3.size = 32m\n"
+        "sockets = 1\n"
+        "cores_per_socket = 16\n"
+        "dram.socket_gbs = 80\n"
+        "dram.core_gbs = 20\n"
+        "prefetch.l2 = none\n"
+        "tlb.enabled = false\n");
+    EXPECT_DOUBLE_EQ(cfg.core.freqGHz, 3.0);
+    EXPECT_EQ(cfg.core.maxVectorDoubles, 8);
+    EXPECT_FALSE(cfg.core.hasFma);
+    EXPECT_EQ(cfg.l1.sizeBytes, 48u * 1024);
+    EXPECT_EQ(cfg.l1.assoc, 12u);
+    EXPECT_EQ(cfg.l3.sizeBytes, 32u * 1024 * 1024);
+    EXPECT_EQ(cfg.totalCores(), 16);
+    EXPECT_DOUBLE_EQ(cfg.socketDramGBs, 80.0);
+    EXPECT_EQ(cfg.l2Prefetcher.kind, PrefetcherKind::None);
+    EXPECT_FALSE(cfg.tlb.enabled);
+}
+
+TEST(ConfigIo, ReplacementAndPrefetchDetails)
+{
+    const MachineConfig cfg = parseMachineConfig(
+        "l3.repl = random\n"
+        "prefetch.l2_degree = 4\n"
+        "prefetch.l2_distance = 16\n"
+        "prefetch.l2_streams = 32\n");
+    EXPECT_EQ(cfg.l3.repl, ReplPolicy::Random);
+    EXPECT_EQ(cfg.l2Prefetcher.degree, 4);
+    EXPECT_EQ(cfg.l2Prefetcher.distance, 16);
+    EXPECT_EQ(cfg.l2Prefetcher.streams, 32);
+}
+
+TEST(ConfigIoDeath, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(parseMachineConfig("corez.freq = 1\n"),
+                ::testing::ExitedWithCode(1), "unknown key");
+    EXPECT_EXIT(parseMachineConfig("core.typo = 1\n"),
+                ::testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(ConfigIoDeath, MalformedLineIsFatal)
+{
+    EXPECT_EXIT(parseMachineConfig("just words\n"),
+                ::testing::ExitedWithCode(1), "expected key");
+    EXPECT_EXIT(parseMachineConfig("core.fma = banana\n"),
+                ::testing::ExitedWithCode(1), "boolean");
+    EXPECT_EXIT(parseMachineConfig("sockets = many\n"),
+                ::testing::ExitedWithCode(1), "integer");
+}
+
+TEST(ConfigIoDeath, InvalidResultingMachineIsFatal)
+{
+    // Valid syntax, invalid machine (per-core bw > socket bw).
+    EXPECT_EXIT(parseMachineConfig("dram.core_gbs = 100\n"),
+                ::testing::ExitedWithCode(1), "bandwidth");
+}
+
+TEST(ConfigIo, FormatParsesBackIdentically)
+{
+    MachineConfig a = MachineConfig::defaultPlatform();
+    a.name = "roundtrip";
+    a.core.freqGHz = 3.25;
+    a.l3.sizeBytes = 16 * 1024 * 1024;
+    const MachineConfig b = parseMachineConfig(formatMachineConfig(a));
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_DOUBLE_EQ(b.core.freqGHz, a.core.freqGHz);
+    EXPECT_EQ(b.l3.sizeBytes, a.l3.sizeBytes);
+    EXPECT_EQ(b.l2Prefetcher.kind, a.l2Prefetcher.kind);
+}
+
+TEST(ConfigIo, LoadFromFile)
+{
+    const std::string path = "/tmp/rfl_machine_test.cfg";
+    {
+        std::ofstream out(path);
+        out << "name = from-file\ncore.freq_ghz = 2.0\n";
+    }
+    const MachineConfig cfg = loadMachineConfig(path);
+    EXPECT_EQ(cfg.name, "from-file");
+    EXPECT_DOUBLE_EQ(cfg.core.freqGHz, 2.0);
+    std::remove(path.c_str());
+}
+
+TEST(ConfigIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadMachineConfig("/nonexistent/machine.cfg"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+/** @file Unit tests for the prefetcher models. */
+
+#include <gtest/gtest.h>
+
+#include "sim/prefetcher.hh"
+
+namespace
+{
+
+using namespace rfl::sim;
+
+TEST(NonePrefetcher, NeverIssues)
+{
+    NonePrefetcher pf;
+    std::vector<uint64_t> out;
+    for (uint64_t i = 0; i < 100; ++i)
+        pf.observe(i, true, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.stats().issued, 0u);
+    EXPECT_EQ(pf.stats().observed, 100u);
+}
+
+TEST(NextLine, FetchesPairLineOnMiss)
+{
+    NextLinePrefetcher pf;
+    std::vector<uint64_t> out;
+    pf.observe(10, true, out); // even line -> pair is 11
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 11u);
+    out.clear();
+    pf.observe(11, true, out); // odd line -> pair is 10
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 10u);
+}
+
+TEST(NextLine, SilentOnHits)
+{
+    NextLinePrefetcher pf;
+    std::vector<uint64_t> out;
+    pf.observe(10, false, out);
+    EXPECT_TRUE(out.empty());
+}
+
+PrefetcherConfig
+streamCfg(int streams = 4, int degree = 2, int distance = 8)
+{
+    return {PrefetcherKind::Stream, streams, degree, distance};
+}
+
+TEST(Stream, TrainsAfterTwoSequentialAccesses)
+{
+    StreamPrefetcher pf(streamCfg());
+    std::vector<uint64_t> out;
+    pf.observe(100, true, out); // allocate
+    EXPECT_TRUE(out.empty());
+    pf.observe(101, true, out); // train
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.trainedStreams(), 1);
+    pf.observe(102, true, out); // trained: issues degree=2 at distance 8
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 110u);
+    EXPECT_EQ(out[1], 111u);
+}
+
+TEST(Stream, DescendingStream)
+{
+    StreamPrefetcher pf(streamCfg());
+    std::vector<uint64_t> out;
+    pf.observe(200, true, out);
+    pf.observe(199, true, out);
+    pf.observe(198, true, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 190u);
+    EXPECT_EQ(out[1], 189u);
+}
+
+TEST(Stream, ToleratesSkippedLines)
+{
+    // Lower-level prefetchers hide lines; the streamer must keep
+    // tracking across jumps up to its window.
+    StreamPrefetcher pf(streamCfg());
+    std::vector<uint64_t> out;
+    pf.observe(100, true, out);
+    pf.observe(102, true, out); // jump of 2: still the same stream
+    EXPECT_EQ(pf.trainedStreams(), 1);
+    pf.observe(104, true, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 112u);
+}
+
+TEST(Stream, RandomAccessesDoNotTrain)
+{
+    StreamPrefetcher pf(streamCfg());
+    std::vector<uint64_t> out;
+    pf.observe(10, true, out);
+    pf.observe(5000, true, out);
+    pf.observe(90000, true, out);
+    pf.observe(12345678, true, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.trainedStreams(), 0);
+}
+
+TEST(Stream, RepeatTouchKeepsStreamAlive)
+{
+    StreamPrefetcher pf(streamCfg());
+    std::vector<uint64_t> out;
+    pf.observe(50, true, out);
+    pf.observe(50, true, out); // same line: no new stream
+    pf.observe(51, true, out);
+    EXPECT_EQ(pf.trainedStreams(), 1);
+    EXPECT_EQ(pf.stats().streamsAllocated, 1u);
+}
+
+TEST(Stream, TracksMultipleConcurrentStreams)
+{
+    StreamPrefetcher pf(streamCfg(4));
+    std::vector<uint64_t> out;
+    // Interleave three streams far apart.
+    for (uint64_t i = 0; i < 8; ++i) {
+        pf.observe(1000 + i, true, out);
+        pf.observe(50000 + i, true, out);
+        pf.observe(900000 + i, true, out);
+    }
+    EXPECT_EQ(pf.trainedStreams(), 3);
+    EXPECT_GT(out.size(), 0u);
+}
+
+TEST(Stream, LruStreamReplacement)
+{
+    StreamPrefetcher pf(streamCfg(2)); // only two stream slots
+    std::vector<uint64_t> out;
+    pf.observe(1000, true, out);
+    pf.observe(2000, true, out);
+    pf.observe(3000, true, out); // evicts the 1000 stream (LRU)
+    EXPECT_EQ(pf.stats().streamsAllocated, 3u);
+    // Continuing the 2000 stream still works...
+    pf.observe(2001, true, out);
+    EXPECT_EQ(pf.trainedStreams(), 1);
+    // ...but continuing 1000 must re-allocate.
+    pf.observe(1001, true, out);
+    EXPECT_EQ(pf.stats().streamsAllocated, 4u);
+}
+
+TEST(Stream, DirectionFlipRetrains)
+{
+    StreamPrefetcher pf(streamCfg());
+    std::vector<uint64_t> out;
+    pf.observe(100, true, out);
+    pf.observe(101, true, out);
+    pf.observe(102, true, out);
+    out.clear();
+    pf.observe(101, true, out); // flip down: retrain, no prefetch
+    EXPECT_TRUE(out.empty());
+    pf.observe(100, true, out); // confirmed descending
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 92u);
+}
+
+TEST(Stream, ResetForgetsEverything)
+{
+    StreamPrefetcher pf(streamCfg());
+    std::vector<uint64_t> out;
+    pf.observe(10, true, out);
+    pf.observe(11, true, out);
+    pf.reset();
+    EXPECT_EQ(pf.trainedStreams(), 0);
+    pf.observe(12, true, out);
+    EXPECT_TRUE(out.empty()); // had to re-allocate
+}
+
+TEST(Factory, CreatesConfiguredKind)
+{
+    EXPECT_EQ(Prefetcher::create({PrefetcherKind::None, 1, 1, 1})->kind(),
+              PrefetcherKind::None);
+    EXPECT_EQ(
+        Prefetcher::create({PrefetcherKind::NextLine, 1, 1, 1})->kind(),
+        PrefetcherKind::NextLine);
+    EXPECT_EQ(
+        Prefetcher::create({PrefetcherKind::Stream, 8, 2, 4})->kind(),
+        PrefetcherKind::Stream);
+}
+
+class StreamDegreeTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StreamDegreeTest, IssuesConfiguredDegree)
+{
+    const int degree = GetParam();
+    StreamPrefetcher pf({PrefetcherKind::Stream, 4, degree, 16});
+    std::vector<uint64_t> out;
+    pf.observe(100, true, out);
+    pf.observe(101, true, out);
+    pf.observe(102, true, out);
+    EXPECT_EQ(out.size(), static_cast<size_t>(degree));
+    for (int i = 0; i < degree; ++i)
+        EXPECT_EQ(out[static_cast<size_t>(i)],
+                  102u + 16 + static_cast<uint64_t>(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, StreamDegreeTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace

@@ -1,0 +1,206 @@
+/** @file Tests of the analytic timing model (regionCycles). */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+
+namespace
+{
+
+using namespace rfl::sim;
+
+MachineConfig
+quietConfig()
+{
+    MachineConfig cfg = MachineConfig::defaultPlatform();
+    cfg.l1Prefetcher.kind = PrefetcherKind::None;
+    cfg.l2Prefetcher.kind = PrefetcherKind::None;
+    return cfg;
+}
+
+TEST(Timing, PureComputeIsFpBound)
+{
+    Machine m(quietConfig());
+    const Machine::Snapshot before = m.snapshot();
+    // 1000 AVX FMAs on one core: 1000 uops / 2 pipes = 500 cycles;
+    // issue = 1000/4 = 250 is lower.
+    m.retireFp(0, VecWidth::W4, true, 1000);
+    const double cycles = m.regionCycles(m.snapshot() - before);
+    EXPECT_NEAR(cycles, 500.0, 1e-9);
+}
+
+TEST(Timing, PeakFlopsMatchesConfig)
+{
+    Machine m(quietConfig());
+    const Machine::Snapshot before = m.snapshot();
+    m.retireFp(0, VecWidth::W4, true, 1000); // 8000 flops
+    const Machine::Snapshot delta = m.snapshot() - before;
+    const double flops_per_cycle =
+        static_cast<double>(delta.totalFlops()) / m.regionCycles(delta);
+    EXPECT_NEAR(flops_per_cycle, m.config().core.peakFlopsPerCycle(4),
+                1e-9);
+}
+
+TEST(Timing, IssueWidthBindsUopHeavyCode)
+{
+    Machine m(quietConfig());
+    const Machine::Snapshot before = m.snapshot();
+    m.retireOther(0, 4000); // pure integer work: 4000/4 = 1000 cycles
+    EXPECT_NEAR(m.regionCycles(m.snapshot() - before), 1000.0, 1e-9);
+}
+
+TEST(Timing, StorePortBindsStoreStream)
+{
+    Machine m(quietConfig());
+    const Machine::Snapshot before = m.snapshot();
+    // 100 stores to one resident line: no memory traffic beyond first.
+    m.store(0, 0x1000, 8);
+    for (int i = 0; i < 99; ++i)
+        m.store(0, 0x1000, 8);
+    const Machine::Snapshot delta = m.snapshot() - before;
+    // 100 store uops / 1 port = 100 cycles is the binding term (the
+    // single line fill adds latency/bandwidth below that).
+    EXPECT_GE(m.regionCycles(delta), 100.0);
+    EXPECT_LT(m.regionCycles(delta), 200.0);
+}
+
+TEST(Timing, DramBandwidthBindsStreamingReads)
+{
+    // With prefetchers ON, demand latency is hidden and the stream runs
+    // close to the bandwidth bound; with them OFF every line exposes
+    // DRAM latency (divided by the MLP) and the same stream is slower.
+    const uint64_t lines = 100000;
+    auto run = [&](bool prefetch) {
+        Machine m(prefetch ? MachineConfig::defaultPlatform()
+                           : quietConfig());
+        const Machine::Snapshot before = m.snapshot();
+        for (uint64_t i = 0; i < lines; ++i)
+            m.load(0, 0x1000000 + i * 64, 64);
+        const Machine::Snapshot delta = m.snapshot() - before;
+        return m.regionCycles(delta);
+    };
+    const double bytes = static_cast<double>(lines * 64);
+    const MachineConfig cfg = MachineConfig::defaultPlatform();
+    const double min_cycles = bytes / cfg.perCoreDramBytesPerCycle();
+
+    const double with_pf = run(true);
+    EXPECT_GE(with_pf, min_cycles * 0.99);
+    EXPECT_LT(with_pf, min_cycles * 1.4);
+
+    const double without_pf = run(false);
+    EXPECT_GT(without_pf, with_pf);
+}
+
+TEST(Timing, DependentAccessesExposeFullLatency)
+{
+    Machine m(quietConfig());
+    // Two identical pointer-chase-like miss sequences; one measured with
+    // MLP, one with dependent accesses (MLP = 1).
+    auto run = [&](bool dependent) {
+        m.reset();
+        m.setDependentAccesses(dependent);
+        const Machine::Snapshot before = m.snapshot();
+        for (uint64_t i = 0; i < 1000; ++i)
+            m.load(0, 0x1000000 + i * 4096, 8); // one miss per page
+        const double cycles = m.regionCycles(m.snapshot() - before);
+        m.setDependentAccesses(false);
+        return cycles;
+    };
+    const double overlapped = run(false);
+    const double dependent = run(true);
+    EXPECT_GT(dependent, overlapped * 3.0);
+}
+
+TEST(Timing, SocketBandwidthCapsMultiCoreStreams)
+{
+    MachineConfig cfg = quietConfig();
+    Machine m(cfg);
+    // All four cores of socket 0 stream disjoint gigantic ranges.
+    const Machine::Snapshot before = m.snapshot();
+    const uint64_t lines_per_core = 50000;
+    for (int c = 0; c < cfg.coresPerSocket; ++c) {
+        const uint64_t base = 0x10000000ull * (c + 1);
+        for (uint64_t i = 0; i < lines_per_core; ++i)
+            m.load(c, base + i * 64, 64);
+    }
+    const Machine::Snapshot delta = m.snapshot() - before;
+    const double cycles = m.regionCycles(delta);
+    const double total_bytes =
+        static_cast<double>(4 * lines_per_core * 64);
+    const double socket_min =
+        total_bytes / m.config().socketDramBytesPerCycle();
+    const double per_core_min = total_bytes / 4.0 /
+                                m.config().perCoreDramBytesPerCycle();
+    // 4 cores x 14 GB/s demand = 56 GB/s > 38.4 GB/s socket: the socket
+    // term must bind (it exceeds the per-core term).
+    EXPECT_GT(socket_min, per_core_min);
+    EXPECT_GE(cycles, socket_min);
+}
+
+TEST(Timing, TwoSocketsDoubleTheBandwidth)
+{
+    MachineConfig cfg = quietConfig();
+    Machine m(cfg);
+    m.setMemPolicy(MemPolicy::LocalToAccessor);
+    const uint64_t lines_per_core = 20000;
+
+    auto stream = [&](const std::vector<int> &cores) {
+        m.reset();
+        const Machine::Snapshot before = m.snapshot();
+        for (int c : cores) {
+            const uint64_t base = 0x10000000ull * (c + 1);
+            for (uint64_t i = 0; i < lines_per_core; ++i)
+                m.load(c, base + i * 64, 64);
+        }
+        const Machine::Snapshot delta = m.snapshot() - before;
+        const double bytes = static_cast<double>(
+            delta.totalImc().totalBytes(64));
+        return bytes / m.regionSeconds(delta);
+    };
+
+    const double one_socket = stream({0, 1, 2, 3});
+    const double two_sockets = stream({0, 1, 2, 3, 4, 5, 6, 7});
+    EXPECT_GT(two_sockets, one_socket * 1.6);
+}
+
+TEST(Timing, RemoteAccessesAreSlower)
+{
+    MachineConfig cfg = quietConfig();
+    Machine m(cfg);
+    const uint64_t lines = 20000;
+
+    auto stream = [&](MemPolicy policy, int core) {
+        m.reset();
+        m.setMemPolicy(policy);
+        const Machine::Snapshot before = m.snapshot();
+        for (uint64_t i = 0; i < lines; ++i)
+            m.load(core, 0x40000000ull + i * 64, 64);
+        return m.regionSeconds(m.snapshot() - before);
+    };
+
+    // Core 4 is on socket 1; Socket0 policy makes all its traffic remote.
+    const double local = stream(MemPolicy::LocalToAccessor, 4);
+    const double remote = stream(MemPolicy::Socket0, 4);
+    EXPECT_GT(remote, local * 1.2);
+}
+
+TEST(Timing, MaxOverCoresNotSum)
+{
+    Machine m(quietConfig());
+    const Machine::Snapshot before = m.snapshot();
+    // Two cores do identical independent compute: runtime is one core's
+    // time, not twice that.
+    m.retireFp(0, VecWidth::W4, true, 1000);
+    m.retireFp(1, VecWidth::W4, true, 1000);
+    const double cycles = m.regionCycles(m.snapshot() - before);
+    EXPECT_NEAR(cycles, 500.0, 1e-9);
+}
+
+TEST(Timing, EmptyDeltaIsZero)
+{
+    Machine m(quietConfig());
+    const Machine::Snapshot s = m.snapshot();
+    EXPECT_DOUBLE_EQ(m.regionCycles(s - s), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/** @file Unit tests for the gnuplot .dat/.gp emitter. */
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "support/gnuplot.hh"
+#include "support/logging.hh"
+
+namespace
+{
+
+using rfl::GnuplotSeries;
+using rfl::GnuplotWriter;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+TEST(Gnuplot, WritesDatAndGpPair)
+{
+    const std::string dir = "/tmp/rfl_gp_test";
+    std::filesystem::remove_all(dir);
+    GnuplotWriter gp(dir, "fig", "a title");
+    gp.addLineSeries("roof", {1.0, 2.0}, {10.0, 20.0});
+    gp.addPointSeries("kernel", {1.5}, {12.0});
+    EXPECT_EQ(gp.seriesCount(), 2u);
+    const std::string gp_path = gp.write();
+    EXPECT_EQ(gp_path, dir + "/fig.gp");
+
+    const std::string dat = slurp(dir + "/fig.dat");
+    EXPECT_NE(dat.find("# series 0: roof"), std::string::npos);
+    EXPECT_NE(dat.find("# series 1: kernel"), std::string::npos);
+    // gnuplot index blocks are separated by double blank lines.
+    EXPECT_NE(dat.find("\n\n\n"), std::string::npos);
+
+    const std::string script = slurp(gp_path);
+    EXPECT_NE(script.find("set logscale xy"), std::string::npos);
+    EXPECT_NE(script.find("index 0"), std::string::npos);
+    EXPECT_NE(script.find("with lines"), std::string::npos);
+    EXPECT_NE(script.find("with points"), std::string::npos);
+    EXPECT_NE(script.find("a title"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Gnuplot, LinearAxesWhenRequested)
+{
+    const std::string dir = "/tmp/rfl_gp_test2";
+    std::filesystem::remove_all(dir);
+    GnuplotWriter gp(dir, "lin", "linear");
+    gp.setAxes("x", "y", /*loglog=*/false);
+    gp.addLineSeries("s", {0.0, 1.0}, {0.0, 1.0});
+    gp.write();
+    const std::string script = slurp(dir + "/lin.gp");
+    EXPECT_EQ(script.find("logscale"), std::string::npos);
+    EXPECT_NE(script.find("set xlabel \"x\""), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Gnuplot, PerPointLabelsEmitted)
+{
+    const std::string dir = "/tmp/rfl_gp_test3";
+    std::filesystem::remove_all(dir);
+    GnuplotWriter gp(dir, "lbl", "labels");
+    gp.addPointSeries("pts", {1.0, 2.0}, {3.0, 4.0}, {"n=1", "n=2"});
+    gp.write();
+    const std::string dat = slurp(dir + "/lbl.dat");
+    EXPECT_NE(dat.find("\"n=1\""), std::string::npos);
+    EXPECT_NE(dat.find("\"n=2\""), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(GnuplotDeath, MismatchedSeriesLengthsPanic)
+{
+    GnuplotWriter gp("/tmp/rfl_gp_test4", "bad", "bad");
+    EXPECT_DEATH(gp.addLineSeries("s", {1.0, 2.0}, {1.0}), "assertion");
+    GnuplotSeries s;
+    s.xs = {1.0};
+    s.ys = {1.0};
+    s.labels = {"a", "b"}; // wrong arity
+    EXPECT_DEATH(gp.addSeries(std::move(s)), "assertion");
+}
+
+TEST(Logging, VerboseToggleSilencesInform)
+{
+    // inform() goes to stdout and respects setVerbose; warn() always
+    // prints. We only check the flag round-trip here (output capture is
+    // environment-dependent).
+    rfl::setVerbose(false);
+    EXPECT_FALSE(rfl::verbose());
+    rfl::setVerbose(true);
+    EXPECT_TRUE(rfl::verbose());
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+/** @file Unit tests for rfl::Sample and helpers. */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hh"
+#include "support/statistics.hh"
+
+namespace
+{
+
+using rfl::Sample;
+
+TEST(Sample, EmptyIsZero)
+{
+    Sample s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Sample, SingleValue)
+{
+    Sample s;
+    s.add(7.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+    EXPECT_DOUBLE_EQ(s.median(), 7.5);
+    EXPECT_DOUBLE_EQ(s.min(), 7.5);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+    EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+TEST(Sample, MeanAndStdev)
+{
+    Sample s;
+    s.addAll({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample stdev with n-1 denominator: sqrt(32/7).
+    EXPECT_NEAR(s.stdev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Sample, MedianOddEven)
+{
+    Sample odd;
+    odd.addAll({3.0, 1.0, 2.0});
+    EXPECT_DOUBLE_EQ(odd.median(), 2.0);
+
+    Sample even;
+    even.addAll({4.0, 1.0, 3.0, 2.0});
+    EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Sample, MedianRobustToOutlier)
+{
+    Sample s;
+    s.addAll({1.0, 1.0, 1.0, 1.0, 1000.0});
+    EXPECT_DOUBLE_EQ(s.median(), 1.0);
+    EXPECT_GT(s.mean(), 100.0);
+}
+
+TEST(Sample, Quantiles)
+{
+    Sample s;
+    for (int i = 0; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+    EXPECT_NEAR(s.quantile(0.25), 25.0, 1e-9);
+    EXPECT_NEAR(s.quantile(0.9), 90.0, 1e-9);
+}
+
+TEST(Sample, MinMaxAndClear)
+{
+    Sample s;
+    s.addAll({-3.0, 8.0, 0.5});
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(Sample, CoefficientOfVariation)
+{
+    Sample s;
+    s.addAll({10.0, 10.0, 10.0});
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+
+    Sample zero_mean;
+    zero_mean.addAll({-1.0, 1.0});
+    EXPECT_DOUBLE_EQ(zero_mean.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(zero_mean.cv(), 0.0); // guarded division
+}
+
+TEST(Sample, Ci95ShrinksWithSampleSize)
+{
+    Sample small, large;
+    for (int i = 0; i < 4; ++i)
+        small.add(i % 2 ? 1.0 : 2.0);
+    for (int i = 0; i < 64; ++i)
+        large.add(i % 2 ? 1.0 : 2.0);
+    EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(RelativeError, Basics)
+{
+    EXPECT_DOUBLE_EQ(rfl::relativeError(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(rfl::relativeError(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(rfl::relativeError(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(rfl::relativeError(5.0, 0.0), 1.0);
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(rfl::geomean({}), 0.0);
+    EXPECT_NEAR(rfl::geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(rfl::geomean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+}
+
+class QuantileMonotoneTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(QuantileMonotoneTest, QuantileIsMonotone)
+{
+    Sample s;
+    rfl::Rng rng(99);
+    for (int i = 0; i < 257; ++i)
+        s.add(rng.nextDouble(-50.0, 50.0));
+    const double q = GetParam();
+    EXPECT_LE(s.quantile(q * 0.5), s.quantile(q));
+    EXPECT_LE(s.quantile(q), s.quantile(std::min(1.0, q * 1.5)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileMonotoneTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.66, 0.9));
+
+} // namespace

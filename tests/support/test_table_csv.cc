@@ -1,0 +1,102 @@
+/** @file Unit tests for the Table and CsvWriter output helpers. */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/csv.hh"
+#include "support/table.hh"
+
+namespace
+{
+
+using rfl::CsvWriter;
+using rfl::Table;
+
+TEST(Table, HeaderOnly)
+{
+    Table t({"a", "bb"});
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+    EXPECT_NE(out.find("--"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "12345"});
+    std::istringstream in(t.toString());
+    std::string line;
+    std::vector<size_t> lens;
+    while (std::getline(in, line))
+        lens.push_back(line.size());
+    ASSERT_GE(lens.size(), 4u);
+    // All rendered rows have identical width.
+    for (size_t i = 1; i < lens.size(); ++i)
+        EXPECT_EQ(lens[i], lens[0]);
+}
+
+TEST(Table, RowCountAndClear)
+{
+    Table t({"c"});
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    t.clearRows();
+    EXPECT_EQ(t.rowCount(), 0u);
+}
+
+TEST(TableDeath, ArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "panic");
+}
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    const std::string path = "/tmp/rfl_test_csv_dir/t.csv";
+    std::filesystem::remove_all("/tmp/rfl_test_csv_dir");
+    {
+        CsvWriter csv(path, {"k", "v"});
+        csv.addRow(std::vector<std::string>{"x", "1"});
+        csv.addRow(std::vector<double>{2.5, 3.5});
+        EXPECT_EQ(csv.rowCount(), 2u);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string l1, l2, l3;
+    std::getline(in, l1);
+    std::getline(in, l2);
+    std::getline(in, l3);
+    EXPECT_EQ(l1, "k,v");
+    EXPECT_EQ(l2, "x,1");
+    EXPECT_EQ(l3, "2.5,3.5");
+    std::filesystem::remove_all("/tmp/rfl_test_csv_dir");
+}
+
+TEST(Csv, QuotingRfc4180)
+{
+    EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+    EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::quote("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, CreatesParentDirectories)
+{
+    const std::string path = "/tmp/rfl_test_csv_dir/a/b/c.csv";
+    std::filesystem::remove_all("/tmp/rfl_test_csv_dir");
+    {
+        CsvWriter csv(path, {"x"});
+        csv.addRow(std::vector<std::string>{"1"});
+    }
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::filesystem::remove_all("/tmp/rfl_test_csv_dir");
+}
+
+} // namespace

@@ -1,0 +1,67 @@
+/** @file Unit tests for formatting/parsing helpers. */
+
+#include <gtest/gtest.h>
+
+#include "support/units.hh"
+
+namespace
+{
+
+using namespace rfl;
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512.00 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(20.0 * 1024 * 1024), "20.00 MiB");
+    EXPECT_EQ(formatBytes(3.5 * 1024 * 1024 * 1024), "3.50 GiB");
+}
+
+TEST(Units, FormatFlopRate)
+{
+    EXPECT_EQ(formatFlopRate(38.4e9), "38.40 Gflop/s");
+    EXPECT_EQ(formatFlopRate(1.0e6), "1.00 Mflop/s");
+}
+
+TEST(Units, FormatByteRate)
+{
+    EXPECT_EQ(formatByteRate(14.0e9), "14.00 GB/s");
+}
+
+TEST(Units, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(2.5e-9), "2.5 ns");
+    EXPECT_EQ(formatSeconds(3.0e-6), "3.00 us");
+    EXPECT_EQ(formatSeconds(4.2e-3), "4.20 ms");
+    EXPECT_EQ(formatSeconds(1.75), "1.750 s");
+}
+
+TEST(Units, ParseSizePlain)
+{
+    EXPECT_EQ(parseSize("64"), 64u);
+    EXPECT_EQ(parseSize("0"), 0u);
+}
+
+TEST(Units, ParseSizeSuffixes)
+{
+    EXPECT_EQ(parseSize("32k"), 32u * 1024);
+    EXPECT_EQ(parseSize("32K"), 32u * 1024);
+    EXPECT_EQ(parseSize("20M"), 20u * 1024 * 1024);
+    EXPECT_EQ(parseSize("2G"), 2ull * 1024 * 1024 * 1024);
+    EXPECT_EQ(parseSize("1.5k"), 1536u);
+}
+
+TEST(UnitsDeath, ParseSizeGarbageIsFatal)
+{
+    EXPECT_EXIT(parseSize("abc"), ::testing::ExitedWithCode(1), "fatal");
+    EXPECT_EXIT(parseSize("12q"), ::testing::ExitedWithCode(1), "fatal");
+    EXPECT_EXIT(parseSize(""), ::testing::ExitedWithCode(1), "fatal");
+}
+
+TEST(Units, FormatSig)
+{
+    EXPECT_EQ(formatSig(3.14159, 3), "3.14");
+    EXPECT_EQ(formatSig(1234567.0, 4), "1.235e+06");
+}
+
+} // namespace
