@@ -6,25 +6,33 @@
  * one protocol (cold, single core) on one plot, spanning the intensity
  * axis from sum (1/8) through the dgemm family (n/16) — the at-a-glance
  * picture of which kernels a platform executes well.
+ *
+ * Ported to the campaign subsystem: the suite is declared as a
+ * CampaignSpec and scheduled across host threads with content-addressed
+ * result caching — a re-run answers every job from
+ * $RFL_OUT_DIR/cache/fig_kernels_overview.jsonl without re-simulating.
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "bench_common.hh"
+#include "campaign/executor.hh"
+#include "campaign/sink.hh"
+#include "support/csv.hh"
 
 int
 main()
 {
     using namespace rfl;
     using namespace rfl::roofline;
+    namespace cp = rfl::campaign;
 
     rfl::bench::banner("F11", "kernel-suite overview roofline");
 
-    Experiment exp;
-    const std::vector<int> cores = singleThreadCores(exp.machine());
-    const RooflineModel &model = exp.modelFor(cores);
-
-    const std::vector<std::string> specs = {
+    cp::CampaignSpec spec("fig_kernels_overview");
+    spec.addMachine("default", sim::MachineConfig::defaultPlatform());
+    spec.addKernels({
         "sum:n=1048576",
         "dot:n=1048576",
         "daxpy:n=1048576",
@@ -37,19 +45,29 @@ main()
         "dgemm-naive:n=128",
         "dgemm-blocked:n=128",
         "dgemm-opt:n=192",
-    };
-
+    });
     MeasureOptions opts;
-    opts.cores = cores;
     opts.repetitions = 1;
+    spec.addVariant("cold-1c", opts);
 
-    RooflinePlot plot("kernel suite, single core, cold caches", model);
-    std::vector<Measurement> all;
-    for (const std::string &spec : specs) {
-        const Measurement m = exp.measureSpec(spec, opts);
-        plot.addMeasurement(m);
-        all.push_back(m);
-    }
-    exp.emit(plot, "fig_kernels_overview", all);
+    const std::string dir = outputDirectory();
+    ensureDirectory(dir + "/cache");
+    cp::ResultCache cache(dir + "/cache/fig_kernels_overview.jsonl");
+    cp::ExecutorOptions exec;
+    exec.cache = &cache;
+    const cp::CampaignRun run = cp::CampaignExecutor(exec).run(spec);
+
+    const RooflinePlot plot = cp::scenarioPlot(
+        run, 0, 0, "kernel suite, single core, cold caches");
+    std::cout << plot.renderAscii() << "\n";
+    plot.pointTable().print(std::cout);
+    std::cout << "\n";
+
+    const std::string gp = plot.writeGnuplot(dir, "fig_kernels_overview");
+    writeMeasurementsCsv(run.measurements(), dir,
+                         "fig_kernels_overview");
+    inform("wrote %s (and %s/fig_kernels_overview.dat)", gp.c_str(),
+           dir.c_str());
+    cp::printCampaignStats(run, std::cout);
     return 0;
 }

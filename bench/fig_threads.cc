@@ -7,12 +7,20 @@
  * compute-bound kernel (register-blocked dgemm) scales with cores all
  * the way to two sockets. Each scenario is plotted against ITS OWN
  * measured roofline (the roof moves with the core set).
+ *
+ * Ported to the campaign subsystem: the four scenarios are variants of
+ * one CampaignSpec, so their four ceiling characterizations and eight
+ * kernel measurements schedule in parallel across host threads and land
+ * in the content-addressed cache under $RFL_OUT_DIR/cache/.
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.hh"
+#include "campaign/executor.hh"
+#include "campaign/sink.hh"
+#include "support/csv.hh"
 #include "support/table.hh"
 #include "support/units.hh"
 
@@ -21,12 +29,9 @@ main()
 {
     using namespace rfl;
     using namespace rfl::roofline;
+    namespace cp = rfl::campaign;
 
     rfl::bench::banner("F8", "thread/socket scaling rooflines");
-
-    Experiment exp;
-    sim::Machine &machine = exp.machine();
-    machine.setMemPolicy(sim::MemPolicy::LocalToAccessor);
 
     struct ScenarioDef
     {
@@ -40,21 +45,34 @@ main()
         {"2 sockets", {0, 1, 2, 3, 4, 5, 6, 7}},
     };
 
-    const char *mem_spec = "triad:n=4194304";
-    const char *cpu_spec = "dgemm-opt:n=192";
+    cp::CampaignSpec spec("fig_threads");
+    spec.addMachine("default", sim::MachineConfig::defaultPlatform());
+    spec.addKernel("triad:n=4194304");  // bandwidth bound
+    spec.addKernel("dgemm-opt:n=192");  // compute bound
+    for (const ScenarioDef &s : scenarios) {
+        cp::RunOptions opts;
+        opts.measure.cores = s.cores;
+        opts.measure.repetitions = 1;
+        opts.memPolicy = sim::MemPolicy::LocalToAccessor;
+        spec.addVariant(std::to_string(s.cores.size()) + "c", opts);
+    }
+
+    const std::string dir = outputDirectory();
+    ensureDirectory(dir + "/cache");
+    cp::ResultCache cache(dir + "/cache/fig_threads.jsonl");
+    cp::ExecutorOptions exec;
+    exec.cache = &cache;
+    const cp::CampaignRun run = cp::CampaignExecutor(exec).run(spec);
 
     Table t({"scenario", "triad P [GF/s]", "triad BW [GB/s]",
              "triad speedup", "dgemm P [GF/s]", "dgemm speedup"});
     std::vector<Measurement> all;
     double triad_base = 0.0, dgemm_base = 0.0;
 
-    for (const ScenarioDef &s : scenarios) {
-        MeasureOptions opts;
-        opts.cores = s.cores;
-        opts.repetitions = 1;
-
-        const Measurement mt = exp.measureSpec(mem_spec, opts);
-        const Measurement md = exp.measureSpec(cpu_spec, opts);
+    for (size_t vi = 0; vi < std::size(scenarios); ++vi) {
+        const ScenarioDef &s = scenarios[vi];
+        const Measurement &mt = run.measurementFor(0, 0, vi);
+        const Measurement &md = run.measurementFor(0, 1, vi);
         all.push_back(mt);
         all.push_back(md);
         if (s.cores.size() == 1) {
@@ -67,15 +85,13 @@ main()
                   formatSig(md.perf() / 1e9, 4),
                   formatSig(md.perf() / dgemm_base, 3)});
 
-        // Per-scenario roofline with both points.
-        const RooflineModel &model = exp.modelFor(s.cores);
-        RooflinePlot plot(std::string("scaling: ") + s.name, model);
-        plot.addMeasurement(mt);
-        plot.addMeasurement(md);
-        const std::string file =
-            std::string("fig_threads_") +
-            std::to_string(s.cores.size()) + "c";
-        plot.writeGnuplot(outputDirectory(), file);
+        // Per-scenario roofline with both points (the measured model
+        // comes from the scenario's ceiling job).
+        const RooflinePlot plot = cp::scenarioPlot(
+            run, 0, vi, std::string("scaling: ") + s.name);
+        const std::string file = std::string("fig_threads_") +
+                                 std::to_string(s.cores.size()) + "c";
+        plot.writeGnuplot(dir, file);
     }
 
     t.print(std::cout);
@@ -83,8 +99,9 @@ main()
         "\nobservations: triad saturates at the socket bandwidth\n"
         "(38.4 GB/s per socket; two sockets double it under local\n"
         "allocation), dgemm scales nearly linearly with cores.\n");
-    writeMeasurementsCsv(all, outputDirectory(), "fig_threads");
+    writeMeasurementsCsv(all, dir, "fig_threads");
     std::printf("wrote %s/fig_threads.csv (+ per-scenario .gp)\n",
-                outputDirectory().c_str());
+                dir.c_str());
+    cp::printCampaignStats(run, std::cout);
     return 0;
 }

@@ -13,9 +13,11 @@
 #include <iostream>
 
 #include "bench_common.hh"
-#include "support/csv.hh"
+#include "campaign/executor.hh"
+#include "campaign/sink.hh"
 #include "kernels/engine.hh"
 #include "pmu/sim_backend.hh"
+#include "support/csv.hh"
 #include "support/table.hh"
 #include "support/units.hh"
 
@@ -66,28 +68,46 @@ main()
     using namespace rfl;
     using namespace rfl::roofline;
 
+    namespace cp = rfl::campaign;
+
     rfl::bench::banner("T2", "work (flop) counter validation");
 
-    Experiment exp;
-    fmaCounterExperiment(exp.machine());
+    {
+        // The instruction-level counter check needs a machine directly;
+        // it is not a grid experiment.
+        Experiment exp;
+        fmaCounterExperiment(exp.machine());
+    }
 
-    const std::vector<std::string> specs = {
+    // The validation sweep is a campaign: one machine, twelve kernel
+    // configurations, one cold single-core variant — scheduled across
+    // host threads with cached results.
+    cp::CampaignSpec spec("tbl_work_validation");
+    spec.addMachine("default", sim::MachineConfig::defaultPlatform());
+    spec.addKernels({
         "daxpy:n=16384",      "daxpy:n=1048576",
         "dot:n=262144",       "triad:n=262144",
         "sum:n=262144",       "stencil3:n=262144",
         "dgemv:m=512,n=512",  "dgemm-naive:n=64",
         "dgemm-blocked:n=128", "dgemm-opt:n=128",
         "fft:n=4096",         "fft:n=65536",
-    };
-
-    Table t({"kernel", "size", "W expected", "W measured", "err %"});
-    CsvWriter csv(outputDirectory() + "/tbl_work_validation.csv",
-                  {"kernel", "size", "expected", "measured", "rel_err"});
+    });
     MeasureOptions opts;
     opts.repetitions = 1;
+    spec.addVariant("cold-1c", opts);
+
+    const std::string dir = outputDirectory();
+    ensureDirectory(dir + "/cache");
+    cp::ResultCache cache(dir + "/cache/tbl_work_validation.jsonl");
+    cp::ExecutorOptions exec;
+    exec.cache = &cache;
+    const cp::CampaignRun run = cp::CampaignExecutor(exec).run(spec);
+
+    Table t({"kernel", "size", "W expected", "W measured", "err %"});
+    CsvWriter csv(dir + "/tbl_work_validation.csv",
+                  {"kernel", "size", "expected", "measured", "rel_err"});
     double worst = 0.0;
-    for (const std::string &spec : specs) {
-        const Measurement m = exp.measureSpec(spec, opts);
+    for (const Measurement &m : run.measurements()) {
         const double err = 100.0 * m.workError();
         worst = std::max(worst, err);
         t.addRow({m.kernel, m.sizeLabel, formatSig(m.expectedFlops, 8),
@@ -99,7 +119,7 @@ main()
     std::printf("\nworst-case work error: %.3f%% (paper reports "
                 "counter-exact work on Sandy Bridge)\n",
                 worst);
-    std::printf("wrote %s/tbl_work_validation.csv\n",
-                outputDirectory().c_str());
+    std::printf("wrote %s/tbl_work_validation.csv\n", dir.c_str());
+    cp::printCampaignStats(run, std::cout);
     return 0;
 }

@@ -1,0 +1,180 @@
+#include "campaign/executor.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "campaign/serialize.hh"
+#include "roofline/experiment.hh"
+#include "support/logging.hh"
+#include "support/thread_pool.hh"
+
+namespace rfl::campaign
+{
+
+namespace
+{
+
+/** Shared state of one run(); workers touch it only under mutex. */
+struct RunState
+{
+    std::mutex mutex;
+    std::vector<size_t> remainingDeps; // per job
+    std::vector<std::vector<size_t>> dependents;
+    std::vector<size_t> completionOrder;
+    std::atomic<size_t> simulated{0};
+    std::atomic<size_t> cacheHits{0};
+};
+
+/** Execute one job (cache lookup, else simulate + store). */
+JobResult
+executeJob(const CampaignSpec &spec, const Job &job, ResultCache *cache,
+           std::atomic<size_t> &simulated, std::atomic<size_t> &cacheHits)
+{
+    JobResult result;
+
+    std::string payload;
+    if (cache && cache->lookup(job.cacheKey, &payload)) {
+        result.fromCache = true;
+        if (job.kind == JobKind::Ceiling)
+            result.model = decodeModel(payload);
+        else
+            result.measurement = decodeMeasurement(payload);
+        ++cacheHits;
+        return result;
+    }
+
+    const MachineEntry &machine = spec.machines()[job.machineIndex];
+    const RunOptions &opts = spec.variants()[job.variantIndex].opts;
+
+    roofline::Experiment exp(machine.config);
+    exp.machine().setMemPolicy(opts.memPolicy);
+    exp.machine().setPrefetchEnabled(opts.prefetchEnabled);
+
+    if (job.kind == JobKind::Ceiling) {
+        result.model = exp.probe().characterize(opts.measure.cores);
+        if (cache)
+            cache->store(job.cacheKey, encodeModel(result.model));
+    } else {
+        result.measurement = exp.measureSpec(
+            spec.kernels()[job.kernelIndex], opts.measure);
+        if (cache)
+            cache->store(job.cacheKey,
+                         encodeMeasurement(result.measurement));
+    }
+    ++simulated;
+    return result;
+}
+
+} // namespace
+
+const roofline::Measurement &
+CampaignRun::measurementFor(size_t machineIdx, size_t kernelIdx,
+                            size_t variantIdx) const
+{
+    for (const Job &job : jobs) {
+        if (job.kind == JobKind::Measure &&
+            job.machineIndex == machineIdx &&
+            job.kernelIndex == kernelIdx &&
+            job.variantIndex == variantIdx) {
+            return results[job.id].measurement;
+        }
+    }
+    panic("campaign: no measurement for machine %zu kernel %zu variant "
+          "%zu",
+          machineIdx, kernelIdx, variantIdx);
+}
+
+const roofline::RooflineModel &
+CampaignRun::modelFor(size_t machineIdx, size_t variantIdx) const
+{
+    // The variant's ceiling job is the dependency of any of its measure
+    // jobs; find one and follow the edge.
+    for (const Job &job : jobs) {
+        if (job.kind == JobKind::Measure &&
+            job.machineIndex == machineIdx &&
+            job.variantIndex == variantIdx) {
+            return results[job.deps.front()].model;
+        }
+    }
+    panic("campaign: no model for machine %zu variant %zu", machineIdx,
+          variantIdx);
+}
+
+std::vector<roofline::Measurement>
+CampaignRun::measurements() const
+{
+    std::vector<roofline::Measurement> out;
+    for (const Job &job : jobs)
+        if (job.kind == JobKind::Measure)
+            out.push_back(results[job.id].measurement);
+    return out;
+}
+
+CampaignExecutor::CampaignExecutor(ExecutorOptions opts) : opts_(opts)
+{
+}
+
+CampaignRun
+CampaignExecutor::run(const CampaignSpec &spec)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    const JobGraph graph = JobGraph::expand(spec);
+
+    CampaignRun run;
+    run.spec = spec;
+    run.jobs = graph.jobs();
+    run.results.resize(run.jobs.size());
+
+    RunState state;
+    state.remainingDeps.resize(run.jobs.size());
+    state.dependents.resize(run.jobs.size());
+    for (const Job &job : run.jobs) {
+        state.remainingDeps[job.id] = job.deps.size();
+        for (size_t dep : job.deps)
+            state.dependents[dep].push_back(job.id);
+    }
+
+    ThreadPool pool(opts_.threads);
+    run.threadsUsed = pool.threadCount();
+
+    // submitJob is recursive through the pool: finishing a job submits
+    // its newly-unblocked dependents.
+    std::function<void(size_t)> submitJob = [&](size_t id) {
+        pool.submit([&, id] {
+            run.results[id] =
+                executeJob(spec, run.jobs[id], opts_.cache,
+                           state.simulated, state.cacheHits);
+            std::vector<size_t> ready;
+            {
+                std::lock_guard<std::mutex> lock(state.mutex);
+                state.completionOrder.push_back(id);
+                for (size_t dep_id : state.dependents[id]) {
+                    RFL_ASSERT(state.remainingDeps[dep_id] > 0);
+                    if (--state.remainingDeps[dep_id] == 0)
+                        ready.push_back(dep_id);
+                }
+            }
+            for (size_t next : ready)
+                submitJob(next);
+        });
+    };
+
+    for (const Job &job : run.jobs)
+        if (job.deps.empty())
+            submitJob(job.id);
+    pool.wait();
+
+    RFL_ASSERT(state.completionOrder.size() == run.jobs.size());
+    run.completionOrder = std::move(state.completionOrder);
+    run.simulated = state.simulated.load();
+    run.cacheHits = state.cacheHits.load();
+    run.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return run;
+}
+
+} // namespace rfl::campaign

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Campaign executor: runs a JobGraph across host threads.
+ *
+ * Each job executes on its own Experiment (own sim::Machine built from
+ * the job's machine config), so jobs share no mutable state and the
+ * expansion is embarrassingly parallel: the simulator is deterministic
+ * and its timing model is independent of host wall time, which makes the
+ * aggregated results identical for any thread count.
+ *
+ * Scheduling: jobs whose dependencies are satisfied are submitted to the
+ * ThreadPool; completing a job decrements its dependents' counters and
+ * submits the newly-ready ones. Before simulating, each job consults the
+ * ResultCache; a hit skips simulation entirely.
+ */
+
+#ifndef RFL_CAMPAIGN_EXECUTOR_HH
+#define RFL_CAMPAIGN_EXECUTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/job_graph.hh"
+#include "campaign/result_cache.hh"
+#include "campaign/spec.hh"
+#include "roofline/measurement.hh"
+#include "roofline/model.hh"
+
+namespace rfl::campaign
+{
+
+/** Executor knobs. */
+struct ExecutorOptions
+{
+    /** Host worker threads; 0 = one per host hardware thread. */
+    int threads = 0;
+    /** Shared result cache; nullptr = run everything uncached. */
+    ResultCache *cache = nullptr;
+};
+
+/** Outcome of one job. */
+struct JobResult
+{
+    bool fromCache = false;
+    /** Filled for Measure jobs. */
+    roofline::Measurement measurement;
+    /** Filled for Ceiling jobs. */
+    roofline::RooflineModel model;
+};
+
+/** Everything the aggregation/sink layer consumes (see sink.hh). */
+struct CampaignRun
+{
+    CampaignSpec spec;
+    std::vector<Job> jobs;
+    /** Indexed by job id. */
+    std::vector<JobResult> results;
+    /** Job ids in the order they finished (scheduling evidence). */
+    std::vector<size_t> completionOrder;
+
+    size_t simulated = 0;    ///< jobs that actually ran the simulator
+    size_t cacheHits = 0;    ///< jobs answered by the cache
+    double wallSeconds = 0.0;///< host wall time of run()
+    int threadsUsed = 0;
+
+    /** Measurement of one grid cell; panics when indices are invalid. */
+    const roofline::Measurement &
+    measurementFor(size_t machineIdx, size_t kernelIdx,
+                   size_t variantIdx) const;
+
+    /** Ceiling model covering (machine, variant); panics if absent. */
+    const roofline::RooflineModel &modelFor(size_t machineIdx,
+                                            size_t variantIdx) const;
+
+    /** All measurements in deterministic grid order. */
+    std::vector<roofline::Measurement> measurements() const;
+};
+
+/** See file comment. */
+class CampaignExecutor
+{
+  public:
+    explicit CampaignExecutor(ExecutorOptions opts = {});
+
+    /** Expand @p spec and run every job; blocks until done. */
+    CampaignRun run(const CampaignSpec &spec);
+
+  private:
+    ExecutorOptions opts_;
+};
+
+} // namespace rfl::campaign
+
+#endif // RFL_CAMPAIGN_EXECUTOR_HH

@@ -1,0 +1,132 @@
+#include "campaign/job_graph.hh"
+
+#include <map>
+#include <sstream>
+
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace rfl::campaign
+{
+
+namespace
+{
+
+/** The part of RunOptions a ceiling characterization is sensitive to. */
+std::string
+ceilingSignature(const RunOptions &opts)
+{
+    std::ostringstream out;
+    out << "cores=" << formatCoreSet(opts.measure.cores) << ",numa=";
+    switch (opts.memPolicy) {
+      case sim::MemPolicy::Socket0: out << "socket0"; break;
+      case sim::MemPolicy::LocalToAccessor: out << "local"; break;
+      case sim::MemPolicy::Interleave: out << "interleave"; break;
+    }
+    out << ",prefetch=" << (opts.prefetchEnabled ? 1 : 0);
+    return out.str();
+}
+
+} // namespace
+
+const char *
+jobKindName(JobKind kind)
+{
+    switch (kind) {
+      case JobKind::Ceiling: return "ceiling";
+      case JobKind::Measure: return "measure";
+    }
+    return "?";
+}
+
+std::string
+Job::describe(const CampaignSpec &spec) const
+{
+    std::ostringstream out;
+    out << jobKindName(kind) << " #" << id << " machine="
+        << spec.machines()[machineIndex].label
+        << " variant=" << spec.variants()[variantIndex].label;
+    if (kind == JobKind::Measure)
+        out << " kernel=" << spec.kernels()[kernelIndex];
+    return out.str();
+}
+
+std::string
+ceilingCacheKey(const sim::MachineConfig &config, const RunOptions &opts)
+{
+    return "ceiling|" + hashToHex(config.stableHash()) + "|" +
+           ceilingSignature(opts);
+}
+
+std::string
+measureCacheKey(const sim::MachineConfig &config,
+                const std::string &kernelSpec, const RunOptions &opts)
+{
+    return "measure|" + hashToHex(config.stableHash()) + "|" + kernelSpec +
+           "|" + opts.canonicalKey();
+}
+
+JobGraph
+JobGraph::expand(const CampaignSpec &spec)
+{
+    spec.validate();
+
+    JobGraph graph;
+    // (machine, ceiling signature) -> ceiling job id.
+    std::map<std::pair<size_t, std::string>, size_t> ceilings;
+
+    // Ceiling jobs first, in spec order, so job ids are deterministic.
+    for (size_t mi = 0; mi < spec.machines().size(); ++mi) {
+        for (size_t vi = 0; vi < spec.variants().size(); ++vi) {
+            const Variant &v = spec.variants()[vi];
+            const std::string sig = ceilingSignature(v.opts);
+            const auto key = std::make_pair(mi, sig);
+            if (ceilings.count(key))
+                continue;
+            Job job;
+            job.id = graph.jobs_.size();
+            job.kind = JobKind::Ceiling;
+            job.machineIndex = mi;
+            job.variantIndex = vi;
+            job.cacheKey =
+                ceilingCacheKey(spec.machines()[mi].config, v.opts);
+            ceilings.emplace(key, job.id);
+            graph.jobs_.push_back(std::move(job));
+        }
+    }
+    graph.ceilingJobs_ = graph.jobs_.size();
+
+    // Measure jobs: machines x kernels x variants, each depending on its
+    // scenario's ceiling job.
+    for (size_t mi = 0; mi < spec.machines().size(); ++mi) {
+        for (size_t ki = 0; ki < spec.kernels().size(); ++ki) {
+            for (size_t vi = 0; vi < spec.variants().size(); ++vi) {
+                const Variant &v = spec.variants()[vi];
+                Job job;
+                job.id = graph.jobs_.size();
+                job.kind = JobKind::Measure;
+                job.machineIndex = mi;
+                job.kernelIndex = ki;
+                job.variantIndex = vi;
+                job.cacheKey = measureCacheKey(
+                    spec.machines()[mi].config, spec.kernels()[ki],
+                    v.opts);
+                job.deps.push_back(
+                    ceilings.at({mi, ceilingSignature(v.opts)}));
+                graph.jobs_.push_back(std::move(job));
+            }
+        }
+    }
+    return graph;
+}
+
+size_t
+JobGraph::ceilingJobFor(const Job &job) const
+{
+    if (job.kind == JobKind::Ceiling)
+        return job.id;
+    RFL_ASSERT(job.deps.size() == 1);
+    return job.deps.front();
+}
+
+} // namespace rfl::campaign

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * JobGraph: expansion of a CampaignSpec into schedulable jobs.
+ *
+ * Two job kinds:
+ *   - Ceiling: characterize the roofline ceilings of one machine under
+ *     one scenario signature (core set, NUMA policy, prefetch enable).
+ *     One per distinct signature per machine, however many variants
+ *     share it.
+ *   - Measure: run one kernel under one variant on one machine.
+ *
+ * Every Measure job depends on its machine's Ceiling job for the
+ * variant's signature, so a config is characterized exactly once and
+ * always before its sweeps — the sink can then plot each measurement
+ * against a model that is guaranteed to exist.
+ *
+ * Jobs are numbered in deterministic spec order (ceilings first, then
+ * machines x kernels x variants), which is also the aggregation order;
+ * the executor may *complete* them in any order without affecting
+ * artifacts.
+ */
+
+#ifndef RFL_CAMPAIGN_JOB_GRAPH_HH
+#define RFL_CAMPAIGN_JOB_GRAPH_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hh"
+
+namespace rfl::campaign
+{
+
+/** What a job computes. */
+enum class JobKind
+{
+    Ceiling,
+    Measure,
+};
+
+/** @return "ceiling" or "measure". */
+const char *jobKindName(JobKind kind);
+
+/** One schedulable unit. */
+struct Job
+{
+    size_t id = 0;
+    JobKind kind = JobKind::Measure;
+    size_t machineIndex = 0;
+    /** Variant whose signature/options this job runs under. */
+    size_t variantIndex = 0;
+    /** Kernel index (Measure only). */
+    size_t kernelIndex = 0;
+    /** Content-addressed cache key (see result_cache.hh). */
+    std::string cacheKey;
+    /** Job ids that must complete before this one starts. */
+    std::vector<size_t> deps;
+
+    /** Human-readable description for logs and error messages. */
+    std::string describe(const CampaignSpec &spec) const;
+};
+
+/** See file comment. */
+class JobGraph
+{
+  public:
+    /** Expand @p spec (validated first) into jobs with dependencies. */
+    static JobGraph expand(const CampaignSpec &spec);
+
+    const std::vector<Job> &jobs() const { return jobs_; }
+    size_t size() const { return jobs_.size(); }
+    size_t ceilingJobs() const { return ceilingJobs_; }
+    size_t measureJobs() const { return jobs_.size() - ceilingJobs_; }
+
+    /**
+     * @return the ceiling job id whose model covers @p job (itself for
+     * Ceiling jobs).
+     */
+    size_t ceilingJobFor(const Job &job) const;
+
+  private:
+    std::vector<Job> jobs_;
+    size_t ceilingJobs_ = 0;
+};
+
+/**
+ * Cache key of a ceiling characterization:
+ * "ceiling|<machine-hash>|cores=...,numa=...,prefetch=...".
+ */
+std::string ceilingCacheKey(const sim::MachineConfig &config,
+                            const RunOptions &opts);
+
+/**
+ * Cache key of one measurement:
+ * "measure|<machine-hash>|<kernel spec>|<canonical run options>".
+ */
+std::string measureCacheKey(const sim::MachineConfig &config,
+                            const std::string &kernelSpec,
+                            const RunOptions &opts);
+
+} // namespace rfl::campaign
+
+#endif // RFL_CAMPAIGN_JOB_GRAPH_HH

@@ -1,0 +1,95 @@
+#include "campaign/result_cache.hh"
+
+#include <fstream>
+
+#include "campaign/serialize.hh"
+#include "support/logging.hh"
+
+namespace rfl::campaign
+{
+
+ResultCache::ResultCache(const std::string &spillPath)
+    : spillPath_(spillPath)
+{
+    std::ifstream in(spillPath_);
+    if (!in)
+        return; // fresh cache; file appears on first store
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        // A corrupt line (e.g. an append truncated by a crash) costs
+        // one re-simulation, not the whole cache: warn and skip.
+        Json entry;
+        if (!Json::tryParse(line, &entry) ||
+            entry.kind() != Json::Kind::Object ||
+            !entry.has("key") || !entry.has("payload")) {
+            warn("result cache %s:%d: skipping unparsable entry",
+                 spillPath_.c_str(), lineno);
+            continue;
+        }
+        // Later lines win: the file is append-only.
+        entries_[entry.at("key").asString()] =
+            entry.at("payload").dump();
+        ++stats_.preloaded;
+    }
+}
+
+bool
+ResultCache::lookup(const std::string &key, std::string *payload)
+{
+    RFL_ASSERT(payload != nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    *payload = it->second;
+    return true;
+}
+
+void
+ResultCache::store(const std::string &key, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key] = payload;
+    ++stats_.stores;
+    if (spillPath_.empty())
+        return;
+    std::ofstream out(spillPath_, std::ios::app);
+    if (!out)
+        fatal("result cache: cannot append to '%s'", spillPath_.c_str());
+    Json entry = Json::makeObject();
+    entry.set("key", Json::makeString(key));
+    // Payloads are JSON already; re-parse so the spill line nests them
+    // as a value rather than an escaped string.
+    entry.set("payload", Json::parse(payload));
+    out << entry.dump() << "\n";
+}
+
+bool
+ResultCache::contains(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(key) != 0;
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace rfl::campaign

@@ -1,0 +1,114 @@
+#include "campaign/sink.hh"
+
+#include <ostream>
+
+#include "support/csv.hh"
+#include "support/units.hh"
+
+namespace rfl::campaign
+{
+
+std::string
+writeCampaignCsv(const CampaignRun &run, const std::string &dir,
+                 const std::string &name)
+{
+    ensureDirectory(dir);
+    const std::string path = dir + "/" + name + ".csv";
+    CsvWriter csv(path,
+                  {"machine", "variant", "kernel", "size", "protocol",
+                   "cores", "lanes", "flops", "traffic_bytes", "seconds",
+                   "oi", "flops_per_sec", "expected_flops",
+                   "expected_traffic_bytes", "work_err", "traffic_err"});
+    for (const Job &job : run.jobs) {
+        if (job.kind != JobKind::Measure)
+            continue;
+        const roofline::Measurement &m = run.results[job.id].measurement;
+        csv.addRow({run.spec.machines()[job.machineIndex].label,
+                    run.spec.variants()[job.variantIndex].label, m.kernel,
+                    m.sizeLabel, m.protocol, std::to_string(m.cores),
+                    std::to_string(m.lanes), formatSig(m.flops, 12),
+                    formatSig(m.trafficBytes, 12),
+                    formatSig(m.seconds, 12), formatSig(m.oi(), 8),
+                    formatSig(m.perf(), 8),
+                    formatSig(m.expectedFlops, 12),
+                    formatSig(m.expectedTrafficBytes, 12),
+                    formatSig(m.workError(), 6),
+                    formatSig(m.trafficError(), 6)});
+    }
+    return path;
+}
+
+roofline::RooflinePlot
+scenarioPlot(const CampaignRun &run, size_t machineIdx, size_t variantIdx,
+             const std::string &title)
+{
+    std::string t = title;
+    if (t.empty()) {
+        t = run.spec.name() + ": " +
+            run.spec.machines()[machineIdx].label + ", " +
+            run.spec.variants()[variantIdx].label;
+    }
+    roofline::RooflinePlot plot(t, run.modelFor(machineIdx, variantIdx));
+    for (const Job &job : run.jobs) {
+        if (job.kind == JobKind::Measure &&
+            job.machineIndex == machineIdx &&
+            job.variantIndex == variantIdx) {
+            plot.addMeasurement(run.results[job.id].measurement);
+        }
+    }
+    return plot;
+}
+
+Table
+summaryTable(const CampaignRun &run)
+{
+    Table t({"machine", "variant", "kernel", "size", "W [flops]",
+             "Q [bytes]", "T [s]", "I [f/B]", "P [GF/s]"});
+    for (const Job &job : run.jobs) {
+        if (job.kind != JobKind::Measure)
+            continue;
+        const roofline::Measurement &m = run.results[job.id].measurement;
+        t.addRow({run.spec.machines()[job.machineIndex].label,
+                  run.spec.variants()[job.variantIndex].label, m.kernel,
+                  m.sizeLabel, formatSig(m.flops, 6),
+                  formatSig(m.trafficBytes, 6), formatSig(m.seconds, 6),
+                  formatSig(m.oi(), 4), formatSig(m.perf() / 1e9, 4)});
+    }
+    return t;
+}
+
+void
+emitCampaign(const CampaignRun &run, const std::string &dir,
+             std::ostream &os)
+{
+    ensureDirectory(dir);
+    const std::string csv = writeCampaignCsv(run, dir, run.spec.name());
+
+    for (size_t mi = 0; mi < run.spec.machines().size(); ++mi) {
+        for (size_t vi = 0; vi < run.spec.variants().size(); ++vi) {
+            const roofline::RooflinePlot plot = scenarioPlot(run, mi, vi);
+            const std::string file =
+                run.spec.name() + "_" +
+                run.spec.machines()[mi].label + "_" +
+                run.spec.variants()[vi].label;
+            plot.writeGnuplot(dir, file);
+            os << plot.renderAscii() << "\n";
+        }
+    }
+
+    summaryTable(run).print(os);
+    os << "\n";
+    printCampaignStats(run, os);
+    os << "wrote " << csv << " (+ per-scenario .dat/.gp)\n";
+}
+
+void
+printCampaignStats(const CampaignRun &run, std::ostream &os)
+{
+    os << "campaign '" << run.spec.name() << "': " << run.jobs.size()
+       << " jobs (" << run.simulated << " simulated, " << run.cacheHits
+       << " from cache) on " << run.threadsUsed << " host thread(s) in "
+       << formatSig(run.wallSeconds, 4) << " s\n";
+}
+
+} // namespace rfl::campaign

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * CampaignSpec: a declarative description of a grid of experiments.
+ *
+ * A campaign is machines x kernels x variants. Each *machine* is a full
+ * simulated-platform configuration, each *kernel* a registry spec string
+ * ("triad:n=4194304"), and each *variant* the run options of one
+ * scenario: the measurement protocol plus the machine-level knobs the
+ * paper varies (core set, prefetchers on/off, NUMA placement policy).
+ *
+ * Specs are built programmatically (the builder methods chain) or parsed
+ * from a small text format mirroring the machine-config files:
+ *
+ *   name = overview
+ *   machine = default                 # preset: default | small | scalar
+ *   machine = @my-box.cfg             # or a sim/config_io file
+ *   kernel = sum:n=1048576
+ *   kernel = triad:n=4194304
+ *   variant = cold-1c: protocol=cold cores=0 reps=1
+ *   variant = warm-1s: protocol=warm cores=0-3 numa=local prefetch=off
+ *
+ * The campaign layer expands the grid into a JobGraph (job_graph.hh)
+ * where every (machine, variant) core-set gets one ceiling-
+ * characterization job that its measurement jobs depend on.
+ */
+
+#ifndef RFL_CAMPAIGN_SPEC_HH
+#define RFL_CAMPAIGN_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "roofline/measurement.hh"
+#include "sim/config.hh"
+#include "sim/machine.hh"
+
+namespace rfl::campaign
+{
+
+/**
+ * Everything that can differ between two runs of the same kernel on the
+ * same machine config: the measurement options plus the machine-level
+ * knobs (NUMA policy, prefetch enable) a scenario sets before running.
+ */
+struct RunOptions
+{
+    roofline::MeasureOptions measure;
+    sim::MemPolicy memPolicy = sim::MemPolicy::LocalToAccessor;
+    bool prefetchEnabled = true;
+
+    /**
+     * Canonical text rendering of every field, used in cache keys; two
+     * RunOptions produce the same key iff they describe the same run.
+     */
+    std::string canonicalKey() const;
+};
+
+/** One platform of the campaign grid. */
+struct MachineEntry
+{
+    std::string label;
+    sim::MachineConfig config;
+};
+
+/** One scenario of the campaign grid. */
+struct Variant
+{
+    std::string label;
+    RunOptions opts;
+};
+
+/** See file comment. */
+class CampaignSpec
+{
+  public:
+    explicit CampaignSpec(std::string name = "campaign");
+
+    /** @name Builder interface (all methods chain). */
+    ///@{
+    CampaignSpec &addMachine(const std::string &label,
+                             const sim::MachineConfig &config);
+    /** Label defaults to the config's name. */
+    CampaignSpec &addMachine(const sim::MachineConfig &config);
+    CampaignSpec &addKernel(const std::string &spec);
+    CampaignSpec &addKernels(const std::vector<std::string> &specs);
+    CampaignSpec &addVariant(const std::string &label,
+                             const RunOptions &opts);
+    /** Variant with default machine-level knobs. */
+    CampaignSpec &addVariant(const std::string &label,
+                             const roofline::MeasureOptions &measure);
+    ///@}
+
+    const std::string &name() const { return name_; }
+    const std::vector<MachineEntry> &machines() const { return machines_; }
+    const std::vector<std::string> &kernels() const { return kernels_; }
+    const std::vector<Variant> &variants() const { return variants_; }
+
+    /** Number of measurement runs the grid expands to. */
+    size_t gridSize() const
+    {
+        return machines_.size() * kernels_.size() * variants_.size();
+    }
+
+    /**
+     * Check the spec is runnable: at least one machine, kernel and
+     * variant; distinct labels; every variant's core set valid on every
+     * machine. fatal() on violation (user error).
+     */
+    void validate() const;
+
+  private:
+    std::string name_;
+    std::vector<MachineEntry> machines_;
+    std::vector<std::string> kernels_;
+    std::vector<Variant> variants_;
+};
+
+/** Parse the text format (see file comment); fatal() on errors. */
+CampaignSpec parseCampaignSpec(const std::string &text);
+
+/** Load and parse a campaign file; fatal() on errors. */
+CampaignSpec loadCampaignSpec(const std::string &path);
+
+/**
+ * Parse a core-set string: "0", "0,2,5", "0-3" or combinations
+ * ("0-1,4-5"); fatal() on malformed input.
+ */
+std::vector<int> parseCoreSet(const std::string &text);
+
+/** @return canonical core-set rendering, e.g. "0,1,2,3". */
+std::string formatCoreSet(const std::vector<int> &cores);
+
+} // namespace rfl::campaign
+
+#endif // RFL_CAMPAIGN_SPEC_HH

@@ -29,6 +29,7 @@
 
 #include "sim/core.hh"
 #include "sim/machine.hh"
+#include "support/address_arena.hh"
 #include "support/logging.hh"
 
 namespace rfl::kernels
@@ -315,21 +316,21 @@ class SimEngine
     double
     load(const double *p)
     {
-        machine_.load(core_, reinterpret_cast<uint64_t>(p), 8);
+        machine_.load(core_, AddressArena::translate(p), 8);
         return *p;
     }
 
     void
     store(double *p, double x)
     {
-        machine_.store(core_, reinterpret_cast<uint64_t>(p), 8);
+        machine_.store(core_, AddressArena::translate(p), 8);
         *p = x;
     }
 
     void
     storeNT(double *p, double x)
     {
-        machine_.storeNT(core_, reinterpret_cast<uint64_t>(p), 8);
+        machine_.storeNT(core_, AddressArena::translate(p), 8);
         *p = x;
     }
 
@@ -337,7 +338,7 @@ class SimEngine
     void
     loadRaw(const void *p, uint32_t bytes)
     {
-        machine_.load(core_, reinterpret_cast<uint64_t>(p), bytes);
+        machine_.load(core_, AddressArena::translate(p), bytes);
     }
 
     double
@@ -384,7 +385,7 @@ class SimEngine
     Vec
     vload(const double *p)
     {
-        machine_.load(core_, reinterpret_cast<uint64_t>(p),
+        machine_.load(core_, AddressArena::translate(p),
                       static_cast<uint32_t>(8 * lanes_));
         Vec r;
         r.w = lanes_;
@@ -396,7 +397,7 @@ class SimEngine
     void
     vstore(double *p, const Vec &x)
     {
-        machine_.store(core_, reinterpret_cast<uint64_t>(p),
+        machine_.store(core_, AddressArena::translate(p),
                        static_cast<uint32_t>(8 * lanes_));
         for (int i = 0; i < lanes_; ++i)
             p[i] = x[i];
@@ -405,7 +406,7 @@ class SimEngine
     void
     vstoreNT(double *p, const Vec &x)
     {
-        machine_.storeNT(core_, reinterpret_cast<uint64_t>(p),
+        machine_.storeNT(core_, AddressArena::translate(p),
                          static_cast<uint32_t>(8 * lanes_));
         for (int i = 0; i < lanes_; ++i)
             p[i] = x[i];

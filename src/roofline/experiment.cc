@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "kernels/registry.hh"
+#include "support/address_arena.hh"
 #include "support/cli.hh"
 #include "support/csv.hh"
 #include "support/logging.hh"
@@ -36,6 +37,10 @@ Measurement
 Experiment::measureSpec(const std::string &spec,
                         const MeasureOptions &opts)
 {
+    // Scope the kernel's operands to a canonical simulated address
+    // space so the measurement is reproducible across processes, heap
+    // states and host threads (see support/address_arena.hh).
+    AddressArena::Scope addresses;
     const std::unique_ptr<kernels::Kernel> kernel =
         kernels::createKernel(spec);
     return measurer_->measure(*kernel, opts);
@@ -50,6 +55,8 @@ Experiment::sweep(
     std::vector<Measurement> out;
     out.reserve(sizes.size());
     for (size_t size : sizes) {
+        // Fresh canonical address space per size (see measureSpec).
+        AddressArena::Scope addresses;
         const std::unique_ptr<kernels::Kernel> kernel = factory(size);
         out.push_back(measurer_->measure(*kernel, opts));
     }

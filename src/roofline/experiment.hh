@@ -40,7 +40,14 @@ class Experiment
     PlatformProbe &probe() { return *probe_; }
     Measurer &measurer() { return *measurer_; }
 
-    /** Ceilings for a core set (characterized once, then cached). */
+    /** Configuration the machine was built from. */
+    const sim::MachineConfig &config() const { return machine_->config(); }
+
+    /**
+     * Ceilings for a core set (characterized once, then cached in this
+     * instance; Experiments share no state, so independent instances can
+     * run on concurrent host threads).
+     */
     const RooflineModel &modelFor(const std::vector<int> &cores);
 
     /**

@@ -94,6 +94,9 @@ PlatformProbe::bandwidthPeak(const std::vector<int> &cores, BwProbe probe,
         buf_doubles = static_cast<size_t>(2 * llc_total / 8);
     }
 
+    // Canonical simulated addresses for the probe buffers, so measured
+    // ceilings are reproducible (see support/address_arena.hh).
+    AddressArena::Scope addresses;
     AlignedBuffer<double> a(buf_doubles);
     AlignedBuffer<double> b(probe == BwProbe::NtSet ? 0 : buf_doubles);
     AlignedBuffer<double> c(probe == BwProbe::Triad ? buf_doubles : 0);

@@ -1,5 +1,6 @@
 #include "sim/config.hh"
 
+#include "support/hash.hh"
 #include "support/logging.hh"
 
 namespace rfl::sim
@@ -127,6 +128,68 @@ MachineConfig::validate() const
         fatal("machine %s: per-core bandwidth exceeds socket bandwidth",
               name.c_str());
     tlb.validate();
+}
+
+namespace
+{
+
+void
+mixCache(Fnv1a &h, const CacheConfig &c)
+{
+    h.mix(c.name)
+        .mix(c.sizeBytes)
+        .mix(c.assoc)
+        .mix(c.lineBytes)
+        .mix(static_cast<int>(c.repl))
+        .mix(c.latencyCycles)
+        .mix(c.bytesPerCycle);
+}
+
+void
+mixPrefetcher(Fnv1a &h, const PrefetcherConfig &p)
+{
+    h.mix(static_cast<int>(p.kind))
+        .mix(p.streams)
+        .mix(p.degree)
+        .mix(p.distance);
+}
+
+} // namespace
+
+uint64_t
+MachineConfig::stableHash() const
+{
+    Fnv1a h;
+    h.mix(name);
+    h.mix(core.freqGHz)
+        .mix(core.issueWidth)
+        .mix(core.fpUnits)
+        .mix(core.loadPorts)
+        .mix(core.storePorts)
+        .mix(core.maxVectorDoubles)
+        .mix(core.hasFma)
+        .mix(core.mlp);
+    mixCache(h, l1);
+    mixCache(h, l2);
+    mixCache(h, l3);
+    mixPrefetcher(h, l1Prefetcher);
+    mixPrefetcher(h, l2Prefetcher);
+    h.mix(coresPerSocket)
+        .mix(sockets)
+        .mix(socketDramGBs)
+        .mix(perCoreDramGBs)
+        .mix(dramLatencyNs)
+        .mix(remoteNumaLatencyFactor)
+        .mix(remoteNumaBandwidthFactor);
+    h.mix(tlb.enabled)
+        .mix(tlb.pageBytes)
+        .mix(tlb.l1Entries)
+        .mix(tlb.l1Assoc)
+        .mix(tlb.l2Entries)
+        .mix(tlb.l2Assoc)
+        .mix(tlb.l2LatencyCycles)
+        .mix(tlb.walkLatencyCycles);
+    return h.value();
 }
 
 MachineConfig

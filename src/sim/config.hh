@@ -48,6 +48,8 @@ struct CacheConfig
     uint32_t numSets() const;
     /** Validate invariants (power-of-two sets, assoc >= 1, ...). */
     void validate() const;
+
+    bool operator==(const CacheConfig &rhs) const = default;
 };
 
 /** Hardware-prefetcher flavor. */
@@ -71,6 +73,8 @@ struct PrefetcherConfig
     int degree = 2;
     /** How far ahead (in lines) of the demand stream to fetch. */
     int distance = 8;
+
+    bool operator==(const PrefetcherConfig &rhs) const = default;
 };
 
 /** Core front/back-end widths and SIMD capability. */
@@ -101,6 +105,8 @@ struct CoreConfig
     /** @return peak flops/s at the configured frequency and width. */
     double peakFlopsPerSec(int w) const;
     void validate() const;
+
+    bool operator==(const CoreConfig &rhs) const = default;
 };
 
 /** Whole-platform configuration. */
@@ -131,6 +137,19 @@ struct MachineConfig
     TlbConfig tlb;
 
     int totalCores() const { return coresPerSocket * sockets; }
+
+    /** Field-wise equality (used by the campaign result cache). */
+    bool operator==(const MachineConfig &rhs) const = default;
+
+    /**
+     * Run-independent content hash over every field (including the
+     * name). Two configs compare equal iff their hashes are computed
+     * from identical field values, so the campaign ResultCache can key
+     * persisted results by it; see support/hash.hh.
+     */
+    uint64_t stableHash() const;
+
+
     /** DRAM latency in core cycles. */
     double dramLatencyCycles() const;
     /** Socket DRAM bandwidth in bytes per core cycle. */

@@ -88,10 +88,14 @@ apply(MachineConfig &cfg, const std::string &key,
       const std::string &value)
 {
     auto cache_key = [&](CacheConfig &c, const std::string &sub) {
-        if (sub == "size")
+        if (sub == "name")
+            c.name = value;
+        else if (sub == "size")
             c.sizeBytes = parseSize(value);
         else if (sub == "assoc")
             c.assoc = static_cast<uint32_t>(parseInt(key, value));
+        else if (sub == "line")
+            c.lineBytes = static_cast<uint32_t>(parseSize(value));
         else if (sub == "latency")
             c.latencyCycles = static_cast<uint32_t>(parseInt(key, value));
         else if (sub == "bytes_per_cycle")
@@ -146,31 +150,46 @@ apply(MachineConfig &cfg, const std::string &key,
             cfg.perCoreDramGBs = parseDouble(key, value);
         else if (sub == "latency_ns")
             cfg.dramLatencyNs = parseDouble(key, value);
+        else if (sub == "remote_latency_factor")
+            cfg.remoteNumaLatencyFactor = parseDouble(key, value);
+        else if (sub == "remote_bandwidth_factor")
+            cfg.remoteNumaBandwidthFactor = parseDouble(key, value);
         else
             fatal("machine config: unknown key '%s'", key.c_str());
     } else if (head == "prefetch") {
-        if (sub == "l1")
-            cfg.l1Prefetcher.kind = parsePrefetcher(key, value);
-        else if (sub == "l2")
-            cfg.l2Prefetcher.kind = parsePrefetcher(key, value);
-        else if (sub == "l2_degree")
-            cfg.l2Prefetcher.degree =
-                static_cast<int>(parseInt(key, value));
-        else if (sub == "l2_distance")
-            cfg.l2Prefetcher.distance =
-                static_cast<int>(parseInt(key, value));
-        else if (sub == "l2_streams")
-            cfg.l2Prefetcher.streams =
-                static_cast<int>(parseInt(key, value));
+        auto pf_key = [&](PrefetcherConfig &pf, const std::string &field) {
+            if (field.empty())
+                pf.kind = parsePrefetcher(key, value);
+            else if (field == "degree")
+                pf.degree = static_cast<int>(parseInt(key, value));
+            else if (field == "distance")
+                pf.distance = static_cast<int>(parseInt(key, value));
+            else if (field == "streams")
+                pf.streams = static_cast<int>(parseInt(key, value));
+            else
+                fatal("machine config: unknown key '%s'", key.c_str());
+        };
+        if (sub == "l1" || sub.rfind("l1_", 0) == 0)
+            pf_key(cfg.l1Prefetcher, sub.size() > 2 ? sub.substr(3) : "");
+        else if (sub == "l2" || sub.rfind("l2_", 0) == 0)
+            pf_key(cfg.l2Prefetcher, sub.size() > 2 ? sub.substr(3) : "");
         else
             fatal("machine config: unknown key '%s'", key.c_str());
     } else if (head == "tlb") {
         if (sub == "enabled")
             cfg.tlb.enabled = parseBool(key, value);
+        else if (sub == "page_bytes")
+            cfg.tlb.pageBytes = static_cast<uint32_t>(parseSize(value));
         else if (sub == "l1_entries")
             cfg.tlb.l1Entries = static_cast<uint32_t>(parseInt(key, value));
+        else if (sub == "l1_assoc")
+            cfg.tlb.l1Assoc = static_cast<uint32_t>(parseInt(key, value));
         else if (sub == "l2_entries")
             cfg.tlb.l2Entries = static_cast<uint32_t>(parseInt(key, value));
+        else if (sub == "l2_assoc")
+            cfg.tlb.l2Assoc = static_cast<uint32_t>(parseInt(key, value));
+        else if (sub == "l2_latency_cycles")
+            cfg.tlb.l2LatencyCycles = parseDouble(key, value);
         else if (sub == "walk_cycles")
             cfg.tlb.walkLatencyCycles = parseDouble(key, value);
         else
@@ -225,6 +244,9 @@ std::string
 formatMachineConfig(const MachineConfig &cfg)
 {
     std::ostringstream out;
+    // max_digits10 keeps doubles bit-exact across a format/parse
+    // round-trip (the campaign cache keys configs by content).
+    out.precision(17);
     out << "name = " << cfg.name << "\n";
     out << "sockets = " << cfg.sockets << "\n";
     out << "cores_per_socket = " << cfg.coresPerSocket << "\n";
@@ -237,8 +259,17 @@ formatMachineConfig(const MachineConfig &cfg)
     out << "core.fma = " << (cfg.core.hasFma ? "true" : "false") << "\n";
     out << "core.mlp = " << cfg.core.mlp << "\n";
     auto cache = [&](const char *name, const CacheConfig &c) {
+        out << name << ".name = " << c.name << "\n";
         out << name << ".size = " << c.sizeBytes << "\n";
         out << name << ".assoc = " << c.assoc << "\n";
+        out << name << ".line = " << c.lineBytes << "\n";
+        out << name << ".repl = ";
+        switch (c.repl) {
+          case ReplPolicy::LRU: out << "lru"; break;
+          case ReplPolicy::FIFO: out << "fifo"; break;
+          case ReplPolicy::Random: out << "random"; break;
+        }
+        out << "\n";
         out << name << ".latency = " << c.latencyCycles << "\n";
         out << name << ".bytes_per_cycle = " << c.bytesPerCycle << "\n";
     };
@@ -248,12 +279,28 @@ formatMachineConfig(const MachineConfig &cfg)
     out << "dram.socket_gbs = " << cfg.socketDramGBs << "\n";
     out << "dram.core_gbs = " << cfg.perCoreDramGBs << "\n";
     out << "dram.latency_ns = " << cfg.dramLatencyNs << "\n";
-    out << "prefetch.l1 = " << prefetcherKindName(cfg.l1Prefetcher.kind)
+    out << "dram.remote_latency_factor = " << cfg.remoteNumaLatencyFactor
         << "\n";
-    out << "prefetch.l2 = " << prefetcherKindName(cfg.l2Prefetcher.kind)
-        << "\n";
+    out << "dram.remote_bandwidth_factor = "
+        << cfg.remoteNumaBandwidthFactor << "\n";
+    auto prefetch = [&](const char *name, const PrefetcherConfig &p) {
+        out << "prefetch." << name << " = " << prefetcherKindName(p.kind)
+            << "\n";
+        out << "prefetch." << name << "_streams = " << p.streams << "\n";
+        out << "prefetch." << name << "_degree = " << p.degree << "\n";
+        out << "prefetch." << name << "_distance = " << p.distance << "\n";
+    };
+    prefetch("l1", cfg.l1Prefetcher);
+    prefetch("l2", cfg.l2Prefetcher);
     out << "tlb.enabled = " << (cfg.tlb.enabled ? "true" : "false")
         << "\n";
+    out << "tlb.page_bytes = " << cfg.tlb.pageBytes << "\n";
+    out << "tlb.l1_entries = " << cfg.tlb.l1Entries << "\n";
+    out << "tlb.l1_assoc = " << cfg.tlb.l1Assoc << "\n";
+    out << "tlb.l2_entries = " << cfg.tlb.l2Entries << "\n";
+    out << "tlb.l2_assoc = " << cfg.tlb.l2Assoc << "\n";
+    out << "tlb.l2_latency_cycles = " << cfg.tlb.l2LatencyCycles << "\n";
+    out << "tlb.walk_cycles = " << cfg.tlb.walkLatencyCycles << "\n";
     return out.str();
 }
 

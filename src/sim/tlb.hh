@@ -39,6 +39,8 @@ struct TlbConfig
     double walkLatencyCycles = 35.0;
 
     void validate() const;
+
+    bool operator==(const TlbConfig &rhs) const = default;
 };
 
 /** Per-core TLB statistics. */

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic simulated-address assignment for kernel operands.
+ *
+ * The simulated machine indexes caches, TLBs and NUMA pages by the
+ * addresses the engines present. Using raw host pointers makes the
+ * simulation depend on heap layout — allocation order, malloc reuse and
+ * ASLR would all perturb conflict misses and page placement, so two runs
+ * of the *same* experiment could disagree. That breaks both campaign
+ * determinism (N-thread == 1-thread) and content-addressed result
+ * caching across processes.
+ *
+ * An AddressArena fixes the simulated address space instead: while a
+ * Scope is active on the current thread, every AlignedBuffer allocation
+ * registers itself and receives a canonical base address — sequential
+ * 2 MiB-aligned regions starting at 4 GiB — and SimEngine translates
+ * host pointers through the active arena before touching the machine.
+ * The address trace of a measurement then depends only on the kernel and
+ * its allocation sequence, never on the host.
+ *
+ * Without an active scope, translation is the identity (host addresses
+ * pass through, the pre-campaign behaviour).
+ */
+
+#ifndef RFL_SUPPORT_ADDRESS_ARENA_HH
+#define RFL_SUPPORT_ADDRESS_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rfl
+{
+
+/** See file comment. */
+class AddressArena
+{
+  public:
+    /** First canonical base: clear of the identity-mapped low range. */
+    static constexpr uint64_t baseAddress = 1ull << 32;
+    /** Region alignment: buffers never share a page or cache set tail. */
+    static constexpr uint64_t regionAlign = 2ull << 20;
+
+    AddressArena() = default;
+
+    /**
+     * Record a host allocation and @return its canonical simulated base.
+     * Called by AlignedBuffer::reset() when a scope is active.
+     */
+    uint64_t registerRegion(const void *host, size_t bytes);
+
+    /**
+     * @return the simulated address of @p p: its offset within the most
+     * recently registered region containing it, rebased to that region's
+     * canonical base; identity for unregistered pointers.
+     */
+    uint64_t translatePointer(const void *p) const;
+
+    /** Arena active on this thread, or nullptr. */
+    static AddressArena *current();
+
+    /** translatePointer() through current(); identity without a scope. */
+    static uint64_t translate(const void *p);
+
+    /**
+     * RAII activation: installs a fresh arena as the current thread's
+     * translation context, restoring the previous one on destruction
+     * (scopes nest; the innermost wins). Defined after the class body —
+     * it holds an arena by value.
+     */
+    class Scope;
+
+  private:
+    struct Region
+    {
+        uintptr_t host;
+        size_t bytes;
+        uint64_t sim;
+    };
+
+    std::vector<Region> regions_;
+    uint64_t next_ = baseAddress;
+    /**
+     * Index of the last region a translation hit. Streaming kernels
+     * issue long runs of accesses into one buffer, so checking it first
+     * makes the hot path one range compare (translate is called for
+     * every simulated load/store).
+     */
+    mutable size_t lastHit_ = 0;
+};
+
+/** See the declaration inside AddressArena. */
+class AddressArena::Scope
+{
+  public:
+    Scope();
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+    AddressArena &arena() { return arena_; }
+
+  private:
+    AddressArena arena_;
+    AddressArena *prev_;
+};
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_ADDRESS_ARENA_HH

@@ -16,6 +16,8 @@
 #include <new>
 #include <utility>
 
+#include "support/address_arena.hh"
+
 namespace rfl
 {
 
@@ -74,6 +76,10 @@ class AlignedBuffer
         size_ = n;
         for (size_t i = 0; i < n; ++i)
             data_[i] = T{};
+        // Give the buffer a canonical simulated address when a
+        // measurement scope is active (see support/address_arena.hh).
+        if (AddressArena *arena = AddressArena::current())
+            arena->registerRegion(p, bytes);
     }
 
     T *data() { return data_; }

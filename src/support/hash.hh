@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Stable (process- and run-independent) hashing for cache keys.
+ *
+ * The campaign ResultCache persists results across runs keyed by a hash
+ * of the experiment description, so the hash must not depend on pointer
+ * values, std::hash seeds, or field padding. Fnv1a accumulates typed
+ * fields explicitly; doubles are mixed by bit pattern.
+ */
+
+#ifndef RFL_SUPPORT_HASH_HH
+#define RFL_SUPPORT_HASH_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace rfl
+{
+
+/** Incremental 64-bit FNV-1a over explicitly mixed fields. */
+class Fnv1a
+{
+  public:
+    Fnv1a() = default;
+
+    Fnv1a &mixBytes(const void *data, size_t len)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+        return *this;
+    }
+
+    Fnv1a &mix(uint64_t v) { return mixBytes(&v, sizeof(v)); }
+    Fnv1a &mix(int64_t v) { return mix(static_cast<uint64_t>(v)); }
+    Fnv1a &mix(int v) { return mix(static_cast<uint64_t>(static_cast<int64_t>(v))); }
+    Fnv1a &mix(uint32_t v) { return mix(static_cast<uint64_t>(v)); }
+    Fnv1a &mix(bool v) { return mix(static_cast<uint64_t>(v ? 1 : 0)); }
+
+    Fnv1a &mix(double v)
+    {
+        uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        return mix(bits);
+    }
+
+    /** Strings mix length then bytes so "ab","c" != "a","bc". */
+    Fnv1a &mix(const std::string &s)
+    {
+        mix(static_cast<uint64_t>(s.size()));
+        return mixBytes(s.data(), s.size());
+    }
+
+    uint64_t value() const { return hash_; }
+
+  private:
+    uint64_t hash_ = 0xcbf29ce484222325ull; // FNV offset basis
+};
+
+/** @return hex rendering of a hash value (16 lowercase digits). */
+inline std::string
+hashToHex(uint64_t hash)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return out;
+}
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_HASH_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fixed-size host thread pool used by the campaign executor.
+ *
+ * The simulator is deterministic and its timing model is independent of
+ * host time, so independent simulations can run on as many host threads
+ * as are available without perturbing results. The pool is deliberately
+ * minimal: submit() enqueues a task, wait() blocks until every submitted
+ * task (including tasks submitted *by* running tasks, as the campaign
+ * executor does when a job unblocks its dependents) has finished.
+ */
+
+#ifndef RFL_SUPPORT_THREAD_POOL_HH
+#define RFL_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace rfl
+{
+
+/** See file comment. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers; 0 = one per host hardware thread. */
+    explicit ThreadPool(int threads = 0)
+    {
+        if (threads <= 0) {
+            const unsigned hw = std::thread::hardware_concurrency();
+            threads = hw ? static_cast<int>(hw) : 1;
+        }
+        workers_.reserve(static_cast<size_t>(threads));
+        for (int i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. Safe to call from within a running task. */
+    void submit(std::function<void()> task)
+    {
+        RFL_ASSERT(task != nullptr);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            RFL_ASSERT(!stopping_);
+            queue_.push_back(std::move(task));
+            ++pending_;
+        }
+        cv_.notify_one();
+    }
+
+    /**
+     * Block until every submitted task has completed (the queue is empty
+     * and no worker is mid-task). Tasks may submit follow-up work before
+     * returning; wait() covers those too.
+     */
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return pending_ == 0; });
+    }
+
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    void workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty())
+                    return; // stopping_ and drained
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                if (--pending_ == 0)
+                    idle_.notify_all();
+            }
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;   ///< work available / stopping
+    std::condition_variable idle_; ///< pending_ reached zero
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    size_t pending_ = 0; ///< queued + running tasks
+    bool stopping_ = false;
+};
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_THREAD_POOL_HH

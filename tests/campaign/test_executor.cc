@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Campaign executor acceptance tests (ISSUE 1 criteria): deterministic
+ * results independent of host thread count, 100% cache hits on an
+ * identical re-run, and ceiling jobs completing before their sweeps.
+ */
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "campaign/executor.hh"
+#include "campaign/sink.hh"
+
+namespace
+{
+
+using namespace rfl::campaign;
+using rfl::sim::MachineConfig;
+
+CampaignSpec
+smallCampaign()
+{
+    CampaignSpec spec("exec_test");
+    spec.addMachine("small", MachineConfig::smallTestMachine());
+    spec.addKernels({"daxpy:n=256", "sum:n=512", "dot:n=256"});
+
+    rfl::roofline::MeasureOptions cold;
+    cold.repetitions = 1;
+    spec.addVariant("cold-1c", cold);
+
+    rfl::roofline::MeasureOptions warm;
+    warm.protocol = rfl::roofline::CacheProtocol::Warm;
+    warm.repetitions = 1;
+    warm.cores = {0, 1};
+    spec.addVariant("warm-2c", warm);
+    return spec;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+TEST(CampaignExecutor, ResultsIndependentOfThreadCount)
+{
+    const CampaignSpec spec = smallCampaign();
+
+    ExecutorOptions serial;
+    serial.threads = 1;
+    const CampaignRun run1 = CampaignExecutor(serial).run(spec);
+
+    ExecutorOptions parallel;
+    parallel.threads = 4;
+    const CampaignRun runN = CampaignExecutor(parallel).run(spec);
+
+    EXPECT_EQ(run1.threadsUsed, 1);
+    EXPECT_EQ(runN.threadsUsed, 4);
+    EXPECT_EQ(run1.jobs.size(), runN.jobs.size());
+
+    // Byte-identical aggregated CSV.
+    const std::string dir1 = ::testing::TempDir() + "rfl_exec_1t";
+    const std::string dirN = ::testing::TempDir() + "rfl_exec_4t";
+    const std::string csv1 = writeCampaignCsv(run1, dir1, "out");
+    const std::string csvN = writeCampaignCsv(runN, dirN, "out");
+    const std::string text1 = readFile(csv1);
+    EXPECT_FALSE(text1.empty());
+    EXPECT_EQ(text1, readFile(csvN));
+
+    // Models agree too.
+    for (size_t vi = 0; vi < spec.variants().size(); ++vi) {
+        EXPECT_EQ(run1.modelFor(0, vi).peakCompute(),
+                  runN.modelFor(0, vi).peakCompute());
+        EXPECT_EQ(run1.modelFor(0, vi).peakBandwidth(),
+                  runN.modelFor(0, vi).peakBandwidth());
+    }
+}
+
+TEST(CampaignExecutor, SecondRunIsAllCacheHits)
+{
+    const CampaignSpec spec = smallCampaign();
+    const std::string path =
+        ::testing::TempDir() + "rfl_exec_cache.jsonl";
+    std::remove(path.c_str());
+
+    // First run: everything simulated, everything stored.
+    {
+        ResultCache cache(path);
+        ExecutorOptions opts;
+        opts.threads = 2;
+        opts.cache = &cache;
+        const CampaignRun run = CampaignExecutor(opts).run(spec);
+        EXPECT_EQ(run.simulated, run.jobs.size());
+        EXPECT_EQ(run.cacheHits, 0u);
+        EXPECT_EQ(cache.stats().stores, run.jobs.size());
+    }
+
+    // Second run against the same spill file: zero simulation.
+    ResultCache cache(path);
+    EXPECT_GT(cache.stats().preloaded, 0u);
+    ExecutorOptions opts;
+    opts.threads = 2;
+    opts.cache = &cache;
+    const CampaignRun rerun = CampaignExecutor(opts).run(spec);
+    EXPECT_EQ(rerun.simulated, 0u);
+    EXPECT_EQ(rerun.cacheHits, rerun.jobs.size());
+
+    // And the cached results match a cache-less run byte for byte.
+    const CampaignRun fresh = CampaignExecutor(ExecutorOptions{}).run(spec);
+    const std::string dirA = ::testing::TempDir() + "rfl_exec_cached";
+    const std::string dirB = ::testing::TempDir() + "rfl_exec_fresh";
+    EXPECT_EQ(readFile(writeCampaignCsv(rerun, dirA, "out")),
+              readFile(writeCampaignCsv(fresh, dirB, "out")));
+    std::remove(path.c_str());
+}
+
+TEST(CampaignExecutor, ChangingTheSpecOnlyComputesTheDelta)
+{
+    const std::string path =
+        ::testing::TempDir() + "rfl_exec_delta.jsonl";
+    std::remove(path.c_str());
+
+    ResultCache cache(path);
+    ExecutorOptions opts;
+    opts.threads = 2;
+    opts.cache = &cache;
+
+    CampaignExecutor(opts).run(smallCampaign());
+
+    // Same campaign plus one new kernel: exactly the two new measure
+    // jobs (one per variant) simulate; everything else hits.
+    CampaignSpec extended = smallCampaign();
+    extended.addKernel("triad:n=256");
+    const CampaignRun run = CampaignExecutor(opts).run(extended);
+    EXPECT_EQ(run.simulated, 2u);
+    EXPECT_EQ(run.cacheHits, run.jobs.size() - 2u);
+    std::remove(path.c_str());
+}
+
+TEST(CampaignExecutor, CeilingJobsCompleteBeforeTheirSweeps)
+{
+    const CampaignSpec spec = smallCampaign();
+    ExecutorOptions opts;
+    opts.threads = 4;
+    const CampaignRun run = CampaignExecutor(opts).run(spec);
+
+    // completionOrder records the actual finish sequence; every measure
+    // job's ceiling dependency must appear earlier.
+    std::vector<size_t> finishedAt(run.jobs.size());
+    for (size_t pos = 0; pos < run.completionOrder.size(); ++pos)
+        finishedAt[run.completionOrder[pos]] = pos;
+
+    for (const Job &job : run.jobs) {
+        for (size_t dep : job.deps) {
+            EXPECT_LT(finishedAt[dep], finishedAt[job.id])
+                << job.describe(run.spec) << " finished before its "
+                << run.jobs[dep].describe(run.spec);
+        }
+    }
+
+    // Each ceiling produced a usable model with compute + bandwidth roofs.
+    for (const Job &job : run.jobs) {
+        if (job.kind != JobKind::Ceiling)
+            continue;
+        const rfl::roofline::RooflineModel &model =
+            run.results[job.id].model;
+        EXPECT_GT(model.peakCompute(), 0.0);
+        EXPECT_GT(model.peakBandwidth(), 0.0);
+    }
+}
+
+TEST(CampaignExecutor, GridLookupsWork)
+{
+    const CampaignSpec spec = smallCampaign();
+    const CampaignRun run = CampaignExecutor(ExecutorOptions{}).run(spec);
+
+    const rfl::roofline::Measurement &m = run.measurementFor(0, 0, 0);
+    EXPECT_EQ(m.kernel, "daxpy");
+    EXPECT_EQ(m.protocol, "cold");
+    EXPECT_EQ(m.cores, 1);
+
+    const rfl::roofline::Measurement &w = run.measurementFor(0, 1, 1);
+    EXPECT_EQ(w.kernel, "sum");
+    EXPECT_EQ(w.protocol, "warm");
+    EXPECT_EQ(w.cores, 2);
+
+    EXPECT_EQ(run.measurements().size(), spec.gridSize());
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+/** @file Tests for CampaignSpec -> JobGraph expansion. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "campaign/job_graph.hh"
+
+namespace
+{
+
+using namespace rfl::campaign;
+using rfl::sim::MachineConfig;
+
+CampaignSpec
+twoVariantSpec()
+{
+    CampaignSpec spec("graph");
+    spec.addMachine(MachineConfig::smallTestMachine());
+    spec.addKernels({"daxpy:n=256", "sum:n=256", "dot:n=256"});
+
+    rfl::roofline::MeasureOptions cold;
+    cold.repetitions = 1;
+    spec.addVariant("cold-1c", cold);
+
+    rfl::roofline::MeasureOptions warm;
+    warm.protocol = rfl::roofline::CacheProtocol::Warm;
+    warm.repetitions = 1;
+    warm.cores = {0, 1};
+    spec.addVariant("warm-2c", warm);
+    return spec;
+}
+
+TEST(JobGraph, GridExpansion)
+{
+    const JobGraph graph = JobGraph::expand(twoVariantSpec());
+    // 2 distinct (cores) signatures -> 2 ceiling jobs; 3 kernels x 2
+    // variants -> 6 measure jobs.
+    EXPECT_EQ(graph.ceilingJobs(), 2u);
+    EXPECT_EQ(graph.measureJobs(), 6u);
+    EXPECT_EQ(graph.size(), 8u);
+}
+
+TEST(JobGraph, CeilingJobsDeduplicateAcrossVariants)
+{
+    CampaignSpec spec("dedup");
+    spec.addMachine(MachineConfig::smallTestMachine());
+    spec.addKernel("sum:n=256");
+    // Two variants with the same cores/numa/prefetch signature but
+    // different protocols share one ceiling characterization.
+    rfl::roofline::MeasureOptions cold, warm;
+    warm.protocol = rfl::roofline::CacheProtocol::Warm;
+    spec.addVariant("cold", cold).addVariant("warm", warm);
+
+    const JobGraph graph = JobGraph::expand(spec);
+    EXPECT_EQ(graph.ceilingJobs(), 1u);
+    EXPECT_EQ(graph.measureJobs(), 2u);
+}
+
+TEST(JobGraph, MeasureJobsDependOnTheirCeiling)
+{
+    const JobGraph graph = JobGraph::expand(twoVariantSpec());
+    for (const Job &job : graph.jobs()) {
+        if (job.kind == JobKind::Ceiling) {
+            EXPECT_TRUE(job.deps.empty());
+            continue;
+        }
+        ASSERT_EQ(job.deps.size(), 1u);
+        const Job &dep = graph.jobs()[job.deps[0]];
+        EXPECT_EQ(dep.kind, JobKind::Ceiling);
+        EXPECT_EQ(dep.machineIndex, job.machineIndex);
+        EXPECT_EQ(graph.ceilingJobFor(job), dep.id);
+    }
+}
+
+TEST(JobGraph, CacheKeysAreUniqueAndContentAddressed)
+{
+    const CampaignSpec spec = twoVariantSpec();
+    const JobGraph graph = JobGraph::expand(spec);
+
+    std::set<std::string> keys;
+    for (const Job &job : graph.jobs())
+        keys.insert(job.cacheKey);
+    EXPECT_EQ(keys.size(), graph.size());
+
+    // Same content -> same key, regardless of spec object identity.
+    const JobGraph again = JobGraph::expand(twoVariantSpec());
+    for (size_t i = 0; i < graph.size(); ++i)
+        EXPECT_EQ(graph.jobs()[i].cacheKey, again.jobs()[i].cacheKey);
+
+    // A different machine config moves every key.
+    const std::string key0 = measureCacheKey(
+        spec.machines()[0].config, spec.kernels()[0],
+        spec.variants()[0].opts);
+    MachineConfig other = spec.machines()[0].config;
+    other.core.freqGHz += 0.1;
+    EXPECT_NE(measureCacheKey(other, spec.kernels()[0],
+                              spec.variants()[0].opts),
+              key0);
+}
+
+} // namespace

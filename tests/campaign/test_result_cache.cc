@@ -1,0 +1,161 @@
+/** @file Tests for the content-addressed ResultCache and serialization. */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "campaign/result_cache.hh"
+#include "campaign/serialize.hh"
+
+namespace
+{
+
+using namespace rfl::campaign;
+
+rfl::roofline::Measurement
+sampleMeasurement()
+{
+    rfl::roofline::Measurement m;
+    m.kernel = "daxpy";
+    m.sizeLabel = "n=256";
+    m.protocol = "cold";
+    m.cores = 2;
+    m.lanes = 4;
+    m.flops = 512.0;
+    m.trafficBytes = 6144.0;
+    m.seconds = 1.25e-7;
+    m.expectedFlops = 512.0;
+    m.expectedTrafficBytes = std::nan(""); // no analytic traffic model
+    m.flopsSample.add(512.0);
+    m.flopsSample.add(512.0);
+    m.secondsSample.add(1.25e-7);
+    return m;
+}
+
+TEST(Serialize, MeasurementRoundTrip)
+{
+    const rfl::roofline::Measurement m = sampleMeasurement();
+    const rfl::roofline::Measurement back =
+        decodeMeasurement(encodeMeasurement(m));
+    EXPECT_EQ(back.kernel, m.kernel);
+    EXPECT_EQ(back.sizeLabel, m.sizeLabel);
+    EXPECT_EQ(back.protocol, m.protocol);
+    EXPECT_EQ(back.cores, m.cores);
+    EXPECT_EQ(back.lanes, m.lanes);
+    EXPECT_EQ(back.flops, m.flops); // bit-exact, not just near
+    EXPECT_EQ(back.trafficBytes, m.trafficBytes);
+    EXPECT_EQ(back.seconds, m.seconds);
+    EXPECT_TRUE(std::isnan(back.expectedTrafficBytes));
+    EXPECT_EQ(back.flopsSample.values(), m.flopsSample.values());
+    EXPECT_EQ(back.secondsSample.values(), m.secondsSample.values());
+}
+
+TEST(Serialize, ModelRoundTrip)
+{
+    rfl::roofline::RooflineModel model;
+    model.addComputeCeiling("peak avx fma", 4.0e10);
+    model.addComputeCeiling("peak scalar", 5.0e9);
+    model.addBandwidthCeiling("best streaming", 3.84e10);
+    const rfl::roofline::RooflineModel back =
+        decodeModel(encodeModel(model));
+    EXPECT_EQ(back.computeCeilings().size(), 2u);
+    EXPECT_EQ(back.bandwidthCeilings().size(), 1u);
+    EXPECT_EQ(back.computeCeiling("peak avx fma"), 4.0e10);
+    EXPECT_EQ(back.bandwidthCeiling("best streaming"), 3.84e10);
+}
+
+TEST(Serialize, EncodingIsStable)
+{
+    // Encoding the same measurement twice gives identical text (the
+    // cache depends on canonical payloads).
+    const rfl::roofline::Measurement m = sampleMeasurement();
+    EXPECT_EQ(encodeMeasurement(m), encodeMeasurement(m));
+    // And decode(encode(x)) re-encodes identically (spill reload path).
+    EXPECT_EQ(encodeMeasurement(decodeMeasurement(encodeMeasurement(m))),
+              encodeMeasurement(m));
+}
+
+TEST(ResultCache, MemoryHitsAndMisses)
+{
+    ResultCache cache;
+    std::string payload;
+    EXPECT_FALSE(cache.lookup("k1", &payload));
+    cache.store("k1", "{\"v\":1}");
+    EXPECT_TRUE(cache.lookup("k1", &payload));
+    EXPECT_EQ(payload, "{\"v\":1}");
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, SpillPersistsAcrossInstances)
+{
+    const std::string path =
+        ::testing::TempDir() + "rfl_cache_spill_test.jsonl";
+    std::remove(path.c_str());
+
+    const std::string payload = encodeMeasurement(sampleMeasurement());
+    {
+        ResultCache cache(path);
+        EXPECT_EQ(cache.stats().preloaded, 0u);
+        cache.store("measure|abc|daxpy:n=256|protocol=cold", payload);
+        cache.store("ceiling|abc|cores=0",
+                    "{\"compute\":[],\"bandwidth\":[]}");
+    }
+    {
+        ResultCache cache(path);
+        EXPECT_EQ(cache.stats().preloaded, 2u);
+        std::string got;
+        ASSERT_TRUE(cache.lookup("measure|abc|daxpy:n=256|protocol=cold",
+                                 &got));
+        EXPECT_EQ(got, payload);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, CorruptSpillLinesAreSkippedNotFatal)
+{
+    const std::string path =
+        ::testing::TempDir() + "rfl_cache_corrupt_test.jsonl";
+    std::remove(path.c_str());
+    {
+        ResultCache cache(path);
+        cache.store("good", "{\"v\":1}");
+    }
+    {
+        // Simulate a crash-truncated append plus stray garbage.
+        std::ofstream out(path, std::ios::app);
+        out << "GARBAGE NOT JSON\n";
+        out << "{\"key\":\"trunc\",\"payload\":{\"v\":\n";
+    }
+    ResultCache cache(path); // must not exit
+    EXPECT_EQ(cache.stats().preloaded, 1u);
+    std::string got;
+    EXPECT_TRUE(cache.lookup("good", &got));
+    EXPECT_FALSE(cache.lookup("trunc", &got));
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, LaterSpillLinesWin)
+{
+    const std::string path =
+        ::testing::TempDir() + "rfl_cache_dup_test.jsonl";
+    std::remove(path.c_str());
+    {
+        ResultCache cache(path);
+        cache.store("k", "{\"v\":1}");
+        cache.store("k", "{\"v\":2}"); // append-only update
+    }
+    {
+        ResultCache cache(path);
+        std::string got;
+        ASSERT_TRUE(cache.lookup("k", &got));
+        EXPECT_EQ(got, "{\"v\":2}");
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/** @file Tests for CampaignSpec building, parsing and validation. */
+
+#include <gtest/gtest.h>
+
+#include "campaign/spec.hh"
+
+namespace
+{
+
+using namespace rfl::campaign;
+using rfl::sim::MachineConfig;
+using rfl::sim::MemPolicy;
+
+TEST(CoreSet, ParseForms)
+{
+    EXPECT_EQ(parseCoreSet("0"), (std::vector<int>{0}));
+    EXPECT_EQ(parseCoreSet("0,2,5"), (std::vector<int>{0, 2, 5}));
+    EXPECT_EQ(parseCoreSet("0-3"), (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(parseCoreSet("0-1,4-5"), (std::vector<int>{0, 1, 4, 5}));
+    // Duplicates collapse, order canonicalizes.
+    EXPECT_EQ(parseCoreSet("3,1,1,2"), (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(formatCoreSet({0, 1, 2}), "0,1,2");
+}
+
+TEST(CoreSetDeath, Malformed)
+{
+    EXPECT_EXIT(parseCoreSet("banana"), ::testing::ExitedWithCode(1),
+                "bad core");
+    EXPECT_EXIT(parseCoreSet("3-1"), ::testing::ExitedWithCode(1),
+                "range end");
+}
+
+TEST(RunOptions, CanonicalKeyCoversFields)
+{
+    RunOptions a;
+    const std::string base = a.canonicalKey();
+
+    RunOptions b = a;
+    b.measure.protocol = rfl::roofline::CacheProtocol::Warm;
+    EXPECT_NE(b.canonicalKey(), base);
+
+    b = a;
+    b.measure.cores = {0, 1};
+    EXPECT_NE(b.canonicalKey(), base);
+
+    b = a;
+    b.measure.seed = 7;
+    EXPECT_NE(b.canonicalKey(), base);
+
+    b = a;
+    b.memPolicy = MemPolicy::Interleave;
+    EXPECT_NE(b.canonicalKey(), base);
+
+    b = a;
+    b.prefetchEnabled = false;
+    EXPECT_NE(b.canonicalKey(), base);
+
+    // Identical options produce identical keys.
+    EXPECT_EQ(RunOptions{}.canonicalKey(), base);
+}
+
+TEST(CampaignSpec, BuilderChains)
+{
+    CampaignSpec spec("demo");
+    spec.addMachine(MachineConfig::smallTestMachine())
+        .addKernel("daxpy:n=256")
+        .addKernel("sum:n=256")
+        .addVariant("cold", rfl::roofline::MeasureOptions{});
+    EXPECT_EQ(spec.name(), "demo");
+    EXPECT_EQ(spec.machines().size(), 1u);
+    EXPECT_EQ(spec.kernels().size(), 2u);
+    EXPECT_EQ(spec.variants().size(), 1u);
+    EXPECT_EQ(spec.gridSize(), 2u);
+    spec.validate();
+}
+
+TEST(CampaignSpec, ParseText)
+{
+    const CampaignSpec spec = parseCampaignSpec(
+        "# demo campaign\n"
+        "name = parsed\n"
+        "machine = small\n"
+        "kernel = daxpy:n=256\n"
+        "kernel = sum:n=256\n"
+        "variant = cold-1c: protocol=cold cores=0 reps=1\n"
+        "variant = warm-2c: protocol=warm cores=0-1 numa=interleave "
+        "prefetch=off\n");
+    EXPECT_EQ(spec.name(), "parsed");
+    EXPECT_EQ(spec.machines().size(), 1u);
+    EXPECT_EQ(spec.kernels().size(), 2u);
+    ASSERT_EQ(spec.variants().size(), 2u);
+
+    const Variant &cold = spec.variants()[0];
+    EXPECT_EQ(cold.label, "cold-1c");
+    EXPECT_EQ(cold.opts.measure.protocol,
+              rfl::roofline::CacheProtocol::Cold);
+    EXPECT_EQ(cold.opts.measure.cores, (std::vector<int>{0}));
+    EXPECT_EQ(cold.opts.measure.repetitions, 1);
+
+    const Variant &warm = spec.variants()[1];
+    EXPECT_EQ(warm.opts.measure.protocol,
+              rfl::roofline::CacheProtocol::Warm);
+    EXPECT_EQ(warm.opts.measure.cores, (std::vector<int>{0, 1}));
+    EXPECT_EQ(warm.opts.memPolicy, MemPolicy::Interleave);
+    EXPECT_FALSE(warm.opts.prefetchEnabled);
+}
+
+TEST(CampaignSpecDeath, InvalidSpecs)
+{
+    CampaignSpec empty("empty");
+    EXPECT_EXIT(empty.validate(), ::testing::ExitedWithCode(1),
+                "no machines");
+
+    // Core index beyond the machine.
+    CampaignSpec bad("bad");
+    bad.addMachine(MachineConfig::smallTestMachine()); // 2 cores
+    bad.addKernel("sum:n=256");
+    rfl::roofline::MeasureOptions opts;
+    opts.cores = {0, 7};
+    bad.addVariant("too-wide", opts);
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "uses core 7");
+
+    EXPECT_EXIT(parseCampaignSpec("machine = warp-drive\n"),
+                ::testing::ExitedWithCode(1), "machine expects");
+    EXPECT_EXIT(parseCampaignSpec("variant = nolabel\n"),
+                ::testing::ExitedWithCode(1), "variant expects");
+    EXPECT_EXIT(
+        parseCampaignSpec("variant = v: protocol=lukewarm\n"),
+        ::testing::ExitedWithCode(1), "cold|warm");
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Canonical MachineConfig equality/hashing: the contract the campaign
+ * ResultCache relies on. A config must survive a config_io round-trip
+ * with its identity (operator== and stableHash) intact, and any field
+ * change must move the hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/config_io.hh"
+
+namespace
+{
+
+using namespace rfl::sim;
+
+TEST(ConfigHash, EqualConfigsHashEqual)
+{
+    const MachineConfig a = MachineConfig::defaultPlatform();
+    const MachineConfig b = MachineConfig::defaultPlatform();
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.stableHash(), b.stableHash());
+}
+
+TEST(ConfigHash, PresetsHashDistinctly)
+{
+    const uint64_t def = MachineConfig::defaultPlatform().stableHash();
+    const uint64_t small = MachineConfig::smallTestMachine().stableHash();
+    const uint64_t scalar = MachineConfig::scalarMachine().stableHash();
+    EXPECT_NE(def, small);
+    EXPECT_NE(def, scalar);
+    EXPECT_NE(small, scalar);
+}
+
+TEST(ConfigHash, EveryFieldClassMovesTheHash)
+{
+    const MachineConfig base = MachineConfig::defaultPlatform();
+
+    MachineConfig m = base;
+    m.name = "other";
+    EXPECT_NE(m.stableHash(), base.stableHash());
+
+    m = base;
+    m.core.freqGHz = 2.6;
+    EXPECT_NE(m.stableHash(), base.stableHash());
+
+    m = base;
+    m.l2.assoc = 16;
+    EXPECT_NE(m.stableHash(), base.stableHash());
+
+    m = base;
+    m.l2Prefetcher.degree += 1;
+    EXPECT_NE(m.stableHash(), base.stableHash());
+
+    m = base;
+    m.remoteNumaBandwidthFactor = 0.5;
+    EXPECT_NE(m.stableHash(), base.stableHash());
+
+    m = base;
+    m.tlb.walkLatencyCycles = 40.0;
+    EXPECT_NE(m.stableHash(), base.stableHash());
+}
+
+TEST(ConfigHash, SerializationRoundTripPreservesIdentity)
+{
+    for (const MachineConfig &cfg :
+         {MachineConfig::defaultPlatform(),
+          MachineConfig::smallTestMachine(),
+          MachineConfig::scalarMachine()}) {
+        const MachineConfig back =
+            parseMachineConfig(formatMachineConfig(cfg));
+        EXPECT_TRUE(back == cfg) << "round-trip changed " << cfg.name;
+        EXPECT_EQ(back.stableHash(), cfg.stableHash());
+    }
+}
+
+TEST(ConfigHash, RoundTripKeepsNonDefaultDetails)
+{
+    MachineConfig cfg = MachineConfig::defaultPlatform();
+    cfg.name = "tweaked";
+    cfg.l1.name = "L1-custom"; // level names are part of the identity
+    cfg.core.freqGHz = 3.141592653589793;
+    cfg.l3.repl = ReplPolicy::Random;
+    cfg.l1Prefetcher.kind = PrefetcherKind::None;
+    cfg.l2Prefetcher.distance = 24;
+    cfg.remoteNumaLatencyFactor = 1.75;
+    cfg.tlb.l1Assoc = 8;
+    cfg.tlb.l2LatencyCycles = 9.5;
+
+    const MachineConfig back = parseMachineConfig(formatMachineConfig(cfg));
+    EXPECT_TRUE(back == cfg);
+    EXPECT_EQ(back.stableHash(), cfg.stableHash());
+
+    // And the tweaks really are part of the identity.
+    EXPECT_NE(cfg.stableHash(),
+              MachineConfig::defaultPlatform().stableHash());
+}
+
+} // namespace

@@ -1,0 +1,74 @@
+/** @file Tests for the campaign executor's host thread pool. */
+
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "support/thread_pool.hh"
+
+namespace
+{
+
+using rfl::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency)
+{
+    ThreadPool pool;
+    EXPECT_GE(pool.threadCount(), 1);
+}
+
+TEST(ThreadPool, WaitCoversTasksSubmittedByTasks)
+{
+    // The executor's pattern: a finishing job submits its dependents.
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&pool, &ran] {
+            ++ran;
+            pool.submit([&ran] { ++ran; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+    pool.submit([&ran] { ++ran; });
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, SingleThreadPoolIsSequential)
+{
+    // With one worker, tasks run in submission order.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+} // namespace
