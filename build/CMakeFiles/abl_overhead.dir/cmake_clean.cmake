@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_overhead.dir/bench/abl_overhead.cc.o"
+  "CMakeFiles/abl_overhead.dir/bench/abl_overhead.cc.o.d"
+  "abl_overhead"
+  "abl_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replacement.dir/bench/abl_replacement.cc.o"
+  "CMakeFiles/abl_replacement.dir/bench/abl_replacement.cc.o.d"
+  "abl_replacement"
+  "abl_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

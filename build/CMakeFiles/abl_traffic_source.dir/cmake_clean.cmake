@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_traffic_source.dir/bench/abl_traffic_source.cc.o"
+  "CMakeFiles/abl_traffic_source.dir/bench/abl_traffic_source.cc.o.d"
+  "abl_traffic_source"
+  "abl_traffic_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_traffic_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

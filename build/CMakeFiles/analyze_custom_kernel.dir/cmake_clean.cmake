@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_custom_kernel.dir/examples/analyze_custom_kernel.cpp.o"
+  "CMakeFiles/analyze_custom_kernel.dir/examples/analyze_custom_kernel.cpp.o.d"
+  "analyze_custom_kernel"
+  "analyze_custom_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_custom_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_platforms.dir/examples/compare_platforms.cpp.o"
+  "CMakeFiles/compare_platforms.dir/examples/compare_platforms.cpp.o.d"
+  "compare_platforms"
+  "compare_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

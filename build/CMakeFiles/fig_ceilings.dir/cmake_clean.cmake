@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_ceilings.dir/bench/fig_ceilings.cc.o"
+  "CMakeFiles/fig_ceilings.dir/bench/fig_ceilings.cc.o.d"
+  "fig_ceilings"
+  "fig_ceilings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ceilings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_cold_warm.dir/bench/fig_cold_warm.cc.o"
+  "CMakeFiles/fig_cold_warm.dir/bench/fig_cold_warm.cc.o.d"
+  "fig_cold_warm"
+  "fig_cold_warm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_cold_warm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

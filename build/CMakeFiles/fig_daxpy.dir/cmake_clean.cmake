@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_daxpy.dir/bench/fig_daxpy.cc.o"
+  "CMakeFiles/fig_daxpy.dir/bench/fig_daxpy.cc.o.d"
+  "fig_daxpy"
+  "fig_daxpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_daxpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

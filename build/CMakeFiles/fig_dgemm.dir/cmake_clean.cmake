@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_dgemm.dir/bench/fig_dgemm.cc.o"
+  "CMakeFiles/fig_dgemm.dir/bench/fig_dgemm.cc.o.d"
+  "fig_dgemm"
+  "fig_dgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_dgemv.dir/bench/fig_dgemv.cc.o"
+  "CMakeFiles/fig_dgemv.dir/bench/fig_dgemv.cc.o.d"
+  "fig_dgemv"
+  "fig_dgemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_dgemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

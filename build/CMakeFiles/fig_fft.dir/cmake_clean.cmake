@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_fft.dir/bench/fig_fft.cc.o"
+  "CMakeFiles/fig_fft.dir/bench/fig_fft.cc.o.d"
+  "fig_fft"
+  "fig_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

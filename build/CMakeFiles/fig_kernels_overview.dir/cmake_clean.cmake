@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_kernels_overview.dir/bench/fig_kernels_overview.cc.o"
+  "CMakeFiles/fig_kernels_overview.dir/bench/fig_kernels_overview.cc.o.d"
+  "fig_kernels_overview"
+  "fig_kernels_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_kernels_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

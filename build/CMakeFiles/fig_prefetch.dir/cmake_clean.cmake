@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_prefetch.dir/bench/fig_prefetch.cc.o"
+  "CMakeFiles/fig_prefetch.dir/bench/fig_prefetch.cc.o.d"
+  "fig_prefetch"
+  "fig_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

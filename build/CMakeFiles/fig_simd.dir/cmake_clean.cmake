@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_simd.dir/bench/fig_simd.cc.o"
+  "CMakeFiles/fig_simd.dir/bench/fig_simd.cc.o.d"
+  "fig_simd"
+  "fig_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

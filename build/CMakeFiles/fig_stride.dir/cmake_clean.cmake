@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_stride.dir/bench/fig_stride.cc.o"
+  "CMakeFiles/fig_stride.dir/bench/fig_stride.cc.o.d"
+  "fig_stride"
+  "fig_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

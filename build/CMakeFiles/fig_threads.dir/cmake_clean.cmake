@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_threads.dir/bench/fig_threads.cc.o"
+  "CMakeFiles/fig_threads.dir/bench/fig_threads.cc.o.d"
+  "fig_threads"
+  "fig_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

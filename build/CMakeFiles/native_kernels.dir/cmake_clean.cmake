@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_kernels.dir/bench/native_kernels.cc.o"
+  "CMakeFiles/native_kernels.dir/bench/native_kernels.cc.o.d"
+  "native_kernels"
+  "native_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_study.dir/examples/numa_study.cpp.o"
+  "CMakeFiles/numa_study.dir/examples/numa_study.cpp.o.d"
+  "numa_study"
+  "numa_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

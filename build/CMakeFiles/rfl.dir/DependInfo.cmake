@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/campaign/executor.cc" "CMakeFiles/rfl.dir/src/campaign/executor.cc.o" "gcc" "CMakeFiles/rfl.dir/src/campaign/executor.cc.o.d"
+  "/root/repo/src/campaign/job_graph.cc" "CMakeFiles/rfl.dir/src/campaign/job_graph.cc.o" "gcc" "CMakeFiles/rfl.dir/src/campaign/job_graph.cc.o.d"
+  "/root/repo/src/campaign/result_cache.cc" "CMakeFiles/rfl.dir/src/campaign/result_cache.cc.o" "gcc" "CMakeFiles/rfl.dir/src/campaign/result_cache.cc.o.d"
+  "/root/repo/src/campaign/serialize.cc" "CMakeFiles/rfl.dir/src/campaign/serialize.cc.o" "gcc" "CMakeFiles/rfl.dir/src/campaign/serialize.cc.o.d"
+  "/root/repo/src/campaign/sink.cc" "CMakeFiles/rfl.dir/src/campaign/sink.cc.o" "gcc" "CMakeFiles/rfl.dir/src/campaign/sink.cc.o.d"
+  "/root/repo/src/campaign/spec.cc" "CMakeFiles/rfl.dir/src/campaign/spec.cc.o" "gcc" "CMakeFiles/rfl.dir/src/campaign/spec.cc.o.d"
+  "/root/repo/src/kernels/daxpy.cc" "CMakeFiles/rfl.dir/src/kernels/daxpy.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/daxpy.cc.o.d"
+  "/root/repo/src/kernels/dgemm.cc" "CMakeFiles/rfl.dir/src/kernels/dgemm.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/dgemm.cc.o.d"
+  "/root/repo/src/kernels/dgemv.cc" "CMakeFiles/rfl.dir/src/kernels/dgemv.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/dgemv.cc.o.d"
+  "/root/repo/src/kernels/dot.cc" "CMakeFiles/rfl.dir/src/kernels/dot.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/dot.cc.o.d"
+  "/root/repo/src/kernels/fft.cc" "CMakeFiles/rfl.dir/src/kernels/fft.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/fft.cc.o.d"
+  "/root/repo/src/kernels/kernel.cc" "CMakeFiles/rfl.dir/src/kernels/kernel.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/kernel.cc.o.d"
+  "/root/repo/src/kernels/pchase.cc" "CMakeFiles/rfl.dir/src/kernels/pchase.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/pchase.cc.o.d"
+  "/root/repo/src/kernels/registry.cc" "CMakeFiles/rfl.dir/src/kernels/registry.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/registry.cc.o.d"
+  "/root/repo/src/kernels/spmv.cc" "CMakeFiles/rfl.dir/src/kernels/spmv.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/spmv.cc.o.d"
+  "/root/repo/src/kernels/stencil.cc" "CMakeFiles/rfl.dir/src/kernels/stencil.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/stencil.cc.o.d"
+  "/root/repo/src/kernels/strided.cc" "CMakeFiles/rfl.dir/src/kernels/strided.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/strided.cc.o.d"
+  "/root/repo/src/kernels/sum.cc" "CMakeFiles/rfl.dir/src/kernels/sum.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/sum.cc.o.d"
+  "/root/repo/src/kernels/triad.cc" "CMakeFiles/rfl.dir/src/kernels/triad.cc.o" "gcc" "CMakeFiles/rfl.dir/src/kernels/triad.cc.o.d"
+  "/root/repo/src/pmu/event.cc" "CMakeFiles/rfl.dir/src/pmu/event.cc.o" "gcc" "CMakeFiles/rfl.dir/src/pmu/event.cc.o.d"
+  "/root/repo/src/pmu/perf_backend.cc" "CMakeFiles/rfl.dir/src/pmu/perf_backend.cc.o" "gcc" "CMakeFiles/rfl.dir/src/pmu/perf_backend.cc.o.d"
+  "/root/repo/src/pmu/sim_backend.cc" "CMakeFiles/rfl.dir/src/pmu/sim_backend.cc.o" "gcc" "CMakeFiles/rfl.dir/src/pmu/sim_backend.cc.o.d"
+  "/root/repo/src/roofline/experiment.cc" "CMakeFiles/rfl.dir/src/roofline/experiment.cc.o" "gcc" "CMakeFiles/rfl.dir/src/roofline/experiment.cc.o.d"
+  "/root/repo/src/roofline/measurement.cc" "CMakeFiles/rfl.dir/src/roofline/measurement.cc.o" "gcc" "CMakeFiles/rfl.dir/src/roofline/measurement.cc.o.d"
+  "/root/repo/src/roofline/model.cc" "CMakeFiles/rfl.dir/src/roofline/model.cc.o" "gcc" "CMakeFiles/rfl.dir/src/roofline/model.cc.o.d"
+  "/root/repo/src/roofline/native_measurement.cc" "CMakeFiles/rfl.dir/src/roofline/native_measurement.cc.o" "gcc" "CMakeFiles/rfl.dir/src/roofline/native_measurement.cc.o.d"
+  "/root/repo/src/roofline/platform.cc" "CMakeFiles/rfl.dir/src/roofline/platform.cc.o" "gcc" "CMakeFiles/rfl.dir/src/roofline/platform.cc.o.d"
+  "/root/repo/src/roofline/plot.cc" "CMakeFiles/rfl.dir/src/roofline/plot.cc.o" "gcc" "CMakeFiles/rfl.dir/src/roofline/plot.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "CMakeFiles/rfl.dir/src/sim/cache.cc.o" "gcc" "CMakeFiles/rfl.dir/src/sim/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "CMakeFiles/rfl.dir/src/sim/config.cc.o" "gcc" "CMakeFiles/rfl.dir/src/sim/config.cc.o.d"
+  "/root/repo/src/sim/config_io.cc" "CMakeFiles/rfl.dir/src/sim/config_io.cc.o" "gcc" "CMakeFiles/rfl.dir/src/sim/config_io.cc.o.d"
+  "/root/repo/src/sim/core.cc" "CMakeFiles/rfl.dir/src/sim/core.cc.o" "gcc" "CMakeFiles/rfl.dir/src/sim/core.cc.o.d"
+  "/root/repo/src/sim/imc.cc" "CMakeFiles/rfl.dir/src/sim/imc.cc.o" "gcc" "CMakeFiles/rfl.dir/src/sim/imc.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "CMakeFiles/rfl.dir/src/sim/machine.cc.o" "gcc" "CMakeFiles/rfl.dir/src/sim/machine.cc.o.d"
+  "/root/repo/src/sim/prefetcher.cc" "CMakeFiles/rfl.dir/src/sim/prefetcher.cc.o" "gcc" "CMakeFiles/rfl.dir/src/sim/prefetcher.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "CMakeFiles/rfl.dir/src/sim/tlb.cc.o" "gcc" "CMakeFiles/rfl.dir/src/sim/tlb.cc.o.d"
+  "/root/repo/src/support/address_arena.cc" "CMakeFiles/rfl.dir/src/support/address_arena.cc.o" "gcc" "CMakeFiles/rfl.dir/src/support/address_arena.cc.o.d"
+  "/root/repo/src/support/cli.cc" "CMakeFiles/rfl.dir/src/support/cli.cc.o" "gcc" "CMakeFiles/rfl.dir/src/support/cli.cc.o.d"
+  "/root/repo/src/support/csv.cc" "CMakeFiles/rfl.dir/src/support/csv.cc.o" "gcc" "CMakeFiles/rfl.dir/src/support/csv.cc.o.d"
+  "/root/repo/src/support/gnuplot.cc" "CMakeFiles/rfl.dir/src/support/gnuplot.cc.o" "gcc" "CMakeFiles/rfl.dir/src/support/gnuplot.cc.o.d"
+  "/root/repo/src/support/logging.cc" "CMakeFiles/rfl.dir/src/support/logging.cc.o" "gcc" "CMakeFiles/rfl.dir/src/support/logging.cc.o.d"
+  "/root/repo/src/support/statistics.cc" "CMakeFiles/rfl.dir/src/support/statistics.cc.o" "gcc" "CMakeFiles/rfl.dir/src/support/statistics.cc.o.d"
+  "/root/repo/src/support/table.cc" "CMakeFiles/rfl.dir/src/support/table.cc.o" "gcc" "CMakeFiles/rfl.dir/src/support/table.cc.o.d"
+  "/root/repo/src/support/units.cc" "CMakeFiles/rfl.dir/src/support/units.cc.o" "gcc" "CMakeFiles/rfl.dir/src/support/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roofline_campaign.dir/examples/roofline_campaign.cpp.o"
+  "CMakeFiles/roofline_campaign.dir/examples/roofline_campaign.cpp.o.d"
+  "roofline_campaign"
+  "roofline_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roofline_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roofline_tool.dir/examples/roofline_tool.cpp.o"
+  "CMakeFiles/roofline_tool.dir/examples/roofline_tool.cpp.o.d"
+  "roofline_tool"
+  "roofline_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roofline_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_platform.dir/bench/tbl_platform.cc.o"
+  "CMakeFiles/tbl_platform.dir/bench/tbl_platform.cc.o.d"
+  "tbl_platform"
+  "tbl_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

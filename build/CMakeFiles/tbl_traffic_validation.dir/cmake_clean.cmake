@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_traffic_validation.dir/bench/tbl_traffic_validation.cc.o"
+  "CMakeFiles/tbl_traffic_validation.dir/bench/tbl_traffic_validation.cc.o.d"
+  "tbl_traffic_validation"
+  "tbl_traffic_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_traffic_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_work_validation.dir/bench/tbl_work_validation.cc.o"
+  "CMakeFiles/tbl_work_validation.dir/bench/tbl_work_validation.cc.o.d"
+  "tbl_work_validation"
+  "tbl_work_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_work_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

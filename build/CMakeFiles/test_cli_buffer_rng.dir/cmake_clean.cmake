@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_buffer_rng.dir/tests/support/test_cli_buffer_rng.cc.o"
+  "CMakeFiles/test_cli_buffer_rng.dir/tests/support/test_cli_buffer_rng.cc.o.d"
+  "test_cli_buffer_rng"
+  "test_cli_buffer_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_buffer_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

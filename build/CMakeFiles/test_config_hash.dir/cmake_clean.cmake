@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_hash.dir/tests/sim/test_config_hash.cc.o"
+  "CMakeFiles/test_config_hash.dir/tests/sim/test_config_hash.cc.o.d"
+  "test_config_hash"
+  "test_config_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

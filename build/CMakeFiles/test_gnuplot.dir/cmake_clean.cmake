@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnuplot.dir/tests/support/test_gnuplot.cc.o"
+  "CMakeFiles/test_gnuplot.dir/tests/support/test_gnuplot.cc.o.d"
+  "test_gnuplot"
+  "test_gnuplot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnuplot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_graph.dir/tests/campaign/test_job_graph.cc.o"
+  "CMakeFiles/test_job_graph.dir/tests/campaign/test_job_graph.cc.o.d"
+  "test_job_graph"
+  "test_job_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

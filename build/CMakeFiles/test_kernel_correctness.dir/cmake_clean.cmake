@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_correctness.dir/tests/kernels/test_kernel_correctness.cc.o"
+  "CMakeFiles/test_kernel_correctness.dir/tests/kernels/test_kernel_correctness.cc.o.d"
+  "test_kernel_correctness"
+  "test_kernel_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

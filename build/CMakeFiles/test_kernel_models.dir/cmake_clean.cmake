@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_models.dir/tests/kernels/test_kernel_models.cc.o"
+  "CMakeFiles/test_kernel_models.dir/tests/kernels/test_kernel_models.cc.o.d"
+  "test_kernel_models"
+  "test_kernel_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_native_measurement.dir/tests/roofline/test_native_measurement.cc.o"
+  "CMakeFiles/test_native_measurement.dir/tests/roofline/test_native_measurement.cc.o.d"
+  "test_native_measurement"
+  "test_native_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_native_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform_plot.dir/tests/roofline/test_platform_plot.cc.o"
+  "CMakeFiles/test_platform_plot.dir/tests/roofline/test_platform_plot.cc.o.d"
+  "test_platform_plot"
+  "test_platform_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmu.dir/tests/pmu/test_pmu.cc.o"
+  "CMakeFiles/test_pmu.dir/tests/pmu/test_pmu.cc.o.d"
+  "test_pmu"
+  "test_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

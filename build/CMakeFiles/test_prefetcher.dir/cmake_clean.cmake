@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetcher.dir/tests/sim/test_prefetcher.cc.o"
+  "CMakeFiles/test_prefetcher.dir/tests/sim/test_prefetcher.cc.o.d"
+  "test_prefetcher"
+  "test_prefetcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

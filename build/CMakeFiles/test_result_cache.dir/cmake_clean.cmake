@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_result_cache.dir/tests/campaign/test_result_cache.cc.o"
+  "CMakeFiles/test_result_cache.dir/tests/campaign/test_result_cache.cc.o.d"
+  "test_result_cache"
+  "test_result_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_result_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roofline_invariants.dir/tests/integration/test_roofline_invariants.cc.o"
+  "CMakeFiles/test_roofline_invariants.dir/tests/integration/test_roofline_invariants.cc.o.d"
+  "test_roofline_invariants"
+  "test_roofline_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roofline_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
