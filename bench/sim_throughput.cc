@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmark: how many simulated demand
+ * accesses per wall-clock second the memory-hierarchy model sustains.
+ *
+ * Not a paper figure: this tracks the *simulator's* own performance so
+ * the perf trajectory of the hot path (Machine::accessLine and below)
+ * is recorded over time. Two tiers are measured, each twice — on the
+ * reference path (setFastPath(false): plain set-scan lookups, no
+ * memos) and on the fast path — reporting simulated L1 demand accesses
+ * per wall second and the fast/reference speedup:
+ *
+ *  - hot-loop tier: raw Machine::load loops (a resident-line streak
+ *    and an L3-resident stream), isolating the demand-access path
+ *    without kernel arithmetic or address translation on top;
+ *  - kernel tier: registered kernels (daxpy, triad, sum,
+ *    pointer-chase) driven through SimEngine, the end-to-end rate a
+ *    campaign sweep experiences.
+ *
+ * Output: a human-readable table on stdout and a JSON trajectory file
+ * (default ./BENCH_sim_throughput.json, override with argv[1]).
+ * $RFL_FAST=1 shrinks sizes and measurement time for CI.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "kernels/engine.hh"
+#include "kernels/registry.hh"
+#include "sim/machine.hh"
+#include "support/address_arena.hh"
+
+namespace
+{
+
+using namespace rfl;
+using Clock = std::chrono::steady_clock;
+
+struct Workload
+{
+    const char *name;
+    std::string spec;   ///< kernel spec, or "" for a raw machine loop
+    uint64_t rawSpan;   ///< raw loop: bytes touched per rep (8 B steps)
+    int lanes;
+    bool streaming;     ///< counts toward the streaming-kernel speedup
+    bool hotLoop;       ///< counts toward the hot-loop speedup
+};
+
+struct ModeResult
+{
+    uint64_t accesses = 0; ///< simulated L1 demand accesses, timed region
+    double seconds = 0.0;
+
+    double
+    accessesPerSec() const
+    {
+        return seconds > 0 ? static_cast<double>(accesses) / seconds : 0.0;
+    }
+};
+
+uint64_t
+l1Accesses(const sim::Machine::Snapshot &delta)
+{
+    uint64_t total = 0;
+    for (const sim::CacheStats &s : delta.l1)
+        total += s.accesses();
+    return total;
+}
+
+/** Run one workload in one mode until min_seconds of wall time passed. */
+ModeResult
+measure(const Workload &w, bool fast_path, double min_seconds)
+{
+    sim::Machine machine(sim::MachineConfig::defaultPlatform());
+    machine.setFastPath(fast_path);
+
+    AddressArena::Scope scope;
+    std::unique_ptr<kernels::Kernel> kernel;
+    std::unique_ptr<kernels::SimEngine> engine;
+    if (!w.spec.empty()) {
+        kernel = kernels::createKernel(w.spec);
+        kernel->init(1);
+        engine = std::make_unique<kernels::SimEngine>(machine, 0, w.lanes,
+                                                      true);
+    }
+
+    auto rep = [&] {
+        if (kernel) {
+            kernel->run(*engine, 0, 1);
+        } else {
+            for (uint64_t a = 0; a < w.rawSpan; a += 8)
+                machine.load(0, (1ull << 32) + a, 8);
+        }
+    };
+
+    rep(); // warm-up: caches, TLB, prefetcher state
+
+    ModeResult r;
+    uint64_t reps = 0;
+    const sim::Machine::Snapshot before = machine.snapshot();
+    const Clock::time_point t0 = Clock::now();
+    Clock::time_point t1;
+    do {
+        rep();
+        ++reps;
+        t1 = Clock::now();
+    } while (std::chrono::duration<double>(t1 - t0).count() < min_seconds ||
+             reps < 3);
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.accesses = l1Accesses(machine.snapshot() - before);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rfl::bench::banner("sim_throughput",
+                       "simulated-access throughput of the memory "
+                       "hierarchy hot path");
+
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_sim_throughput.json";
+    const bool fast_env = rfl::fastMode();
+    const double min_seconds = fast_env ? 0.05 : 0.3;
+    const size_t n = fast_env ? (1u << 13) : (1u << 16);
+    const uint64_t raw_stream_span =
+        fast_env ? (128ull << 10) : (1ull << 20);
+
+    const std::string sn = std::to_string(n);
+    const std::vector<Workload> workloads = {
+        {"raw-l1-streak", "", 16ull << 10, 1, false, true},
+        {"raw-l3-stream", "", raw_stream_span, 1, true, true},
+        {"daxpy-scalar", "daxpy:n=" + sn, 0, 1, true, false},
+        {"daxpy-avx", "daxpy:n=" + sn, 0, 4, true, false},
+        {"triad-scalar", "triad:n=" + sn, 0, 1, true, false},
+        {"sum-scalar", "sum:n=" + sn, 0, 1, true, false},
+        {"pointer-chase",
+         "pointer-chase:nodes=16384,hops=" + sn, 0, 1, false, false},
+    };
+
+    std::printf("%-14s %15s %15s %9s\n", "workload", "ref Macc/s",
+                "fast Macc/s", "speedup");
+
+    struct Row
+    {
+        Workload w;
+        ModeResult ref;
+        ModeResult fast;
+        double speedup;
+    };
+    std::vector<Row> rows;
+    double log_all = 0.0, log_stream = 0.0, log_hot = 0.0;
+    int n_stream = 0, n_hot = 0;
+
+    for (const Workload &w : workloads) {
+        Row row{w, measure(w, false, min_seconds),
+                measure(w, true, min_seconds), 0.0};
+        row.speedup = row.fast.accessesPerSec() / row.ref.accessesPerSec();
+        std::printf("%-14s %15.2f %15.2f %8.2fx\n", w.name,
+                    row.ref.accessesPerSec() / 1e6,
+                    row.fast.accessesPerSec() / 1e6, row.speedup);
+        log_all += std::log(row.speedup);
+        if (w.streaming) {
+            log_stream += std::log(row.speedup);
+            ++n_stream;
+        }
+        if (w.hotLoop) {
+            log_hot += std::log(row.speedup);
+            ++n_hot;
+        }
+        rows.push_back(row);
+    }
+
+    const double geomean =
+        std::exp(log_all / static_cast<double>(rows.size()));
+    const double stream_geomean =
+        std::exp(log_stream / static_cast<double>(n_stream));
+    const double hot_geomean =
+        std::exp(log_hot / static_cast<double>(n_hot));
+    std::printf("\ngeomean speedup (fast vs reference): %.2fx\n", geomean);
+    std::printf("streaming-workload speedup:          %.2fx\n",
+                stream_geomean);
+    std::printf("hot-loop speedup:                    %.2fx\n",
+                hot_geomean);
+
+    FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"sim_throughput\",\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"unit\": \"simulated_accesses_per_second\",\n");
+    std::fprintf(f, "  \"rfl_fast\": %s,\n", fast_env ? "true" : "false");
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(f, "    {\n");
+        std::fprintf(f, "      \"name\": \"%s\",\n", r.w.name);
+        std::fprintf(f, "      \"spec\": \"%s\",\n", r.w.spec.c_str());
+        std::fprintf(f, "      \"lanes\": %d,\n", r.w.lanes);
+        std::fprintf(f, "      \"streaming\": %s,\n",
+                     r.w.streaming ? "true" : "false");
+        std::fprintf(f, "      \"hot_loop\": %s,\n",
+                     r.w.hotLoop ? "true" : "false");
+        std::fprintf(f, "      \"reference_accesses_per_sec\": %.1f,\n",
+                     r.ref.accessesPerSec());
+        std::fprintf(f, "      \"fast_accesses_per_sec\": %.1f,\n",
+                     r.fast.accessesPerSec());
+        std::fprintf(f, "      \"speedup\": %.3f\n", r.speedup);
+        std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"geomean_speedup\": %.3f,\n", geomean);
+    std::fprintf(f, "  \"streaming_speedup\": %.3f,\n", stream_geomean);
+    std::fprintf(f, "  \"hot_loop_speedup\": %.3f\n", hot_geomean);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}

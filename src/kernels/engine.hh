@@ -285,6 +285,13 @@ class NativeEngine
  * Performs the same arithmetic as NativeEngine (results stay verifiable)
  * while routing every memory access through the cache hierarchy and
  * retiring every FP op into the simulated core's counters.
+ *
+ * Memory entry points are batch-friendly: a vector access enters the
+ * machine exactly once with its full byte count (Machine::load/store are
+ * inline and split into lines with one shift), never once per lane, so
+ * the simulated-access rate of a vectorized kernel is bounded by lines
+ * touched, not elements moved. Machine::accessLine then short-circuits
+ * repeated touches to the same resident line (see DESIGN.md §7).
  */
 class SimEngine
 {
@@ -381,7 +388,7 @@ class SimEngine
         return a * b + c;
     }
 
-    // --- vector ---
+    // --- vector (one batched machine entry per operation) ---
     Vec
     vload(const double *p)
     {

@@ -11,6 +11,7 @@
 #ifndef RFL_ROOFLINE_EXPERIMENT_HH
 #define RFL_ROOFLINE_EXPERIMENT_HH
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -80,7 +81,13 @@ class Experiment
     std::unique_ptr<sim::Machine> machine_;
     std::unique_ptr<PlatformProbe> probe_;
     std::unique_ptr<Measurer> measurer_;
-    std::vector<CachedModel> models_;
+    /**
+     * Deque, not vector: modelFor() hands out references to cached
+     * models, and growing a vector would invalidate every reference
+     * returned earlier (use-after-free for callers holding one across
+     * a later characterization).
+     */
+    std::deque<CachedModel> models_;
 };
 
 /** Write a measurement list as CSV under @p dir/@p name.csv. */

@@ -1,6 +1,8 @@
 #include "sim/cache.hh"
 
+#include <algorithm>
 #include <bit>
+#include <cassert>
 
 #include "support/logging.hh"
 
@@ -36,184 +38,117 @@ CacheStats::operator+=(const CacheStats &rhs)
 
 Cache::Cache(const CacheConfig &config)
     : config_(config), numSets_(config.numSets()),
-      ways_(static_cast<size_t>(numSets_) * config.assoc),
+      pow2Sets_(std::has_single_bit(numSets_)),
+      setShift_(static_cast<uint32_t>(std::countr_zero(numSets_))),
+      setMask_(numSets_ - 1),
+      tags_(static_cast<size_t>(numSets_) * config.assoc, kInvalidTag),
+      stamps_(static_cast<size_t>(numSets_) * config.assoc, 0),
+      flags_(static_cast<size_t>(numSets_) * config.assoc, 0),
       rng_(0xcafef00d + config.sizeBytes)
 {
 }
 
 uint32_t
-Cache::setIndex(uint64_t line_addr) const
-{
-    return static_cast<uint32_t>(line_addr % numSets_);
-}
-
-uint64_t
-Cache::tagOf(uint64_t line_addr) const
-{
-    return line_addr / numSets_;
-}
-
-Cache::Way *
-Cache::findWay(uint64_t line_addr)
-{
-    const uint32_t set = setIndex(line_addr);
-    const uint64_t tag = tagOf(line_addr);
-    Way *base = &ways_[static_cast<size_t>(set) * config_.assoc];
-    for (uint32_t w = 0; w < config_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const Cache::Way *
-Cache::findWay(uint64_t line_addr) const
-{
-    return const_cast<Cache *>(this)->findWay(line_addr);
-}
-
-bool
-Cache::lookup(uint64_t line_addr, bool write)
-{
-    ++tick_;
-    Way *way = findWay(line_addr);
-    if (way) {
-        if (way->prefetched) {
-            ++stats_.prefetchHits;
-            way->prefetched = false; // count the first demand touch only
-        }
-        if (config_.repl == ReplPolicy::LRU)
-            way->stamp = tick_;
-        if (write) {
-            way->dirty = true;
-            ++stats_.writeHits;
-        } else {
-            ++stats_.readHits;
-        }
-        return true;
-    }
-    if (write)
-        ++stats_.writeMisses;
-    else
-        ++stats_.readMisses;
-    return false;
-}
-
-uint32_t
 Cache::pickVictim(uint32_t set)
 {
-    Way *base = &ways_[static_cast<size_t>(set) * config_.assoc];
-    // Prefer an invalid way.
-    for (uint32_t w = 0; w < config_.assoc; ++w)
-        if (!base[w].valid)
+    // Single pass: take the first invalid way if there is one, else the
+    // smallest stamp (LRU refreshes stamps on touch, FIFO does not).
+    const size_t base = static_cast<size_t>(set) * config_.assoc;
+    uint32_t victim = 0;
+    uint64_t victim_stamp = ~0ull;
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        if (tags_[base + w] == kInvalidTag)
             return w;
+        if (stamps_[base + w] < victim_stamp) {
+            victim = w;
+            victim_stamp = stamps_[base + w];
+        }
+    }
     if (config_.repl == ReplPolicy::Random)
         return static_cast<uint32_t>(rng_.nextBounded(config_.assoc));
-    // LRU and FIFO both evict the smallest stamp (LRU refreshes stamps on
-    // touch, FIFO does not).
-    uint32_t victim = 0;
-    for (uint32_t w = 1; w < config_.assoc; ++w)
-        if (base[w].stamp < base[victim].stamp)
-            victim = w;
     return victim;
 }
 
 Cache::Eviction
 Cache::fill(uint64_t line_addr, bool write, bool prefetch)
 {
-    RFL_ASSERT(!contains(line_addr));
+    // Interior invariant (the Machine only fills after a miss); checked
+    // in debug builds — an always-on scan here would double the cost of
+    // the simulator's fill path.
+    assert(!contains(line_addr));
     ++tick_;
     const uint32_t set = setIndex(line_addr);
     const uint32_t victim = pickVictim(set);
-    Way &way = ways_[static_cast<size_t>(set) * config_.assoc + victim];
+    const size_t idx =
+        static_cast<size_t>(set) * config_.assoc + victim;
 
     Eviction ev;
-    if (way.valid) {
+    if (tags_[idx] != kInvalidTag) {
         ev.valid = true;
-        ev.dirty = way.dirty;
-        ev.lineAddr = way.tag * numSets_ + set;
-        if (way.dirty)
+        ev.dirty = (flags_[idx] & kDirty) != 0;
+        ev.lineAddr = pow2Sets_ ? ((tags_[idx] << setShift_) | set)
+                                : (tags_[idx] * numSets_ + set);
+        if (ev.dirty)
             ++stats_.writebacks;
     }
 
-    way.valid = true;
-    way.tag = tagOf(line_addr);
-    way.dirty = write;
-    way.prefetched = prefetch;
-    way.stamp = tick_;
+    tags_[idx] = tagOf(line_addr);
+    flags_[idx] = static_cast<uint8_t>((write ? kDirty : 0) |
+                                       (prefetch ? kPrefetched : 0));
+    stamps_[idx] = tick_;
+    // Retarget the MRU memo at the installed line. This also repairs the
+    // memo when the victim way was the memoized one.
+    if (mruEnabled_) {
+        mruWay_ = idx;
+        mruLine_ = line_addr;
+    } else if (mruWay_ == idx) {
+        mruWay_ = kNoWay;
+    }
     if (prefetch)
         ++stats_.prefetchFills;
     return ev;
 }
 
 bool
-Cache::contains(uint64_t line_addr) const
-{
-    return findWay(line_addr) != nullptr;
-}
-
-bool
-Cache::isDirty(uint64_t line_addr) const
-{
-    const Way *way = findWay(line_addr);
-    return way && way->dirty;
-}
-
-bool
-Cache::setDirty(uint64_t line_addr)
-{
-    Way *way = findWay(line_addr);
-    if (!way)
-        return false;
-    way->dirty = true;
-    return true;
-}
-
-bool
 Cache::invalidate(uint64_t line_addr)
 {
-    Way *way = findWay(line_addr);
-    if (!way)
+    const size_t idx = findWayIdx(line_addr);
+    if (idx == kNoWay)
         return false;
-    const bool was_dirty = way->dirty;
-    way->valid = false;
-    way->dirty = false;
-    way->prefetched = false;
+    const bool was_dirty = (flags_[idx] & kDirty) != 0;
+    tags_[idx] = kInvalidTag;
+    flags_[idx] = 0;
+    if (mruWay_ == idx)
+        mruWay_ = kNoWay;
     return was_dirty;
 }
 
 void
 Cache::flushAll(std::vector<uint64_t> &dirty_out)
 {
-    for (uint32_t set = 0; set < numSets_; ++set) {
-        Way *base = &ways_[static_cast<size_t>(set) * config_.assoc];
-        for (uint32_t w = 0; w < config_.assoc; ++w) {
-            Way &way = base[w];
-            if (way.valid && way.dirty)
-                dirty_out.push_back(way.tag * numSets_ + set);
-            way.valid = false;
-            way.dirty = false;
-            way.prefetched = false;
-        }
+    for (size_t idx = 0; idx < tags_.size(); ++idx) {
+        if (tags_[idx] != kInvalidTag && (flags_[idx] & kDirty))
+            dirty_out.push_back(lineOf(idx));
+        tags_[idx] = kInvalidTag;
+        flags_[idx] = 0;
     }
+    mruWay_ = kNoWay;
 }
 
 void
 Cache::invalidateAll()
 {
-    for (Way &way : ways_) {
-        way.valid = false;
-        way.dirty = false;
-        way.prefetched = false;
-    }
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(flags_.begin(), flags_.end(), 0);
+    mruWay_ = kNoWay;
 }
 
 uint64_t
 Cache::residentLines() const
 {
     uint64_t n = 0;
-    for (const Way &way : ways_)
-        if (way.valid)
+    for (uint64_t tag : tags_)
+        if (tag != kInvalidTag)
             ++n;
     return n;
 }

@@ -21,7 +21,12 @@ memPolicyName(MemPolicy policy)
 }
 
 Machine::Machine(const MachineConfig &cfg)
-    : cfg_(cfg), lineBytes_(cfg.l1.lineBytes)
+    : cfg_(cfg), lineBytes_(cfg.l1.lineBytes),
+      lineShift_(static_cast<uint32_t>(std::countr_zero(cfg.l1.lineBytes))),
+      pageShift_(static_cast<uint32_t>(std::countr_zero(
+          static_cast<uint32_t>(cfg.tlb.pageBytes)))),
+      numCores_(cfg.totalCores()), tlbEnabled_(cfg.tlb.enabled),
+      l1pfCheapRepeat_(cfg.l1Prefetcher.kind != PrefetcherKind::Stream)
 {
     cfg_.validate();
     const int cores = cfg_.totalCores();
@@ -38,6 +43,25 @@ Machine::Machine(const MachineConfig &cfg)
     }
     cores_.resize(static_cast<size_t>(cores));
     ntCombine_.resize(static_cast<size_t>(cores), ~0ull);
+    fast_.resize(static_cast<size_t>(cores));
+}
+
+void
+Machine::setFastPath(bool enabled)
+{
+    fastPath_ = enabled;
+    // Reference mode also runs the caches without their MRU memo so
+    // the baseline is the plain set-scan lookup throughout.
+    for (auto &c : l1_)
+        c->setMruMemoEnabled(enabled);
+    for (auto &c : l2_)
+        c->setMruMemoEnabled(enabled);
+    for (auto &c : l3_)
+        c->setMruMemoEnabled(enabled);
+    if (!enabled) {
+        for (CoreFast &fs : fast_)
+            fs = CoreFast{};
+    }
 }
 
 int
@@ -56,11 +80,15 @@ Machine::homeSocket(uint64_t addr, int accessor_socket) const
 }
 
 void
-Machine::accessLine(int core, uint64_t line_addr, bool write)
+Machine::accessLineFull(int core, uint64_t line_addr, bool write)
 {
     RFL_ASSERT(core >= 0 && core < numCores());
     const int socket = socketOf(core);
     CoreCounters &cc = cores_[core];
+    CoreFast &fs = fast_[static_cast<size_t>(core)];
+    // The line's byte address: computed once, reused by the TLB, the
+    // NUMA home lookup and the DRAM path.
+    const uint64_t byte_addr = line_addr << lineShift_;
 
     // A demand touch on the write-combining line drains the WC buffer:
     // the next NT store to it is a fresh transaction.
@@ -68,19 +96,24 @@ Machine::accessLine(int core, uint64_t line_addr, bool write)
         ntCombine_[static_cast<size_t>(core)] = ~0ull;
 
     // Address translation first; a DTLB miss serializes before the
-    // cache access can begin.
-    cc.latencyCycles += tlbs_[core].translate(line_addr * lineBytes_);
+    // cache access can begin. Same-page streaks skip the TLB arrays:
+    // the page was translated by this core's previous translation, so
+    // the L1 DTLB hit (zero latency) is guaranteed.
+    translatePage(core, fs, byte_addr);
 
     // L1 probe.
     const bool l1_hit = l1_[core]->lookup(line_addr, write);
 
-    // The DCU (L1) prefetcher observes the L1 access stream.
-    pfScratch_.clear();
+    // The DCU (L1) prefetcher observes the L1 access stream. Separate
+    // per-level scratch buffers: the L1 candidate list stays intact
+    // while the L2 observer runs (the old shared vector forced a copy
+    // here to avoid aliasing).
+    l1Scratch_.clear();
     if (prefetchEnabled_)
-        l1pf_[core]->observe(line_addr, !l1_hit, pfScratch_);
-    std::vector<uint64_t> l1_pf = pfScratch_;
+        observePf(*l1pf_[core], cfg_.l1Prefetcher.kind, line_addr,
+                  !l1_hit, l1Scratch_);
 
-    std::vector<uint64_t> l2_pf;
+    l2Scratch_.clear();
     double latency = 0.0;
 
     if (!l1_hit) {
@@ -88,10 +121,9 @@ Machine::accessLine(int core, uint64_t line_addr, bool write)
         const bool l2_hit = l2_[core]->lookup(line_addr, false);
 
         // The MLC streamer observes the L2 access stream (= L1 misses).
-        pfScratch_.clear();
         if (prefetchEnabled_)
-            l2pf_[core]->observe(line_addr, !l2_hit, pfScratch_);
-        l2_pf = pfScratch_;
+            observePf(*l2pf_[core], cfg_.l2Prefetcher.kind, line_addr,
+                      !l2_hit, l2Scratch_);
 
         if (l2_hit) {
             latency = cfg_.l2.latencyCycles;
@@ -102,7 +134,6 @@ Machine::accessLine(int core, uint64_t line_addr, bool write)
             if (l3_hit) {
                 latency = cfg_.l3.latencyCycles;
             } else {
-                const uint64_t byte_addr = line_addr * lineBytes_;
                 const int owner = homeSocket(byte_addr, socket);
                 imcs_[owner].read(false);
                 const bool remote = owner != socket;
@@ -120,10 +151,17 @@ Machine::accessLine(int core, uint64_t line_addr, bool write)
     }
     cc.latencyCycles += latency;
 
-    // Service prefetch candidates after the demand access completed.
-    for (uint64_t pf_line : l1_pf)
+    // The accessed line is resident now (hit, or just filled): admit it
+    // to the resident-line filter, remembering its L1 way (the last L1
+    // operation above — demand lookup or demand fill — touched exactly
+    // this line). Prefetch fills below may displace L1 lines and drop
+    // it again — serviced after the demand access completed, exactly as
+    // before.
+    if (fastPath_)
+        fs.noteHit(line_addr, l1_[core]->lastTouchedWay());
+    for (uint64_t pf_line : l1Scratch_)
         prefetchLine(core, pf_line, 1);
-    for (uint64_t pf_line : l2_pf)
+    for (uint64_t pf_line : l2Scratch_)
         prefetchLine(core, pf_line, 2);
 }
 
@@ -143,7 +181,7 @@ Machine::prefetchLine(int core, uint64_t line_addr, int level)
     const bool in_l2 = level <= 1 && l2_[core]->contains(line_addr);
     if (!in_l2 && !(level == 2 && l2_[core]->contains(line_addr))) {
         if (!l3_[socket]->contains(line_addr)) {
-            const uint64_t byte_addr = line_addr * lineBytes_;
+            const uint64_t byte_addr = line_addr << lineShift_;
             const int owner = homeSocket(byte_addr, socket);
             imcs_[owner].read(true);
             double bytes = lineBytes_;
@@ -172,8 +210,14 @@ void
 Machine::fillL1(int core, uint64_t line_addr, bool write, bool prefetch)
 {
     const Cache::Eviction ev = l1_[core]->fill(line_addr, write, prefetch);
-    if (ev.valid && ev.dirty)
-        writebackToL2(core, ev.lineAddr);
+    if (ev.valid) {
+        // The fill displaced exactly this one line: evict it from the
+        // resident-line filter too (the other entries stay resident, so
+        // their filter invariant is untouched).
+        fast_[static_cast<size_t>(core)].dropLine(ev.lineAddr);
+        if (ev.dirty)
+            writebackToL2(core, ev.lineAddr);
+    }
 }
 
 void
@@ -218,7 +262,7 @@ void
 Machine::writebackToDram(int core, uint64_t line_addr)
 {
     const int socket = socketOf(core);
-    const uint64_t byte_addr = line_addr * lineBytes_;
+    const uint64_t byte_addr = line_addr << lineShift_;
     const int owner = homeSocket(byte_addr, socket);
     imcs_[owner].write(false);
     CoreCounters &cc = cores_[core];
@@ -229,36 +273,15 @@ Machine::writebackToDram(int core, uint64_t line_addr)
 }
 
 void
-Machine::load(int core, uint64_t addr, uint32_t bytes)
-{
-    RFL_ASSERT(bytes > 0);
-    cores_[core].loadUops += 1;
-    const uint64_t first = addr / lineBytes_;
-    const uint64_t last = (addr + bytes - 1) / lineBytes_;
-    for (uint64_t line = first; line <= last; ++line)
-        accessLine(core, line, false);
-}
-
-void
-Machine::store(int core, uint64_t addr, uint32_t bytes)
-{
-    RFL_ASSERT(bytes > 0);
-    cores_[core].storeUops += 1;
-    const uint64_t first = addr / lineBytes_;
-    const uint64_t last = (addr + bytes - 1) / lineBytes_;
-    for (uint64_t line = first; line <= last; ++line)
-        accessLine(core, line, true);
-}
-
-void
 Machine::storeNT(int core, uint64_t addr, uint32_t bytes)
 {
     RFL_ASSERT(bytes > 0);
     const int socket = socketOf(core);
     CoreCounters &cc = cores_[core];
+    CoreFast &fs = fast_[static_cast<size_t>(core)];
     cc.storeUops += 1;
-    const uint64_t first = addr / lineBytes_;
-    const uint64_t last = (addr + bytes - 1) / lineBytes_;
+    const uint64_t first = addr >> lineShift_;
+    const uint64_t last = (addr + bytes - 1) >> lineShift_;
     for (uint64_t line = first; line <= last; ++line) {
         // NT stores combine in the fill buffers and go straight to DRAM;
         // any cached copy is invalidated (its dirty data is overwritten).
@@ -267,38 +290,17 @@ Machine::storeNT(int core, uint64_t addr, uint32_t bytes)
         if (line == ntCombine_[static_cast<size_t>(core)])
             continue;
         ntCombine_[static_cast<size_t>(core)] = line;
+        fs.dropLine(line);
         l1_[core]->invalidate(line);
         l2_[core]->invalidate(line);
         l3_[socket]->invalidate(line);
-        const int owner = homeSocket(line * lineBytes_, socket);
+        const int owner = homeSocket(line << lineShift_, socket);
         imcs_[owner].write(true);
         double wbytes = lineBytes_;
         if (owner != socket)
             wbytes /= cfg_.remoteNumaBandwidthFactor;
         cc.ntStoreBytes += static_cast<uint64_t>(wbytes);
     }
-}
-
-void
-Machine::retireFp(int core, VecWidth w, bool fma, uint64_t count)
-{
-    const int lanes = vecLanes(w);
-    if (lanes > cfg_.core.maxVectorDoubles) {
-        panic("core %d retiring %s ops but machine supports width %d",
-              core, vecWidthName(w), cfg_.core.maxVectorDoubles);
-    }
-    if (fma && !cfg_.core.hasFma)
-        panic("core %d retiring FMA on a machine without FMA", core);
-    CoreCounters &cc = cores_[core];
-    // Hardware-faithful: one FMA retirement bumps the counter by two.
-    cc.fpRetired[static_cast<size_t>(w)] += count * (fma ? 2 : 1);
-    cc.fpUops += count;
-}
-
-void
-Machine::retireOther(int core, uint64_t uops)
-{
-    cores_[core].otherUops += uops;
 }
 
 void
@@ -311,7 +313,7 @@ Machine::flushAllCaches(const std::vector<int> &attribute_cores)
         static_cast<size_t>(cfg_.sockets));
 
     auto route = [&](uint64_t line, int socket) {
-        const int owner = homeSocket(line * lineBytes_, socket);
+        const int owner = homeSocket(line << lineShift_, socket);
         dirty[static_cast<size_t>(owner)].push_back(line);
     };
 
@@ -353,6 +355,10 @@ Machine::flushAllCaches(const std::vector<int> &attribute_cores)
     for (auto &pf : l2pf_)
         pf->reset();
     std::fill(ntCombine_.begin(), ntCombine_.end(), ~0ull);
+    // Caches are empty now; TLB content survives a flush, so the page
+    // memo stays valid.
+    for (CoreFast &fs : fast_)
+        fs.dropAllLines();
 }
 
 void
@@ -369,6 +375,8 @@ Machine::invalidateAllCaches()
     for (auto &pf : l2pf_)
         pf->reset();
     std::fill(ntCombine_.begin(), ntCombine_.end(), ~0ull);
+    for (CoreFast &fs : fast_)
+        fs.dropAllLines();
 }
 
 void
@@ -398,6 +406,9 @@ Machine::reset()
     invalidateAllCaches();
     for (auto &tlb : tlbs_)
         tlb.flush();
+    // The TLBs just dropped every translation: the page memo is stale.
+    for (CoreFast &fs : fast_)
+        fs = CoreFast{};
     resetStats();
 }
 
@@ -410,6 +421,8 @@ Machine::snapshot() const
         s.l1.push_back(l1_[c]->stats());
         s.l2.push_back(l2_[c]->stats());
         s.tlbs.push_back(tlbs_[c].stats());
+        s.l1pf.push_back(l1pf_[c]->stats());
+        s.l2pf.push_back(l2pf_[c]->stats());
     }
     for (int sk = 0; sk < cfg_.sockets; ++sk) {
         s.l3.push_back(l3_[sk]->stats());
@@ -429,6 +442,8 @@ Machine::Snapshot::operator-(const Snapshot &rhs) const
         d.l1.push_back(l1[i] - rhs.l1[i]);
         d.l2.push_back(l2[i] - rhs.l2[i]);
         d.tlbs.push_back(tlbs[i] - rhs.tlbs[i]);
+        d.l1pf.push_back(l1pf[i] - rhs.l1pf[i]);
+        d.l2pf.push_back(l2pf[i] - rhs.l2pf[i]);
     }
     for (size_t i = 0; i < imcs.size(); ++i) {
         d.l3.push_back(l3[i] - rhs.l3[i]);

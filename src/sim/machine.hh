@@ -58,7 +58,7 @@ class Machine
     explicit Machine(const MachineConfig &cfg);
 
     const MachineConfig &config() const { return cfg_; }
-    int numCores() const { return cfg_.totalCores(); }
+    int numCores() const { return numCores_; }
     int numSockets() const { return cfg_.sockets; }
     /** @return socket that owns core @p core. */
     int socketOf(int core) const { return core / cfg_.coresPerSocket; }
@@ -79,8 +79,30 @@ class Machine
     void setDependentAccesses(bool dependent) { dependent_ = dependent; }
     bool dependentAccesses() const { return dependent_; }
 
+    /**
+     * Enable/disable the demand-access fast path (default: enabled).
+     *
+     * The fast path memoizes the last-translated page and the most
+     * recently hit L1 lines per core so streaks of accesses skip the
+     * TLB arrays and the cache-miss machinery. Every architectural
+     * observable (Snapshot counters, cache/TLB content, replacement
+     * decisions, prefetcher training) is identical with the fast path
+     * on or off — the golden equivalence test enforces this for every
+     * registered kernel. Disabling selects the straight-line reference
+     * path; useful for differential testing and as the baseline of
+     * bench/sim_throughput. See DESIGN.md §7.
+     */
+    void setFastPath(bool enabled);
+    bool fastPathEnabled() const { return fastPath_; }
+
     /** @name Data path (byte addresses; split into lines internally). */
     ///@{
+    /**
+     * The bodies are inline (see below): the engines call these on every
+     * simulated memory operation, and a vector access that stays inside
+     * one line must cost one direct call into accessLine, not a
+     * cross-object dispatch per element.
+     */
     void load(int core, uint64_t addr, uint32_t bytes);
     void store(int core, uint64_t addr, uint32_t bytes);
     /** Non-temporal (streaming) store: bypasses the cache hierarchy. */
@@ -129,6 +151,8 @@ class Machine
         std::vector<CacheStats> l3;         // per socket
         std::vector<ImcStats> imcs;         // per socket
         std::vector<TlbStats> tlbs;         // per core
+        std::vector<PrefetcherStats> l1pf;  // per core
+        std::vector<PrefetcherStats> l2pf;  // per core
 
         /** Component-wise difference (this - rhs). */
         Snapshot operator-(const Snapshot &rhs) const;
@@ -166,6 +190,7 @@ class Machine
     const Cache &l3(int socket) const { return *l3_[socket]; }
     const Imc &imc(int socket) const { return imcs_[socket]; }
     const CoreCounters &coreCounters(int core) const { return cores_[core]; }
+    const Prefetcher &l1Prefetcher(int core) const { return *l1pf_[core]; }
     const Prefetcher &l2Prefetcher(int core) const { return *l2pf_[core]; }
     const Tlb &tlb(int core) const { return tlbs_[core]; }
     ///@}
@@ -179,9 +204,38 @@ class Machine
 
     /**
      * One demand line access for @p core. Updates caches, IMC, counters
-     * and latency; triggers prefetchers.
+     * and latency; triggers prefetchers. Dispatches to the resident-line
+     * fast path when possible (see CoreFast), else to accessLineFull.
      */
     void accessLine(int core, uint64_t line_addr, bool write);
+
+    /** The full (reference) demand-access path. */
+    void accessLineFull(int core, uint64_t line_addr, bool write);
+
+    /**
+     * observe() on @p pf with a direct (devirtualized) call: @p kind is
+     * the configured flavor, the model classes are final, and observe
+     * runs for every demand access a level sees.
+     */
+    static void
+    observePf(Prefetcher &pf, PrefetcherKind kind, uint64_t line_addr,
+              bool miss, PfList &out)
+    {
+        switch (kind) {
+          case PrefetcherKind::None:
+            static_cast<NonePrefetcher &>(pf).observe(line_addr, miss,
+                                                      out);
+            return;
+          case PrefetcherKind::NextLine:
+            static_cast<NextLinePrefetcher &>(pf).observe(line_addr,
+                                                          miss, out);
+            return;
+          case PrefetcherKind::Stream:
+            static_cast<StreamPrefetcher &>(pf).observe(line_addr, miss,
+                                                        out);
+            return;
+        }
+    }
 
     /**
      * Fetch @p line_addr into the hierarchy on behalf of the prefetcher
@@ -205,8 +259,19 @@ class Machine
 
     MachineConfig cfg_;
     uint32_t lineBytes_;
+    uint32_t lineShift_;        ///< log2(lineBytes_); lines are pow2
+    uint32_t pageShift_;        ///< log2(TLB page size)
+    int numCores_;              ///< cfg_.totalCores(), hoisted
+    bool tlbEnabled_;           ///< cfg_.tlb.enabled, hoisted
     bool prefetchEnabled_ = true;
     bool dependent_ = false;
+    bool fastPath_ = true;
+    /**
+     * Whether the L1 prefetcher's reaction to a repeated hit is a bare
+     * observation count (None/NextLine ignore hits). The streamer trains
+     * on hits too, so it must run its full observe() on the fast path.
+     */
+    bool l1pfCheapRepeat_;
     MemPolicy memPolicy_ = MemPolicy::LocalToAccessor;
 
     std::vector<std::unique_ptr<Cache>> l1_;  // per core
@@ -225,9 +290,195 @@ class Machine
      */
     std::vector<uint64_t> ntCombine_;
 
-    /** Scratch vector reused for prefetch candidates. */
-    std::vector<uint64_t> pfScratch_;
+    /**
+     * Per-core fast-path memos (active only while fastPath_ is set).
+     *
+     * lastVpn is the page of this core's most recent TLB translation;
+     * it is updated on every translate() and cleared whenever the TLB
+     * is flushed, so "vpn == lastVpn" proves the translation would hit
+     * the L1 DTLB with zero latency (countStreakAccess()).
+     *
+     * hitLine[] holds recent lines whose demand access hit this core's
+     * L1. Entries are dropped whenever anything fills or invalidates a
+     * line of that L1 (fillL1, storeNT, flush), so a match proves
+     * residency: the access is a hit by construction and the whole miss
+     * path can be skipped. Four entries (round-robin replacement, no
+     * ordering — residency is all a match asserts), because kernels
+     * interleave up to three operand streams (triad's a, b and c) plus
+     * a spilled accumulator or index line.
+     */
+    struct CoreFast
+    {
+        static constexpr uint64_t none = ~0ull;
+        uint64_t lastVpn = none;
+        uint64_t hitLine[4] = {none, none, none, none};
+        /** L1 way slot of each hitLine entry. A resident line never
+         * changes ways, so the slot stays valid exactly as long as the
+         * entry itself (both die on eviction/invalidation). */
+        size_t wayIdx[4] = {};
+        uint32_t insertAt = 0;
+        /** Slot of the last match: streaks re-hit it on one compare. */
+        uint32_t lastSlot = 0;
+
+        int
+        find(uint64_t line_addr)
+        {
+            if (hitLine[lastSlot] == line_addr)
+                return static_cast<int>(lastSlot);
+            for (uint32_t i = 0; i < 4; ++i) {
+                if (hitLine[i] == line_addr) {
+                    lastSlot = i;
+                    return static_cast<int>(i);
+                }
+            }
+            return -1;
+        }
+
+        void
+        noteHit(uint64_t line_addr, size_t way_idx)
+        {
+            if (find(line_addr) >= 0)
+                return;
+            hitLine[insertAt] = line_addr;
+            wayIdx[insertAt] = way_idx;
+            insertAt = (insertAt + 1) & 3u;
+        }
+
+        void
+        dropLine(uint64_t line_addr)
+        {
+            for (uint64_t &h : hitLine) {
+                if (h == line_addr)
+                    h = none;
+            }
+        }
+
+        void
+        dropAllLines()
+        {
+            for (uint64_t &h : hitLine)
+                h = none;
+        }
+    };
+    std::vector<CoreFast> fast_;
+
+    /**
+     * Translate the page of @p byte_addr for @p core, charging latency
+     * to its counters — skipping the TLB arrays on a same-page streak
+     * (fast path only; see CoreFast::lastVpn). The single definition
+     * keeps the fast and full access paths bit-identical by
+     * construction. Defined inline below the class.
+     */
+    void translatePage(int core, CoreFast &fs, uint64_t byte_addr);
+
+    /**
+     * Fixed-capacity scratch buffers for prefetch candidates, one per
+     * observing level so the L1 and L2 candidate lists can never alias
+     * (the old single shared vector forced a per-access copy to avoid
+     * exactly that).
+     */
+    PfList l1Scratch_;
+    PfList l2Scratch_;
 };
+
+// The data-path entry points and the resident-line fast path are inline:
+// SimEngine calls one of these per simulated memory operation, and the
+// common case (repeated touch of a resident line on a translated page)
+// must compile down to a handful of compares and counter increments at
+// the call site, with no function-call round trip.
+
+inline void
+Machine::translatePage(int core, CoreFast &fs, uint64_t byte_addr)
+{
+    const uint64_t vpn = byte_addr >> pageShift_;
+    if (fastPath_ && vpn == fs.lastVpn) {
+        if (tlbEnabled_)
+            tlbs_[core].countStreakAccess();
+    } else {
+        cores_[core].latencyCycles += tlbs_[core].translate(byte_addr);
+        fs.lastVpn = vpn;
+    }
+}
+
+inline void
+Machine::accessLine(int core, uint64_t line_addr, bool write)
+{
+    RFL_ASSERT(core >= 0 && core < numCores_);
+    CoreFast &fs = fast_[static_cast<size_t>(core)];
+
+    const int slot = fastPath_ ? fs.find(line_addr) : -1;
+    if (slot >= 0) {
+        // Resident-line fast path. A filter match proves the line is
+        // still in this core's L1 (entries are dropped on every fill or
+        // invalidation), so this access is a hit and the whole miss
+        // machinery can be skipped. Every counter the full path would
+        // touch is updated identically; see DESIGN.md §7.
+        translatePage(core, fs, line_addr << lineShift_);
+        l1_[core]->touchRepeat(fs.wayIdx[slot], write);
+        if (prefetchEnabled_) {
+            if (l1pfCheapRepeat_) {
+                // None/NextLine ignore hits: counting the observation is
+                // all the full observe() would have done.
+                l1pf_[core]->countObserved();
+            } else {
+                // A streamer trains on hits: run the full model.
+                l1Scratch_.clear();
+                static_cast<StreamPrefetcher &>(*l1pf_[core])
+                    .observe(line_addr, false, l1Scratch_);
+                for (uint64_t pf_line : l1Scratch_)
+                    prefetchLine(core, pf_line, 1);
+            }
+        }
+        return;
+    }
+    accessLineFull(core, line_addr, write);
+}
+
+inline void
+Machine::load(int core, uint64_t addr, uint32_t bytes)
+{
+    RFL_ASSERT(bytes > 0);
+    cores_[core].loadUops += 1;
+    const uint64_t first = addr >> lineShift_;
+    const uint64_t last = (addr + bytes - 1) >> lineShift_;
+    accessLine(core, first, false);
+    for (uint64_t line = first + 1; line <= last; ++line)
+        accessLine(core, line, false);
+}
+
+inline void
+Machine::store(int core, uint64_t addr, uint32_t bytes)
+{
+    RFL_ASSERT(bytes > 0);
+    cores_[core].storeUops += 1;
+    const uint64_t first = addr >> lineShift_;
+    const uint64_t last = (addr + bytes - 1) >> lineShift_;
+    accessLine(core, first, true);
+    for (uint64_t line = first + 1; line <= last; ++line)
+        accessLine(core, line, true);
+}
+
+inline void
+Machine::retireFp(int core, VecWidth w, bool fma, uint64_t count)
+{
+    const int lanes = vecLanes(w);
+    if (lanes > cfg_.core.maxVectorDoubles) {
+        panic("core %d retiring %s ops but machine supports width %d",
+              core, vecWidthName(w), cfg_.core.maxVectorDoubles);
+    }
+    if (fma && !cfg_.core.hasFma)
+        panic("core %d retiring FMA on a machine without FMA", core);
+    CoreCounters &cc = cores_[core];
+    // Hardware-faithful: one FMA retirement bumps the counter by two.
+    cc.fpRetired[static_cast<size_t>(w)] += count * (fma ? 2 : 1);
+    cc.fpUops += count;
+}
+
+inline void
+Machine::retireOther(int core, uint64_t uops)
+{
+    cores_[core].otherUops += uops;
+}
 
 } // namespace rfl::sim
 

@@ -29,36 +29,17 @@ Prefetcher::create(const PrefetcherConfig &cfg)
     panic("unknown prefetcher kind");
 }
 
-void
-NonePrefetcher::observe(uint64_t, bool, std::vector<uint64_t> &)
-{
-    ++stats_.observed;
-}
-
-void
-NextLinePrefetcher::observe(uint64_t line_addr, bool miss,
-                            std::vector<uint64_t> &out)
-{
-    ++stats_.observed;
-    if (!miss)
-        return;
-    // The DCU adjacent-line prefetcher fetches the other half of the
-    // 128-byte aligned pair.
-    out.push_back(line_addr ^ 1ull);
-    ++stats_.issued;
-}
-
 StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &cfg)
     : cfg_(cfg), table_(static_cast<size_t>(cfg.streams))
 {
     RFL_ASSERT(cfg.streams >= 1);
-    RFL_ASSERT(cfg.degree >= 1);
+    RFL_ASSERT(cfg.degree >= 1 && cfg.degree <= PfList::capacity);
     RFL_ASSERT(cfg.distance >= 1);
 }
 
 void
 StreamPrefetcher::observe(uint64_t line_addr, bool miss,
-                          std::vector<uint64_t> &out)
+                          PfList &out)
 {
     ++stats_.observed;
     ++tick_;

@@ -17,14 +17,54 @@
 #ifndef RFL_SIM_PREFETCHER_HH
 #define RFL_SIM_PREFETCHER_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "sim/config.hh"
+#include "support/logging.hh"
 
 namespace rfl::sim
 {
+
+/**
+ * Fixed-capacity list of prefetch-candidate line addresses.
+ *
+ * The demand-access hot path hands one of these to observe() on every
+ * simulated access; an inline array keeps that path allocation-free.
+ * Capacity bounds the candidates of a single observe() call (checked at
+ * prefetcher construction against the configured degree).
+ */
+class PfList
+{
+  public:
+    static constexpr int capacity = 64;
+
+    void clear() { count_ = 0; }
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return static_cast<size_t>(count_); }
+
+    void
+    push_back(uint64_t line_addr)
+    {
+        RFL_ASSERT(count_ < capacity);
+        items_[static_cast<size_t>(count_++)] = line_addr;
+    }
+
+    uint64_t
+    operator[](size_t i) const
+    {
+        return items_[i];
+    }
+
+    const uint64_t *begin() const { return items_.data(); }
+    const uint64_t *end() const { return items_.data() + count_; }
+
+  private:
+    std::array<uint64_t, capacity> items_;
+    int count_ = 0;
+};
 
 /** Statistics common to all prefetcher models. */
 struct PrefetcherStats
@@ -52,7 +92,7 @@ class Prefetcher
      * @param out       line addresses to prefetch (appended)
      */
     virtual void observe(uint64_t line_addr, bool miss,
-                         std::vector<uint64_t> &out) = 0;
+                         PfList &out) = 0;
 
     /** Forget all training state (caches were flushed). */
     virtual void reset() = 0;
@@ -63,6 +103,16 @@ class Prefetcher
     const PrefetcherStats &stats() const { return stats_; }
     void clearStats() { stats_ = PrefetcherStats{}; }
 
+    /**
+     * Count an observed access without running the model. Only valid
+     * when the caller knows the model would do nothing but count — a
+     * repeated access that hit the attached cache, observed by the
+     * None/NextLine flavors (both ignore hits). The streamer must see
+     * every access through observe(); Machine's fast path checks the
+     * configured kind before using this shortcut.
+     */
+    void countObserved() { ++stats_.observed; }
+
     /** Factory from configuration. */
     static std::unique_ptr<Prefetcher> create(const PrefetcherConfig &cfg);
 
@@ -70,21 +120,41 @@ class Prefetcher
     PrefetcherStats stats_;
 };
 
-/** No-op model (prefetching disabled). */
-class NonePrefetcher : public Prefetcher
+/**
+ * No-op model (prefetching disabled).
+ *
+ * The concrete models are `final` and their trivial observe() bodies
+ * inline: the Machine dispatches on the configured kind with direct
+ * (devirtualized) calls, since observe() runs on every simulated
+ * demand access.
+ */
+class NonePrefetcher final : public Prefetcher
 {
   public:
-    void observe(uint64_t, bool, std::vector<uint64_t> &) override;
+    void
+    observe(uint64_t, bool, PfList &) override
+    {
+        ++stats_.observed;
+    }
     void reset() override {}
     PrefetcherKind kind() const override { return PrefetcherKind::None; }
 };
 
 /** Adjacent-line prefetcher: a miss on line L prefetches L's pair line. */
-class NextLinePrefetcher : public Prefetcher
+class NextLinePrefetcher final : public Prefetcher
 {
   public:
-    void observe(uint64_t line_addr, bool miss,
-                 std::vector<uint64_t> &out) override;
+    void
+    observe(uint64_t line_addr, bool miss, PfList &out) override
+    {
+        ++stats_.observed;
+        if (!miss)
+            return;
+        // The DCU adjacent-line prefetcher fetches the other half of
+        // the 128-byte aligned pair.
+        out.push_back(line_addr ^ 1ull);
+        ++stats_.issued;
+    }
     void reset() override {}
     PrefetcherKind kind() const override { return PrefetcherKind::NextLine; }
 };
@@ -99,13 +169,13 @@ class NextLinePrefetcher : public Prefetcher
  * further access on the stream issues `degree` prefetches starting
  * `distance` lines ahead.
  */
-class StreamPrefetcher : public Prefetcher
+class StreamPrefetcher final : public Prefetcher
 {
   public:
     explicit StreamPrefetcher(const PrefetcherConfig &cfg);
 
     void observe(uint64_t line_addr, bool miss,
-                 std::vector<uint64_t> &out) override;
+                 PfList &out) override;
     void reset() override;
     PrefetcherKind kind() const override { return PrefetcherKind::Stream; }
 

@@ -1,5 +1,8 @@
 #include "sim/tlb.hh"
 
+#include <algorithm>
+#include <bit>
+
 namespace rfl::sim
 {
 
@@ -36,22 +39,25 @@ TlbStats::operator-(const TlbStats &rhs) const
 }
 
 Tlb::Tlb(const TlbConfig &config)
-    : config_(config), l1Sets_(config.l1Entries / config.l1Assoc),
+    : config_(config),
+      pageShift_(static_cast<uint32_t>(std::countr_zero(config.pageBytes))),
+      l1Sets_(config.l1Entries / config.l1Assoc),
       l2Sets_(config.l2Entries / config.l2Assoc),
+      l1Pow2_(std::has_single_bit(l1Sets_)), l1Mask_(l1Sets_ - 1),
       l1_(config.l1Entries), l2_(config.l2Entries)
 {
     config_.validate();
 }
 
 bool
-Tlb::lookupArray(std::vector<Way> &ways, uint32_t sets, uint32_t assoc,
+Tlb::lookupLevel(Level &level, uint32_t sets, uint32_t assoc,
                  uint64_t vpn, uint64_t tick)
 {
-    const uint32_t set = static_cast<uint32_t>(vpn % sets);
-    Way *base = &ways[static_cast<size_t>(set) * assoc];
+    const size_t base =
+        static_cast<size_t>(static_cast<uint32_t>(vpn % sets)) * assoc;
     for (uint32_t w = 0; w < assoc; ++w) {
-        if (base[w].valid && base[w].vpn == vpn) {
-            base[w].stamp = tick;
+        if (level.vpns[base + w] == vpn) {
+            level.stamps[base + w] = tick;
             return true;
         }
     }
@@ -59,55 +65,47 @@ Tlb::lookupArray(std::vector<Way> &ways, uint32_t sets, uint32_t assoc,
 }
 
 void
-Tlb::fillArray(std::vector<Way> &ways, uint32_t sets, uint32_t assoc,
-               uint64_t vpn, uint64_t tick)
+Tlb::fillLevel(Level &level, uint32_t sets, uint32_t assoc, uint64_t vpn,
+               uint64_t tick)
 {
-    const uint32_t set = static_cast<uint32_t>(vpn % sets);
-    Way *base = &ways[static_cast<size_t>(set) * assoc];
-    Way *victim = base;
+    const size_t base =
+        static_cast<size_t>(static_cast<uint32_t>(vpn % sets)) * assoc;
+    size_t victim = base;
+    uint64_t victim_stamp = ~0ull;
     for (uint32_t w = 0; w < assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
+        if (level.vpns[base + w] == kInvalidVpn) {
+            victim = base + w;
             break;
         }
-        if (base[w].stamp < victim->stamp)
-            victim = &base[w];
+        if (level.stamps[base + w] < victim_stamp) {
+            victim = base + w;
+            victim_stamp = level.stamps[base + w];
+        }
     }
-    victim->valid = true;
-    victim->vpn = vpn;
-    victim->stamp = tick;
+    level.vpns[victim] = vpn;
+    level.stamps[victim] = tick;
 }
 
 double
-Tlb::translate(uint64_t addr)
+Tlb::translateL1Miss(uint64_t vpn)
 {
-    if (!config_.enabled)
-        return 0.0;
-    ++tick_;
-    ++stats_.accesses;
-    const uint64_t vpn = addr / config_.pageBytes;
-
-    if (lookupArray(l1_, l1Sets_, config_.l1Assoc, vpn, tick_))
-        return 0.0;
     ++stats_.l1Misses;
 
-    if (lookupArray(l2_, l2Sets_, config_.l2Assoc, vpn, tick_)) {
-        fillArray(l1_, l1Sets_, config_.l1Assoc, vpn, tick_);
+    if (lookupLevel(l2_, l2Sets_, config_.l2Assoc, vpn, tick_)) {
+        fillLevel(l1_, l1Sets_, config_.l1Assoc, vpn, tick_);
         return config_.l2LatencyCycles;
     }
     ++stats_.walks;
-    fillArray(l2_, l2Sets_, config_.l2Assoc, vpn, tick_);
-    fillArray(l1_, l1Sets_, config_.l1Assoc, vpn, tick_);
+    fillLevel(l2_, l2Sets_, config_.l2Assoc, vpn, tick_);
+    fillLevel(l1_, l1Sets_, config_.l1Assoc, vpn, tick_);
     return config_.walkLatencyCycles;
 }
 
 void
 Tlb::flush()
 {
-    for (Way &w : l1_)
-        w.valid = false;
-    for (Way &w : l2_)
-        w.valid = false;
+    std::fill(l1_.vpns.begin(), l1_.vpns.end(), kInvalidVpn);
+    std::fill(l2_.vpns.begin(), l2_.vpns.end(), kInvalidVpn);
 }
 
 } // namespace rfl::sim

@@ -73,8 +73,48 @@ class Tlb
     /**
      * Translate the page containing byte address @p addr.
      * @return extra latency cycles (0 on an L1 DTLB hit).
+     *
+     * The L1-DTLB-hit path is inline: translate() runs for every
+     * simulated line touch that is not part of a same-page streak, and
+     * the overwhelming majority of those hit the first-level TLB.
      */
-    double translate(uint64_t addr);
+    double
+    translate(uint64_t addr)
+    {
+        if (!config_.enabled)
+            return 0.0;
+        ++tick_;
+        ++stats_.accesses;
+        const uint64_t vpn = addr >> pageShift_;
+        const size_t base =
+            static_cast<size_t>(
+                l1Pow2_ ? static_cast<uint32_t>(vpn & l1Mask_)
+                        : static_cast<uint32_t>(vpn % l1Sets_)) *
+            config_.l1Assoc;
+        const uint64_t *vpns = l1_.vpns.data() + base;
+        for (uint32_t w = 0; w < config_.l1Assoc; ++w) {
+            if (vpns[w] == vpn) {
+                l1_.stamps[base + w] = tick_;
+                return 0.0;
+            }
+        }
+        return translateL1Miss(vpn);
+    }
+
+    /**
+     * Account one access that is part of a same-page streak: the caller
+     * (Machine's fast path) proved that this TLB is enabled, that this
+     * page was the most recently translated one and that no other
+     * translation has happened since, so the access would hit the L1
+     * DTLB with zero latency. Only the access counter moves; LRU state
+     * is untouched (the streak page already holds the newest stamp, so
+     * relative recency — all the replacement logic ever compares — is
+     * unchanged). See DESIGN.md §7.
+     */
+    void countStreakAccess() { ++stats_.accesses; }
+
+    /** log2(page size): pages are validated to be a power of two. */
+    uint32_t pageShift() const { return pageShift_; }
 
     /** Drop all translations (context switch / explicit flush). */
     void flush();
@@ -84,25 +124,44 @@ class Tlb
     void clearStats() { stats_ = TlbStats{}; }
 
   private:
-    struct Way
+    /**
+     * Invalid-entry sentinel, the same trick as the cache's tag array:
+     * no reachable address produces this vpn, so the lookup loop needs
+     * no separate valid flag.
+     */
+    static constexpr uint64_t kInvalidVpn = ~0ull;
+
+    /** One TLB level as flat set-major arrays (vpns scanned, stamps
+     *  touched on hit/fill). */
+    struct Level
     {
-        uint64_t vpn = 0;
-        uint64_t stamp = 0;
-        bool valid = false;
+        std::vector<uint64_t> vpns;
+        std::vector<uint64_t> stamps;
+
+        explicit Level(uint32_t entries)
+            : vpns(entries, kInvalidVpn), stamps(entries, 0)
+        {
+        }
     };
 
-    /** Lookup and LRU-touch @p vpn in a set-associative array. */
-    static bool lookupArray(std::vector<Way> &ways, uint32_t sets,
-                            uint32_t assoc, uint64_t vpn, uint64_t tick);
-    /** Insert @p vpn (LRU victim) into the array. */
-    static void fillArray(std::vector<Way> &ways, uint32_t sets,
-                          uint32_t assoc, uint64_t vpn, uint64_t tick);
+    /** Lookup and LRU-touch @p vpn in a level. */
+    static bool lookupLevel(Level &level, uint32_t sets, uint32_t assoc,
+                            uint64_t vpn, uint64_t tick);
+    /** Insert @p vpn (LRU victim) into a level. */
+    static void fillLevel(Level &level, uint32_t sets, uint32_t assoc,
+                          uint64_t vpn, uint64_t tick);
+
+    /** Continue a translation that missed the L1 DTLB (STLB, walk). */
+    double translateL1Miss(uint64_t vpn);
 
     TlbConfig config_;
+    uint32_t pageShift_;
     uint32_t l1Sets_;
     uint32_t l2Sets_;
-    std::vector<Way> l1_;
-    std::vector<Way> l2_;
+    bool l1Pow2_;
+    uint64_t l1Mask_;
+    Level l1_;
+    Level l2_;
     TlbStats stats_;
     uint64_t tick_ = 0;
 };

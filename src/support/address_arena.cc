@@ -3,12 +3,7 @@
 namespace rfl
 {
 
-namespace
-{
-
-thread_local AddressArena *tls_current = nullptr;
-
-} // namespace
+thread_local AddressArena *AddressArena::tlsCurrent_ = nullptr;
 
 uint64_t
 AddressArena::registerRegion(const void *host, size_t bytes)
@@ -19,61 +14,39 @@ AddressArena::registerRegion(const void *host, size_t bytes)
     next_ += span;
     regions_.push_back(
         {reinterpret_cast<uintptr_t>(host), bytes, sim});
-    // Point the memo at the new region: it may shadow the host range of
-    // a freed-and-reallocated buffer, and a stale memo into the old
-    // region would otherwise win the fast path below.
-    lastHit_ = regions_.size() - 1;
+    // Reset the memo onto the new region: it may shadow the host range
+    // of a freed-and-reallocated buffer, and a stale memo into the old
+    // region would otherwise win the fast path.
+    for (size_t &idx : recent_)
+        idx = regions_.size() - 1;
+    recentAt_ = 0;
     return sim;
 }
 
 uint64_t
-AddressArena::translatePointer(const void *p) const
+AddressArena::translateScan(uintptr_t addr) const
 {
-    const uintptr_t addr = reinterpret_cast<uintptr_t>(p);
-    // Fast path: repeated accesses overwhelmingly stay in one buffer.
-    // The memo can never point at a shadowed (freed-then-reused) host
-    // range: registerRegion() retargets it whenever a new region
-    // appears.
-    if (lastHit_ < regions_.size()) {
-        const Region &r = regions_[lastHit_];
-        if (addr >= r.host && addr < r.host + r.bytes)
-            return r.sim + (addr - r.host);
-    }
     // Newest region first: a freed-and-reallocated host address must
     // resolve to its latest registration.
     for (size_t i = regions_.size(); i-- > 0;) {
         const Region &r = regions_[i];
         if (addr >= r.host && addr < r.host + r.bytes) {
-            lastHit_ = i;
+            recent_[recentAt_] = i;
+            recentAt_ = (recentAt_ + 1) & 3u;
             return r.sim + (addr - r.host);
         }
     }
     return addr; // unregistered (stack scalar, pre-scope allocation)
 }
 
-AddressArena *
-AddressArena::current()
+AddressArena::Scope::Scope() : prev_(tlsCurrent_)
 {
-    return tls_current;
-}
-
-uint64_t
-AddressArena::translate(const void *p)
-{
-    const AddressArena *arena = tls_current;
-    if (!arena)
-        return reinterpret_cast<uintptr_t>(p);
-    return arena->translatePointer(p);
-}
-
-AddressArena::Scope::Scope() : prev_(tls_current)
-{
-    tls_current = &arena_;
+    tlsCurrent_ = &arena_;
 }
 
 AddressArena::Scope::~Scope()
 {
-    tls_current = prev_;
+    tlsCurrent_ = prev_;
 }
 
 } // namespace rfl

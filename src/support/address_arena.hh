@@ -53,14 +53,41 @@ class AddressArena
      * @return the simulated address of @p p: its offset within the most
      * recently registered region containing it, rebased to that region's
      * canonical base; identity for unregistered pointers.
+     *
+     * Inline fast path: translate() runs for every simulated load and
+     * store, and streaming kernels overwhelmingly stay inside the last
+     * region hit, so the memo check must not cost a function call.
      */
-    uint64_t translatePointer(const void *p) const;
+    uint64_t
+    translatePointer(const void *p) const
+    {
+        const uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+        // The memo can never point at a shadowed (freed-then-reused)
+        // host range: registerRegion() resets it whenever a new region
+        // appears. Four entries so kernels cycling through up to four
+        // operand buffers (triad's a/b/c) stay on the fast path.
+        for (size_t idx : recent_) {
+            if (idx < regions_.size()) {
+                const Region &r = regions_[idx];
+                if (addr - r.host < r.bytes) // unsigned: rejects < host
+                    return r.sim + (addr - r.host);
+            }
+        }
+        return translateScan(addr);
+    }
 
     /** Arena active on this thread, or nullptr. */
-    static AddressArena *current();
+    static AddressArena *current() { return tlsCurrent_; }
 
     /** translatePointer() through current(); identity without a scope. */
-    static uint64_t translate(const void *p);
+    static uint64_t
+    translate(const void *p)
+    {
+        const AddressArena *arena = tlsCurrent_;
+        if (!arena)
+            return reinterpret_cast<uintptr_t>(p);
+        return arena->translatePointer(p);
+    }
 
     /**
      * RAII activation: installs a fresh arena as the current thread's
@@ -78,15 +105,23 @@ class AddressArena
         uint64_t sim;
     };
 
+    /** Memo-miss path: scan regions newest-first; identity on no match.*/
+    uint64_t translateScan(uintptr_t addr) const;
+
+    static thread_local AddressArena *tlsCurrent_;
+
     std::vector<Region> regions_;
     uint64_t next_ = baseAddress;
     /**
-     * Index of the last region a translation hit. Streaming kernels
-     * issue long runs of accesses into one buffer, so checking it first
-     * makes the hot path one range compare (translate is called for
-     * every simulated load/store).
+     * Round-robin memo of regions recent translations hit. Streaming
+     * kernels cycle through a handful of operand buffers, so almost
+     * every translation resolves against one of these with a couple of
+     * range compares (translate is called for every simulated
+     * load/store). Entries are reset by registerRegion() so they can
+     * never point at a shadowed (freed-then-reallocated) host range.
      */
-    mutable size_t lastHit_ = 0;
+    mutable size_t recent_[4] = {0, 0, 0, 0};
+    mutable uint32_t recentAt_ = 0;
 };
 
 /** See the declaration inside AddressArena. */

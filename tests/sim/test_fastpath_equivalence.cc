@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Golden counter-equivalence test for the demand-access fast path.
+ *
+ * The simulator's hot path memoizes the last-translated page and the
+ * most recently hit L1 lines per core (see DESIGN.md §7). The contract
+ * is that these shortcuts are *invisible*: every counter in a
+ * Machine::Snapshot — core retirement, per-level cache stats, TLB
+ * stats, prefetcher stats, IMC CAS counters — must be bit-identical
+ * between a run with the fast path enabled (the default) and a run on
+ * the straight-line reference path (setFastPath(false)).
+ *
+ * Every registered kernel is driven through SimEngine in both modes on
+ * the default platform and compared field-by-field. Variants cover the
+ * regimes the memos interact with: scalar vs vector width, prefetchers
+ * on vs off, multi-core partitions, non-temporal stores, and
+ * dependent (pointer-chasing) accesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "kernels/engine.hh"
+#include "kernels/registry.hh"
+#include "sim/machine.hh"
+#include "support/address_arena.hh"
+
+namespace
+{
+
+using namespace rfl;
+using namespace rfl::sim;
+
+/** Small-size spec per kernel: big enough to leave L1, quick to run. */
+const std::map<std::string, std::string> &
+smallSpecs()
+{
+    static const std::map<std::string, std::string> specs = {
+        {"daxpy", "daxpy:n=4096"},
+        {"dot", "dot:n=4096"},
+        {"triad", "triad:n=4096"},
+        {"triad-nt", "triad-nt:n=4096"},
+        {"sum", "sum:n=4096"},
+        {"stencil3", "stencil3:n=4096"},
+        {"dgemv", "dgemv:m=96,n=96"},
+        {"dgemm-naive", "dgemm-naive:n=40"},
+        {"dgemm-blocked", "dgemm-blocked:n=40,block=16"},
+        {"dgemm-opt", "dgemm-opt:n=40"},
+        {"fft", "fft:n=1024"},
+        {"spmv-csr", "spmv-csr:rows=512,nnz=8"},
+        {"strided-sum", "strided-sum:n=8192,stride=16"},
+        {"pointer-chase", "pointer-chase:nodes=1024,hops=4096"},
+    };
+    return specs;
+}
+
+struct RunOpts
+{
+    int lanes = 4;
+    int cores = 1;
+    bool prefetch = true;
+    bool flush = true; ///< end with flushAllCaches (writeback coverage)
+};
+
+Machine::Snapshot
+runKernel(const std::string &spec, bool fast_path, const RunOpts &opts)
+{
+    Machine machine(MachineConfig::defaultPlatform());
+    machine.setFastPath(fast_path);
+    machine.setPrefetchEnabled(opts.prefetch);
+
+    AddressArena::Scope scope;
+    auto kernel = kernels::createKernel(spec);
+    kernel->init(42);
+    machine.setDependentAccesses(kernel->dependentAccesses());
+
+    const Machine::Snapshot before = machine.snapshot();
+    const int parts = kernel->parallelizable() ? opts.cores : 1;
+    for (int c = 0; c < parts; ++c) {
+        kernels::SimEngine engine(machine, c, opts.lanes, true);
+        kernel->run(engine, c, parts);
+    }
+    if (opts.flush)
+        machine.flushAllCaches();
+    return machine.snapshot() - before;
+}
+
+void
+expectEqual(const Machine::Snapshot &ref, const Machine::Snapshot &fast,
+            const std::string &ctx)
+{
+    ASSERT_EQ(ref.cores.size(), fast.cores.size()) << ctx;
+    for (size_t c = 0; c < ref.cores.size(); ++c) {
+        const CoreCounters &a = ref.cores[c];
+        const CoreCounters &b = fast.cores[c];
+        const std::string at = ctx + " core" + std::to_string(c);
+        for (size_t w = 0; w < 4; ++w)
+            EXPECT_EQ(a.fpRetired[w], b.fpRetired[w])
+                << at << " fpRetired[" << w << "]";
+        EXPECT_EQ(a.fpUops, b.fpUops) << at << " fpUops";
+        EXPECT_EQ(a.loadUops, b.loadUops) << at << " loadUops";
+        EXPECT_EQ(a.storeUops, b.storeUops) << at << " storeUops";
+        EXPECT_EQ(a.otherUops, b.otherUops) << at << " otherUops";
+        EXPECT_EQ(a.l2FillBytes, b.l2FillBytes) << at << " l2FillBytes";
+        EXPECT_EQ(a.l3FillBytes, b.l3FillBytes) << at << " l3FillBytes";
+        EXPECT_EQ(a.dramFillBytes, b.dramFillBytes)
+            << at << " dramFillBytes";
+        EXPECT_EQ(a.ntStoreBytes, b.ntStoreBytes) << at << " ntStoreBytes";
+        EXPECT_EQ(a.dramWritebackBytes, b.dramWritebackBytes)
+            << at << " dramWritebackBytes";
+        EXPECT_EQ(a.latencyCycles, b.latencyCycles)
+            << at << " latencyCycles";
+    }
+
+    auto expect_cache = [&](const std::vector<CacheStats> &ra,
+                            const std::vector<CacheStats> &rb,
+                            const char *level) {
+        ASSERT_EQ(ra.size(), rb.size()) << ctx << " " << level;
+        for (size_t i = 0; i < ra.size(); ++i) {
+            const CacheStats &a = ra[i];
+            const CacheStats &b = rb[i];
+            const std::string at =
+                ctx + " " + level + "[" + std::to_string(i) + "]";
+            EXPECT_EQ(a.readHits, b.readHits) << at << " readHits";
+            EXPECT_EQ(a.readMisses, b.readMisses) << at << " readMisses";
+            EXPECT_EQ(a.writeHits, b.writeHits) << at << " writeHits";
+            EXPECT_EQ(a.writeMisses, b.writeMisses) << at << " writeMisses";
+            EXPECT_EQ(a.writebacks, b.writebacks) << at << " writebacks";
+            EXPECT_EQ(a.prefetchFills, b.prefetchFills)
+                << at << " prefetchFills";
+            EXPECT_EQ(a.prefetchHits, b.prefetchHits)
+                << at << " prefetchHits";
+        }
+    };
+    expect_cache(ref.l1, fast.l1, "l1");
+    expect_cache(ref.l2, fast.l2, "l2");
+    expect_cache(ref.l3, fast.l3, "l3");
+
+    ASSERT_EQ(ref.imcs.size(), fast.imcs.size()) << ctx;
+    for (size_t i = 0; i < ref.imcs.size(); ++i) {
+        const ImcStats &a = ref.imcs[i];
+        const ImcStats &b = fast.imcs[i];
+        const std::string at = ctx + " imc[" + std::to_string(i) + "]";
+        EXPECT_EQ(a.casReads, b.casReads) << at << " casReads";
+        EXPECT_EQ(a.casWrites, b.casWrites) << at << " casWrites";
+        EXPECT_EQ(a.prefetchReads, b.prefetchReads)
+            << at << " prefetchReads";
+        EXPECT_EQ(a.ntWrites, b.ntWrites) << at << " ntWrites";
+    }
+
+    ASSERT_EQ(ref.tlbs.size(), fast.tlbs.size()) << ctx;
+    for (size_t i = 0; i < ref.tlbs.size(); ++i) {
+        const TlbStats &a = ref.tlbs[i];
+        const TlbStats &b = fast.tlbs[i];
+        const std::string at = ctx + " tlb[" + std::to_string(i) + "]";
+        EXPECT_EQ(a.accesses, b.accesses) << at << " accesses";
+        EXPECT_EQ(a.l1Misses, b.l1Misses) << at << " l1Misses";
+        EXPECT_EQ(a.walks, b.walks) << at << " walks";
+    }
+
+    auto expect_pf = [&](const std::vector<PrefetcherStats> &ra,
+                         const std::vector<PrefetcherStats> &rb,
+                         const char *level) {
+        ASSERT_EQ(ra.size(), rb.size()) << ctx << " " << level;
+        for (size_t i = 0; i < ra.size(); ++i) {
+            const std::string at =
+                ctx + " " + level + "pf[" + std::to_string(i) + "]";
+            EXPECT_EQ(ra[i].observed, rb[i].observed) << at << " observed";
+            EXPECT_EQ(ra[i].issued, rb[i].issued) << at << " issued";
+            EXPECT_EQ(ra[i].streamsAllocated, rb[i].streamsAllocated)
+                << at << " streamsAllocated";
+        }
+    };
+    expect_pf(ref.l1pf, fast.l1pf, "l1");
+    expect_pf(ref.l2pf, fast.l2pf, "l2");
+}
+
+void
+compareModes(const std::string &spec, const RunOpts &opts,
+             const std::string &ctx)
+{
+    const Machine::Snapshot ref = runKernel(spec, false, opts);
+    const Machine::Snapshot fast = runKernel(spec, true, opts);
+    expectEqual(ref, fast, ctx);
+}
+
+/** The spec table must cover every registered kernel. */
+TEST(FastPathEquivalence, SpecTableCoversRegistry)
+{
+    for (const std::string &name : kernels::kernelNames())
+        EXPECT_TRUE(smallSpecs().count(name))
+            << "no equivalence spec for kernel '" << name
+            << "' — add one to smallSpecs()";
+}
+
+TEST(FastPathEquivalence, EveryKernelVectorPrefetchOn)
+{
+    for (const auto &[name, spec] : smallSpecs())
+        compareModes(spec, RunOpts{}, name + " lanes=4 pf=on");
+}
+
+TEST(FastPathEquivalence, EveryKernelScalarPrefetchOff)
+{
+    RunOpts opts;
+    opts.lanes = 1;
+    opts.prefetch = false;
+    for (const auto &[name, spec] : smallSpecs())
+        compareModes(spec, opts, name + " lanes=1 pf=off");
+}
+
+TEST(FastPathEquivalence, StreamingKernelsMultiCore)
+{
+    RunOpts opts;
+    opts.cores = 4; // spans both sockets' cores on the default platform
+    for (const char *name : {"daxpy", "triad", "triad-nt", "dot"})
+        compareModes(smallSpecs().at(name), opts,
+                     std::string(name) + " cores=4");
+}
+
+TEST(FastPathEquivalence, Sse2Width)
+{
+    RunOpts opts;
+    opts.lanes = 2;
+    for (const char *name : {"daxpy", "fft", "stencil3"})
+        compareModes(smallSpecs().at(name), opts,
+                     std::string(name) + " lanes=2");
+}
+
+TEST(FastPathEquivalence, WithoutTrailingFlush)
+{
+    RunOpts opts;
+    opts.flush = false;
+    for (const char *name : {"daxpy", "triad-nt", "pointer-chase"})
+        compareModes(smallSpecs().at(name), opts,
+                     std::string(name) + " no-flush");
+}
+
+/** Back-to-back regions on one machine (memos survive resetStats). */
+TEST(FastPathEquivalence, RepeatedRegionsOnOneMachine)
+{
+    auto run = [](bool fast_path) {
+        Machine machine(MachineConfig::defaultPlatform());
+        machine.setFastPath(fast_path);
+        AddressArena::Scope scope;
+        auto kernel = kernels::createKernel("daxpy:n=4096");
+        kernel->init(7);
+        Machine::Snapshot acc{};
+        for (int rep = 0; rep < 3; ++rep) {
+            const Machine::Snapshot before = machine.snapshot();
+            kernels::SimEngine engine(machine, 0, 4, true);
+            kernel->run(engine, 0, 1);
+            if (rep == 1)
+                machine.flushAllCaches(); // cold-cache protocol mid-way
+            acc = machine.snapshot() - before; // keep last region
+        }
+        return acc;
+    };
+    expectEqual(run(false), run(true), "daxpy repeated regions");
+}
+
+} // namespace

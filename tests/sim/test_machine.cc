@@ -252,6 +252,87 @@ TEST(Machine, FlushAttributionChargesCores)
     EXPECT_EQ(delta.cores[0].dramWritebackBytes, 64u);
 }
 
+// --- fast-path (resident-line filter / page memo) regressions ---
+
+TEST(MachineFastPath, SameLineStreakCountsEveryAccess)
+{
+    Machine m(quietConfig());
+    for (int i = 0; i < 10; ++i)
+        m.load(0, 0x10000, 8); // one line, repeated
+    EXPECT_EQ(m.l1(0).stats().readMisses, 1u);
+    EXPECT_EQ(m.l1(0).stats().readHits, 9u);
+    EXPECT_EQ(m.tlb(0).stats().accesses, 10u);
+    EXPECT_EQ(m.coreCounters(0).loadUops, 10u);
+}
+
+TEST(MachineFastPath, StoreThroughFilterDirtiesLine)
+{
+    Machine m(quietConfig());
+    m.load(0, 0x10000, 8);
+    m.load(0, 0x10000, 8);  // admits the line to the filter
+    m.store(0, 0x10000, 8); // fast-path write must set the dirty bit
+    m.flushAllCaches();
+    EXPECT_EQ(m.imc(0).stats().casWrites, 1u);
+}
+
+TEST(MachineFastPath, NtStoreEvictsFilteredLine)
+{
+    Machine m(quietConfig());
+    m.load(0, 0x10000, 8);
+    m.load(0, 0x10000, 8);    // line is in the filter now
+    m.storeNT(0, 0x10000, 8); // invalidates the cached copy
+    m.load(0, 0x10000, 8);    // must MISS again, not fast-path "hit"
+    EXPECT_EQ(m.l1(0).stats().readMisses, 2u);
+    EXPECT_EQ(m.imc(0).stats().casReads, 2u);
+    EXPECT_EQ(m.imc(0).stats().ntWrites, 1u);
+}
+
+TEST(MachineFastPath, TwoStreamInterleaveStaysExact)
+{
+    // daxpy-style alternation between two lines: both fit the 4-entry
+    // filter; hits/misses must match the analytic count.
+    Machine m(quietConfig());
+    for (int i = 0; i < 8; ++i) {
+        m.load(0, 0x10000 + static_cast<uint64_t>(i) * 8, 8);  // line A
+        m.load(0, 0x40000 + static_cast<uint64_t>(i) * 8, 8);  // line B
+        m.store(0, 0x40000 + static_cast<uint64_t>(i) * 8, 8); // line B
+    }
+    EXPECT_EQ(m.l1(0).stats().readMisses, 2u);
+    EXPECT_EQ(m.l1(0).stats().readHits, 14u);
+    EXPECT_EQ(m.l1(0).stats().writeHits, 8u);
+    EXPECT_EQ(m.tlb(0).stats().accesses, 24u);
+}
+
+TEST(MachineFastPath, ResetClearsMemos)
+{
+    Machine m(quietConfig());
+    m.load(0, 0x10000, 8);
+    m.load(0, 0x10000, 8);
+    m.reset();
+    m.load(0, 0x10000, 8); // cold again: full path, TLB walk and all
+    EXPECT_EQ(m.l1(0).stats().readMisses, 1u);
+    EXPECT_EQ(m.l1(0).stats().readHits, 0u);
+    EXPECT_EQ(m.tlb(0).stats().accesses, 1u);
+    EXPECT_EQ(m.tlb(0).stats().walks, 1u);
+}
+
+TEST(MachineFastPath, ToggleSelectsReferencePath)
+{
+    Machine fast(quietConfig());
+    Machine ref(quietConfig());
+    ref.setFastPath(false);
+    EXPECT_TRUE(fast.fastPathEnabled());
+    EXPECT_FALSE(ref.fastPathEnabled());
+    for (Machine *m : {&fast, &ref}) {
+        for (int i = 0; i < 16; ++i)
+            m->load(0, 0x8000 + static_cast<uint64_t>(i) * 8, 8);
+    }
+    EXPECT_EQ(fast.l1(0).stats().readHits, ref.l1(0).stats().readHits);
+    EXPECT_EQ(fast.l1(0).stats().readMisses,
+              ref.l1(0).stats().readMisses);
+    EXPECT_EQ(fast.tlb(0).stats().accesses, ref.tlb(0).stats().accesses);
+}
+
 TEST(Machine, RegionSecondsPositiveAndFrequencyScaled)
 {
     Machine m(quietConfig());

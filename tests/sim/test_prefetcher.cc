@@ -12,7 +12,7 @@ using namespace rfl::sim;
 TEST(NonePrefetcher, NeverIssues)
 {
     NonePrefetcher pf;
-    std::vector<uint64_t> out;
+    PfList out;
     for (uint64_t i = 0; i < 100; ++i)
         pf.observe(i, true, out);
     EXPECT_TRUE(out.empty());
@@ -23,7 +23,7 @@ TEST(NonePrefetcher, NeverIssues)
 TEST(NextLine, FetchesPairLineOnMiss)
 {
     NextLinePrefetcher pf;
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(10, true, out); // even line -> pair is 11
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0], 11u);
@@ -36,7 +36,7 @@ TEST(NextLine, FetchesPairLineOnMiss)
 TEST(NextLine, SilentOnHits)
 {
     NextLinePrefetcher pf;
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(10, false, out);
     EXPECT_TRUE(out.empty());
 }
@@ -50,7 +50,7 @@ streamCfg(int streams = 4, int degree = 2, int distance = 8)
 TEST(Stream, TrainsAfterTwoSequentialAccesses)
 {
     StreamPrefetcher pf(streamCfg());
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(100, true, out); // allocate
     EXPECT_TRUE(out.empty());
     pf.observe(101, true, out); // train
@@ -65,7 +65,7 @@ TEST(Stream, TrainsAfterTwoSequentialAccesses)
 TEST(Stream, DescendingStream)
 {
     StreamPrefetcher pf(streamCfg());
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(200, true, out);
     pf.observe(199, true, out);
     pf.observe(198, true, out);
@@ -79,7 +79,7 @@ TEST(Stream, ToleratesSkippedLines)
     // Lower-level prefetchers hide lines; the streamer must keep
     // tracking across jumps up to its window.
     StreamPrefetcher pf(streamCfg());
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(100, true, out);
     pf.observe(102, true, out); // jump of 2: still the same stream
     EXPECT_EQ(pf.trainedStreams(), 1);
@@ -91,7 +91,7 @@ TEST(Stream, ToleratesSkippedLines)
 TEST(Stream, RandomAccessesDoNotTrain)
 {
     StreamPrefetcher pf(streamCfg());
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(10, true, out);
     pf.observe(5000, true, out);
     pf.observe(90000, true, out);
@@ -103,7 +103,7 @@ TEST(Stream, RandomAccessesDoNotTrain)
 TEST(Stream, RepeatTouchKeepsStreamAlive)
 {
     StreamPrefetcher pf(streamCfg());
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(50, true, out);
     pf.observe(50, true, out); // same line: no new stream
     pf.observe(51, true, out);
@@ -114,7 +114,7 @@ TEST(Stream, RepeatTouchKeepsStreamAlive)
 TEST(Stream, TracksMultipleConcurrentStreams)
 {
     StreamPrefetcher pf(streamCfg(4));
-    std::vector<uint64_t> out;
+    PfList out;
     // Interleave three streams far apart.
     for (uint64_t i = 0; i < 8; ++i) {
         pf.observe(1000 + i, true, out);
@@ -128,7 +128,7 @@ TEST(Stream, TracksMultipleConcurrentStreams)
 TEST(Stream, LruStreamReplacement)
 {
     StreamPrefetcher pf(streamCfg(2)); // only two stream slots
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(1000, true, out);
     pf.observe(2000, true, out);
     pf.observe(3000, true, out); // evicts the 1000 stream (LRU)
@@ -144,7 +144,7 @@ TEST(Stream, LruStreamReplacement)
 TEST(Stream, DirectionFlipRetrains)
 {
     StreamPrefetcher pf(streamCfg());
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(100, true, out);
     pf.observe(101, true, out);
     pf.observe(102, true, out);
@@ -159,7 +159,7 @@ TEST(Stream, DirectionFlipRetrains)
 TEST(Stream, ResetForgetsEverything)
 {
     StreamPrefetcher pf(streamCfg());
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(10, true, out);
     pf.observe(11, true, out);
     pf.reset();
@@ -188,7 +188,7 @@ TEST_P(StreamDegreeTest, IssuesConfiguredDegree)
 {
     const int degree = GetParam();
     StreamPrefetcher pf({PrefetcherKind::Stream, 4, degree, 16});
-    std::vector<uint64_t> out;
+    PfList out;
     pf.observe(100, true, out);
     pf.observe(101, true, out);
     pf.observe(102, true, out);

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validate the schema of a BENCH_*.json perf-trajectory file.
+
+CI runs this after bench/sim_throughput so schema regressions (renamed
+keys, missing workloads, non-numeric rates) fail the build. Absolute
+speeds are deliberately NOT checked: CI runners vary too much for a
+stable threshold, and the trajectory is judged offline.
+
+Usage: check_bench_schema.py BENCH_sim_throughput.json
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"schema error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(obj: dict, key: str, types) -> object:
+    if key not in obj:
+        fail(f"missing key '{key}'")
+    if not isinstance(obj[key], types):
+        fail(f"key '{key}' has type {type(obj[key]).__name__}, "
+             f"expected {types}")
+    return obj[key]
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_schema.py <bench.json>")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if require(doc, "bench", str) != "sim_throughput":
+        fail("bench name is not 'sim_throughput'")
+    if require(doc, "schema_version", int) != 1:
+        fail("unknown schema_version")
+    require(doc, "unit", str)
+    require(doc, "rfl_fast", bool)
+    require(doc, "geomean_speedup", (int, float))
+    require(doc, "streaming_speedup", (int, float))
+    require(doc, "hot_loop_speedup", (int, float))
+
+    workloads = require(doc, "workloads", list)
+    if not workloads:
+        fail("workloads list is empty")
+    names = set()
+    for w in workloads:
+        if not isinstance(w, dict):
+            fail("workload entry is not an object")
+        name = require(w, "name", str)
+        if name in names:
+            fail(f"duplicate workload '{name}'")
+        names.add(name)
+        require(w, "spec", str)
+        require(w, "lanes", int)
+        require(w, "streaming", bool)
+        require(w, "hot_loop", bool)
+        for key in ("reference_accesses_per_sec", "fast_accesses_per_sec",
+                    "speedup"):
+            value = require(w, key, (int, float))
+            if value <= 0:
+                fail(f"workload '{name}': {key} must be positive")
+
+    # The trajectory tooling keys on these two workloads existing.
+    for required in ("raw-l1-streak", "daxpy-scalar"):
+        if required not in names:
+            fail(f"required workload '{required}' missing")
+
+    print(f"{sys.argv[1]}: schema OK "
+          f"({len(workloads)} workloads, "
+          f"hot-loop speedup {doc['hot_loop_speedup']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()
