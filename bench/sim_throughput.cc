@@ -4,15 +4,18 @@
  * accesses per wall-clock second the memory-hierarchy model sustains.
  *
  * Not a paper figure: this tracks the *simulator's* own performance so
- * the perf trajectory of the hot path (Machine::accessLine and below)
- * is recorded over time. Two tiers are measured, each twice — on the
- * reference path (setFastPath(false): plain set-scan lookups, no
- * memos) and on the fast path — reporting simulated L1 demand accesses
- * per wall second and the fast/reference speedup:
+ * the perf trajectory of the hot path (Machine::accessLine,
+ * Machine::simulateBatch and below) is recorded over time. Two tiers
+ * are measured, each in three modes — the reference path
+ * (setFastPath(false), per-access dispatch: plain set-scan lookups, no
+ * memos), the PR 2 fast path (per-access dispatch with the memos), and
+ * the PR 3 batched path (access-stream IR consumed by simulateBatch
+ * with same-line run coalescing) — reporting simulated L1 demand
+ * accesses per wall second and the speedups over reference:
  *
- *  - hot-loop tier: raw Machine::load loops (a resident-line streak
- *    and an L3-resident stream), isolating the demand-access path
- *    without kernel arithmetic or address translation on top;
+ *  - hot-loop tier: raw access loops (a resident-line streak and an
+ *    L3-resident stream), isolating the demand-access path without
+ *    kernel arithmetic or address translation on top;
  *  - kernel tier: registered kernels (daxpy, triad, sum,
  *    pointer-chase) driven through SimEngine, the end-to-end rate a
  *    campaign sweep experiences.
@@ -34,12 +37,21 @@
 #include "kernels/registry.hh"
 #include "sim/machine.hh"
 #include "support/address_arena.hh"
+#include "trace/access_batch.hh"
 
 namespace
 {
 
 using namespace rfl;
 using Clock = std::chrono::steady_clock;
+
+/** Execution mode of one measurement (see file comment). */
+enum class Mode
+{
+    Reference,
+    Fast,
+    Batched,
+};
 
 struct Workload
 {
@@ -74,24 +86,46 @@ l1Accesses(const sim::Machine::Snapshot &delta)
 
 /** Run one workload in one mode until min_seconds of wall time passed. */
 ModeResult
-measure(const Workload &w, bool fast_path, double min_seconds)
+measure(const Workload &w, Mode mode, double min_seconds)
 {
     sim::Machine machine(sim::MachineConfig::defaultPlatform());
-    machine.setFastPath(fast_path);
+    machine.setFastPath(mode != Mode::Reference);
+    const auto dispatch = mode == Mode::Batched
+                              ? kernels::SimEngine::Dispatch::Batched
+                              : kernels::SimEngine::Dispatch::Direct;
 
     AddressArena::Scope scope;
     std::unique_ptr<kernels::Kernel> kernel;
     std::unique_ptr<kernels::SimEngine> engine;
+    trace::AccessBatch raw_batch;
     if (!w.spec.empty()) {
         kernel = kernels::createKernel(w.spec);
         kernel->init(1);
         engine = std::make_unique<kernels::SimEngine>(machine, 0, w.lanes,
-                                                      true);
+                                                      true, dispatch);
     }
 
     auto rep = [&] {
         if (kernel) {
             kernel->run(*engine, 0, 1);
+        } else if (mode == Mode::Batched) {
+            // Raw batched loop: fill IR batches the way SimEngine does
+            // (same-line hints included), bulk-consume them.
+            const uint32_t shift = 6; // 64 B lines on the default config
+            uint64_t prev_line = ~0ull;
+            for (uint64_t a = 0; a < w.rawSpan; a += 8) {
+                if (raw_batch.full()) {
+                    machine.simulateBatch(raw_batch, 0);
+                    raw_batch.clear();
+                }
+                const uint64_t addr = (1ull << 32) + a;
+                const uint64_t line = addr >> shift;
+                raw_batch.pushMem(trace::AccessKind::Load, 0, addr, 8,
+                                  line == prev_line);
+                prev_line = line;
+            }
+            machine.simulateBatch(raw_batch, 0);
+            raw_batch.clear();
         } else {
             for (uint64_t a = 0; a < w.rawSpan; a += 8)
                 machine.load(0, (1ull << 32) + a, 8);
@@ -112,9 +146,27 @@ measure(const Workload &w, bool fast_path, double min_seconds)
     } while (std::chrono::duration<double>(t1 - t0).count() < min_seconds ||
              reps < 3);
     r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    // snapshot() drains the batched engine, so buffered accesses from
+    // the last rep are included.
     r.accesses = l1Accesses(machine.snapshot() - before);
     return r;
 }
+
+/** Geometric-mean accumulator over workload speedups. */
+struct Geomean
+{
+    double logSum = 0.0;
+    int n = 0;
+
+    void
+    add(double speedup)
+    {
+        logSum += std::log(speedup);
+        ++n;
+    }
+
+    double value() const { return n ? std::exp(logSum / n) : 1.0; }
+};
 
 } // namespace
 
@@ -145,50 +197,57 @@ main(int argc, char **argv)
          "pointer-chase:nodes=16384,hops=" + sn, 0, 1, false, false},
     };
 
-    std::printf("%-14s %15s %15s %9s\n", "workload", "ref Macc/s",
-                "fast Macc/s", "speedup");
+    std::printf("%-14s %13s %13s %13s %8s %8s\n", "workload",
+                "ref Macc/s", "fast Macc/s", "batch Macc/s", "fast x",
+                "batch x");
 
     struct Row
     {
         Workload w;
         ModeResult ref;
         ModeResult fast;
-        double speedup;
+        ModeResult batched;
+        double fastSpeedup;
+        double batchedSpeedup;
     };
     std::vector<Row> rows;
-    double log_all = 0.0, log_stream = 0.0, log_hot = 0.0;
-    int n_stream = 0, n_hot = 0;
+    Geomean fast_all, fast_stream, fast_hot;
+    Geomean batch_all, batch_stream, batch_hot;
 
     for (const Workload &w : workloads) {
-        Row row{w, measure(w, false, min_seconds),
-                measure(w, true, min_seconds), 0.0};
-        row.speedup = row.fast.accessesPerSec() / row.ref.accessesPerSec();
-        std::printf("%-14s %15.2f %15.2f %8.2fx\n", w.name,
+        Row row{w, measure(w, Mode::Reference, min_seconds),
+                measure(w, Mode::Fast, min_seconds),
+                measure(w, Mode::Batched, min_seconds), 0.0, 0.0};
+        row.fastSpeedup =
+            row.fast.accessesPerSec() / row.ref.accessesPerSec();
+        row.batchedSpeedup =
+            row.batched.accessesPerSec() / row.ref.accessesPerSec();
+        std::printf("%-14s %13.2f %13.2f %13.2f %7.2fx %7.2fx\n", w.name,
                     row.ref.accessesPerSec() / 1e6,
-                    row.fast.accessesPerSec() / 1e6, row.speedup);
-        log_all += std::log(row.speedup);
+                    row.fast.accessesPerSec() / 1e6,
+                    row.batched.accessesPerSec() / 1e6, row.fastSpeedup,
+                    row.batchedSpeedup);
+        fast_all.add(row.fastSpeedup);
+        batch_all.add(row.batchedSpeedup);
         if (w.streaming) {
-            log_stream += std::log(row.speedup);
-            ++n_stream;
+            fast_stream.add(row.fastSpeedup);
+            batch_stream.add(row.batchedSpeedup);
         }
         if (w.hotLoop) {
-            log_hot += std::log(row.speedup);
-            ++n_hot;
+            fast_hot.add(row.fastSpeedup);
+            batch_hot.add(row.batchedSpeedup);
         }
         rows.push_back(row);
     }
 
-    const double geomean =
-        std::exp(log_all / static_cast<double>(rows.size()));
-    const double stream_geomean =
-        std::exp(log_stream / static_cast<double>(n_stream));
-    const double hot_geomean =
-        std::exp(log_hot / static_cast<double>(n_hot));
-    std::printf("\ngeomean speedup (fast vs reference): %.2fx\n", geomean);
-    std::printf("streaming-workload speedup:          %.2fx\n",
-                stream_geomean);
-    std::printf("hot-loop speedup:                    %.2fx\n",
-                hot_geomean);
+    std::printf("\n%-38s %8s %8s\n", "geomean speedup vs reference",
+                "fast", "batched");
+    std::printf("%-38s %7.2fx %7.2fx\n", "  all workloads",
+                fast_all.value(), batch_all.value());
+    std::printf("%-38s %7.2fx %7.2fx\n", "  streaming workloads",
+                fast_stream.value(), batch_stream.value());
+    std::printf("%-38s %7.2fx %7.2fx\n", "  hot loops",
+                fast_hot.value(), batch_hot.value());
 
     FILE *f = std::fopen(json_path.c_str(), "w");
     if (!f) {
@@ -197,7 +256,7 @@ main(int argc, char **argv)
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"sim_throughput\",\n");
-    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"schema_version\": 2,\n");
     std::fprintf(f, "  \"unit\": \"simulated_accesses_per_second\",\n");
     std::fprintf(f, "  \"rfl_fast\": %s,\n", fast_env ? "true" : "false");
     std::fprintf(f, "  \"workloads\": [\n");
@@ -215,13 +274,24 @@ main(int argc, char **argv)
                      r.ref.accessesPerSec());
         std::fprintf(f, "      \"fast_accesses_per_sec\": %.1f,\n",
                      r.fast.accessesPerSec());
-        std::fprintf(f, "      \"speedup\": %.3f\n", r.speedup);
+        std::fprintf(f, "      \"batched_accesses_per_sec\": %.1f,\n",
+                     r.batched.accessesPerSec());
+        std::fprintf(f, "      \"speedup\": %.3f,\n", r.fastSpeedup);
+        std::fprintf(f, "      \"batched_speedup\": %.3f\n",
+                     r.batchedSpeedup);
         std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"geomean_speedup\": %.3f,\n", geomean);
-    std::fprintf(f, "  \"streaming_speedup\": %.3f,\n", stream_geomean);
-    std::fprintf(f, "  \"hot_loop_speedup\": %.3f\n", hot_geomean);
+    std::fprintf(f, "  \"geomean_speedup\": %.3f,\n", fast_all.value());
+    std::fprintf(f, "  \"streaming_speedup\": %.3f,\n",
+                 fast_stream.value());
+    std::fprintf(f, "  \"hot_loop_speedup\": %.3f,\n", fast_hot.value());
+    std::fprintf(f, "  \"batched_geomean_speedup\": %.3f,\n",
+                 batch_all.value());
+    std::fprintf(f, "  \"batched_streaming_speedup\": %.3f,\n",
+                 batch_stream.value());
+    std::fprintf(f, "  \"batched_hot_loop_speedup\": %.3f\n",
+                 batch_hot.value());
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());

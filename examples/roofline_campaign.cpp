@@ -78,6 +78,10 @@ main(int argc, char **argv)
 
     cp::ExecutorOptions exec;
     exec.threads = static_cast<int>(cli.getInt("threads", 0));
+    // Recorded traces are artifacts: keep them with the rest of the
+    // output (content-addressed, shared by every campaign using the
+    // same out directory).
+    exec.traceDir = out + "/traces";
 
     std::unique_ptr<cp::ResultCache> cache;
     if (!cache_path.empty()) {

@@ -2,12 +2,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <mutex>
+#include <random>
 
-#include "campaign/serialize.hh"
+#include "kernels/engine.hh"
+#include "kernels/registry.hh"
 #include "roofline/experiment.hh"
+#include "support/address_arena.hh"
+#include "support/hash.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_kernel.hh"
 
 namespace rfl::campaign
 {
@@ -26,41 +33,170 @@ struct RunState
     std::atomic<size_t> cacheHits{0};
 };
 
-/** Execute one job (cache lookup, else simulate + store). */
+/**
+ * Record one traced kernel's access stream into a content-addressed
+ * file under @p trace_dir. The stream depends only on the kernel spec
+ * and the record parameters (machine max lanes, fixed seed) — see
+ * traceRecordCacheKey — so the final file name (the stream's stable
+ * hash) is deterministic across processes.
+ */
+TraceInfo
+recordTrace(const sim::MachineConfig &config, const std::string &spec,
+            const std::string &trace_dir, size_t job_id)
+{
+    namespace fs = std::filesystem;
+    fs::create_directories(trace_dir);
+
+    // Unique scratch name: job ids restart at 0 in every process and
+    // two processes may race on the same spec in a shared traceDir, so
+    // the name needs a per-process random component on top of the job
+    // id — the rename to the content-addressed name is atomic either
+    // way, but the scratch files must never alias.
+    static const uint64_t process_nonce = std::random_device{}();
+    const std::string tmp =
+        trace_dir + "/.recording-" + std::to_string(job_id) + "-" +
+        hashToHex(Fnv1a()
+                      .mix(spec)
+                      .mix(process_nonce)
+                      .mix(static_cast<uint64_t>(
+                          std::chrono::steady_clock::now()
+                              .time_since_epoch()
+                              .count()))
+                      .value()) +
+        ".tmp";
+
+    const TraceRecordParams params = traceRecordParams(config);
+    sim::Machine machine(config);
+    AddressArena::Scope scope;
+    const auto kernel = kernels::createKernel(spec);
+    kernel->init(params.seed);
+    machine.setDependentAccesses(kernel->dependentAccesses());
+
+    trace::TraceWriter writer(tmp);
+    writer.setDependentAccesses(kernel->dependentAccesses());
+    {
+        kernels::SimEngine engine(machine, 0, params.lanes,
+                                  /*use_fma=*/true);
+        engine.setTraceWriter(&writer);
+        kernel->run(engine, 0, 1);
+    }
+    writer.finish();
+
+    TraceInfo info;
+    info.summary = writer.summary();
+    info.path = trace_dir + "/" + hashToHex(info.summary.hash) +
+                ".rfltrace";
+    std::error_code ec;
+    fs::rename(tmp, info.path, ec);
+    if (ec) {
+        fatal("campaign: cannot move trace to '%s': %s",
+              info.path.c_str(), ec.message().c_str());
+    }
+    return info;
+}
+
+/** @return whether the cached trace file still exists and matches. */
+bool
+traceFileValid(const TraceInfo &info)
+{
+    trace::TraceReader reader;
+    return reader.open(info.path) &&
+           reader.stableHash() == info.summary.hash;
+}
+
+/** Execute one job (cache lookup, else simulate + store).
+ *  @p results carries completed dependencies (a replay reads its
+ *  recording's file path from them). */
 JobResult
-executeJob(const CampaignSpec &spec, const Job &job, ResultCache *cache,
+executeJob(const CampaignSpec &spec, const Job &job,
+           const std::vector<JobResult> &results,
+           const ExecutorOptions &exec_opts,
            std::atomic<size_t> &simulated, std::atomic<size_t> &cacheHits)
 {
+    ResultCache *cache = exec_opts.cache;
     JobResult result;
 
     std::string payload;
     if (cache && cache->lookup(job.cacheKey, &payload)) {
         result.fromCache = true;
-        if (job.kind == JobKind::Ceiling)
+        bool valid = true;
+        switch (job.kind) {
+          case JobKind::Ceiling:
             result.model = decodeModel(payload);
-        else
+            break;
+          case JobKind::TraceRecord:
+            // A cached recording is only as good as the file it points
+            // at: someone may have pruned the trace directory.
+            result.trace = decodeTraceInfo(payload);
+            valid = traceFileValid(result.trace);
+            break;
+          default:
             result.measurement = decodeMeasurement(payload);
-        ++cacheHits;
-        return result;
+            break;
+        }
+        if (valid) {
+            ++cacheHits;
+            return result;
+        }
+        result = JobResult{};
     }
 
     const MachineEntry &machine = spec.machines()[job.machineIndex];
     const RunOptions &opts = spec.variants()[job.variantIndex].opts;
 
-    roofline::Experiment exp(machine.config);
-    exp.machine().setMemPolicy(opts.memPolicy);
-    exp.machine().setPrefetchEnabled(opts.prefetchEnabled);
-
-    if (job.kind == JobKind::Ceiling) {
+    switch (job.kind) {
+      case JobKind::Ceiling: {
+        roofline::Experiment exp(machine.config);
+        exp.machine().setMemPolicy(opts.memPolicy);
+        exp.machine().setPrefetchEnabled(opts.prefetchEnabled);
         result.model = exp.probe().characterize(opts.measure.cores);
         if (cache)
             cache->store(job.cacheKey, encodeModel(result.model));
-    } else {
+        break;
+      }
+      case JobKind::Measure: {
+        roofline::Experiment exp(machine.config);
+        exp.machine().setMemPolicy(opts.memPolicy);
+        exp.machine().setPrefetchEnabled(opts.prefetchEnabled);
         result.measurement = exp.measureSpec(
             spec.kernels()[job.kernelIndex], opts.measure);
         if (cache)
             cache->store(job.cacheKey,
                          encodeMeasurement(result.measurement));
+        break;
+      }
+      case JobKind::TraceRecord: {
+        result.trace =
+            recordTrace(machine.config, spec.traces()[job.kernelIndex],
+                        exec_opts.traceDir, job.id);
+        if (cache)
+            cache->store(job.cacheKey, encodeTraceInfo(result.trace));
+        break;
+      }
+      case JobKind::TraceReplay: {
+        // deps = {ceiling, record}; the record job ran first and left
+        // the trace file behind.
+        RFL_ASSERT(job.deps.size() == 2);
+        const TraceInfo &info = results[job.deps[1]].trace;
+        trace::TraceKernel kernel(info.path);
+
+        sim::Machine sim_machine(machine.config);
+        sim_machine.setMemPolicy(opts.memPolicy);
+        sim_machine.setPrefetchEnabled(opts.prefetchEnabled);
+        roofline::Measurer measurer(sim_machine);
+        // Replay is single-stream: run on the variant's first core.
+        roofline::MeasureOptions mopts = opts.measure;
+        mopts.cores = {opts.measure.cores.front()};
+        result.measurement = measurer.measure(kernel, mopts);
+        // Label the measurement by what was traced, not the replay
+        // mechanism, so sinks show "trace(daxpy:n=65536)" rows.
+        result.measurement.kernel =
+            "trace(" + spec.traces()[job.kernelIndex] + ")";
+        if (cache)
+            cache->store(job.cacheKey,
+                         encodeMeasurement(result.measurement));
+        break;
+      }
     }
     ++simulated;
     return result;
@@ -85,6 +221,23 @@ CampaignRun::measurementFor(size_t machineIdx, size_t kernelIdx,
           machineIdx, kernelIdx, variantIdx);
 }
 
+const roofline::Measurement &
+CampaignRun::replayMeasurementFor(size_t machineIdx, size_t traceIdx,
+                                  size_t variantIdx) const
+{
+    for (const Job &job : jobs) {
+        if (job.kind == JobKind::TraceReplay &&
+            job.machineIndex == machineIdx &&
+            job.kernelIndex == traceIdx &&
+            job.variantIndex == variantIdx) {
+            return results[job.id].measurement;
+        }
+    }
+    panic("campaign: no replay measurement for machine %zu trace %zu "
+          "variant %zu",
+          machineIdx, traceIdx, variantIdx);
+}
+
 const roofline::RooflineModel &
 CampaignRun::modelFor(size_t machineIdx, size_t variantIdx) const
 {
@@ -106,7 +259,8 @@ CampaignRun::measurements() const
 {
     std::vector<roofline::Measurement> out;
     for (const Job &job : jobs)
-        if (job.kind == JobKind::Measure)
+        if (job.kind == JobKind::Measure ||
+            job.kind == JobKind::TraceReplay)
             out.push_back(results[job.id].measurement);
     return out;
 }
@@ -144,7 +298,7 @@ CampaignExecutor::run(const CampaignSpec &spec)
     std::function<void(size_t)> submitJob = [&](size_t id) {
         pool.submit([&, id] {
             run.results[id] =
-                executeJob(spec, run.jobs[id], opts_.cache,
+                executeJob(spec, run.jobs[id], run.results, opts_,
                            state.simulated, state.cacheHits);
             std::vector<size_t> ready;
             {

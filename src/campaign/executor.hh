@@ -22,6 +22,7 @@
 
 #include "campaign/job_graph.hh"
 #include "campaign/result_cache.hh"
+#include "campaign/serialize.hh"
 #include "campaign/spec.hh"
 #include "roofline/measurement.hh"
 #include "roofline/model.hh"
@@ -36,16 +37,26 @@ struct ExecutorOptions
     int threads = 0;
     /** Shared result cache; nullptr = run everything uncached. */
     ResultCache *cache = nullptr;
+    /**
+     * Directory for recorded trace files (created on demand). Files are
+     * content-addressed — named by the trace's stable stream hash — so
+     * any number of campaigns and processes can share the directory; a
+     * cached trace-record result is re-validated against the file on
+     * disk and re-recorded if the file vanished or no longer matches.
+     */
+    std::string traceDir = "rfl-traces";
 };
 
 /** Outcome of one job. */
 struct JobResult
 {
     bool fromCache = false;
-    /** Filled for Measure jobs. */
+    /** Filled for Measure and TraceReplay jobs. */
     roofline::Measurement measurement;
     /** Filled for Ceiling jobs. */
     roofline::RooflineModel model;
+    /** Filled for TraceRecord jobs (path + stream summary). */
+    TraceInfo trace;
 };
 
 /** Everything the aggregation/sink layer consumes (see sink.hh). */
@@ -67,6 +78,11 @@ struct CampaignRun
     const roofline::Measurement &
     measurementFor(size_t machineIdx, size_t kernelIdx,
                    size_t variantIdx) const;
+
+    /** Replay measurement of traces()[traceIdx]; panics when absent. */
+    const roofline::Measurement &
+    replayMeasurementFor(size_t machineIdx, size_t traceIdx,
+                         size_t variantIdx) const;
 
     /** Ceiling model covering (machine, variant); panics if absent. */
     const roofline::RooflineModel &modelFor(size_t machineIdx,

@@ -5,6 +5,7 @@
 
 #include "support/hash.hh"
 #include "support/logging.hh"
+#include "trace/trace_file.hh"
 
 namespace rfl::campaign
 {
@@ -35,6 +36,8 @@ jobKindName(JobKind kind)
     switch (kind) {
       case JobKind::Ceiling: return "ceiling";
       case JobKind::Measure: return "measure";
+      case JobKind::TraceRecord: return "trace-record";
+      case JobKind::TraceReplay: return "trace-replay";
     }
     return "?";
 }
@@ -44,10 +47,14 @@ Job::describe(const CampaignSpec &spec) const
 {
     std::ostringstream out;
     out << jobKindName(kind) << " #" << id << " machine="
-        << spec.machines()[machineIndex].label
-        << " variant=" << spec.variants()[variantIndex].label;
+        << spec.machines()[machineIndex].label;
+    if (kind != JobKind::TraceRecord)
+        out << " variant=" << spec.variants()[variantIndex].label;
     if (kind == JobKind::Measure)
         out << " kernel=" << spec.kernels()[kernelIndex];
+    else if (kind == JobKind::TraceRecord ||
+             kind == JobKind::TraceReplay)
+        out << " trace=" << spec.traces()[kernelIndex];
     return out.str();
 }
 
@@ -62,8 +69,58 @@ std::string
 measureCacheKey(const sim::MachineConfig &config,
                 const std::string &kernelSpec, const RunOptions &opts)
 {
-    return "measure|" + hashToHex(config.stableHash()) + "|" + kernelSpec +
-           "|" + opts.canonicalKey();
+    std::string key = "measure|" + hashToHex(config.stableHash()) + "|" +
+                      kernelSpec + "|" + opts.canonicalKey();
+    // A trace-replay kernel's spec names a file, not a workload: the
+    // measurement is determined by the file's *content*, so fold its
+    // stable stream hash into the key — regenerating the file must not
+    // hit the stale entry. (An unreadable file is left to createKernel
+    // to report; the key just stays content-free.)
+    if (kernelSpec.rfind("trace:file=", 0) == 0) {
+        trace::TraceReader reader;
+        if (reader.open(kernelSpec.substr(11)))
+            key += "|content=" + hashToHex(reader.stableHash());
+    }
+    return key;
+}
+
+TraceRecordParams
+traceRecordParams(const sim::MachineConfig &config)
+{
+    TraceRecordParams params;
+    params.lanes = config.core.maxVectorDoubles;
+    return params;
+}
+
+namespace
+{
+
+std::string
+traceSignature(const sim::MachineConfig &config,
+               const std::string &kernelSpec)
+{
+    const TraceRecordParams params = traceRecordParams(config);
+    return hashToHex(config.stableHash()) + "|" + kernelSpec +
+           "|lanes=" + std::to_string(params.lanes) +
+           ",seed=" + std::to_string(params.seed);
+}
+
+} // namespace
+
+std::string
+traceRecordCacheKey(const sim::MachineConfig &config,
+                    const std::string &kernelSpec)
+{
+    return "trace|" + traceSignature(config, kernelSpec);
+}
+
+std::string
+traceReplayCacheKey(const sim::MachineConfig &config,
+                    const std::string &kernelSpec,
+                    const RunOptions &opts)
+{
+    return "replay|" + traceSignature(config, kernelSpec) + "|" +
+           opts.canonicalKey();
 }
 
 JobGraph
@@ -117,15 +174,65 @@ JobGraph::expand(const CampaignSpec &spec)
             }
         }
     }
+
+    // Trace-record jobs: one per (machine, trace). The recorded stream
+    // is variant-independent (see traceRecordParams), so variants share
+    // the recording the way they share ceiling characterizations.
+    std::map<std::pair<size_t, size_t>, size_t> records;
+    for (size_t mi = 0; mi < spec.machines().size(); ++mi) {
+        for (size_t ti = 0; ti < spec.traces().size(); ++ti) {
+            Job job;
+            job.id = graph.jobs_.size();
+            job.kind = JobKind::TraceRecord;
+            job.machineIndex = mi;
+            job.kernelIndex = ti;
+            job.variantIndex = 0; // unused; recording has no variant
+            job.cacheKey = traceRecordCacheKey(
+                spec.machines()[mi].config, spec.traces()[ti]);
+            records.emplace(std::make_pair(mi, ti), job.id);
+            graph.jobs_.push_back(std::move(job));
+        }
+    }
+
+    // Trace-replay jobs: machines x traces x variants. Dep order is
+    // load-bearing: ceiling first (ceilingJobFor follows deps.front()),
+    // then the recording that supplies the trace file.
+    for (size_t mi = 0; mi < spec.machines().size(); ++mi) {
+        for (size_t ti = 0; ti < spec.traces().size(); ++ti) {
+            for (size_t vi = 0; vi < spec.variants().size(); ++vi) {
+                const Variant &v = spec.variants()[vi];
+                Job job;
+                job.id = graph.jobs_.size();
+                job.kind = JobKind::TraceReplay;
+                job.machineIndex = mi;
+                job.kernelIndex = ti;
+                job.variantIndex = vi;
+                job.cacheKey = traceReplayCacheKey(
+                    spec.machines()[mi].config, spec.traces()[ti],
+                    v.opts);
+                job.deps.push_back(
+                    ceilings.at({mi, ceilingSignature(v.opts)}));
+                job.deps.push_back(records.at({mi, ti}));
+                graph.jobs_.push_back(std::move(job));
+            }
+        }
+    }
     return graph;
 }
 
 size_t
 JobGraph::ceilingJobFor(const Job &job) const
 {
-    if (job.kind == JobKind::Ceiling)
+    switch (job.kind) {
+      case JobKind::Ceiling:
         return job.id;
-    RFL_ASSERT(job.deps.size() == 1);
+      case JobKind::TraceRecord:
+        panic("trace-record job #%zu has no ceiling job", job.id);
+      case JobKind::Measure:
+      case JobKind::TraceReplay:
+        break;
+    }
+    RFL_ASSERT(!job.deps.empty());
     return job.deps.front();
 }
 

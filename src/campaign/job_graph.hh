@@ -2,22 +2,29 @@
  * @file
  * JobGraph: expansion of a CampaignSpec into schedulable jobs.
  *
- * Two job kinds:
+ * Four job kinds:
  *   - Ceiling: characterize the roofline ceilings of one machine under
  *     one scenario signature (core set, NUMA policy, prefetch enable).
  *     One per distinct signature per machine, however many variants
  *     share it.
  *   - Measure: run one kernel under one variant on one machine.
+ *   - TraceRecord: record one traced kernel's access stream on one
+ *     machine into a content-addressed trace file. One per (machine,
+ *     trace) — the stream depends only on the kernel, the machine's
+ *     vector width and the record seed, never on the variant.
+ *   - TraceReplay: measure the recorded stream (as a TraceKernel) under
+ *     one variant on one machine. Depends on its Ceiling job (first
+ *     dep) and its TraceRecord job (second dep).
  *
  * Every Measure job depends on its machine's Ceiling job for the
  * variant's signature, so a config is characterized exactly once and
  * always before its sweeps — the sink can then plot each measurement
  * against a model that is guaranteed to exist.
  *
- * Jobs are numbered in deterministic spec order (ceilings first, then
- * machines x kernels x variants), which is also the aggregation order;
- * the executor may *complete* them in any order without affecting
- * artifacts.
+ * Jobs are numbered in deterministic spec order (ceilings, then
+ * machines x kernels x variants, then trace records, then trace
+ * replays), which is also the aggregation order; the executor may
+ * *complete* them in any order without affecting artifacts.
  */
 
 #ifndef RFL_CAMPAIGN_JOB_GRAPH_HH
@@ -37,9 +44,11 @@ enum class JobKind
 {
     Ceiling,
     Measure,
+    TraceRecord,
+    TraceReplay,
 };
 
-/** @return "ceiling" or "measure". */
+/** @return "ceiling", "measure", "trace-record" or "trace-replay". */
 const char *jobKindName(JobKind kind);
 
 /** One schedulable unit. */
@@ -50,7 +59,7 @@ struct Job
     size_t machineIndex = 0;
     /** Variant whose signature/options this job runs under. */
     size_t variantIndex = 0;
-    /** Kernel index (Measure only). */
+    /** Kernel index (Measure), or traces() index (TraceRecord/Replay).*/
     size_t kernelIndex = 0;
     /** Content-addressed cache key (see result_cache.hh). */
     std::string cacheKey;
@@ -98,6 +107,33 @@ std::string ceilingCacheKey(const sim::MachineConfig &config,
 std::string measureCacheKey(const sim::MachineConfig &config,
                             const std::string &kernelSpec,
                             const RunOptions &opts);
+
+/** Lanes/seed a trace recording runs with (part of its cache key). */
+struct TraceRecordParams
+{
+    int lanes = 0; ///< machine max vector doubles
+    uint64_t seed = 42;
+};
+
+/** Record parameters for @p config (lanes resolved to machine max). */
+TraceRecordParams traceRecordParams(const sim::MachineConfig &config);
+
+/**
+ * Cache key of a trace recording:
+ * "trace|<machine-hash>|<kernel spec>|lanes=..,seed=..". The recorded
+ * stream is deterministic in exactly these inputs, so the key
+ * content-addresses the trace file across processes.
+ */
+std::string traceRecordCacheKey(const sim::MachineConfig &config,
+                                const std::string &kernelSpec);
+
+/**
+ * Cache key of a trace-replay measurement:
+ * "replay|<machine-hash>|<kernel spec>|lanes=..,seed=..|<options>".
+ */
+std::string traceReplayCacheKey(const sim::MachineConfig &config,
+                                const std::string &kernelSpec,
+                                const RunOptions &opts);
 
 } // namespace rfl::campaign
 

@@ -495,4 +495,66 @@ decodeModel(const std::string &payload)
     return model;
 }
 
+namespace
+{
+
+/** u64 as a decimal string: JSON numbers are doubles here and would
+ *  round counters and the content hash above 2^53. */
+Json
+u64Field(uint64_t v)
+{
+    return Json::makeString(std::to_string(v));
+}
+
+uint64_t
+u64FromField(const Json &j)
+{
+    return std::strtoull(j.asString().c_str(), nullptr, 10);
+}
+
+} // namespace
+
+std::string
+encodeTraceInfo(const TraceInfo &info)
+{
+    const trace::TraceSummary &s = info.summary;
+    Json j = Json::makeObject();
+    j.set("path", Json::makeString(info.path));
+    j.set("records", u64Field(s.records));
+    j.set("loads", u64Field(s.loads));
+    j.set("stores", u64Field(s.stores));
+    j.set("nt_stores", u64Field(s.ntStores));
+    j.set("fp_ops", u64Field(s.fpOps));
+    j.set("other_uops", u64Field(s.otherUops));
+    j.set("flops", u64Field(s.flops));
+    j.set("mem_bytes", u64Field(s.memBytes));
+    j.set("min_addr", u64Field(s.minAddr));
+    j.set("max_addr", u64Field(s.maxAddr));
+    j.set("flags", u64Field(s.flags));
+    j.set("hash", u64Field(s.hash));
+    return j.dump();
+}
+
+TraceInfo
+decodeTraceInfo(const std::string &payload)
+{
+    const Json j = Json::parse(payload);
+    TraceInfo info;
+    info.path = j.at("path").asString();
+    trace::TraceSummary &s = info.summary;
+    s.records = u64FromField(j.at("records"));
+    s.loads = u64FromField(j.at("loads"));
+    s.stores = u64FromField(j.at("stores"));
+    s.ntStores = u64FromField(j.at("nt_stores"));
+    s.fpOps = u64FromField(j.at("fp_ops"));
+    s.otherUops = u64FromField(j.at("other_uops"));
+    s.flops = u64FromField(j.at("flops"));
+    s.memBytes = u64FromField(j.at("mem_bytes"));
+    s.minAddr = u64FromField(j.at("min_addr"));
+    s.maxAddr = u64FromField(j.at("max_addr"));
+    s.flags = u64FromField(j.at("flags"));
+    s.hash = u64FromField(j.at("hash"));
+    return info;
+}
+
 } // namespace rfl::campaign

@@ -19,6 +19,7 @@
 
 #include "roofline/measurement.hh"
 #include "roofline/model.hh"
+#include "trace/trace_file.hh"
 
 namespace rfl::campaign
 {
@@ -101,6 +102,23 @@ std::string encodeModel(const roofline::RooflineModel &model);
 
 /** Decode a roofline model; fatal() on malformed payload. */
 roofline::RooflineModel decodeModel(const std::string &payload);
+
+/** Outcome of a trace-record job (persisted in the result cache). */
+struct TraceInfo
+{
+    std::string path; ///< content-addressed trace file location
+    trace::TraceSummary summary;
+};
+
+/**
+ * Encode a trace recording's outcome. The 64-bit summary fields are
+ * emitted as decimal strings (the JSON number path is double-based and
+ * would round the content hash).
+ */
+std::string encodeTraceInfo(const TraceInfo &info);
+
+/** Decode a trace recording's outcome; fatal() on malformed payload. */
+TraceInfo decodeTraceInfo(const std::string &payload);
 
 } // namespace rfl::campaign
 

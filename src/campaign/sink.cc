@@ -19,8 +19,12 @@ writeCampaignCsv(const CampaignRun &run, const std::string &dir,
                    "cores", "lanes", "flops", "traffic_bytes", "seconds",
                    "oi", "flops_per_sec", "expected_flops",
                    "expected_traffic_bytes", "work_err", "traffic_err"});
+    // Trace-replay jobs produce ordinary measurements; they appear as
+    // rows alongside direct kernel measurements (kernel column reads
+    // "trace(<spec>)").
     for (const Job &job : run.jobs) {
-        if (job.kind != JobKind::Measure)
+        if (job.kind != JobKind::Measure &&
+            job.kind != JobKind::TraceReplay)
             continue;
         const roofline::Measurement &m = run.results[job.id].measurement;
         csv.addRow({run.spec.machines()[job.machineIndex].label,
@@ -50,7 +54,8 @@ scenarioPlot(const CampaignRun &run, size_t machineIdx, size_t variantIdx,
     }
     roofline::RooflinePlot plot(t, run.modelFor(machineIdx, variantIdx));
     for (const Job &job : run.jobs) {
-        if (job.kind == JobKind::Measure &&
+        if ((job.kind == JobKind::Measure ||
+             job.kind == JobKind::TraceReplay) &&
             job.machineIndex == machineIdx &&
             job.variantIndex == variantIdx) {
             plot.addMeasurement(run.results[job.id].measurement);
@@ -65,7 +70,8 @@ summaryTable(const CampaignRun &run)
     Table t({"machine", "variant", "kernel", "size", "W [flops]",
              "Q [bytes]", "T [s]", "I [f/B]", "P [GF/s]"});
     for (const Job &job : run.jobs) {
-        if (job.kind != JobKind::Measure)
+        if (job.kind != JobKind::Measure &&
+            job.kind != JobKind::TraceReplay)
             continue;
         const roofline::Measurement &m = run.results[job.id].measurement;
         t.addRow({run.spec.machines()[job.machineIndex].label,

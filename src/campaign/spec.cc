@@ -165,6 +165,13 @@ CampaignSpec::addKernels(const std::vector<std::string> &specs)
 }
 
 CampaignSpec &
+CampaignSpec::addTrace(const std::string &kernelSpec)
+{
+    traces_.push_back(kernelSpec);
+    return *this;
+}
+
+CampaignSpec &
 CampaignSpec::addVariant(const std::string &label, const RunOptions &opts)
 {
     variants_.push_back({label, opts});
@@ -212,6 +219,18 @@ CampaignSpec::validate() const
                 fatal("campaign '%s': kernel '%s' does not support "
                       "multi-core execution (variant '%s')",
                       name_.c_str(), spec.c_str(), v.label.c_str());
+    }
+
+    // Traced kernels must also parse. Replay itself is single-stream
+    // (the executor replays on the first core of a variant's set), so
+    // no parallelizability requirement applies. Recording a replay is
+    // pointless recursion; reject it early.
+    for (const std::string &spec : traces_) {
+        if (spec.rfind("trace:", 0) == 0)
+            fatal("campaign '%s': cannot record a trace of a trace "
+                  "replay ('%s')",
+                  name_.c_str(), spec.c_str());
+        kernels::createKernel(spec);
     }
 
     for (const Variant &v : variants_) {
@@ -269,6 +288,8 @@ parseCampaignSpec(const std::string &text)
                       lineno, value.c_str());
         } else if (key == "kernel") {
             spec.addKernel(value);
+        } else if (key == "trace") {
+            spec.addTrace(value);
         } else if (key == "variant") {
             const size_t colon = value.find(':');
             if (colon == std::string::npos)
@@ -300,6 +321,8 @@ parseCampaignSpec(const std::string &text)
     for (const MachineEntry &m : spec.machines())
         named.addMachine(m.label, m.config);
     named.addKernels(spec.kernels());
+    for (const std::string &t : spec.traces())
+        named.addTrace(t);
     for (const Variant &v : spec.variants())
         named.addVariant(v.label, v.opts);
     named.validate();

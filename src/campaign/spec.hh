@@ -16,8 +16,14 @@
  *   machine = @my-box.cfg             # or a sim/config_io file
  *   kernel = sum:n=1048576
  *   kernel = triad:n=4194304
+ *   trace = daxpy:n=65536             # record once, replay per variant
  *   variant = cold-1c: protocol=cold cores=0 reps=1
  *   variant = warm-1s: protocol=warm cores=0-3 numa=local prefetch=off
+ *
+ * A *trace* entry names a kernel whose access stream is recorded once
+ * per machine (trace-record job) into a content-addressed trace file,
+ * then replayed as a TraceKernel measurement under every variant
+ * (trace-replay jobs) — see job_graph.hh and trace/trace_kernel.hh.
  *
  * The campaign layer expands the grid into a JobGraph (job_graph.hh)
  * where every (machine, variant) core-set gets one ceiling-
@@ -83,6 +89,8 @@ class CampaignSpec
     CampaignSpec &addMachine(const sim::MachineConfig &config);
     CampaignSpec &addKernel(const std::string &spec);
     CampaignSpec &addKernels(const std::vector<std::string> &specs);
+    /** Record @p kernelSpec's access stream and replay per variant. */
+    CampaignSpec &addTrace(const std::string &kernelSpec);
     CampaignSpec &addVariant(const std::string &label,
                              const RunOptions &opts);
     /** Variant with default machine-level knobs. */
@@ -93,12 +101,15 @@ class CampaignSpec
     const std::string &name() const { return name_; }
     const std::vector<MachineEntry> &machines() const { return machines_; }
     const std::vector<std::string> &kernels() const { return kernels_; }
+    const std::vector<std::string> &traces() const { return traces_; }
     const std::vector<Variant> &variants() const { return variants_; }
 
-    /** Number of measurement runs the grid expands to. */
+    /** Number of measurement runs the grid expands to (trace-replay
+     *  measurements included). */
     size_t gridSize() const
     {
-        return machines_.size() * kernels_.size() * variants_.size();
+        return machines_.size() * (kernels_.size() + traces_.size()) *
+               variants_.size();
     }
 
     /**
@@ -112,6 +123,8 @@ class CampaignSpec
     std::string name_;
     std::vector<MachineEntry> machines_;
     std::vector<std::string> kernels_;
+    /** Kernel specs to record and replay (see file comment). */
+    std::vector<std::string> traces_;
     std::vector<Variant> variants_;
 };
 

@@ -25,12 +25,19 @@
 #define RFL_KERNELS_ENGINE_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "sim/core.hh"
 #include "sim/machine.hh"
 #include "support/address_arena.hh"
 #include "support/logging.hh"
+#include "trace/access_batch.hh"
+
+namespace rfl::trace
+{
+class TraceWriter;
+}
 
 namespace rfl::kernels
 {
@@ -286,58 +293,219 @@ class NativeEngine
  * while routing every memory access through the cache hierarchy and
  * retiring every FP op into the simulated core's counters.
  *
+ * Dispatch: by default the engine does not call into the machine per
+ * access. It appends each event to an AccessBatch (the access-stream IR,
+ * trace/access_batch.hh) and hands full batches to
+ * Machine::simulateBatch(), whose tight consume loop coalesces same-line
+ * runs into bulk counter updates. The machine drains pending batches at
+ * every observation point (it attaches the engine as a BatchSource), so
+ * buffering is invisible: counters read through any machine API are
+ * always complete, and destruction flushes the rest. Dispatch::Direct
+ * selects the per-access calls instead — the reference the golden
+ * equivalence test compares against, and the PR 2 fast path the
+ * throughput benchmark tracks.
+ *
+ * Recording: with a TraceWriter attached (batched dispatch only), every
+ * flushed batch is also serialized, so a kernel run produces an on-disk
+ * trace as a byproduct of normal simulation (see trace/trace_file.hh).
+ *
  * Memory entry points are batch-friendly: a vector access enters the
- * machine exactly once with its full byte count (Machine::load/store are
- * inline and split into lines with one shift), never once per lane, so
+ * stream exactly once with its full byte count (one IR record; the
+ * machine splits into lines with one shift), never once per lane, so
  * the simulated-access rate of a vectorized kernel is bounded by lines
- * touched, not elements moved. Machine::accessLine then short-circuits
- * repeated touches to the same resident line (see DESIGN.md §7).
+ * touched, not elements moved (see DESIGN.md §7–8).
  */
-class SimEngine
+class SimEngine : public sim::Machine::BatchSource
 {
   public:
+    /** How simulated events reach the machine. */
+    enum class Dispatch
+    {
+        /** Buffer into the IR; bulk-consumed by simulateBatch(). */
+        Batched,
+        /** Call the machine per access (reference / PR 2 fast path). */
+        Direct,
+    };
+
     /**
-     * @param machine simulated platform (must outlive the engine)
-     * @param core    simulated core executing this engine's stream
-     * @param lanes   vector width in doubles; must not exceed the
-     *                machine's maxVectorDoubles
-     * @param use_fma use FMA when the machine has it
+     * @param machine  simulated platform (must outlive the engine)
+     * @param core     simulated core executing this engine's stream
+     * @param lanes    vector width in doubles; must not exceed the
+     *                 machine's maxVectorDoubles
+     * @param use_fma  use FMA when the machine has it
+     * @param dispatch batched (default) or per-access delivery
      */
-    SimEngine(sim::Machine &machine, int core, int lanes, bool use_fma)
+    SimEngine(sim::Machine &machine, int core, int lanes, bool use_fma,
+              Dispatch dispatch = Dispatch::Batched)
         : machine_(machine), core_(core), lanes_(lanes),
-          fma_(use_fma && machine.config().core.hasFma)
+          fma_(use_fma && machine.config().core.hasFma),
+          dispatch_(dispatch),
+          lineShift_(static_cast<uint32_t>(
+              std::countr_zero(machine.config().l1.lineBytes)))
     {
         RFL_ASSERT(lanes == 1 || lanes == 2 || lanes == 4 || lanes == 8);
         if (lanes > machine.config().core.maxVectorDoubles) {
             fatal("SimEngine: %d lanes exceeds machine vector width %d",
                   lanes, machine.config().core.maxVectorDoubles);
         }
+        if (dispatch_ == Dispatch::Batched)
+            machine_.attachBatchSource(*this);
     }
+
+    ~SimEngine() override
+    {
+        if (dispatch_ == Dispatch::Batched) {
+            flush();
+            machine_.detachBatchSource(*this);
+        }
+    }
+
+    SimEngine(const SimEngine &) = delete;
+    SimEngine &operator=(const SimEngine &) = delete;
 
     int lanes() const { return lanes_; }
     bool fmaEnabled() const { return fma_; }
     int core() const { return core_; }
     sim::Machine &machine() { return machine_; }
+    Dispatch dispatch() const { return dispatch_; }
+
+    /**
+     * Simulate (and, when recording, serialize) every buffered record.
+     * Idempotent; called automatically when the batch fills, when the
+     * machine drains its sources, and on destruction.
+     */
+    void flush();
+
+    /** BatchSource: the machine's drain calls back into flush(). */
+    void flushPendingBatch() override { flush(); }
+
+    /**
+     * Cap the number of buffered records per flush (1..capacity).
+     * Equivalence tests sweep this to prove batch boundaries are
+     * invisible; production code leaves it at capacity.
+     */
+    void
+    setBatchLimit(uint32_t limit)
+    {
+        RFL_ASSERT(limit >= 1 && limit <= trace::AccessBatch::capacity);
+        flush();
+        batchLimit_ = limit;
+    }
+
+    /**
+     * Record every subsequently flushed batch to @p writer (nullptr
+     * stops recording). Batched dispatch only: the direct path has no
+     * IR to serialize.
+     */
+    void
+    setTraceWriter(trace::TraceWriter *writer)
+    {
+        RFL_ASSERT(writer == nullptr ||
+                   dispatch_ == Dispatch::Batched);
+        flush();
+        writer_ = writer;
+    }
+
+    /** @name Raw IR emission (pre-translated simulated addresses).
+     * Used by trace replay (TraceKernel) to feed a recorded stream back
+     * through the engine; the instrumented load()/store()/... methods
+     * below funnel into these. */
+    ///@{
+    void
+    emitLoad(uint64_t addr, uint32_t bytes)
+    {
+        if (dispatch_ == Dispatch::Direct) {
+            machine_.load(core_, addr, bytes);
+            return;
+        }
+        if (batch_.n >= batchLimit_)
+            flush();
+        batch_.pushMem(trace::AccessKind::Load, core_, addr, bytes,
+                       noteLine(addr, bytes));
+    }
+
+    void
+    emitStore(uint64_t addr, uint32_t bytes)
+    {
+        if (dispatch_ == Dispatch::Direct) {
+            machine_.store(core_, addr, bytes);
+            return;
+        }
+        if (batch_.n >= batchLimit_)
+            flush();
+        batch_.pushMem(trace::AccessKind::Store, core_, addr, bytes,
+                       noteLine(addr, bytes));
+    }
+
+    void
+    emitStoreNT(uint64_t addr, uint32_t bytes)
+    {
+        if (dispatch_ == Dispatch::Direct) {
+            machine_.storeNT(core_, addr, bytes);
+            return;
+        }
+        if (batch_.n >= batchLimit_)
+            flush();
+        prevLine_ = ~0ull; // NT stores never extend a same-line run
+        batch_.pushMem(trace::AccessKind::StoreNT, core_, addr, bytes);
+    }
+
+    void
+    emitFp(sim::VecWidth w, bool fma, uint64_t count = 1)
+    {
+        if (dispatch_ == Dispatch::Direct) {
+            machine_.retireFp(core_, w, fma, count);
+            return;
+        }
+        // FP retirement touches only the core's own additive counters —
+        // nothing in the machine reads them mid-stream — so retirements
+        // commute with every other record and accumulate here instead
+        // of occupying IR slots. flush() materializes the totals as one
+        // Fp record per (width, fma) class, so traces and the consume
+        // loop see at most eight FP records per flush however
+        // FP-dense the kernel is.
+        pendingFp_[(static_cast<size_t>(w) << 1) | (fma ? 1 : 0)] +=
+            count;
+    }
+
+    void
+    emitOther(uint64_t uops)
+    {
+        if (dispatch_ == Dispatch::Direct) {
+            machine_.retireOther(core_, uops);
+            return;
+        }
+        // Commutes exactly like FP retirement (see emitFp).
+        pendingOther_ += uops;
+    }
+
+    /**
+     * Replay a whole decoded batch: flushes buffered records first
+     * (stream order), then records/simulates @p b with every record
+     * remapped onto this engine's core.
+     */
+    void emitBatch(const trace::AccessBatch &b);
+    ///@}
 
     // --- scalar ---
     double
     load(const double *p)
     {
-        machine_.load(core_, AddressArena::translate(p), 8);
+        emitLoad(AddressArena::translate(p), 8);
         return *p;
     }
 
     void
     store(double *p, double x)
     {
-        machine_.store(core_, AddressArena::translate(p), 8);
+        emitStore(AddressArena::translate(p), 8);
         *p = x;
     }
 
     void
     storeNT(double *p, double x)
     {
-        machine_.storeNT(core_, AddressArena::translate(p), 8);
+        emitStoreNT(AddressArena::translate(p), 8);
         *p = x;
     }
 
@@ -345,34 +513,34 @@ class SimEngine
     void
     loadRaw(const void *p, uint32_t bytes)
     {
-        machine_.load(core_, AddressArena::translate(p), bytes);
+        emitLoad(AddressArena::translate(p), bytes);
     }
 
     double
     add(double a, double b)
     {
-        machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+        emitFp(sim::VecWidth::Scalar, false);
         return a + b;
     }
 
     double
     sub(double a, double b)
     {
-        machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+        emitFp(sim::VecWidth::Scalar, false);
         return a - b;
     }
 
     double
     mul(double a, double b)
     {
-        machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+        emitFp(sim::VecWidth::Scalar, false);
         return a * b;
     }
 
     double
     div(double a, double b)
     {
-        machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+        emitFp(sim::VecWidth::Scalar, false);
         return a / b;
     }
 
@@ -380,20 +548,20 @@ class SimEngine
     fmadd(double a, double b, double c)
     {
         if (fma_) {
-            machine_.retireFp(core_, sim::VecWidth::Scalar, true);
+            emitFp(sim::VecWidth::Scalar, true);
         } else {
-            machine_.retireFp(core_, sim::VecWidth::Scalar, false);
-            machine_.retireFp(core_, sim::VecWidth::Scalar, false);
+            emitFp(sim::VecWidth::Scalar, false);
+            emitFp(sim::VecWidth::Scalar, false);
         }
         return a * b + c;
     }
 
-    // --- vector (one batched machine entry per operation) ---
+    // --- vector (one IR record per operation) ---
     Vec
     vload(const double *p)
     {
-        machine_.load(core_, AddressArena::translate(p),
-                      static_cast<uint32_t>(8 * lanes_));
+        emitLoad(AddressArena::translate(p),
+                 static_cast<uint32_t>(8 * lanes_));
         Vec r;
         r.w = lanes_;
         for (int i = 0; i < lanes_; ++i)
@@ -404,8 +572,8 @@ class SimEngine
     void
     vstore(double *p, const Vec &x)
     {
-        machine_.store(core_, AddressArena::translate(p),
-                       static_cast<uint32_t>(8 * lanes_));
+        emitStore(AddressArena::translate(p),
+                  static_cast<uint32_t>(8 * lanes_));
         for (int i = 0; i < lanes_; ++i)
             p[i] = x[i];
     }
@@ -413,8 +581,8 @@ class SimEngine
     void
     vstoreNT(double *p, const Vec &x)
     {
-        machine_.storeNT(core_, AddressArena::translate(p),
-                         static_cast<uint32_t>(8 * lanes_));
+        emitStoreNT(AddressArena::translate(p),
+                    static_cast<uint32_t>(8 * lanes_));
         for (int i = 0; i < lanes_; ++i)
             p[i] = x[i];
     }
@@ -432,7 +600,7 @@ class SimEngine
     Vec
     vadd(const Vec &a, const Vec &b)
     {
-        machine_.retireFp(core_, sim::widthForLanes(lanes_), false);
+        emitFp(sim::widthForLanes(lanes_), false);
         Vec r;
         r.w = lanes_;
         for (int i = 0; i < lanes_; ++i)
@@ -443,7 +611,7 @@ class SimEngine
     Vec
     vmul(const Vec &a, const Vec &b)
     {
-        machine_.retireFp(core_, sim::widthForLanes(lanes_), false);
+        emitFp(sim::widthForLanes(lanes_), false);
         Vec r;
         r.w = lanes_;
         for (int i = 0; i < lanes_; ++i)
@@ -455,10 +623,10 @@ class SimEngine
     vfmadd(const Vec &a, const Vec &b, const Vec &c)
     {
         if (fma_) {
-            machine_.retireFp(core_, sim::widthForLanes(lanes_), true);
+            emitFp(sim::widthForLanes(lanes_), true);
         } else {
-            machine_.retireFp(core_, sim::widthForLanes(lanes_), false);
-            machine_.retireFp(core_, sim::widthForLanes(lanes_), false);
+            emitFp(sim::widthForLanes(lanes_), false);
+            emitFp(sim::widthForLanes(lanes_), false);
         }
         Vec r;
         r.w = lanes_;
@@ -474,8 +642,8 @@ class SimEngine
         for (int i = 1; i < lanes_; ++i)
             s += a[i];
         if (lanes_ > 1) {
-            machine_.retireFp(core_, sim::VecWidth::Scalar, false,
-                              static_cast<uint64_t>(lanes_ - 1));
+            emitFp(sim::VecWidth::Scalar, false,
+                   static_cast<uint64_t>(lanes_ - 1));
         }
         return s;
     }
@@ -483,14 +651,47 @@ class SimEngine
     void
     loop(uint64_t iters, uint64_t uops_per_iter = 2)
     {
-        machine_.retireOther(core_, iters * uops_per_iter);
+        emitOther(iters * uops_per_iter);
     }
 
   private:
+    /** Move accumulated FP/uop retirements into batch_ as records. */
+    void materializePending();
+
+    /**
+     * Track the line of the memory record being appended.
+     * @return whether it is single-line and extends the previous memory
+     * record's line — the producer-side same-line hint the consume
+     * loop's run scan keys on (trace::kindFlagSameLine).
+     */
+    bool
+    noteLine(uint64_t addr, uint32_t bytes)
+    {
+        const uint64_t line = addr >> lineShift_;
+        if (((addr + bytes - 1) >> lineShift_) != line) {
+            prevLine_ = ~0ull; // multi-line: no run through it
+            return false;
+        }
+        const bool same = line == prevLine_;
+        prevLine_ = line;
+        return same;
+    }
+
     sim::Machine &machine_;
     int core_;
     int lanes_;
     bool fma_;
+    Dispatch dispatch_;
+    uint32_t lineShift_;
+    /** Line of the last appended memory record (~0 = none/multi-line).*/
+    uint64_t prevLine_ = ~0ull;
+    uint32_t batchLimit_ = trace::AccessBatch::capacity;
+    trace::TraceWriter *writer_ = nullptr;
+    /** Deferred FP retirements, indexed (VecWidth << 1) | fma. */
+    std::array<uint64_t, 8> pendingFp_{};
+    /** Deferred non-FP uop retirements. */
+    uint64_t pendingOther_ = 0;
+    trace::AccessBatch batch_;
 };
 
 } // namespace rfl::kernels

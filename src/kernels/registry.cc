@@ -14,6 +14,7 @@
 #include "kernels/sum.hh"
 #include "kernels/triad.hh"
 #include "support/logging.hh"
+#include "trace/trace_kernel.hh"
 
 namespace rfl::kernels
 {
@@ -61,6 +62,20 @@ createKernel(const std::string &spec)
 {
     const size_t colon = spec.find(':');
     const std::string name = spec.substr(0, colon);
+
+    // Trace replay takes a file path, which may contain commas and '='
+    // characters, so it bypasses the key=value parameter parser.
+    if (name == "trace") {
+        const std::string rest =
+            colon == std::string::npos ? std::string()
+                                       : spec.substr(colon + 1);
+        if (rest.rfind("file=", 0) != 0 || rest.size() == 5)
+            fatal("trace kernel spec must be 'trace:file=<path>', got "
+                  "'%s'",
+                  spec.c_str());
+        return std::make_unique<trace::TraceKernel>(rest.substr(5));
+    }
+
     const Params params(colon == std::string::npos
                             ? std::string()
                             : spec.substr(colon + 1));
@@ -134,6 +149,7 @@ kernelHelp()
         "spmv-csr:rows=<r>,nnz=<per-row>  y = A*x, CSR",
         "strided-sum:n=<touches>,stride=<doubles>  strided read probe",
         "pointer-chase:nodes=<n>,hops=<h> dependent-load latency probe",
+        "trace:file=<path>         replay a recorded access-stream trace",
     };
 }
 

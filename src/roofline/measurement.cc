@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "pmu/sim_backend.hh"
 #include "support/logging.hh"
 
 namespace rfl::roofline
@@ -45,7 +46,14 @@ Measurement::trafficError() const
 }
 
 Measurer::Measurer(sim::Machine &machine)
-    : machine_(machine), backend_(machine)
+    : machine_(machine),
+      owned_(std::make_unique<pmu::SimBackend>(machine)),
+      backend_(*owned_)
+{
+}
+
+Measurer::Measurer(sim::Machine &machine, pmu::Backend &backend)
+    : machine_(machine), backend_(backend)
 {
 }
 

@@ -23,11 +23,12 @@
 #ifndef RFL_ROOFLINE_MEASUREMENT_HH
 #define RFL_ROOFLINE_MEASUREMENT_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "kernels/kernel.hh"
-#include "pmu/sim_backend.hh"
+#include "pmu/backend.hh"
 #include "sim/machine.hh"
 #include "support/statistics.hh"
 
@@ -101,11 +102,31 @@ struct Measurement
  * The machine is reset()s between measurements; a Measurer owns the
  * machine's measurement-time configuration (prefetch stays whatever the
  * caller set it to).
+ *
+ * The counter path is abstract: the Measurer reads regions through a
+ * pmu::Backend, so the same measurement protocol can later drive a
+ * PerfEventBackend on real hardware. The single-argument constructor
+ * keeps the common case convenient by owning a SimBackend over the
+ * machine (this header deliberately depends only on pmu/backend.hh).
+ *
+ * Region boundaries and the batched engine: every region edge —
+ * Backend::begin()/end() and the protocol's cache flushes — reads or
+ * mutates machine state, which drains any attached batch source
+ * (Machine::drainBatchSources), so buffered accesses are always counted
+ * in the region that issued them and the Cold/Warm protocol counters
+ * are bit-identical to per-access dispatch.
  */
 class Measurer
 {
   public:
+    /** Measure through an owned SimBackend over @p machine. */
     explicit Measurer(sim::Machine &machine);
+
+    /**
+     * Measure through an external counter backend. @p backend must
+     * report the work running on @p machine and outlive the Measurer.
+     */
+    Measurer(sim::Machine &machine, pmu::Backend &backend);
 
     /** Measure @p kernel under @p opts (see file comment for protocol). */
     Measurement measure(kernels::Kernel &kernel,
@@ -114,13 +135,18 @@ class Measurer
     /** The machine this measurer drives. */
     sim::Machine &machine() { return machine_; }
 
+    /** The counter backend regions are read through. */
+    pmu::Backend &backend() { return backend_; }
+
   private:
     /** Run the kernel body once across opts.cores. */
     void runOnce(kernels::Kernel &kernel, const MeasureOptions &opts,
                  int lanes);
 
     sim::Machine &machine_;
-    pmu::SimBackend backend_;
+    /** Backing storage when the Measurer owns its backend. */
+    std::unique_ptr<pmu::Backend> owned_;
+    pmu::Backend &backend_;
 };
 
 } // namespace rfl::roofline

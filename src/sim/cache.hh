@@ -212,6 +212,29 @@ class Cache
         }
     }
 
+    /**
+     * Bulk form of touchRepeat(): the state after @p reads read touches
+     * and @p writes write touches of way slot @p idx, in any order, is
+     * identical to the corresponding touchRepeat() sequence — the tick
+     * advances once per touch, only the final LRU stamp survives, the
+     * dirty bit is sticky, and the hit counters are additive. The
+     * batched consume loop uses this to collapse a same-line run into
+     * O(1) updates (see DESIGN.md §8).
+     */
+    void
+    touchRepeatN(size_t idx, uint64_t writes, uint64_t reads)
+    {
+        assert(!(flags_[idx] & kPrefetched));
+        tick_ += writes + reads;
+        if (config_.repl == ReplPolicy::LRU)
+            stamps_[idx] = tick_;
+        if (writes) {
+            flags_[idx] |= kDirty;
+            stats_.writeHits += writes;
+        }
+        stats_.readHits += reads;
+    }
+
   private:
     /** flags_ bits. */
     static constexpr uint8_t kDirty = 1;

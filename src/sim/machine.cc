@@ -47,8 +47,33 @@ Machine::Machine(const MachineConfig &cfg)
 }
 
 void
+Machine::attachBatchSource(BatchSource &source)
+{
+    batchSources_.push_back(&source);
+}
+
+void
+Machine::detachBatchSource(BatchSource &source)
+{
+    batchSources_.erase(std::remove(batchSources_.begin(),
+                                    batchSources_.end(), &source),
+                        batchSources_.end());
+}
+
+void
+Machine::drainBatchSources() const
+{
+    // flushPendingBatch() re-enters the machine only through data-path
+    // calls (simulateBatch and below), which never drain, so this loop
+    // cannot recurse.
+    for (BatchSource *source : batchSources_)
+        source->flushPendingBatch();
+}
+
+void
 Machine::setFastPath(bool enabled)
 {
+    drainBatchSources(); // buffered accesses ran under the old mode
     fastPath_ = enabled;
     // Reference mode also runs the caches without their MRU memo so
     // the baseline is the plain set-scan lookup throughout.
@@ -304,8 +329,187 @@ Machine::storeNT(int core, uint64_t addr, uint32_t bytes)
 }
 
 void
+Machine::simulateBatch(const trace::AccessBatch &b, int core_override)
+{
+    if (core_override >= 0) {
+        simulateBatchSpan(b, 0, b.n, core_override);
+        return;
+    }
+    // Split the batch into maximal same-core spans so the span loop can
+    // hoist every per-core indirection. Engine-produced batches are
+    // single-core by construction (one engine = one core), so this scan
+    // normally finds exactly one span; it only does real work for
+    // multi-core traces replayed without a core override.
+    uint32_t i = 0;
+    while (i < b.n) {
+        const uint16_t core = b.core[i];
+        uint32_t j = i + 1;
+        while (j < b.n && b.core[j] == core)
+            ++j;
+        simulateBatchSpan(b, i, j, core);
+        i = j;
+    }
+}
+
+void
+Machine::simulateBatchSpan(const trace::AccessBatch &b, uint32_t begin,
+                           uint32_t end, int core)
+{
+    using trace::AccessBatch;
+    using trace::AccessKind;
+
+    RFL_ASSERT(core >= 0 && core < numCores_);
+    // Hoisted per-core state: the consume loop must not chase the
+    // unique_ptr/vector indirections per record.
+    CoreFast &fs = fast_[static_cast<size_t>(core)];
+    CoreCounters &cc = cores_[static_cast<size_t>(core)];
+    Cache *const l1 = l1_[static_cast<size_t>(core)].get();
+    Tlb &tlb = tlbs_[static_cast<size_t>(core)];
+    Prefetcher *const l1pf = l1pf_[static_cast<size_t>(core)].get();
+    // Coalescing applies when the fast path is on and the L1 prefetcher
+    // reacts to a repeated hit with a bare observation count (the
+    // streamer must run its full observe() per access).
+    const bool coalesce =
+        fastPath_ && (l1pfCheapRepeat_ || !prefetchEnabled_);
+    const uint32_t line_shift = lineShift_;
+
+    // retireFp() with the core lookup hoisted into cc.
+    auto retire_fp = [&](uint8_t width_byte, uint64_t count) {
+        const auto w = static_cast<VecWidth>(
+            width_byte & trace::AccessBatch::fpWidthMask);
+        const bool fma =
+            (width_byte & trace::AccessBatch::fpFmaFlag) != 0;
+        if (vecLanes(w) > cfg_.core.maxVectorDoubles) {
+            panic("core %d retiring %s ops but machine supports width "
+                  "%d",
+                  core, vecWidthName(w), cfg_.core.maxVectorDoubles);
+        }
+        if (fma && !cfg_.core.hasFma)
+            panic("core %d retiring FMA on a machine without FMA", core);
+        cc.fpRetired[static_cast<size_t>(w)] += count * (fma ? 2 : 1);
+        cc.fpUops += count;
+    };
+
+    uint32_t i = begin;
+    while (i < end) {
+        const auto kind = static_cast<AccessKind>(b.kind[i] &
+                                                  trace::kindValueMask);
+        switch (kind) {
+          case AccessKind::Load:
+          case AccessKind::Store: {
+            const uint64_t addr = b.addr[i];
+            const uint32_t bytes = b.size[i];
+            RFL_ASSERT(bytes > 0);
+            const uint64_t line = addr >> line_shift;
+            const uint64_t last = (addr + bytes - 1) >> line_shift;
+            // Run coalescing: a single-line access whose line is in the
+            // resident-line filter on an already-translated page is the
+            // per-access fast path's streak case. A run of records
+            // repeating it would each perform the identical set of
+            // counter updates, all of which are additive or
+            // last-write-wins, so the whole run collapses into bulk
+            // updates. Interleaved Fp/Other records commute with the
+            // memory updates (they touch disjoint per-core counters and
+            // never read cache state), so the scan retires them inline
+            // instead of breaking the run — the load/FP alternation of
+            // a reduction kernel stays one run per line. Bit-identical
+            // to the per-access sequence by construction; the batched
+            // golden test enforces it across batch limits.
+            //
+            // The scan is one byte compare per record: by the kind
+            // encoding (access_batch.hh), exactly the records that may
+            // extend a run — same-line-flagged Load/Store, Fp, Other —
+            // have kind-plane values >= Fp. A flagged record is
+            // same-line with its predecessor, hence transitively with
+            // the run base; traces without flags (decoded replays)
+            // lose runs, never correctness.
+            if (coalesce && last == line) {
+                const int slot = fs.find(line);
+                if (slot >= 0) {
+                    // Resident single-line access: translate the base
+                    // exactly as the per-access fast path would (page
+                    // streak or full walk, updating lastVpn); every
+                    // same-line follower is then a guaranteed streak.
+                    translatePage(core, fs, addr);
+                    uint64_t reads = 0, writes = 0;
+                    uint32_t j = i;
+                    do {
+                        // Values reaching here: Load/Store (flagged or
+                        // run base), Fp, Other. Bit 0 is the write bit
+                        // of both plain and flagged memory kinds.
+                        const uint8_t k = b.kind[j];
+                        if (k == static_cast<uint8_t>(AccessKind::Fp)) {
+                            retire_fp(b.width[j], b.addr[j]);
+                        } else if (k ==
+                                   static_cast<uint8_t>(
+                                       AccessKind::Other)) {
+                            cc.otherUops += b.addr[j];
+                        } else if (k & 1) {
+                            ++writes;
+                        } else {
+                            ++reads;
+                        }
+                        ++j;
+                    } while (j < end &&
+                             b.kind[j] >=
+                                 static_cast<uint8_t>(AccessKind::Fp));
+                    cc.loadUops += reads;
+                    cc.storeUops += writes;
+                    if (tlbEnabled_)
+                        tlb.countStreakAccesses(reads + writes - 1);
+                    l1->touchRepeatN(fs.wayIdx[static_cast<size_t>(slot)],
+                                     writes, reads);
+                    if (prefetchEnabled_)
+                        l1pf->countObservedN(reads + writes);
+                    i = j;
+                    continue;
+                }
+                // Single-line but not in the resident filter: the
+                // per-access path's find() would fail identically, so
+                // go straight to the full (miss) path.
+                const bool write = kind == AccessKind::Store;
+                if (write)
+                    cc.storeUops += 1;
+                else
+                    cc.loadUops += 1;
+                accessLineFull(core, line, write);
+                ++i;
+                break;
+            }
+            // Generic delivery, line split precomputed (the body of
+            // Machine::load/store with first/last already in hand).
+            const bool write = kind == AccessKind::Store;
+            if (write)
+                cc.storeUops += 1;
+            else
+                cc.loadUops += 1;
+            accessLine(core, line, write);
+            for (uint64_t l = line + 1; l <= last; ++l)
+                accessLine(core, l, write);
+            ++i;
+            break;
+          }
+          case AccessKind::StoreNT:
+            storeNT(core, b.addr[i], b.size[i]);
+            ++i;
+            break;
+          case AccessKind::Fp:
+            retire_fp(b.width[i], b.addr[i]);
+            ++i;
+            break;
+          case AccessKind::Other:
+            cc.otherUops += b.addr[i];
+            ++i;
+            break;
+        }
+    }
+}
+
+void
 Machine::flushAllCaches(const std::vector<int> &attribute_cores)
 {
+    // Buffered accesses precede the flush in program order.
+    drainBatchSources();
     // Collect dirty lines per owning socket, deduplicated so a line dirty
     // in several levels is written back exactly once (as the hardware
     // would: there is one most-recent copy).
@@ -364,6 +568,7 @@ Machine::flushAllCaches(const std::vector<int> &attribute_cores)
 void
 Machine::invalidateAllCaches()
 {
+    drainBatchSources();
     for (auto &c : l1_)
         c->invalidateAll();
     for (auto &c : l2_)
@@ -382,6 +587,7 @@ Machine::invalidateAllCaches()
 void
 Machine::resetStats()
 {
+    drainBatchSources();
     for (auto &c : l1_)
         c->clearStats();
     for (auto &c : l2_)
@@ -415,6 +621,7 @@ Machine::reset()
 Machine::Snapshot
 Machine::snapshot() const
 {
+    drainBatchSources();
     Snapshot s;
     s.cores = cores_;
     for (int c = 0; c < numCores(); ++c) {
@@ -518,6 +725,7 @@ Machine::regionSeconds(const Snapshot &delta) const
 void
 Machine::printStats(std::ostream &os) const
 {
+    drainBatchSources();
     os << "machine." << cfg_.name << "\n";
     auto cache_stats = [&](const std::string &prefix,
                            const CacheStats &s) {

@@ -31,6 +31,7 @@
 #include "sim/imc.hh"
 #include "sim/prefetcher.hh"
 #include "sim/tlb.hh"
+#include "trace/access_batch.hh"
 
 namespace rfl::sim
 {
@@ -55,6 +56,24 @@ const char *memPolicyName(MemPolicy policy);
 class Machine
 {
   public:
+    /**
+     * A producer of buffered access-stream batches (in practice a
+     * batched SimEngine). Attached sources are drained — forced to
+     * flushPendingBatch() — before every machine observation or
+     * control-state change (snapshot, flushes, resets, knob setters,
+     * component accessors), so buffering is architecturally invisible:
+     * no caller can ever observe counters that are missing buffered
+     * accesses. Data-path entries (load/store/simulateBatch) do NOT
+     * drain; they are what a drain calls into.
+     */
+    class BatchSource
+    {
+      public:
+        virtual ~BatchSource() = default;
+        /** Simulate (and forget) every buffered record, in order. */
+        virtual void flushPendingBatch() = 0;
+    };
+
     explicit Machine(const MachineConfig &cfg);
 
     const MachineConfig &config() const { return cfg_; }
@@ -64,11 +83,21 @@ class Machine
     int socketOf(int core) const { return core / cfg_.coresPerSocket; }
 
     /** Enable/disable all hardware prefetchers (the MSR 0x1A4 knob). */
-    void setPrefetchEnabled(bool enabled) { prefetchEnabled_ = enabled; }
+    void
+    setPrefetchEnabled(bool enabled)
+    {
+        drainBatchSources(); // buffered accesses ran under the old knob
+        prefetchEnabled_ = enabled;
+    }
     bool prefetchEnabled() const { return prefetchEnabled_; }
 
     /** Select the NUMA page-placement policy. */
-    void setMemPolicy(MemPolicy policy) { memPolicy_ = policy; }
+    void
+    setMemPolicy(MemPolicy policy)
+    {
+        drainBatchSources();
+        memPolicy_ = policy;
+    }
     MemPolicy memPolicy() const { return memPolicy_; }
 
     /**
@@ -76,8 +105,43 @@ class Machine
      * latency term uses MLP = 1 instead of the configured line-fill
      * parallelism.
      */
-    void setDependentAccesses(bool dependent) { dependent_ = dependent; }
+    void
+    setDependentAccesses(bool dependent)
+    {
+        drainBatchSources();
+        dependent_ = dependent;
+    }
     bool dependentAccesses() const { return dependent_; }
+
+    /** @name Batched access-stream consumption (see trace/). */
+    ///@{
+    /** Attach @p source for draining at observation points. */
+    void attachBatchSource(BatchSource &source);
+    /** Detach @p source (no-op when not attached). */
+    void detachBatchSource(BatchSource &source);
+    /**
+     * Force every attached source to flush its buffered records now, in
+     * attachment order. Called by every observation/control entry point;
+     * cheap when nothing is attached (the common case is one source).
+     */
+    void drainBatchSources() const;
+
+    /**
+     * Consume one IR batch: every record produces exactly the state and
+     * counter updates the equivalent load()/store()/storeNT()/
+     * retireFp()/retireOther() call sequence would, in order. On top of
+     * the per-access fast path, runs of single-line demand accesses to
+     * the same resident line on a translated page are coalesced into
+     * O(1) bulk counter updates (bit-identical by construction; the
+     * golden equivalence test enforces it).
+     *
+     * @param core_override when >= 0, every record is executed as this
+     * core regardless of its core plane (trace replay remaps a recorded
+     * stream onto the replaying engine's core).
+     */
+    void simulateBatch(const trace::AccessBatch &batch,
+                       int core_override = -1);
+    ///@}
 
     /**
      * Enable/disable the demand-access fast path (default: enabled).
@@ -183,16 +247,60 @@ class Machine
      */
     void printStats(std::ostream &os) const;
 
-    /** @name Component access (tests, PMU backend). */
+    /**
+     * @name Component access (tests, PMU backend).
+     * Observation points: each drains attached batch sources first so
+     * the returned state includes every buffered access.
+     */
     ///@{
-    const Cache &l1(int core) const { return *l1_[core]; }
-    const Cache &l2(int core) const { return *l2_[core]; }
-    const Cache &l3(int socket) const { return *l3_[socket]; }
-    const Imc &imc(int socket) const { return imcs_[socket]; }
-    const CoreCounters &coreCounters(int core) const { return cores_[core]; }
-    const Prefetcher &l1Prefetcher(int core) const { return *l1pf_[core]; }
-    const Prefetcher &l2Prefetcher(int core) const { return *l2pf_[core]; }
-    const Tlb &tlb(int core) const { return tlbs_[core]; }
+    const Cache &
+    l1(int core) const
+    {
+        drainBatchSources();
+        return *l1_[core];
+    }
+    const Cache &
+    l2(int core) const
+    {
+        drainBatchSources();
+        return *l2_[core];
+    }
+    const Cache &
+    l3(int socket) const
+    {
+        drainBatchSources();
+        return *l3_[socket];
+    }
+    const Imc &
+    imc(int socket) const
+    {
+        drainBatchSources();
+        return imcs_[socket];
+    }
+    const CoreCounters &
+    coreCounters(int core) const
+    {
+        drainBatchSources();
+        return cores_[core];
+    }
+    const Prefetcher &
+    l1Prefetcher(int core) const
+    {
+        drainBatchSources();
+        return *l1pf_[core];
+    }
+    const Prefetcher &
+    l2Prefetcher(int core) const
+    {
+        drainBatchSources();
+        return *l2pf_[core];
+    }
+    const Tlb &
+    tlb(int core) const
+    {
+        drainBatchSources();
+        return tlbs_[core];
+    }
     ///@}
 
   private:
@@ -211,6 +319,14 @@ class Machine
 
     /** The full (reference) demand-access path. */
     void accessLineFull(int core, uint64_t line_addr, bool write);
+
+    /**
+     * Consume records [begin, end) of @p batch, all executing as
+     * @p core: the single-core inner loop of simulateBatch() with every
+     * per-core indirection hoisted.
+     */
+    void simulateBatchSpan(const trace::AccessBatch &batch,
+                           uint32_t begin, uint32_t end, int core);
 
     /**
      * observe() on @p pf with a direct (devirtualized) call: @p kind is
@@ -379,6 +495,14 @@ class Machine
      */
     PfList l1Scratch_;
     PfList l2Scratch_;
+
+    /**
+     * Attached batch sources, drained (in order) by every observation
+     * point. Mutable because draining is a pure materialization of
+     * already-issued accesses: logically-const entry points like
+     * snapshot() must be able to force it.
+     */
+    mutable std::vector<BatchSource *> batchSources_;
 };
 
 // The data-path entry points and the resident-line fast path are inline:

@@ -113,6 +113,9 @@ class Prefetcher
      */
     void countObserved() { ++stats_.observed; }
 
+    /** Bulk form of countObserved() for a coalesced same-line run. */
+    void countObservedN(uint64_t count) { stats_.observed += count; }
+
     /** Factory from configuration. */
     static std::unique_ptr<Prefetcher> create(const PrefetcherConfig &cfg);
 

@@ -113,6 +113,9 @@ class Tlb
      */
     void countStreakAccess() { ++stats_.accesses; }
 
+    /** Bulk form of countStreakAccess() for a coalesced same-line run. */
+    void countStreakAccesses(uint64_t count) { stats_.accesses += count; }
+
     /** log2(page size): pages are validated to be a power of two. */
     uint32_t pageShift() const { return pageShift_; }
 

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * On-disk serialization of the access-stream IR: record and replay.
+ *
+ * A trace file is a sequence of self-validating chunks, one per flushed
+ * AccessBatch, closed by an end-marker chunk carrying the whole-trace
+ * summary:
+ *
+ *   file header   "RFLTRC01" magic, u32 version, u32 flags
+ *   data chunk*   chunk header (magic 'CHNK', record count, payload
+ *                 bytes, FNV-1a payload hash) + var-length payload
+ *   end chunk     chunk header (magic 'CEND', 0 records) + the
+ *                 TraceSummary as 12 little-endian u64 fields
+ *                 (records, loads, stores, ntStores, fpOps, otherUops,
+ *                 flops, memBytes, minAddr, maxAddr, flags, hash)
+ *
+ * Payload encoding is compact and delta-based: per record a kind byte
+ * and a varint core id, then for memory records a varint byte count and
+ * a zigzag-varint address delta against the previous memory address in
+ * the chunk, for FP records a width byte and a varint op count, for uop
+ * records a varint count. Streaming kernels advance addresses by a few
+ * bytes per access, so deltas are 1–2 bytes.
+ *
+ * Integrity: the reader validates every chunk hash, the end marker and
+ * the record totals up front; truncated or corrupted files are rejected
+ * with a message naming the failure (open() returns false, error()
+ * explains). The summary's `hash` field is a chunking-independent
+ * content hash over the decoded record stream — two traces with the
+ * same records hash identically however their batches were sized —
+ * which is what the campaign layer content-addresses trace files by.
+ */
+
+#ifndef RFL_TRACE_TRACE_FILE_HH
+#define RFL_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/access_batch.hh"
+
+namespace rfl::trace
+{
+
+/** Whole-trace totals, accumulated by the writer, stored in the end
+ *  chunk, cross-checked by the reader. */
+struct TraceSummary
+{
+    uint64_t records = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t ntStores = 0;
+    uint64_t fpOps = 0;     ///< Fp records' summed op counts (pre-weight)
+    uint64_t otherUops = 0;
+    /** Width- and FMA-weighted double-precision flops of the stream. */
+    uint64_t flops = 0;
+    uint64_t memBytes = 0;  ///< bytes moved by memory records
+    uint64_t minAddr = ~0ull; ///< lowest byte address touched (~0 if none)
+    uint64_t maxAddr = 0;     ///< highest byte address touched (exclusive)
+    /**
+     * Workload properties the stream alone cannot express (bit mask of
+     * the flag constants below); set by the recorder from the traced
+     * kernel, honored by TraceKernel on replay.
+     */
+    uint64_t flags = 0;
+    /** Chunking-independent FNV-1a over the decoded record stream. */
+    uint64_t hash = 0xcbf29ce484222325ull;
+
+    /** flags: accesses form a dependency chain (replay with MLP = 1). */
+    static constexpr uint64_t flagDependentAccesses = 1;
+};
+
+/**
+ * Streams AccessBatches into a trace file. fatal() when the path cannot
+ * be created (user error); finish() seals the file with the end chunk
+ * and is called by the destructor when omitted.
+ */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Serialize @p batch as one chunk (empty batches are skipped). */
+    void append(const AccessBatch &batch);
+
+    /** Mark the recorded workload as a dependent-access chain. */
+    void setDependentAccesses(bool dependent);
+
+    /** Write the end chunk and close the file (idempotent). */
+    void finish();
+
+    const std::string &path() const { return path_; }
+
+    /** Totals so far; final once finish() ran. */
+    const TraceSummary &summary() const { return summary_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    TraceSummary summary_;
+    std::vector<uint8_t> scratch_; ///< per-chunk encode buffer
+    bool finished_ = false;
+};
+
+/**
+ * Loads and validates a trace file, then decodes it chunk by chunk.
+ * The whole encoded file is held in memory (traces are compact); see
+ * the file comment for the validation performed by open().
+ */
+class TraceReader
+{
+  public:
+    TraceReader() = default;
+
+    /**
+     * Load + validate @p path.
+     * @return false with error() describing the problem (unreadable,
+     * bad magic, truncated, corrupt chunk, bad totals).
+     */
+    bool open(const std::string &path);
+
+    /** Explanation of the last open()/next() failure ("" when none). */
+    const std::string &error() const { return error_; }
+
+    /** End-chunk totals (valid after a successful open()). */
+    const TraceSummary &summary() const { return summary_; }
+
+    /** Chunking-independent content hash (summary().hash). */
+    uint64_t stableHash() const { return summary_.hash; }
+
+    /**
+     * Decode the next data chunk into @p out (previous content is
+     * discarded). @return false at end of trace or on a decode error
+     * (distinguish via error()).
+     */
+    bool next(AccessBatch &out);
+
+    /** Restart next() from the first chunk. */
+    void rewind() { cursor_ = 0; }
+
+  private:
+    struct ChunkRef
+    {
+        size_t payloadOffset;
+        size_t payloadBytes;
+        uint32_t records;
+    };
+
+    bool fail(const std::string &message);
+
+    std::vector<uint8_t> data_;
+    std::vector<ChunkRef> chunks_;
+    TraceSummary summary_;
+    std::string error_;
+    size_t cursor_ = 0;
+};
+
+} // namespace rfl::trace
+
+#endif // RFL_TRACE_TRACE_FILE_HH

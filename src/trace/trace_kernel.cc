@@ -1,0 +1,86 @@
+#include "trace/trace_kernel.hh"
+
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace rfl::trace
+{
+
+TraceKernel::TraceKernel(std::string path) : path_(std::move(path))
+{
+    if (!reader_.open(path_))
+        fatal("%s", reader_.error().c_str());
+}
+
+std::string
+TraceKernel::sizeLabel() const
+{
+    return "records=" + std::to_string(reader_.summary().records);
+}
+
+size_t
+TraceKernel::workingSetBytes() const
+{
+    const TraceSummary &s = reader_.summary();
+    if (s.maxAddr <= s.minAddr)
+        return 0;
+    return static_cast<size_t>(s.maxAddr - s.minAddr);
+}
+
+double
+TraceKernel::expectedFlops() const
+{
+    return static_cast<double>(reader_.summary().flops);
+}
+
+double
+TraceKernel::expectedColdTrafficBytes() const
+{
+    // No closed-form traffic model for an arbitrary stream.
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+void
+TraceKernel::init(uint64_t)
+{
+    // The trace is the workload; nothing to initialize.
+}
+
+void
+TraceKernel::run(kernels::NativeEngine &, int, int)
+{
+    fatal("trace '%s': trace replay requires the simulated engine",
+          path_.c_str());
+}
+
+void
+TraceKernel::run(kernels::SimEngine &e, int part, int nparts)
+{
+    if (part != 0 || nparts != 1) {
+        fatal("trace '%s': trace replay is not partitionable",
+              path_.c_str());
+    }
+    reader_.rewind();
+    AccessBatch chunk;
+    while (reader_.next(chunk))
+        e.emitBatch(chunk);
+    if (!reader_.error().empty())
+        fatal("%s", reader_.error().c_str());
+}
+
+bool
+TraceKernel::dependentAccesses() const
+{
+    return (reader_.summary().flags &
+            TraceSummary::flagDependentAccesses) != 0;
+}
+
+double
+TraceKernel::checksum() const
+{
+    // No computed output to digest; the stream's identity stands in.
+    return static_cast<double>(reader_.stableHash() >> 11);
+}
+
+} // namespace rfl::trace

@@ -4,6 +4,7 @@
 
 #include "kernels/daxpy.hh"
 #include "kernels/registry.hh"
+#include "pmu/sim_backend.hh"
 #include "roofline/measurement.hh"
 #include "sim/machine.hh"
 
@@ -34,6 +35,30 @@ TEST(Measurement, DerivedQuantities)
     EXPECT_DOUBLE_EQ(m.perf(), 1e9);
     EXPECT_DOUBLE_EQ(m.workError(), 0.0);
     EXPECT_NEAR(m.trafficError(), 200.0 / 4200.0, 1e-12);
+}
+
+/** The Measurer is decoupled from the backend implementation: an
+ *  externally supplied pmu::Backend must produce the same measurement
+ *  as the internally owned SimBackend. */
+TEST(Measurement, ExternalBackendMatchesOwnedBackend)
+{
+    kernels::Daxpy daxpy(1 << 12);
+    MeasureOptions opts;
+    opts.repetitions = 2;
+
+    sim::Machine owned_machine(quietConfig());
+    Measurer owned(owned_machine);
+    const Measurement a = owned.measure(daxpy, opts);
+
+    sim::Machine machine(quietConfig());
+    pmu::SimBackend backend(machine);
+    Measurer external(machine, backend);
+    EXPECT_EQ(external.backend().name(), "sim");
+    const Measurement b = external.measure(daxpy, opts);
+
+    EXPECT_EQ(a.flops, b.flops);
+    EXPECT_EQ(a.trafficBytes, b.trafficBytes);
+    EXPECT_EQ(a.seconds, b.seconds);
 }
 
 TEST(Measurement, ColdDaxpyMatchesAnalyticModelExactly)

@@ -1,20 +1,29 @@
 /**
  * @file
- * Golden counter-equivalence test for the demand-access fast path.
+ * Golden counter-equivalence test for the simulator's accelerated
+ * demand-access paths.
  *
- * The simulator's hot path memoizes the last-translated page and the
- * most recently hit L1 lines per core (see DESIGN.md §7). The contract
- * is that these shortcuts are *invisible*: every counter in a
- * Machine::Snapshot — core retirement, per-level cache stats, TLB
- * stats, prefetcher stats, IMC CAS counters — must be bit-identical
- * between a run with the fast path enabled (the default) and a run on
- * the straight-line reference path (setFastPath(false)).
+ * Three paths produce the same architectural history and must be
+ * mutually indistinguishable in every counter of a Machine::Snapshot —
+ * core retirement, per-level cache stats, TLB stats, prefetcher stats,
+ * IMC CAS counters:
  *
- * Every registered kernel is driven through SimEngine in both modes on
- * the default platform and compared field-by-field. Variants cover the
- * regimes the memos interact with: scalar vs vector width, prefetchers
- * on vs off, multi-core partitions, non-temporal stores, and
- * dependent (pointer-chasing) accesses.
+ *   - Reference: per-access engine dispatch, fast path off
+ *     (setFastPath(false)): plain set-scan lookups, no memos.
+ *   - FastDirect: per-access dispatch with the PR 2 memos (resident-line
+ *     filter, page streaks; DESIGN.md §7).
+ *   - Batched: the access-stream IR — the engine buffers records into
+ *     AccessBatches that Machine::simulateBatch() consumes, coalescing
+ *     same-line runs into bulk counter updates (DESIGN.md §8).
+ *
+ * Every registered kernel is driven through SimEngine on the default
+ * platform and compared field-by-field against the reference. Variants
+ * cover the regimes the memos and the coalescer interact with: scalar
+ * vs vector width, prefetchers on vs off, multi-core partitions,
+ * non-temporal stores, dependent (pointer-chasing) accesses — and, for
+ * the batched path, batch limits {1, 7, 256, capacity} so that flush
+ * boundaries land mid-streak (a limit of 7 splits every prefetch streak
+ * of a streaming kernel) without perturbing a single counter.
  */
 
 #include <gtest/gtest.h>
@@ -26,6 +35,7 @@
 #include "kernels/registry.hh"
 #include "sim/machine.hh"
 #include "support/address_arena.hh"
+#include "trace/access_batch.hh"
 
 namespace
 {
@@ -56,19 +66,29 @@ smallSpecs()
     return specs;
 }
 
+/** Which accelerated path a run exercises (see file comment). */
+enum class PathMode
+{
+    Reference,  ///< per-access dispatch, memos off
+    FastDirect, ///< per-access dispatch, PR 2 memos on
+    Batched,    ///< IR batches through Machine::simulateBatch
+};
+
 struct RunOpts
 {
     int lanes = 4;
     int cores = 1;
     bool prefetch = true;
     bool flush = true; ///< end with flushAllCaches (writeback coverage)
+    /** Records buffered per flush (Batched mode only). */
+    uint32_t batchLimit = rfl::trace::AccessBatch::capacity;
 };
 
 Machine::Snapshot
-runKernel(const std::string &spec, bool fast_path, const RunOpts &opts)
+runKernel(const std::string &spec, PathMode mode, const RunOpts &opts)
 {
     Machine machine(MachineConfig::defaultPlatform());
-    machine.setFastPath(fast_path);
+    machine.setFastPath(mode != PathMode::Reference);
     machine.setPrefetchEnabled(opts.prefetch);
 
     AddressArena::Scope scope;
@@ -76,10 +96,16 @@ runKernel(const std::string &spec, bool fast_path, const RunOpts &opts)
     kernel->init(42);
     machine.setDependentAccesses(kernel->dependentAccesses());
 
+    const auto dispatch = mode == PathMode::Batched
+                              ? kernels::SimEngine::Dispatch::Batched
+                              : kernels::SimEngine::Dispatch::Direct;
     const Machine::Snapshot before = machine.snapshot();
     const int parts = kernel->parallelizable() ? opts.cores : 1;
     for (int c = 0; c < parts; ++c) {
-        kernels::SimEngine engine(machine, c, opts.lanes, true);
+        kernels::SimEngine engine(machine, c, opts.lanes, true,
+                                  dispatch);
+        if (mode == PathMode::Batched)
+            engine.setBatchLimit(opts.batchLimit);
         kernel->run(engine, c, parts);
     }
     if (opts.flush)
@@ -181,9 +207,35 @@ void
 compareModes(const std::string &spec, const RunOpts &opts,
              const std::string &ctx)
 {
-    const Machine::Snapshot ref = runKernel(spec, false, opts);
-    const Machine::Snapshot fast = runKernel(spec, true, opts);
-    expectEqual(ref, fast, ctx);
+    const Machine::Snapshot ref =
+        runKernel(spec, PathMode::Reference, opts);
+    const Machine::Snapshot fast =
+        runKernel(spec, PathMode::FastDirect, opts);
+    expectEqual(ref, fast, ctx + " [fast-direct]");
+}
+
+/** Batch limits that exercise flush boundaries: every record alone,
+ *  boundaries splitting prefetch streaks (7 is coprime to the 8-access
+ *  line streak of a scalar streaming kernel), a mid-size batch, and the
+ *  production capacity. */
+const uint32_t kBatchLimits[] = {1, 7, 256,
+                                 rfl::trace::AccessBatch::capacity};
+
+void
+compareBatched(const std::string &spec, const RunOpts &opts,
+               const std::string &ctx)
+{
+    const Machine::Snapshot ref =
+        runKernel(spec, PathMode::Reference, opts);
+    for (uint32_t limit : kBatchLimits) {
+        RunOpts bopts = opts;
+        bopts.batchLimit = limit;
+        const Machine::Snapshot batched =
+            runKernel(spec, PathMode::Batched, bopts);
+        expectEqual(ref, batched,
+                    ctx + " [batched limit=" + std::to_string(limit) +
+                        "]");
+    }
 }
 
 /** The spec table must cover every registered kernel. */
@@ -237,27 +289,116 @@ TEST(FastPathEquivalence, WithoutTrailingFlush)
                      std::string(name) + " no-flush");
 }
 
-/** Back-to-back regions on one machine (memos survive resetStats). */
+/** Back-to-back regions on one machine (memos survive resetStats; a
+ *  batched engine is drained by every snapshot and mid-region flush). */
 TEST(FastPathEquivalence, RepeatedRegionsOnOneMachine)
 {
-    auto run = [](bool fast_path) {
+    auto run = [](PathMode mode) {
         Machine machine(MachineConfig::defaultPlatform());
-        machine.setFastPath(fast_path);
+        machine.setFastPath(mode != PathMode::Reference);
         AddressArena::Scope scope;
         auto kernel = kernels::createKernel("daxpy:n=4096");
         kernel->init(7);
+        const auto dispatch =
+            mode == PathMode::Batched
+                ? kernels::SimEngine::Dispatch::Batched
+                : kernels::SimEngine::Dispatch::Direct;
         Machine::Snapshot acc{};
         for (int rep = 0; rep < 3; ++rep) {
             const Machine::Snapshot before = machine.snapshot();
-            kernels::SimEngine engine(machine, 0, 4, true);
+            kernels::SimEngine engine(machine, 0, 4, true, dispatch);
             kernel->run(engine, 0, 1);
+            // Cold-cache protocol mid-way: the engine still holds
+            // buffered records here in batched mode; the flush and the
+            // snapshot below must drain them in program order.
             if (rep == 1)
-                machine.flushAllCaches(); // cold-cache protocol mid-way
+                machine.flushAllCaches();
             acc = machine.snapshot() - before; // keep last region
         }
         return acc;
     };
-    expectEqual(run(false), run(true), "daxpy repeated regions");
+    expectEqual(run(PathMode::Reference), run(PathMode::FastDirect),
+                "daxpy repeated regions [fast-direct]");
+    expectEqual(run(PathMode::Reference), run(PathMode::Batched),
+                "daxpy repeated regions [batched]");
+}
+
+// ---------------------------------------------------------------------
+// Batched (access-stream IR) golden tests: reference vs simulateBatch.
+// ---------------------------------------------------------------------
+
+/** Every registered kernel, every Snapshot counter, across batch
+ *  limits {1, 7, 256, capacity} — boundaries must be invisible even
+ *  when they split a prefetch streak. */
+TEST(BatchedEquivalence, EveryKernelVectorPrefetchOnAcrossBatchLimits)
+{
+    for (const auto &[name, spec] : smallSpecs())
+        compareBatched(spec, RunOpts{}, name + " lanes=4 pf=on");
+}
+
+TEST(BatchedEquivalence, EveryKernelScalarPrefetchOff)
+{
+    RunOpts opts;
+    opts.lanes = 1;
+    opts.prefetch = false;
+    for (const auto &[name, spec] : smallSpecs())
+        compareBatched(spec, opts, name + " lanes=1 pf=off");
+}
+
+TEST(BatchedEquivalence, StreamingKernelsMultiCore)
+{
+    RunOpts opts;
+    opts.cores = 4; // spans both sockets' cores on the default platform
+    for (const char *name : {"daxpy", "triad", "triad-nt", "dot"})
+        compareBatched(smallSpecs().at(name), opts,
+                       std::string(name) + " cores=4");
+}
+
+TEST(BatchedEquivalence, WithoutTrailingFlush)
+{
+    RunOpts opts;
+    opts.flush = false;
+    for (const char *name : {"daxpy", "triad-nt", "pointer-chase"})
+        compareBatched(smallSpecs().at(name), opts,
+                       std::string(name) + " no-flush");
+}
+
+/** A batch interleaving records of several cores, consumed without a
+ *  core override, must split into same-core spans and match the
+ *  per-access call sequence (the path multi-core trace replays use). */
+TEST(BatchedEquivalence, MultiCoreBatchSegmentation)
+{
+    auto access = [](Machine &machine, auto &&touch) {
+        // Interleaved per-core streams: same-line streaks, a line
+        // shared between cores, and a page change.
+        for (uint64_t i = 0; i < 512; ++i) {
+            const int core = static_cast<int>(i & 3);
+            const uint64_t addr =
+                (1ull << 32) + (i & 3) * 8192 + (i / 4) * 8;
+            touch(core, addr);
+            if ((i & 7) == 7)
+                touch(core, (1ull << 32) + 4 * 8192); // shared line
+        }
+    };
+
+    Machine direct(MachineConfig::defaultPlatform());
+    access(direct, [&](int core, uint64_t addr) {
+        direct.load(core, addr, 8);
+    });
+
+    Machine batched(MachineConfig::defaultPlatform());
+    rfl::trace::AccessBatch batch;
+    access(batched, [&](int core, uint64_t addr) {
+        if (batch.full()) {
+            batched.simulateBatch(batch);
+            batch.clear();
+        }
+        batch.pushMem(rfl::trace::AccessKind::Load, core, addr, 8);
+    });
+    batched.simulateBatch(batch);
+
+    expectEqual(direct.snapshot(), batched.snapshot(),
+                "multi-core segmentation");
 }
 
 } // namespace

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Trace record/replay tests: the on-disk access-stream format and the
+ * TraceKernel replay workload.
+ *
+ * The load-bearing property is the round trip: recording a kernel's
+ * access stream while it simulates, then replaying the file on a fresh
+ * machine, must reproduce every architectural counter of the original
+ * run — the trace is the workload, bit-for-bit. The comparison uses
+ * Machine::printStats(), which renders every cumulative counter
+ * (per-core retirement, caches, TLBs, IMCs), so a single string
+ * equality covers the whole observable state.
+ *
+ * Robustness: truncated and corrupted files must be rejected by
+ * TraceReader::open() with a message naming the failure, never half-
+ * replayed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kernels/engine.hh"
+#include "kernels/registry.hh"
+#include "sim/machine.hh"
+#include "support/address_arena.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_kernel.hh"
+
+namespace
+{
+
+using namespace rfl;
+using namespace rfl::trace;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "rfl-" + name;
+}
+
+/** Every cumulative machine counter as one comparable string. */
+std::string
+statsString(const sim::Machine &machine)
+{
+    std::ostringstream out;
+    machine.printStats(out);
+    return out.str();
+}
+
+/**
+ * Run @p spec once through a batched SimEngine on a fresh machine,
+ * recording to @p trace_path when non-empty.
+ * @return the machine's full counter rendering.
+ */
+std::string
+runKernelOnce(const std::string &spec, const std::string &trace_path,
+              int lanes = 4, uint64_t seed = 42,
+              uint32_t batch_limit = AccessBatch::capacity)
+{
+    sim::Machine machine(sim::MachineConfig::defaultPlatform());
+    AddressArena::Scope scope;
+    auto kernel = kernels::createKernel(spec);
+    kernel->init(seed);
+    machine.setDependentAccesses(kernel->dependentAccesses());
+    std::unique_ptr<TraceWriter> writer;
+    if (!trace_path.empty()) {
+        writer = std::make_unique<TraceWriter>(trace_path);
+        writer->setDependentAccesses(kernel->dependentAccesses());
+    }
+    {
+        kernels::SimEngine engine(machine, 0, lanes, true);
+        engine.setBatchLimit(batch_limit);
+        if (writer)
+            engine.setTraceWriter(writer.get());
+        kernel->run(engine, 0, 1);
+    }
+    if (writer)
+        writer->finish();
+    machine.setDependentAccesses(false);
+    return statsString(machine);
+}
+
+/** Replay @p trace_path on a fresh machine; @return counter rendering. */
+std::string
+replayOnce(const std::string &trace_path, bool dependent = false)
+{
+    sim::Machine machine(sim::MachineConfig::defaultPlatform());
+    TraceKernel kernel(trace_path);
+    machine.setDependentAccesses(dependent);
+    {
+        kernels::SimEngine engine(machine, 0, 1, true);
+        kernel.run(engine, 0, 1);
+    }
+    machine.setDependentAccesses(false);
+    return statsString(machine);
+}
+
+TEST(TraceRoundTrip, ReplayReproducesEveryCounter)
+{
+    for (const char *spec :
+         {"daxpy:n=2048", "triad-nt:n=2048", "sum:n=2048",
+          "dgemv:m=48,n=48", "strided-sum:n=4096,stride=16"}) {
+        const std::string path = tmpPath("roundtrip.rfltrace");
+        const std::string direct = runKernelOnce(spec, path);
+        const std::string replayed = replayOnce(path);
+        EXPECT_EQ(direct, replayed) << spec;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceRoundTrip, DependentAccessKernel)
+{
+    const std::string path = tmpPath("pchase.rfltrace");
+    const std::string direct =
+        runKernelOnce("pointer-chase:nodes=512,hops=2048", path, 1);
+    const std::string replayed = replayOnce(path, /*dependent=*/true);
+    EXPECT_EQ(direct, replayed);
+    // The dependence property survives the round trip, so a Measurer
+    // replays pointer chasing with MLP = 1 without being told.
+    TraceKernel kernel(path);
+    EXPECT_TRUE(kernel.dependentAccesses());
+    std::remove(path.c_str());
+}
+
+TEST(TraceRoundTrip, ReplayIsRepeatable)
+{
+    const std::string path = tmpPath("repeat.rfltrace");
+    runKernelOnce("daxpy:n=1024", path);
+    // Two replays of one TraceKernel instance (reps of a measurement).
+    sim::Machine machine(sim::MachineConfig::defaultPlatform());
+    TraceKernel kernel(path);
+    std::string first;
+    {
+        kernels::SimEngine engine(machine, 0, 1, true);
+        kernel.run(engine, 0, 1);
+        first = statsString(machine);
+        kernel.run(engine, 0, 1);
+    }
+    EXPECT_NE(first, statsString(machine)); // counters advanced again
+    std::remove(path.c_str());
+}
+
+TEST(TraceSummaryTotals, MatchRecordedStream)
+{
+    const std::string path = tmpPath("summary.rfltrace");
+    runKernelOnce("daxpy:n=1024", path, /*lanes=*/4);
+    TraceReader reader;
+    ASSERT_TRUE(reader.open(path)) << reader.error();
+    const TraceSummary &s = reader.summary();
+    // daxpy: n/lanes vloads of x and y each, n/lanes vstores of y,
+    // 2n flops (one fused multiply-add per element, FMA counts 2 ops).
+    EXPECT_EQ(s.loads, 2u * (1024 / 4));
+    EXPECT_EQ(s.stores, 1024u / 4);
+    EXPECT_EQ(s.ntStores, 0u);
+    EXPECT_EQ(s.flops, 2u * 1024u);
+    EXPECT_EQ(s.memBytes, 3u * 1024u * 8u);
+    EXPECT_GT(s.records, 0u);
+    EXPECT_GT(s.otherUops, 0u);
+    // Addresses are canonical arena addresses, host-independent.
+    EXPECT_GE(s.minAddr, AddressArena::baseAddress);
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeterminism, SameRunSameHashDifferentSeedDifferentHash)
+{
+    const std::string a = tmpPath("det-a.rfltrace");
+    const std::string b = tmpPath("det-b.rfltrace");
+    const std::string c = tmpPath("det-c.rfltrace");
+    runKernelOnce("sum:n=1024", a, 1, /*seed=*/42);
+    runKernelOnce("sum:n=1024", b, 1, /*seed=*/42);
+    // A different kernel size must change the stream.
+    runKernelOnce("sum:n=2048", c, 1, /*seed=*/42);
+    TraceReader ra, rb, rc;
+    ASSERT_TRUE(ra.open(a)) << ra.error();
+    ASSERT_TRUE(rb.open(b)) << rb.error();
+    ASSERT_TRUE(rc.open(c)) << rc.error();
+    EXPECT_EQ(ra.stableHash(), rb.stableHash());
+    EXPECT_NE(ra.stableHash(), rc.stableHash());
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+    std::remove(c.c_str());
+}
+
+TEST(TraceDeterminism, HashIsChunkingIndependent)
+{
+    // The same record stream written as one chunk vs one record per
+    // chunk must content-address identically.
+    const std::string one = tmpPath("chunk-one.rfltrace");
+    const std::string many = tmpPath("chunk-many.rfltrace");
+    AccessBatch batch;
+    for (uint32_t i = 0; i < 100; ++i)
+        batch.pushMem(AccessKind::Load, 0, (1ull << 32) + 8 * i, 8);
+    {
+        TraceWriter w(one);
+        w.append(batch);
+        w.finish();
+    }
+    {
+        TraceWriter w(many);
+        for (uint32_t i = 0; i < 100; ++i) {
+            AccessBatch single;
+            single.pushMem(AccessKind::Load, 0, (1ull << 32) + 8 * i, 8);
+            w.append(single);
+        }
+        w.finish();
+    }
+    TraceReader ra, rb;
+    ASSERT_TRUE(ra.open(one)) << ra.error();
+    ASSERT_TRUE(rb.open(many)) << rb.error();
+    EXPECT_EQ(ra.stableHash(), rb.stableHash());
+    EXPECT_EQ(ra.summary().records, 100u);
+    EXPECT_EQ(rb.summary().records, 100u);
+    std::remove(one.c_str());
+    std::remove(many.c_str());
+}
+
+TEST(TraceRobustness, TruncatedFileRejected)
+{
+    const std::string path = tmpPath("trunc.rfltrace");
+    runKernelOnce("daxpy:n=1024", path);
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 64u);
+    // Cut mid-file: drops the end marker (and likely a chunk tail).
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+    out.close();
+    TraceReader reader;
+    EXPECT_FALSE(reader.open(path));
+    EXPECT_NE(reader.error().find("truncated"), std::string::npos)
+        << reader.error();
+    std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, CorruptedPayloadRejected)
+{
+    const std::string path = tmpPath("corrupt.rfltrace");
+    runKernelOnce("daxpy:n=1024", path);
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    // Flip a byte inside the first chunk's payload (file header is 16
+    // bytes, chunk header 24; payload starts at 40).
+    f.seekg(48);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(48);
+    f.write(&byte, 1);
+    f.close();
+    TraceReader reader;
+    EXPECT_FALSE(reader.open(path));
+    EXPECT_NE(reader.error().find("corrupt"), std::string::npos)
+        << reader.error();
+    std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, NonTraceFileRejected)
+{
+    const std::string path = tmpPath("not-a-trace.rfltrace");
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a trace file at all, but it is long enough";
+    out.close();
+    TraceReader reader;
+    EXPECT_FALSE(reader.open(path));
+    EXPECT_NE(reader.error().find("bad magic"), std::string::npos)
+        << reader.error();
+    std::remove(path.c_str());
+}
+
+TEST(TraceRobustness, MissingFileRejected)
+{
+    TraceReader reader;
+    EXPECT_FALSE(reader.open(tmpPath("does-not-exist.rfltrace")));
+    EXPECT_NE(reader.error().find("cannot open"), std::string::npos);
+}
+
+TEST(TraceKernelApi, RegistryBuildsReplayKernels)
+{
+    const std::string path = tmpPath("registry.rfltrace");
+    runKernelOnce("sum:n=1024", path, 1);
+    const auto kernel = kernels::createKernel("trace:file=" + path);
+    ASSERT_NE(kernel, nullptr);
+    EXPECT_EQ(kernel->name(), "trace");
+    EXPECT_FALSE(kernel->parallelizable());
+    EXPECT_GT(kernel->expectedFlops(), 0.0);
+    EXPECT_GT(kernel->workingSetBytes(), 0u);
+    EXPECT_TRUE(std::isnan(kernel->expectedColdTrafficBytes()));
+    std::remove(path.c_str());
+}
+
+TEST(TraceKernelApiDeath, BadSpecAndBadFileAreFatal)
+{
+    EXPECT_EXIT(kernels::createKernel("trace"),
+                ::testing::ExitedWithCode(1), "trace:file=");
+    EXPECT_EXIT(kernels::createKernel("trace:file="),
+                ::testing::ExitedWithCode(1), "trace:file=");
+    EXPECT_EXIT(
+        kernels::createKernel("trace:file=/nonexistent/x.rfltrace"),
+        ::testing::ExitedWithCode(1), "cannot open");
+}
+
+/** Batch-limit boundaries during recording must not change replayed
+ *  counters (the stream differs only in where deferred FP retirements
+ *  materialize, which commutes). */
+TEST(TraceRoundTrip, RecordingBatchLimitInvisibleInReplay)
+{
+    const std::string big = tmpPath("lim-big.rfltrace");
+    const std::string small = tmpPath("lim-small.rfltrace");
+    runKernelOnce("daxpy:n=1024", big, 4, 42, AccessBatch::capacity);
+    runKernelOnce("daxpy:n=1024", small, 4, 42, /*batch_limit=*/7);
+    EXPECT_EQ(replayOnce(big), replayOnce(small));
+    std::remove(big.c_str());
+    std::remove(small.c_str());
+}
+
+} // namespace

@@ -38,13 +38,14 @@ def main() -> None:
 
     if require(doc, "bench", str) != "sim_throughput":
         fail("bench name is not 'sim_throughput'")
-    if require(doc, "schema_version", int) != 1:
-        fail("unknown schema_version")
+    if require(doc, "schema_version", int) != 2:
+        fail("unknown schema_version (expected 2: batched-mode entries)")
     require(doc, "unit", str)
     require(doc, "rfl_fast", bool)
-    require(doc, "geomean_speedup", (int, float))
-    require(doc, "streaming_speedup", (int, float))
-    require(doc, "hot_loop_speedup", (int, float))
+    for key in ("geomean_speedup", "streaming_speedup",
+                "hot_loop_speedup", "batched_geomean_speedup",
+                "batched_streaming_speedup", "batched_hot_loop_speedup"):
+        require(doc, key, (int, float))
 
     workloads = require(doc, "workloads", list)
     if not workloads:
@@ -62,7 +63,8 @@ def main() -> None:
         require(w, "streaming", bool)
         require(w, "hot_loop", bool)
         for key in ("reference_accesses_per_sec", "fast_accesses_per_sec",
-                    "speedup"):
+                    "batched_accesses_per_sec", "speedup",
+                    "batched_speedup"):
             value = require(w, key, (int, float))
             if value <= 0:
                 fail(f"workload '{name}': {key} must be positive")
@@ -74,7 +76,8 @@ def main() -> None:
 
     print(f"{sys.argv[1]}: schema OK "
           f"({len(workloads)} workloads, "
-          f"hot-loop speedup {doc['hot_loop_speedup']:.2f}x)")
+          f"hot-loop speedup {doc['hot_loop_speedup']:.2f}x, "
+          f"batched {doc['batched_hot_loop_speedup']:.2f}x)")
 
 
 if __name__ == "__main__":
