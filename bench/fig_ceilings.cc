@@ -7,10 +7,16 @@
  * ceilings per probe flavor, for single-core, single-socket and
  * two-socket execution. No kernel points — this is the canvas every
  * other figure draws on.
+ *
+ * Emission goes through the analysis subsystem (analysis/report.hh):
+ * one document with three scenarios yields the ASCII plots plus the
+ * SVG/HTML/analysis.json artifact set in a single call.
  */
 
 #include <cstdio>
+#include <iostream>
 
+#include "analysis/report.hh"
 #include "bench_common.hh"
 
 int
@@ -27,23 +33,21 @@ main()
     struct ScenarioDef
     {
         const char *name;
-        const char *file;
         std::vector<int> cores;
     };
     const ScenarioDef scenarios[] = {
-        {"single core", "fig_ceilings_1core",
-         singleThreadCores(machine)},
-        {"single socket", "fig_ceilings_1socket",
-         oneSocketCores(machine)},
-        {"two sockets", "fig_ceilings_2socket", allCores(machine)},
+        {"single core", singleThreadCores(machine)},
+        {"single socket", oneSocketCores(machine)},
+        {"two sockets", allCores(machine)},
     };
 
+    analysis::CampaignAnalysis doc;
+    doc.campaign = "fig_ceilings";
     for (const ScenarioDef &s : scenarios) {
-        const RooflineModel &model = exp.modelFor(s.cores);
-        RooflinePlot plot(std::string(machine.config().name) + " (" +
-                              s.name + ")",
-                          model);
-        exp.emit(plot, s.file);
+        doc.scenarios.push_back(
+            {machine.config().name, s.name, exp.modelFor(s.cores)});
     }
+    analysis::emitAnalysis(doc, outputDirectory(), "fig_ceilings",
+                           std::cout);
     return 0;
 }

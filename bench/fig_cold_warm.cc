@@ -6,14 +6,18 @@
  * traffic of LLC-resident sets, so I = W/Q moves (far) right while P
  * stays put — the paper's demonstration that a roofline point is a
  * property of (kernel, protocol), not of the kernel alone.
+ *
+ * Emission goes through the analysis subsystem: the cold and warm
+ * scenarios land in one document whose derived-metric table makes the
+ * conclusion explicit (warm resident kernels flip to compute-bound /
+ * I = inf), replacing the hand-rolled table this binary used to build.
  */
 
 #include <cstdio>
 #include <iostream>
 
+#include "analysis/report.hh"
 #include "bench_common.hh"
-#include "support/table.hh"
-#include "support/units.hh"
 
 int
 main()
@@ -26,6 +30,7 @@ main()
     Experiment exp;
     const std::vector<int> cores = singleThreadCores(exp.machine());
     const RooflineModel &model = exp.modelFor(cores);
+    const std::string machine = exp.config().name;
 
     // LLC-resident sizes (L3 = 10 MiB) plus one streaming size each.
     const std::vector<std::string> specs = {
@@ -42,29 +47,19 @@ main()
     MeasureOptions warm = cold;
     warm.protocol = CacheProtocol::Warm;
 
-    RooflinePlot plot("cold vs warm protocol, single core", model);
-    Table t({"kernel", "size", "I cold", "I warm", "P cold [GF/s]",
-             "P warm [GF/s]", "resident?"});
-    std::vector<Measurement> all;
+    analysis::CampaignAnalysis doc;
+    doc.campaign = "fig_cold_warm";
+    doc.scenarios.push_back({machine, "cold", model});
+    doc.scenarios.push_back({machine, "warm", model});
 
     for (const std::string &spec : specs) {
-        const Measurement mc = exp.measureSpec(spec, cold);
-        const Measurement mw = exp.measureSpec(spec, warm);
-        plot.addMeasurement(mc);
-        plot.addMeasurement(mw);
-        all.push_back(mc);
-        all.push_back(mw);
-        const bool resident =
-            mw.trafficBytes < 0.1 * mc.trafficBytes;
-        t.addRow({mc.kernel, mc.sizeLabel, formatSig(mc.oi(), 4),
-                  std::isinf(mw.oi()) ? "inf" : formatSig(mw.oi(), 4),
-                  formatSig(mc.perf() / 1e9, 4),
-                  formatSig(mw.perf() / 1e9, 4),
-                  resident ? "yes" : "no"});
+        doc.kernels.push_back(analysis::makeKernelRow(
+            machine, "cold", exp.measureSpec(spec, cold), model));
+        doc.kernels.push_back(analysis::makeKernelRow(
+            machine, "warm", exp.measureSpec(spec, warm), model));
     }
 
-    t.print(std::cout);
-    std::printf("\n");
-    exp.emit(plot, "fig_cold_warm", all);
+    analysis::emitAnalysis(doc, outputDirectory(), "fig_cold_warm",
+                           std::cout);
     return 0;
 }

@@ -1,0 +1,283 @@
+#include "analysis/diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "support/units.hh"
+
+namespace rfl::analysis
+{
+
+namespace
+{
+
+/** Worse-direction comparison. @p threshold is a positive relative
+ *  fraction; @p drop_is_bad selects the gated direction (true: gate
+ *  relChange < -threshold, false: gate relChange > threshold). */
+void
+compareMetric(DiffReport &report, const std::string &machine,
+              const std::string &variant, const std::string &kernel,
+              const std::string &metric, double base, double cur,
+              double threshold, bool drop_is_bad)
+{
+    DiffEntry e;
+    e.machine = machine;
+    e.variant = variant;
+    e.kernel = kernel;
+    e.metric = metric;
+    e.baseline = base;
+    e.current = cur;
+
+    const bool base_fin = std::isfinite(base);
+    const bool cur_fin = std::isfinite(cur);
+    if (!base_fin && !cur_fin)
+        return; // inf -> inf (e.g. zero-traffic OI both runs): no change
+    if (base_fin != cur_fin) {
+        // inf -> finite is a drop, finite -> inf a rise.
+        const bool dropped = !base_fin;
+        e.relChange = dropped ? -1.0 : 1.0;
+        e.regression = dropped == drop_is_bad;
+        report.entries.push_back(std::move(e));
+        return;
+    }
+    if (base <= 0.0) {
+        // Zero baselines (e.g. zero traffic bytes) can't scale
+        // relatively; any growth off zero gates when rises are bad.
+        e.relChange = cur > 0.0 ? 1.0 : 0.0;
+        e.regression = !drop_is_bad && cur > 0.0;
+        report.entries.push_back(std::move(e));
+        return;
+    }
+    e.relChange = (cur - base) / base;
+    e.regression = drop_is_bad ? e.relChange < -threshold
+                               : e.relChange > threshold;
+    report.entries.push_back(std::move(e));
+}
+
+std::string
+kernelKey(const KernelRow &r)
+{
+    return r.machine + "\x1f" + r.variant + "\x1f" + r.kernel + "\x1f" +
+           r.sizeLabel + "\x1f" + r.protocol;
+}
+
+std::string
+describeRow(const KernelRow &r)
+{
+    return r.label() + " [machine=" + r.machine +
+           " variant=" + r.variant + "]";
+}
+
+std::string
+phaseKey(const PhaseRow &r)
+{
+    return r.machine + "\x1f" + r.variant + "\x1f" +
+           r.trajectory.kernel + "\x1f" + r.trajectory.sizeLabel +
+           "\x1f" + r.trajectory.protocol;
+}
+
+std::string
+phaseLabel(const PhaseRow &r)
+{
+    return "phases: " + r.trajectory.kernel + " " +
+           r.trajectory.sizeLabel + " (" + r.trajectory.protocol + ")";
+}
+
+std::string
+describePhaseRow(const PhaseRow &r)
+{
+    return phaseLabel(r) + " [machine=" + r.machine +
+           " variant=" + r.variant + "]";
+}
+
+} // namespace
+
+bool
+DiffReport::hasRegressions() const
+{
+    return regressionCount() > 0;
+}
+
+size_t
+DiffReport::regressionCount() const
+{
+    size_t n = missing.size();
+    for (const DiffEntry &e : entries)
+        n += e.regression ? 1 : 0;
+    return n;
+}
+
+Table
+DiffReport::table() const
+{
+    std::vector<const DiffEntry *> sorted;
+    for (const DiffEntry &e : entries)
+        sorted.push_back(&e);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const DiffEntry *a, const DiffEntry *b) {
+                         if (a->regression != b->regression)
+                             return a->regression;
+                         return std::fabs(a->relChange) >
+                                std::fabs(b->relChange);
+                     });
+    Table t({"machine", "variant", "point", "metric", "baseline",
+             "current", "change %", "verdict"});
+    for (const DiffEntry *e : sorted) {
+        t.addRow({e->machine, e->variant,
+                  e->kernel.empty() ? "(scenario)" : e->kernel,
+                  e->metric,
+                  std::isfinite(e->baseline) ? formatSig(e->baseline, 6)
+                                             : "inf",
+                  std::isfinite(e->current) ? formatSig(e->current, 6)
+                                            : "inf",
+                  formatSig(100.0 * e->relChange, 3),
+                  e->regression ? "REGRESSION" : "ok"});
+    }
+    return t;
+}
+
+void
+DiffReport::print(std::ostream &os) const
+{
+    for (const std::string &row : missing)
+        os << "REGRESSION: baseline row missing from current run: "
+           << row << "\n";
+    for (const DiffEntry &e : entries) {
+        if (!e.regression)
+            continue;
+        os << "REGRESSION: "
+           << (e.kernel.empty() ? std::string("scenario")
+                                : "kernel " + e.kernel)
+           << " [machine=" << e.machine << " variant=" << e.variant
+           << "] metric=" << e.metric << ": "
+           << (std::isfinite(e.baseline) ? formatSig(e.baseline, 6)
+                                         : "inf")
+           << " -> "
+           << (std::isfinite(e.current) ? formatSig(e.current, 6)
+                                        : "inf")
+           << " (" << formatSig(100.0 * e.relChange, 3) << "%)\n";
+    }
+    for (const std::string &row : added)
+        os << "note: new row not in baseline: " << row << "\n";
+    const size_t n = regressionCount();
+    if (n == 0)
+        os << "analysis diff: no regressions (" << entries.size()
+           << " metrics compared)\n";
+    else
+        os << "analysis diff: " << n << " regression(s) across "
+           << entries.size() << " compared metrics\n";
+}
+
+DiffReport
+diffAnalyses(const CampaignAnalysis &baseline,
+             const CampaignAnalysis &current,
+             const DiffThresholds &thresholds)
+{
+    DiffReport report;
+
+    // Scenario peaks: a ceiling characterization must never get worse.
+    for (const Scenario &base : baseline.scenarios) {
+        const Scenario *cur =
+            current.findScenario(base.machine, base.variant);
+        if (cur == nullptr) {
+            report.missing.push_back("scenario [machine=" +
+                                     base.machine +
+                                     " variant=" + base.variant + "]");
+            continue;
+        }
+        compareMetric(report, base.machine, base.variant, "",
+                      "peak_flops", base.model.peakCompute(),
+                      cur->model.peakCompute(),
+                      thresholds.ceilingDrop, /*drop_is_bad=*/true);
+        compareMetric(report, base.machine, base.variant, "",
+                      "peak_bandwidth", base.model.peakBandwidth(),
+                      cur->model.peakBandwidth(),
+                      thresholds.ceilingDrop, /*drop_is_bad=*/true);
+    }
+
+    // Kernel rows.
+    for (const KernelRow &base : baseline.kernels) {
+        const KernelRow *cur = nullptr;
+        for (const KernelRow &c : current.kernels) {
+            if (kernelKey(c) == kernelKey(base)) {
+                cur = &c;
+                break;
+            }
+        }
+        if (cur == nullptr) {
+            report.missing.push_back(describeRow(base));
+            continue;
+        }
+        const std::string &kernel = base.label();
+        compareMetric(report, base.machine, base.variant, kernel,
+                      "perf", base.metrics.perf, cur->metrics.perf,
+                      thresholds.perfDrop, /*drop_is_bad=*/true);
+        compareMetric(report, base.machine, base.variant, kernel, "oi",
+                      base.metrics.oi, cur->metrics.oi,
+                      thresholds.oiDrop, /*drop_is_bad=*/true);
+        compareMetric(report, base.machine, base.variant, kernel,
+                      "traffic_bytes", base.trafficBytes,
+                      cur->trafficBytes, thresholds.trafficRise,
+                      /*drop_is_bad=*/false);
+        compareMetric(report, base.machine, base.variant, kernel,
+                      "seconds", base.seconds, cur->seconds,
+                      thresholds.secondsRise, /*drop_is_bad=*/false);
+    }
+
+    for (const KernelRow &c : current.kernels) {
+        bool found = false;
+        for (const KernelRow &base : baseline.kernels)
+            if (kernelKey(base) == kernelKey(c)) {
+                found = true;
+                break;
+            }
+        if (!found)
+            report.added.push_back(describeRow(c));
+    }
+
+    // Phase rows: coverage must not silently shrink here either, and
+    // the whole-run totals gate like a kernel measurement.
+    for (const PhaseRow &base : baseline.phases) {
+        const PhaseRow *cur = nullptr;
+        for (const PhaseRow &c : current.phases) {
+            if (phaseKey(c) == phaseKey(base)) {
+                cur = &c;
+                break;
+            }
+        }
+        if (cur == nullptr) {
+            report.missing.push_back(describePhaseRow(base));
+            continue;
+        }
+        const std::string &label = phaseLabel(base);
+        compareMetric(report, base.machine, base.variant, label,
+                      "perf", base.trajectory.perf(),
+                      cur->trajectory.perf(), thresholds.perfDrop,
+                      /*drop_is_bad=*/true);
+        compareMetric(report, base.machine, base.variant, label, "oi",
+                      base.trajectory.oi(), cur->trajectory.oi(),
+                      thresholds.oiDrop, /*drop_is_bad=*/true);
+        compareMetric(report, base.machine, base.variant, label,
+                      "traffic_bytes", base.trajectory.totalTrafficBytes,
+                      cur->trajectory.totalTrafficBytes,
+                      thresholds.trafficRise, /*drop_is_bad=*/false);
+        compareMetric(report, base.machine, base.variant, label,
+                      "seconds", base.trajectory.totalSeconds,
+                      cur->trajectory.totalSeconds,
+                      thresholds.secondsRise, /*drop_is_bad=*/false);
+    }
+    for (const PhaseRow &c : current.phases) {
+        bool found = false;
+        for (const PhaseRow &base : baseline.phases)
+            if (phaseKey(base) == phaseKey(c)) {
+                found = true;
+                break;
+            }
+        if (!found)
+            report.added.push_back(describePhaseRow(c));
+    }
+    return report;
+}
+
+} // namespace rfl::analysis

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Run-over-run diff and regression gating of analysis documents.
+ *
+ * diffAnalyses() compares two CampaignAnalysis documents (typically a
+ * committed baseline analysis.json against a fresh run) row by row:
+ * kernel and phase rows match on (machine, variant, kernel, size,
+ * protocol), scenarios on (machine, variant). Each compared metric is
+ * directional
+ * — only changes for the worse gate: performance and operational
+ * intensity dropping, traffic and runtime rising, ceiling peaks
+ * dropping. A baseline row missing from the current document is always
+ * a regression (coverage must not silently shrink); new rows are
+ * reported but never gate.
+ *
+ * Thresholds are relative so the gate is robust to FP noise across
+ * compilers/hosts; the simulator's counters are integer-deterministic,
+ * so real behavior changes show up far above any sane threshold. CI
+ * wires this into both build flavors via the roofline_report CLI,
+ * which exits non-zero when hasRegressions().
+ */
+
+#ifndef RFL_ANALYSIS_DIFF_HH
+#define RFL_ANALYSIS_DIFF_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hh"
+#include "support/table.hh"
+
+namespace rfl::analysis
+{
+
+/** Relative worse-direction thresholds (fraction, not percent). */
+struct DiffThresholds
+{
+    double perfDrop = 0.05;    ///< P lower than baseline
+    double oiDrop = 0.10;      ///< I lower (more traffic per flop)
+    double trafficRise = 0.10; ///< Q higher
+    double secondsRise = 0.05; ///< T higher
+    double ceilingDrop = 0.02; ///< scenario peak compute/bandwidth lower
+};
+
+/** One compared metric of one matched row. */
+struct DiffEntry
+{
+    std::string machine;
+    std::string variant;
+    /** Row label ("kernel size (protocol)"); empty for scenario rows. */
+    std::string kernel;
+    std::string metric; ///< perf | oi | traffic_bytes | seconds | ...
+    double baseline = 0.0;
+    double current = 0.0;
+    /** Signed relative change (current - baseline) / baseline. */
+    double relChange = 0.0;
+    bool regression = false;
+};
+
+/** Outcome of one diff (see file comment). */
+struct DiffReport
+{
+    std::vector<DiffEntry> entries; ///< every compared metric
+    std::vector<std::string> missing; ///< baseline rows absent now
+    std::vector<std::string> added;   ///< current rows not in baseline
+
+    bool hasRegressions() const;
+    size_t regressionCount() const;
+
+    /** All entries as a table (worst relative change first). */
+    Table table() const;
+
+    /**
+     * Human-readable summary: one REGRESSION line per failing metric
+     * (naming machine/variant/kernel/metric and both values), missing/
+     * added rows, then the pass/fail verdict.
+     */
+    void print(std::ostream &os) const;
+};
+
+/** Compare @p current against @p baseline (see file comment). */
+DiffReport diffAnalyses(const CampaignAnalysis &baseline,
+                        const CampaignAnalysis &current,
+                        const DiffThresholds &thresholds = {});
+
+} // namespace rfl::analysis
+
+#endif // RFL_ANALYSIS_DIFF_HH

@@ -1,0 +1,72 @@
+#include "analysis/metrics.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace rfl::analysis
+{
+
+namespace
+{
+
+/** @return name of the highest-valued ceiling in @p ceilings. */
+const std::string &
+peakCeilingName(const std::vector<roofline::Ceiling> &ceilings)
+{
+    RFL_ASSERT(!ceilings.empty());
+    const roofline::Ceiling *best = &ceilings.front();
+    for (const roofline::Ceiling &c : ceilings)
+        if (c.value > best->value)
+            best = &c;
+    return best->name;
+}
+
+} // namespace
+
+const char *
+boundClassName(BoundClass bound)
+{
+    return bound == BoundClass::MemoryBound ? "memory" : "compute";
+}
+
+DerivedMetrics
+deriveMetrics(double oi, double perf,
+              const roofline::RooflineModel &model)
+{
+    RFL_ASSERT(model.peakCompute() > 0 && model.peakBandwidth() > 0);
+
+    DerivedMetrics d;
+    d.oi = oi;
+    d.perf = perf > 0 ? perf : 0.0;
+
+    const bool finite_oi = std::isfinite(oi) && oi > 0;
+    d.attainable = finite_oi ? model.attainable(oi)
+                             : model.peakCompute();
+    d.bound = (finite_oi && oi < model.ridgePoint())
+                  ? BoundClass::MemoryBound
+                  : BoundClass::ComputeBound;
+    d.bindingCeiling = d.bound == BoundClass::MemoryBound
+                           ? peakCeilingName(model.bandwidthCeilings())
+                           : peakCeilingName(model.computeCeilings());
+
+    if (d.perf > 0) {
+        d.pctRoof = 100.0 * d.perf / d.attainable;
+        d.pctPeak = 100.0 * d.perf / model.peakCompute();
+        if (finite_oi) {
+            d.achievedBandwidth = d.perf / oi;
+            d.pctPeakBandwidth =
+                100.0 * d.achievedBandwidth / model.peakBandwidth();
+        }
+    }
+    return d;
+}
+
+DerivedMetrics
+deriveMetrics(const roofline::Measurement &m,
+              const roofline::RooflineModel &model)
+{
+    return deriveMetrics(m.oi(), m.perf(), model);
+}
+
+} // namespace rfl::analysis

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Derived roofline metrics: everything the paper concludes from a
+ * (measurement, model) pair.
+ *
+ * A raw Measurement carries W, Q, T. The paper's *analysis* layer turns
+ * them into conclusions: operational intensity I, attainable performance
+ * P(I) against the roofline, the percentage of the roof actually
+ * achieved (the "runtime-compute %" of the point tables), the fraction
+ * of peak compute and peak DRAM bandwidth, and the bound-and-bottleneck
+ * classification (memory- vs compute-bound, and *which* named ceiling
+ * binds at this intensity). deriveMetrics() is the single place those
+ * formulas live; every emitter (tables, SVG, HTML, analysis.json) and
+ * the regression engine consume its output.
+ */
+
+#ifndef RFL_ANALYSIS_METRICS_HH
+#define RFL_ANALYSIS_METRICS_HH
+
+#include <string>
+
+#include "roofline/measurement.hh"
+#include "roofline/model.hh"
+
+namespace rfl::analysis
+{
+
+/** Which side of the ridge point a measurement sits on. */
+enum class BoundClass
+{
+    MemoryBound,  ///< I < ridge: the bandwidth roof binds
+    ComputeBound, ///< I >= ridge: the compute roof binds
+};
+
+/** @return "memory" or "compute". */
+const char *boundClassName(BoundClass bound);
+
+/** Everything derivable from one point against one roofline model. */
+struct DerivedMetrics
+{
+    double oi = 0.0;          ///< I = W / Q [flops/byte] (inf if Q = 0)
+    double perf = 0.0;        ///< P = W / T [flops/s]
+    double attainable = 0.0;  ///< P(I) = min(pi, I * beta) [flops/s]
+    double pctRoof = 0.0;     ///< 100 * P / P(I) — runtime-compute %
+    double pctPeak = 0.0;     ///< 100 * P / pi
+    double achievedBandwidth = 0.0; ///< P / I = Q / T [bytes/s]
+    double pctPeakBandwidth = 0.0;  ///< 100 * (P/I) / beta
+    BoundClass bound = BoundClass::MemoryBound;
+    /** Name of the roof segment binding at I (outermost ceilings). */
+    std::string bindingCeiling;
+};
+
+/**
+ * Derive all metrics of point (I = @p oi, P = @p perf) against
+ * @p model. Tolerates the degenerate points measurements produce:
+ * I = inf (zero measured traffic, e.g. warm LLC-resident kernels) is
+ * compute-bound with zero bandwidth use; non-positive P yields zero
+ * percentages.
+ */
+DerivedMetrics deriveMetrics(double oi, double perf,
+                             const roofline::RooflineModel &model);
+
+/** Derive from a Measurement's I and P. */
+DerivedMetrics deriveMetrics(const roofline::Measurement &m,
+                             const roofline::RooflineModel &model);
+
+} // namespace rfl::analysis
+
+#endif // RFL_ANALYSIS_METRICS_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Phase-resolved measurement: a kernel's trajectory through roofline
+ * space over its execution, not just its endpoint.
+ *
+ * The simulator's interval sampler (sim::Machine::setSamplePeriod)
+ * records cumulative counter Snapshots every N demand accesses, checked
+ * at batch-drain boundaries. samplePhases() brackets one measured kernel
+ * run with that sampler and differences consecutive snapshots into
+ * per-interval (I, P) points: each interval's work, DRAM traffic and
+ * modeled runtime yield one point, and the ordered point list is the
+ * kernel's *phase trajectory* — a path on the roofline plot. A blocked
+ * DGEMM shows compute-bound plateaus, a streaming kernel a tight
+ * memory-bound cluster, an FFT its pass structure.
+ *
+ * The sampler only reads counters, so phase-resolved runs are
+ * bit-identical in their totals to unsampled runs; the trajectory's
+ * interval deltas sum exactly to the run's total counters
+ * (tests/sim/test_sampling.cc enforces both).
+ */
+
+#ifndef RFL_ANALYSIS_PHASE_HH
+#define RFL_ANALYSIS_PHASE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hh"
+#include "roofline/measurement.hh"
+#include "sim/machine.hh"
+
+namespace rfl::analysis
+{
+
+/** One sampling interval of a phase-resolved run. */
+struct PhasePoint
+{
+    double oi = 0.0;   ///< interval operational intensity [flops/byte]
+    double perf = 0.0; ///< interval performance [flops/s]
+    double flops = 0.0;        ///< interval work W
+    double trafficBytes = 0.0; ///< interval DRAM traffic Q
+    double seconds = 0.0;      ///< interval modeled runtime T
+};
+
+/** Ordered phase points of one kernel run (see file comment). */
+struct PhaseTrajectory
+{
+    std::string kernel;
+    std::string sizeLabel;
+    std::string protocol;
+    uint64_t period = 0; ///< sampling period in demand accesses
+
+    /** Interval deltas in execution order (tail interval included). */
+    std::vector<PhasePoint> points;
+
+    /**
+     * Whole-run totals, computed from the whole-region counter delta.
+     * totalFlops and totalTrafficBytes equal the sums over points
+     * exactly (counter deltas are additive); totalSeconds need not —
+     * the timing model is a max over bounds, which is not additive
+     * across intervals.
+     */
+    double totalFlops = 0.0;
+    double totalTrafficBytes = 0.0;
+    double totalSeconds = 0.0;
+
+    /** Whole-run I and P (endpoint the phase path leads to). */
+    double oi() const;
+    double perf() const;
+};
+
+/**
+ * Run @p kernel once on @p machine under @p opts (cold: flushed caches,
+ * flush-after per opts; warm: opts.warmupRuns priming runs) with the
+ * interval sampler set to @p period accesses, and difference the
+ * recorded snapshots into a PhaseTrajectory.
+ *
+ * Single repetition, no overhead region: phases describe the shape of
+ * one execution, while headline numbers stay with Measurer. The machine
+ * is reset() first and its sampler disabled again before returning.
+ */
+PhaseTrajectory samplePhases(sim::Machine &machine,
+                             kernels::Kernel &kernel,
+                             const roofline::MeasureOptions &opts,
+                             uint64_t period);
+
+/**
+ * Convenience: build the kernel from registry spec @p spec (inside an
+ * AddressArena scope, like Experiment::measureSpec) and samplePhases it.
+ */
+PhaseTrajectory samplePhasesSpec(sim::Machine &machine,
+                                 const std::string &spec,
+                                 const roofline::MeasureOptions &opts,
+                                 uint64_t period);
+
+} // namespace rfl::analysis
+
+#endif // RFL_ANALYSIS_PHASE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Report emitters: the human-facing end of the analysis pipeline.
+ *
+ * writeAnalysisReport() turns one CampaignAnalysis into the standard
+ * artifact set under a directory:
+ *   - <name>_<machine>_<variant>.svg  one roofline per scenario, with
+ *     kernel points and phase trajectories (svg.hh);
+ *   - <name>.html                     a self-contained report bundling
+ *     every SVG inline with the derived-metrics tables;
+ *   - <name>.json                     the machine-readable document
+ *     (analysis.hh, schema v3) the regression gate consumes.
+ *
+ * emitAnalysis() additionally prints the terminal rendering (ASCII
+ * roofline per scenario + the derived-metrics table) the way bench
+ * binaries traditionally present figures, so one call replaces the
+ * per-figure table/plot boilerplate.
+ */
+
+#ifndef RFL_ANALYSIS_REPORT_HH
+#define RFL_ANALYSIS_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hh"
+#include "analysis/svg.hh"
+
+namespace rfl::analysis
+{
+
+/** Artifact paths written by writeAnalysisReport. */
+struct ReportPaths
+{
+    std::string html;
+    std::string json;
+    std::vector<std::string> svgs;
+};
+
+/**
+ * Rebuild the plot of one scenario: its model plus every matching
+ * kernel row as a point. @p phases receives the scenario's phase
+ * trajectories (ready for renderRooflineSvg).
+ */
+roofline::RooflinePlot scenarioPlot(const CampaignAnalysis &doc,
+                                    const Scenario &scenario,
+                                    std::vector<PhasePath> *phases);
+
+/** Write the full artifact set under @p dir (see file comment). */
+ReportPaths writeAnalysisReport(const CampaignAnalysis &doc,
+                                const std::string &dir,
+                                const std::string &name);
+
+/**
+ * Print ASCII rooflines + the derived-metrics table to @p os and write
+ * the artifact set under @p dir. The standard ending of a figure
+ * binary.
+ */
+ReportPaths emitAnalysis(const CampaignAnalysis &doc,
+                         const std::string &dir,
+                         const std::string &name, std::ostream &os);
+
+} // namespace rfl::analysis
+
+#endif // RFL_ANALYSIS_REPORT_HH

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <random>
 
+#include "analysis/phase.hh"
 #include "kernels/engine.hh"
 #include "kernels/registry.hh"
 #include "roofline/experiment.hh"
@@ -130,6 +131,9 @@ executeJob(const CampaignSpec &spec, const Job &job,
             result.trace = decodeTraceInfo(payload);
             valid = traceFileValid(result.trace);
             break;
+          case JobKind::PhaseSample:
+            result.phases = decodePhaseTrajectory(payload);
+            break;
           default:
             result.measurement = decodeMeasurement(payload);
             break;
@@ -197,6 +201,18 @@ executeJob(const CampaignSpec &spec, const Job &job,
                          encodeMeasurement(result.measurement));
         break;
       }
+      case JobKind::PhaseSample: {
+        const PhaseEntry &phase = spec.phases()[job.kernelIndex];
+        sim::Machine sim_machine(machine.config);
+        sim_machine.setMemPolicy(opts.memPolicy);
+        sim_machine.setPrefetchEnabled(opts.prefetchEnabled);
+        result.phases = analysis::samplePhasesSpec(
+            sim_machine, phase.spec, opts.measure, phase.period);
+        if (cache)
+            cache->store(job.cacheKey,
+                         encodePhaseTrajectory(result.phases));
+        break;
+      }
     }
     ++simulated;
     return result;
@@ -238,13 +254,32 @@ CampaignRun::replayMeasurementFor(size_t machineIdx, size_t traceIdx,
           machineIdx, traceIdx, variantIdx);
 }
 
+const analysis::PhaseTrajectory &
+CampaignRun::phaseTrajectoryFor(size_t machineIdx, size_t phaseIdx,
+                                size_t variantIdx) const
+{
+    for (const Job &job : jobs) {
+        if (job.kind == JobKind::PhaseSample &&
+            job.machineIndex == machineIdx &&
+            job.kernelIndex == phaseIdx &&
+            job.variantIndex == variantIdx) {
+            return results[job.id].phases;
+        }
+    }
+    panic("campaign: no phase trajectory for machine %zu phase %zu "
+          "variant %zu",
+          machineIdx, phaseIdx, variantIdx);
+}
+
 const roofline::RooflineModel &
 CampaignRun::modelFor(size_t machineIdx, size_t variantIdx) const
 {
-    // The variant's ceiling job is the dependency of any of its measure
-    // jobs; find one and follow the edge.
+    // The variant's ceiling job is the first dependency of any of its
+    // non-ceiling jobs; find one and follow the edge.
     for (const Job &job : jobs) {
-        if (job.kind == JobKind::Measure &&
+        if ((job.kind == JobKind::Measure ||
+             job.kind == JobKind::TraceReplay ||
+             job.kind == JobKind::PhaseSample) &&
             job.machineIndex == machineIdx &&
             job.variantIndex == variantIdx) {
             return results[job.deps.front()].model;

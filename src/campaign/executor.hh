@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/phase.hh"
 #include "campaign/job_graph.hh"
 #include "campaign/result_cache.hh"
 #include "campaign/serialize.hh"
@@ -57,6 +58,8 @@ struct JobResult
     roofline::RooflineModel model;
     /** Filled for TraceRecord jobs (path + stream summary). */
     TraceInfo trace;
+    /** Filled for PhaseSample jobs. */
+    analysis::PhaseTrajectory phases;
 };
 
 /** Everything the aggregation/sink layer consumes (see sink.hh). */
@@ -83,6 +86,11 @@ struct CampaignRun
     const roofline::Measurement &
     replayMeasurementFor(size_t machineIdx, size_t traceIdx,
                          size_t variantIdx) const;
+
+    /** Phase trajectory of phases()[phaseIdx]; panics when absent. */
+    const analysis::PhaseTrajectory &
+    phaseTrajectoryFor(size_t machineIdx, size_t phaseIdx,
+                       size_t variantIdx) const;
 
     /** Ceiling model covering (machine, variant); panics if absent. */
     const roofline::RooflineModel &modelFor(size_t machineIdx,

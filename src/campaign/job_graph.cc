@@ -38,6 +38,7 @@ jobKindName(JobKind kind)
       case JobKind::Measure: return "measure";
       case JobKind::TraceRecord: return "trace-record";
       case JobKind::TraceReplay: return "trace-replay";
+      case JobKind::PhaseSample: return "phase";
     }
     return "?";
 }
@@ -55,6 +56,8 @@ Job::describe(const CampaignSpec &spec) const
     else if (kind == JobKind::TraceRecord ||
              kind == JobKind::TraceReplay)
         out << " trace=" << spec.traces()[kernelIndex];
+    else if (kind == JobKind::PhaseSample)
+        out << " phase=" << spec.phases()[kernelIndex].spec;
     return out.str();
 }
 
@@ -121,6 +124,15 @@ traceReplayCacheKey(const sim::MachineConfig &config,
 {
     return "replay|" + traceSignature(config, kernelSpec) + "|" +
            opts.canonicalKey();
+}
+
+std::string
+phaseSampleCacheKey(const sim::MachineConfig &config,
+                    const PhaseEntry &phase, const RunOptions &opts)
+{
+    return "phase|" + hashToHex(config.stableHash()) + "|" +
+           phase.spec + "|period=" + std::to_string(phase.period) +
+           "|" + opts.canonicalKey();
 }
 
 JobGraph
@@ -217,6 +229,28 @@ JobGraph::expand(const CampaignSpec &spec)
             }
         }
     }
+
+    // Phase-sample jobs: machines x phases x variants, each depending
+    // on its scenario's ceiling job (like Measure jobs).
+    for (size_t mi = 0; mi < spec.machines().size(); ++mi) {
+        for (size_t pi = 0; pi < spec.phases().size(); ++pi) {
+            for (size_t vi = 0; vi < spec.variants().size(); ++vi) {
+                const Variant &v = spec.variants()[vi];
+                Job job;
+                job.id = graph.jobs_.size();
+                job.kind = JobKind::PhaseSample;
+                job.machineIndex = mi;
+                job.kernelIndex = pi;
+                job.variantIndex = vi;
+                job.cacheKey = phaseSampleCacheKey(
+                    spec.machines()[mi].config, spec.phases()[pi],
+                    v.opts);
+                job.deps.push_back(
+                    ceilings.at({mi, ceilingSignature(v.opts)}));
+                graph.jobs_.push_back(std::move(job));
+            }
+        }
+    }
     return graph;
 }
 
@@ -230,6 +264,7 @@ JobGraph::ceilingJobFor(const Job &job) const
         panic("trace-record job #%zu has no ceiling job", job.id);
       case JobKind::Measure:
       case JobKind::TraceReplay:
+      case JobKind::PhaseSample:
         break;
     }
     RFL_ASSERT(!job.deps.empty());

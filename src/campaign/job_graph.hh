@@ -15,6 +15,10 @@
  *   - TraceReplay: measure the recorded stream (as a TraceKernel) under
  *     one variant on one machine. Depends on its Ceiling job (first
  *     dep) and its TraceRecord job (second dep).
+ *   - PhaseSample: run one phase entry's kernel under one variant on
+ *     one machine with the interval sampler enabled, producing a
+ *     PhaseTrajectory (analysis/phase.hh). Depends on its Ceiling job
+ *     like a Measure job.
  *
  * Every Measure job depends on its machine's Ceiling job for the
  * variant's signature, so a config is characterized exactly once and
@@ -46,9 +50,11 @@ enum class JobKind
     Measure,
     TraceRecord,
     TraceReplay,
+    PhaseSample,
 };
 
-/** @return "ceiling", "measure", "trace-record" or "trace-replay". */
+/** @return "ceiling", "measure", "trace-record", "trace-replay" or
+ *  "phase". */
 const char *jobKindName(JobKind kind);
 
 /** One schedulable unit. */
@@ -59,7 +65,8 @@ struct Job
     size_t machineIndex = 0;
     /** Variant whose signature/options this job runs under. */
     size_t variantIndex = 0;
-    /** Kernel index (Measure), or traces() index (TraceRecord/Replay).*/
+    /** Kernel index (Measure), traces() index (TraceRecord/Replay), or
+     *  phases() index (PhaseSample). */
     size_t kernelIndex = 0;
     /** Content-addressed cache key (see result_cache.hh). */
     std::string cacheKey;
@@ -133,6 +140,14 @@ std::string traceRecordCacheKey(const sim::MachineConfig &config,
  */
 std::string traceReplayCacheKey(const sim::MachineConfig &config,
                                 const std::string &kernelSpec,
+                                const RunOptions &opts);
+
+/**
+ * Cache key of a phase-sample run:
+ * "phase|<machine-hash>|<kernel spec>|period=N|<canonical options>".
+ */
+std::string phaseSampleCacheKey(const sim::MachineConfig &config,
+                                const PhaseEntry &phase,
                                 const RunOptions &opts);
 
 } // namespace rfl::campaign

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -555,6 +556,57 @@ decodeTraceInfo(const std::string &payload)
     s.flags = u64FromField(j.at("flags"));
     s.hash = u64FromField(j.at("hash"));
     return info;
+}
+
+std::string
+encodePhaseTrajectory(const analysis::PhaseTrajectory &t)
+{
+    Json j = Json::makeObject();
+    j.set("kernel", Json::makeString(t.kernel));
+    j.set("size", Json::makeString(t.sizeLabel));
+    j.set("protocol", Json::makeString(t.protocol));
+    j.set("period", u64Field(t.period));
+    j.set("total_flops", Json::makeNumber(t.totalFlops));
+    j.set("total_traffic_bytes", Json::makeNumber(t.totalTrafficBytes));
+    j.set("total_seconds", Json::makeNumber(t.totalSeconds));
+    Json points = Json::makeArray();
+    for (const analysis::PhasePoint &p : t.points) {
+        // oi/perf are derived from the stored deltas on decode; the
+        // spill line stays minimal.
+        Json pj = Json::makeObject();
+        pj.set("flops", Json::makeNumber(p.flops));
+        pj.set("traffic_bytes", Json::makeNumber(p.trafficBytes));
+        pj.set("seconds", Json::makeNumber(p.seconds));
+        points.push(std::move(pj));
+    }
+    j.set("points", std::move(points));
+    return j.dump();
+}
+
+analysis::PhaseTrajectory
+decodePhaseTrajectory(const std::string &payload)
+{
+    const Json j = Json::parse(payload);
+    analysis::PhaseTrajectory t;
+    t.kernel = j.at("kernel").asString();
+    t.sizeLabel = j.at("size").asString();
+    t.protocol = j.at("protocol").asString();
+    t.period = u64FromField(j.at("period"));
+    t.totalFlops = j.at("total_flops").asNumber();
+    t.totalTrafficBytes = j.at("total_traffic_bytes").asNumber();
+    t.totalSeconds = j.at("total_seconds").asNumber();
+    for (const Json &pj : j.at("points").asArray()) {
+        analysis::PhasePoint p;
+        p.flops = pj.at("flops").asNumber();
+        p.trafficBytes = pj.at("traffic_bytes").asNumber();
+        p.seconds = pj.at("seconds").asNumber();
+        p.oi = p.trafficBytes > 0
+                   ? p.flops / p.trafficBytes
+                   : std::numeric_limits<double>::infinity();
+        p.perf = p.seconds > 0 ? p.flops / p.seconds : 0.0;
+        t.points.push_back(p);
+    }
+    return t;
 }
 
 } // namespace rfl::campaign

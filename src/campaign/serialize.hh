@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/phase.hh"
 #include "roofline/measurement.hh"
 #include "roofline/model.hh"
 #include "trace/trace_file.hh"
@@ -119,6 +120,13 @@ std::string encodeTraceInfo(const TraceInfo &info);
 
 /** Decode a trace recording's outcome; fatal() on malformed payload. */
 TraceInfo decodeTraceInfo(const std::string &payload);
+
+/** Encode a phase-sample trajectory as one-line JSON. */
+std::string encodePhaseTrajectory(const analysis::PhaseTrajectory &t);
+
+/** Decode a phase-sample trajectory; fatal() on malformed payload. */
+analysis::PhaseTrajectory
+decodePhaseTrajectory(const std::string &payload);
 
 } // namespace rfl::campaign
 

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "analysis/report.hh"
 #include "support/csv.hh"
 #include "support/units.hh"
 
@@ -106,6 +107,19 @@ emitCampaign(const CampaignRun &run, const std::string &dir,
     os << "\n";
     printCampaignStats(run, os);
     os << "wrote " << csv << " (+ per-scenario .dat/.gp)\n";
+}
+
+analysis::CampaignAnalysis
+writeCampaignReport(const CampaignRun &run, const std::string &dir,
+                    std::ostream &os)
+{
+    const analysis::CampaignAnalysis doc =
+        analysis::analyzeCampaign(run);
+    const analysis::ReportPaths paths =
+        analysis::writeAnalysisReport(doc, dir, run.spec.name());
+    os << "analysis report: " << paths.html << ", " << paths.json
+       << " (+ " << paths.svgs.size() << " SVG roofline(s))\n";
+    return doc;
 }
 
 void

@@ -15,6 +15,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "analysis/analysis.hh"
 #include "campaign/executor.hh"
 #include "roofline/plot.hh"
 #include "support/table.hh"
@@ -55,6 +56,17 @@ void printCampaignStats(const CampaignRun &run, std::ostream &os);
  */
 void emitCampaign(const CampaignRun &run, const std::string &dir,
                   std::ostream &os);
+
+/**
+ * Analysis artifact set (see analysis/report.hh) under @p dir: derives
+ * the CampaignAnalysis document from @p run and writes one SVG roofline
+ * per scenario, an HTML report, and <campaign>.json (analysis.json
+ * schema v3 — the file the regression gate diffs). @return the derived
+ * document so callers can diff it in-process.
+ */
+analysis::CampaignAnalysis writeCampaignReport(const CampaignRun &run,
+                                               const std::string &dir,
+                                               std::ostream &os);
 
 } // namespace rfl::campaign
 

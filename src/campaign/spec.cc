@@ -172,6 +172,16 @@ CampaignSpec::addTrace(const std::string &kernelSpec)
 }
 
 CampaignSpec &
+CampaignSpec::addPhase(const std::string &kernelSpec, uint64_t period)
+{
+    if (period == 0)
+        fatal("campaign: phase entry '%s' needs a period >= 1",
+              kernelSpec.c_str());
+    phases_.push_back({kernelSpec, period});
+    return *this;
+}
+
+CampaignSpec &
 CampaignSpec::addVariant(const std::string &label, const RunOptions &opts)
 {
     variants_.push_back({label, opts});
@@ -192,8 +202,9 @@ CampaignSpec::validate() const
 {
     if (machines_.empty())
         fatal("campaign '%s': no machines", name_.c_str());
-    if (kernels_.empty())
-        fatal("campaign '%s': no kernels", name_.c_str());
+    if (kernels_.empty() && traces_.empty() && phases_.empty())
+        fatal("campaign '%s': no kernels, traces or phases",
+              name_.c_str());
     if (variants_.empty())
         fatal("campaign '%s': no variants", name_.c_str());
 
@@ -231,6 +242,23 @@ CampaignSpec::validate() const
                   "replay ('%s')",
                   name_.c_str(), spec.c_str());
         kernels::createKernel(spec);
+    }
+
+    // Phase-sampled kernels run like measured kernels (partitioned
+    // across the variant's cores), so the same constraints apply.
+    for (const PhaseEntry &p : phases_) {
+        if (p.spec.rfind("trace:", 0) == 0)
+            fatal("campaign '%s': cannot phase-sample a trace replay "
+                  "('%s')",
+                  name_.c_str(), p.spec.c_str());
+        const std::unique_ptr<kernels::Kernel> kernel =
+            kernels::createKernel(p.spec);
+        for (const Variant &v : variants_)
+            if (v.opts.measure.cores.size() > 1 &&
+                !kernel->parallelizable())
+                fatal("campaign '%s': phase kernel '%s' does not "
+                      "support multi-core execution (variant '%s')",
+                      name_.c_str(), p.spec.c_str(), v.label.c_str());
     }
 
     for (const Variant &v : variants_) {
@@ -290,6 +318,29 @@ parseCampaignSpec(const std::string &text)
             spec.addKernel(value);
         } else if (key == "trace") {
             spec.addTrace(value);
+        } else if (key == "phase") {
+            // "<kernel spec> [period=N]" — tokens after the spec are
+            // options.
+            std::istringstream tokens(value);
+            std::string kernel_spec;
+            tokens >> kernel_spec;
+            uint64_t period = 8192;
+            std::string token;
+            while (tokens >> token) {
+                const size_t teq = token.find('=');
+                if (teq == std::string::npos ||
+                    token.substr(0, teq) != "period")
+                    fatal("campaign line %d: phase option '%s' is not "
+                          "period=N",
+                          lineno, token.c_str());
+                const long v =
+                    parseLong("period", token.substr(teq + 1));
+                if (v <= 0)
+                    fatal("campaign line %d: period must be >= 1",
+                          lineno);
+                period = static_cast<uint64_t>(v);
+            }
+            spec.addPhase(kernel_spec, period);
         } else if (key == "variant") {
             const size_t colon = value.find(':');
             if (colon == std::string::npos)
@@ -323,6 +374,8 @@ parseCampaignSpec(const std::string &text)
     named.addKernels(spec.kernels());
     for (const std::string &t : spec.traces())
         named.addTrace(t);
+    for (const PhaseEntry &p : spec.phases())
+        named.addPhase(p.spec, p.period);
     for (const Variant &v : spec.variants())
         named.addVariant(v.label, v.opts);
     named.validate();

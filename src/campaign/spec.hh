@@ -17,6 +17,7 @@
  *   kernel = sum:n=1048576
  *   kernel = triad:n=4194304
  *   trace = daxpy:n=65536             # record once, replay per variant
+ *   phase = fft:n=65536 period=4096   # phase-resolved sampling
  *   variant = cold-1c: protocol=cold cores=0 reps=1
  *   variant = warm-1s: protocol=warm cores=0-3 numa=local prefetch=off
  *
@@ -24,6 +25,13 @@
  * per machine (trace-record job) into a content-addressed trace file,
  * then replayed as a TraceKernel measurement under every variant
  * (trace-replay jobs) — see job_graph.hh and trace/trace_kernel.hh.
+ *
+ * A *phase* entry names a kernel to run once per (machine, variant)
+ * with the simulator's interval sampler enabled (phase-sample jobs):
+ * the result is a PhaseTrajectory — the kernel's per-interval (I, P)
+ * path through roofline space — consumed by the analysis subsystem
+ * (analysis/phase.hh). `period` is the sampling period in demand
+ * accesses (default 8192).
  *
  * The campaign layer expands the grid into a JobGraph (job_graph.hh)
  * where every (machine, variant) core-set gets one ceiling-
@@ -75,6 +83,13 @@ struct Variant
     RunOptions opts;
 };
 
+/** One phase-resolved kernel entry (see file comment). */
+struct PhaseEntry
+{
+    std::string spec;       ///< kernel registry spec
+    uint64_t period = 8192; ///< sampling period in demand accesses
+};
+
 /** See file comment. */
 class CampaignSpec
 {
@@ -91,6 +106,9 @@ class CampaignSpec
     CampaignSpec &addKernels(const std::vector<std::string> &specs);
     /** Record @p kernelSpec's access stream and replay per variant. */
     CampaignSpec &addTrace(const std::string &kernelSpec);
+    /** Phase-sample @p kernelSpec under every (machine, variant). */
+    CampaignSpec &addPhase(const std::string &kernelSpec,
+                           uint64_t period = 8192);
     CampaignSpec &addVariant(const std::string &label,
                              const RunOptions &opts);
     /** Variant with default machine-level knobs. */
@@ -102,13 +120,15 @@ class CampaignSpec
     const std::vector<MachineEntry> &machines() const { return machines_; }
     const std::vector<std::string> &kernels() const { return kernels_; }
     const std::vector<std::string> &traces() const { return traces_; }
+    const std::vector<PhaseEntry> &phases() const { return phases_; }
     const std::vector<Variant> &variants() const { return variants_; }
 
     /** Number of measurement runs the grid expands to (trace-replay
-     *  measurements included). */
+     *  and phase-sample runs included). */
     size_t gridSize() const
     {
-        return machines_.size() * (kernels_.size() + traces_.size()) *
+        return machines_.size() *
+               (kernels_.size() + traces_.size() + phases_.size()) *
                variants_.size();
     }
 
@@ -125,6 +145,8 @@ class CampaignSpec
     std::vector<std::string> kernels_;
     /** Kernel specs to record and replay (see file comment). */
     std::vector<std::string> traces_;
+    /** Kernel specs to phase-sample (see file comment). */
+    std::vector<PhaseEntry> phases_;
     std::vector<Variant> variants_;
 };
 

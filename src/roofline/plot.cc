@@ -12,6 +12,26 @@
 namespace rfl::roofline
 {
 
+namespace
+{
+
+/**
+ * Point-glyph alphabet for the ASCII rendering: a-z, A-Z, 0-9. Plots
+ * with more points than glyphs wrap (renderAscii warns once); the old
+ * 26-letter alphabet silently aliased 'a' onto points 0, 26, 52, ...
+ */
+constexpr char kPointGlyphs[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+constexpr size_t kNumPointGlyphs = sizeof(kPointGlyphs) - 1;
+
+char
+pointGlyph(size_t index)
+{
+    return kPointGlyphs[index % kNumPointGlyphs];
+}
+
+} // namespace
+
 RooflinePlot::RooflinePlot(std::string title, RooflineModel model)
     : title_(std::move(title)), model_(std::move(model))
 {
@@ -120,11 +140,15 @@ RooflinePlot::renderAscii(int width, int height) const
         put(row_of(model_.attainable(x)), col, '=');
     }
 
-    // Kernel points: letters a, b, c, ...
+    // Kernel points: glyphs a..z, A..Z, 0..9.
+    if (points_.size() > kNumPointGlyphs) {
+        warn("roofline plot '%s': %zu points exceed the %zu-glyph "
+             "alphabet; glyphs repeat",
+             title_.c_str(), points_.size(), kNumPointGlyphs);
+    }
     for (size_t i = 0; i < points_.size(); ++i) {
         const PlotPoint &p = points_[i];
-        const char ch = static_cast<char>('a' + (i % 26));
-        put(row_of(p.perf), col_of(p.oi), ch);
+        put(row_of(p.perf), col_of(p.oi), pointGlyph(i));
     }
 
     // Y-axis labels on a few rows.
@@ -173,7 +197,7 @@ RooflinePlot::renderAscii(int width, int height) const
     for (size_t i = 0; i < points_.size(); ++i) {
         const PlotPoint &p = points_[i];
         const double rc = 100.0 * p.perf / model_.attainable(p.oi);
-        oss << "  point '" << static_cast<char>('a' + (i % 26))
+        oss << "  point '" << pointGlyph(i)
             << "': " << p.label << "  I=" << formatSig(p.oi, 3)
             << " P=" << formatFlopRate(p.perf) << " RC=" << formatSig(rc, 3)
             << "%\n";

@@ -45,6 +45,7 @@ class RooflinePlot
     /** Add a measurement (skipped with a warning when oi is inf/0). */
     void addMeasurement(const Measurement &m);
 
+    const std::string &title() const { return title_; }
     const RooflineModel &model() const { return model_; }
     const std::vector<PlotPoint> &points() const { return points_; }
 

@@ -333,6 +333,8 @@ Machine::simulateBatch(const trace::AccessBatch &b, int core_override)
 {
     if (core_override >= 0) {
         simulateBatchSpan(b, 0, b.n, core_override);
+        if (samplePeriod_)
+            maybeSample();
         return;
     }
     // Split the batch into maximal same-core spans so the span loop can
@@ -349,6 +351,9 @@ Machine::simulateBatch(const trace::AccessBatch &b, int core_override)
         simulateBatchSpan(b, i, j, core);
         i = j;
     }
+    // Batch-drain boundary: the interval sampler's only check point.
+    if (samplePeriod_)
+        maybeSample();
 }
 
 void
@@ -604,6 +609,9 @@ Machine::resetStats()
         tlb.clearStats();
     for (auto &cc : cores_)
         cc = CoreCounters{};
+    // Counters restarted from zero: so does the sampling clock (recorded
+    // samples stay; see samples()).
+    sampleLastAccesses_ = 0;
 }
 
 void
@@ -618,10 +626,41 @@ Machine::reset()
     resetStats();
 }
 
+void
+Machine::setSamplePeriod(uint64_t accesses)
+{
+    drainBatchSources(); // buffered accesses belong to the old period
+    samplePeriod_ = accesses;
+    sampleLastAccesses_ = totalAccessUops();
+}
+
+void
+Machine::clearSamples()
+{
+    drainBatchSources();
+    samples_.clear();
+    sampleLastAccesses_ = totalAccessUops();
+}
+
+uint64_t
+Machine::totalAccessUops() const
+{
+    uint64_t n = 0;
+    for (const CoreCounters &cc : cores_)
+        n += cc.loadUops + cc.storeUops;
+    return n;
+}
+
 Machine::Snapshot
 Machine::snapshot() const
 {
     drainBatchSources();
+    return captureSnapshot();
+}
+
+Machine::Snapshot
+Machine::captureSnapshot() const
+{
     Snapshot s;
     s.cores = cores_;
     for (int c = 0; c < numCores(); ++c) {

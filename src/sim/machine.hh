@@ -230,6 +230,40 @@ class Machine
     /** @return current cumulative counters. */
     Snapshot snapshot() const;
 
+    /** @name Interval counter sampling (phase-resolved analyses). */
+    ///@{
+    /**
+     * Record a full counter Snapshot every @p accesses demand
+     * load/store uops. The check runs at batch-drain boundaries — each
+     * simulateBatch() consumption — so sample positions quantize to
+     * batch flushes and the per-access hot loop is untouched (the
+     * per-access Direct dispatch never samples). Sampling only *reads*
+     * counters: every architectural observable is bit-identical with
+     * sampling on or off at any period (tests/sim/test_sampling.cc
+     * enforces this for all registered kernels). 0 disables sampling.
+     * The interval count restarts from the current access total.
+     */
+    void setSamplePeriod(uint64_t accesses);
+    uint64_t samplePeriod() const { return samplePeriod_; }
+
+    /**
+     * Snapshots recorded so far, in capture order. Each is cumulative
+     * (like snapshot()); consumers difference consecutive entries for
+     * per-interval deltas. Entries survive resetStats()/reset() —
+     * pre-reset samples cannot be differenced against post-reset ones,
+     * so callers bracketing a region call clearSamples() first.
+     */
+    const std::vector<Snapshot> &
+    samples() const
+    {
+        drainBatchSources();
+        return samples_;
+    }
+
+    /** Drop recorded samples and restart the interval count. */
+    void clearSamples();
+    ///@}
+
     /**
      * Modeled execution time (cycles) of the region described by counter
      * delta @p delta: max over cores of per-core issue/port/bandwidth
@@ -306,6 +340,29 @@ class Machine
   private:
     /** Deepest level that serviced a demand access. */
     enum class ServiceLevel { L1, L2, L3, Dram };
+
+    /** Snapshot capture without draining (snapshot()'s shared body;
+     *  also the sampler's, which runs *inside* a drain). */
+    Snapshot captureSnapshot() const;
+
+    /** Total demand load+store uops over all cores (sampling clock). */
+    uint64_t totalAccessUops() const;
+
+    /**
+     * Interval-sampling check, run at every batch-drain boundary (end
+     * of simulateBatch). Reads counters only — never mutates machine
+     * state — so enabling it cannot perturb a single counter.
+     */
+    void
+    maybeSample()
+    {
+        const uint64_t accesses = totalAccessUops();
+        if (samplePeriod_ == 0 ||
+            accesses - sampleLastAccesses_ < samplePeriod_)
+            return;
+        samples_.push_back(captureSnapshot());
+        sampleLastAccesses_ = accesses;
+    }
 
     /** @return socket owning the page of @p addr under the policy. */
     int homeSocket(uint64_t addr, int accessor_socket) const;
@@ -389,6 +446,12 @@ class Machine
      */
     bool l1pfCheapRepeat_;
     MemPolicy memPolicy_ = MemPolicy::LocalToAccessor;
+
+    /** Interval sampling (see setSamplePeriod): 0 = off. */
+    uint64_t samplePeriod_ = 0;
+    /** Access total at the last recorded sample. */
+    uint64_t sampleLastAccesses_ = 0;
+    std::vector<Snapshot> samples_;
 
     std::vector<std::unique_ptr<Cache>> l1_;  // per core
     std::vector<std::unique_ptr<Cache>> l2_;  // per core

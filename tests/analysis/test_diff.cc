@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The diff/regression engine: directional thresholds, missing-row
+ * detection, and the inf-OI edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "analysis/diff.hh"
+
+namespace
+{
+
+using namespace rfl;
+using namespace rfl::analysis;
+
+CampaignAnalysis
+baseDoc()
+{
+    CampaignAnalysis doc;
+    doc.campaign = "gate";
+    Scenario s;
+    s.machine = "m";
+    s.variant = "v";
+    s.model.addComputeCeiling("peak", 100e9);
+    s.model.addBandwidthCeiling("stream", 10e9);
+    doc.scenarios.push_back(s);
+
+    KernelRow r;
+    r.machine = "m";
+    r.variant = "v";
+    r.kernel = "triad";
+    r.sizeLabel = "n=1024";
+    r.protocol = "cold";
+    r.flops = 1e9;
+    r.trafficBytes = 1e9;
+    r.seconds = 0.1;
+    r.metrics = deriveMetrics(1.0, 1e10, s.model);
+    doc.kernels.push_back(r);
+    return doc;
+}
+
+TEST(AnalysisDiff, IdenticalDocumentsPass)
+{
+    const CampaignAnalysis doc = baseDoc();
+    const DiffReport report = diffAnalyses(doc, doc);
+    EXPECT_FALSE(report.hasRegressions());
+    EXPECT_TRUE(report.missing.empty());
+    EXPECT_TRUE(report.added.empty());
+    // 2 scenario peaks + 4 kernel metrics compared.
+    EXPECT_EQ(report.entries.size(), 6u);
+}
+
+TEST(AnalysisDiff, PerfDropGatesAndNamesKernelAndMetric)
+{
+    const CampaignAnalysis base = baseDoc();
+    CampaignAnalysis cur = base;
+    cur.kernels[0].metrics.perf *= 0.9; // -10% > 5% threshold
+    const DiffReport report = diffAnalyses(base, cur);
+    ASSERT_TRUE(report.hasRegressions());
+    EXPECT_EQ(report.regressionCount(), 1u);
+
+    std::ostringstream os;
+    report.print(os);
+    EXPECT_NE(os.str().find("REGRESSION"), std::string::npos);
+    EXPECT_NE(os.str().find("triad"), std::string::npos);
+    EXPECT_NE(os.str().find("metric=perf"), std::string::npos);
+}
+
+TEST(AnalysisDiff, ImprovementsNeverGate)
+{
+    const CampaignAnalysis base = baseDoc();
+    CampaignAnalysis cur = base;
+    cur.kernels[0].metrics.perf *= 1.5; // faster
+    cur.kernels[0].seconds *= 0.5;      // shorter
+    cur.kernels[0].trafficBytes *= 0.5; // less traffic
+    EXPECT_FALSE(diffAnalyses(base, cur).hasRegressions());
+}
+
+TEST(AnalysisDiff, WithinThresholdPasses)
+{
+    const CampaignAnalysis base = baseDoc();
+    CampaignAnalysis cur = base;
+    cur.kernels[0].metrics.perf *= 0.97; // -3% < 5% threshold
+    EXPECT_FALSE(diffAnalyses(base, cur).hasRegressions());
+}
+
+TEST(AnalysisDiff, CustomThresholds)
+{
+    const CampaignAnalysis base = baseDoc();
+    CampaignAnalysis cur = base;
+    cur.kernels[0].metrics.perf *= 0.97;
+    DiffThresholds thr;
+    thr.perfDrop = 0.01;
+    EXPECT_TRUE(diffAnalyses(base, cur, thr).hasRegressions());
+}
+
+TEST(AnalysisDiff, MissingRowIsRegression)
+{
+    const CampaignAnalysis base = baseDoc();
+    CampaignAnalysis cur = base;
+    cur.kernels.clear();
+    const DiffReport report = diffAnalyses(base, cur);
+    EXPECT_TRUE(report.hasRegressions());
+    ASSERT_EQ(report.missing.size(), 1u);
+    EXPECT_NE(report.missing[0].find("triad"), std::string::npos);
+}
+
+TEST(AnalysisDiff, AddedRowIsInformational)
+{
+    const CampaignAnalysis base = baseDoc();
+    CampaignAnalysis cur = base;
+    KernelRow extra = cur.kernels[0];
+    extra.kernel = "daxpy";
+    cur.kernels.push_back(extra);
+    const DiffReport report = diffAnalyses(base, cur);
+    EXPECT_FALSE(report.hasRegressions());
+    ASSERT_EQ(report.added.size(), 1u);
+    EXPECT_NE(report.added[0].find("daxpy"), std::string::npos);
+}
+
+TEST(AnalysisDiff, CeilingDropGates)
+{
+    const CampaignAnalysis base = baseDoc();
+    CampaignAnalysis cur = base;
+    cur.scenarios[0].model = roofline::RooflineModel();
+    cur.scenarios[0].model.addComputeCeiling("peak", 90e9); // -10%
+    cur.scenarios[0].model.addBandwidthCeiling("stream", 10e9);
+    const DiffReport report = diffAnalyses(base, cur);
+    ASSERT_TRUE(report.hasRegressions());
+    std::ostringstream os;
+    report.print(os);
+    EXPECT_NE(os.str().find("metric=peak_flops"), std::string::npos);
+}
+
+TEST(AnalysisDiff, InfinityHandling)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    CampaignAnalysis base = baseDoc();
+    base.kernels[0].metrics.oi = inf;
+
+    // inf -> inf: no comparison recorded for oi, no regression.
+    EXPECT_FALSE(diffAnalyses(base, base).hasRegressions());
+
+    // inf -> finite: OI collapsed (traffic appeared) — a regression.
+    CampaignAnalysis cur = base;
+    cur.kernels[0].metrics.oi = 4.0;
+    EXPECT_TRUE(diffAnalyses(base, cur).hasRegressions());
+
+    // finite -> inf: traffic vanished — an improvement, never gates.
+    EXPECT_FALSE(diffAnalyses(cur, base).hasRegressions());
+}
+
+TEST(AnalysisDiff, PhaseRowsGateLikeKernelRows)
+{
+    CampaignAnalysis base = baseDoc();
+    PhaseRow phase;
+    phase.machine = "m";
+    phase.variant = "v";
+    phase.trajectory.kernel = "triad";
+    phase.trajectory.sizeLabel = "n=1024";
+    phase.trajectory.protocol = "cold";
+    phase.trajectory.period = 512;
+    phase.trajectory.points = {{1.0, 1e10, 1e6, 1e6, 1e-4}};
+    phase.trajectory.totalFlops = 1e6;
+    phase.trajectory.totalTrafficBytes = 1e6;
+    phase.trajectory.totalSeconds = 1e-4;
+    base.phases.push_back(phase);
+
+    // Identical docs: phase metrics compared, nothing gates.
+    const DiffReport same = diffAnalyses(base, base);
+    EXPECT_FALSE(same.hasRegressions());
+    EXPECT_EQ(same.entries.size(), 10u); // 6 + 4 phase metrics
+
+    // A vanished phase row is a regression (coverage shrank).
+    CampaignAnalysis dropped = base;
+    dropped.phases.clear();
+    const DiffReport gone = diffAnalyses(base, dropped);
+    EXPECT_TRUE(gone.hasRegressions());
+    ASSERT_EQ(gone.missing.size(), 1u);
+    EXPECT_NE(gone.missing[0].find("phases: triad"),
+              std::string::npos);
+
+    // A slower trajectory gates on its perf metric.
+    CampaignAnalysis slower = base;
+    slower.phases[0].trajectory.totalSeconds *= 1.25;
+    std::ostringstream os;
+    const DiffReport slow = diffAnalyses(base, slower);
+    slow.print(os);
+    EXPECT_TRUE(slow.hasRegressions());
+    EXPECT_NE(os.str().find("phases: triad"), std::string::npos);
+}
+
+TEST(AnalysisDiff, TableListsEveryComparison)
+{
+    const CampaignAnalysis doc = baseDoc();
+    const DiffReport report = diffAnalyses(doc, doc);
+    EXPECT_EQ(report.table().rowCount(), report.entries.size());
+}
+
+} // namespace

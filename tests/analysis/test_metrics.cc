@@ -1,0 +1,105 @@
+/**
+ * @file
+ * deriveMetrics(): the derived-roofline-metric formulas against a
+ * hand-checkable model (peak 100 Gflop/s, 10 GB/s, ridge 10 f/B).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/metrics.hh"
+
+namespace
+{
+
+using namespace rfl;
+using namespace rfl::analysis;
+
+roofline::RooflineModel
+model()
+{
+    roofline::RooflineModel m;
+    m.addComputeCeiling("scalar", 25e9);
+    m.addComputeCeiling("vector", 100e9);
+    m.addBandwidthCeiling("one-thread", 6e9);
+    m.addBandwidthCeiling("all-threads", 10e9);
+    return m;
+}
+
+TEST(DeriveMetrics, MemoryBoundPoint)
+{
+    // I = 1 < ridge 10: roof is I * beta = 10 Gflop/s.
+    const DerivedMetrics d = deriveMetrics(1.0, 8e9, model());
+    EXPECT_DOUBLE_EQ(d.attainable, 10e9);
+    EXPECT_DOUBLE_EQ(d.pctRoof, 80.0);
+    EXPECT_DOUBLE_EQ(d.pctPeak, 8.0);
+    EXPECT_DOUBLE_EQ(d.achievedBandwidth, 8e9);
+    EXPECT_DOUBLE_EQ(d.pctPeakBandwidth, 80.0);
+    EXPECT_EQ(d.bound, BoundClass::MemoryBound);
+    EXPECT_EQ(d.bindingCeiling, "all-threads");
+}
+
+TEST(DeriveMetrics, ComputeBoundPoint)
+{
+    // I = 20 > ridge 10: roof is pi = 100 Gflop/s.
+    const DerivedMetrics d = deriveMetrics(20.0, 50e9, model());
+    EXPECT_DOUBLE_EQ(d.attainable, 100e9);
+    EXPECT_DOUBLE_EQ(d.pctRoof, 50.0);
+    EXPECT_DOUBLE_EQ(d.pctPeak, 50.0);
+    EXPECT_DOUBLE_EQ(d.achievedBandwidth, 2.5e9);
+    EXPECT_DOUBLE_EQ(d.pctPeakBandwidth, 25.0);
+    EXPECT_EQ(d.bound, BoundClass::ComputeBound);
+    EXPECT_EQ(d.bindingCeiling, "vector");
+}
+
+TEST(DeriveMetrics, RidgePointIsComputeBound)
+{
+    const DerivedMetrics d = deriveMetrics(10.0, 100e9, model());
+    EXPECT_EQ(d.bound, BoundClass::ComputeBound);
+    EXPECT_DOUBLE_EQ(d.pctRoof, 100.0);
+}
+
+TEST(DeriveMetrics, InfiniteIntensity)
+{
+    // Zero measured traffic (warm LLC-resident kernel): I = inf.
+    const double inf = std::numeric_limits<double>::infinity();
+    const DerivedMetrics d = deriveMetrics(inf, 30e9, model());
+    EXPECT_TRUE(std::isinf(d.oi));
+    EXPECT_DOUBLE_EQ(d.attainable, 100e9);
+    EXPECT_DOUBLE_EQ(d.pctRoof, 30.0);
+    EXPECT_EQ(d.bound, BoundClass::ComputeBound);
+    EXPECT_DOUBLE_EQ(d.achievedBandwidth, 0.0);
+    EXPECT_DOUBLE_EQ(d.pctPeakBandwidth, 0.0);
+}
+
+TEST(DeriveMetrics, DegenerateZeroPerf)
+{
+    const DerivedMetrics d = deriveMetrics(1.0, 0.0, model());
+    EXPECT_DOUBLE_EQ(d.perf, 0.0);
+    EXPECT_DOUBLE_EQ(d.pctRoof, 0.0);
+    EXPECT_DOUBLE_EQ(d.pctPeak, 0.0);
+    EXPECT_DOUBLE_EQ(d.pctPeakBandwidth, 0.0);
+}
+
+TEST(DeriveMetrics, FromMeasurement)
+{
+    roofline::Measurement m;
+    m.kernel = "triad";
+    m.flops = 8e9;
+    m.trafficBytes = 8e9; // I = 1
+    m.seconds = 1.0;      // P = 8 Gflop/s
+    const DerivedMetrics d = deriveMetrics(m, model());
+    EXPECT_DOUBLE_EQ(d.oi, 1.0);
+    EXPECT_DOUBLE_EQ(d.perf, 8e9);
+    EXPECT_DOUBLE_EQ(d.pctRoof, 80.0);
+}
+
+TEST(DeriveMetrics, BoundClassNames)
+{
+    EXPECT_STREQ(boundClassName(BoundClass::MemoryBound), "memory");
+    EXPECT_STREQ(boundClassName(BoundClass::ComputeBound), "compute");
+}
+
+} // namespace

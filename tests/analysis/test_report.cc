@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Report emitters and the analysis.json codec: artifact set existence,
+ * SVG/HTML structure, schema round-trip fidelity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "analysis/analysis.hh"
+#include "analysis/diff.hh"
+#include "analysis/report.hh"
+#include "analysis/svg.hh"
+
+namespace
+{
+
+using namespace rfl;
+using namespace rfl::analysis;
+
+std::string
+outDir()
+{
+    const char *dir = std::getenv("RFL_OUT_DIR");
+    return dir != nullptr ? dir : "test-out";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+CampaignAnalysis
+sampleDoc()
+{
+    CampaignAnalysis doc;
+    doc.campaign = "sample";
+    Scenario s;
+    s.machine = "box";
+    s.variant = "cold-1c";
+    s.model.addComputeCeiling("scalar", 10e9);
+    s.model.addComputeCeiling("vector", 40e9);
+    s.model.addBandwidthCeiling("stream", 10e9);
+    doc.scenarios.push_back(s);
+
+    roofline::Measurement m;
+    m.kernel = "triad";
+    m.sizeLabel = "n=4096";
+    m.protocol = "cold";
+    m.flops = 8192;
+    m.trafficBytes = 98304;
+    m.seconds = 1e-5;
+    doc.kernels.push_back(
+        makeKernelRow("box", "cold-1c", m, s.model));
+
+    // Warm resident: zero traffic, I = inf (the null-encoding case).
+    roofline::Measurement warm = m;
+    warm.protocol = "warm";
+    warm.trafficBytes = 0.0;
+    doc.kernels.push_back(
+        makeKernelRow("box", "cold-1c", warm, s.model));
+
+    PhaseRow phase;
+    phase.machine = "box";
+    phase.variant = "cold-1c";
+    phase.trajectory.kernel = "triad";
+    phase.trajectory.sizeLabel = "n=4096";
+    phase.trajectory.protocol = "cold";
+    phase.trajectory.period = 512;
+    phase.trajectory.points = {
+        {0.05, 1.0e9, 5e4, 1e6, 5e-5},
+        {0.0625, 1.2e9, 6e4, 9.6e5, 5e-5},
+    };
+    phase.trajectory.totalFlops = 1.1e5;
+    phase.trajectory.totalTrafficBytes = 1.96e6;
+    phase.trajectory.totalSeconds = 1e-4;
+    doc.phases.push_back(phase);
+    return doc;
+}
+
+TEST(AnalysisJson, RoundTrip)
+{
+    const CampaignAnalysis doc = sampleDoc();
+    const std::string text = encodeAnalysis(doc);
+    const CampaignAnalysis back = decodeAnalysis(text);
+
+    EXPECT_EQ(back.campaign, doc.campaign);
+    ASSERT_EQ(back.scenarios.size(), 1u);
+    EXPECT_EQ(back.scenarios[0].machine, "box");
+    EXPECT_DOUBLE_EQ(back.scenarios[0].model.peakCompute(), 40e9);
+    EXPECT_DOUBLE_EQ(back.scenarios[0].model.peakBandwidth(), 10e9);
+    EXPECT_DOUBLE_EQ(
+        back.scenarios[0].model.computeCeiling("scalar"), 10e9);
+
+    ASSERT_EQ(back.kernels.size(), 2u);
+    const KernelRow &a = back.kernels[0];
+    EXPECT_EQ(a.kernel, "triad");
+    EXPECT_DOUBLE_EQ(a.flops, 8192);
+    EXPECT_DOUBLE_EQ(a.metrics.oi, doc.kernels[0].metrics.oi);
+    EXPECT_DOUBLE_EQ(a.metrics.pctRoof, doc.kernels[0].metrics.pctRoof);
+    EXPECT_EQ(a.metrics.bound, BoundClass::MemoryBound);
+
+    // inf OI round-trips through the null encoding.
+    EXPECT_TRUE(std::isinf(back.kernels[1].metrics.oi));
+    EXPECT_EQ(back.kernels[1].metrics.bound, BoundClass::ComputeBound);
+
+    ASSERT_EQ(back.phases.size(), 1u);
+    EXPECT_EQ(back.phases[0].trajectory.period, 512u);
+    ASSERT_EQ(back.phases[0].trajectory.points.size(), 2u);
+    EXPECT_DOUBLE_EQ(back.phases[0].trajectory.points[1].perf, 1.2e9);
+
+    // An encode-decode-encode cycle is a fixed point (stable bytes).
+    EXPECT_EQ(encodeAnalysis(back), text);
+}
+
+TEST(AnalysisJson, StrictJsonHasNoBareInfTokens)
+{
+    const std::string text = encodeAnalysis(sampleDoc());
+    // The inf-OI row must encode as null, not the cache format's bare
+    // inf token (python/jq reject that).
+    EXPECT_EQ(text.find(":inf"), std::string::npos);
+    EXPECT_EQ(text.find(":nan"), std::string::npos);
+    EXPECT_NE(text.find("\"oi\":null"), std::string::npos);
+    EXPECT_NE(text.find("\"schema_version\":3"), std::string::npos);
+    EXPECT_NE(text.find("\"kind\":\"rfl-analysis\""),
+              std::string::npos);
+}
+
+TEST(AnalysisJson, DiffAfterRoundTripIsClean)
+{
+    const CampaignAnalysis doc = sampleDoc();
+    const CampaignAnalysis back = decodeAnalysis(encodeAnalysis(doc));
+    EXPECT_FALSE(diffAnalyses(doc, back).hasRegressions());
+}
+
+TEST(AnalysisReport, WritesFullArtifactSet)
+{
+    const CampaignAnalysis doc = sampleDoc();
+    const ReportPaths paths =
+        writeAnalysisReport(doc, outDir(), "sample");
+
+    const std::string html = readFile(paths.html);
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos); // inline plot
+    EXPECT_NE(html.find("triad n=4096 (cold)"), std::string::npos);
+    EXPECT_NE(html.find("Phase trajectories"), std::string::npos);
+    EXPECT_NE(html.find("binding ceiling"), std::string::npos);
+
+    ASSERT_EQ(paths.svgs.size(), 1u);
+    const std::string svg = readFile(paths.svgs[0]);
+    EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
+    EXPECT_NE(svg.find("triad n=4096 (cold)"), std::string::npos);
+    EXPECT_NE(svg.find("ridge"), std::string::npos);
+    EXPECT_NE(svg.find("(phases)"), std::string::npos);
+
+    const CampaignAnalysis loaded = loadAnalysisFile(paths.json);
+    EXPECT_EQ(loaded.kernels.size(), doc.kernels.size());
+}
+
+TEST(AnalysisReport, EmitPrintsAsciiAndTable)
+{
+    std::ostringstream os;
+    emitAnalysis(sampleDoc(), outDir(), "sample_emit", os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("roof '='"), std::string::npos); // ASCII plot
+    EXPECT_NE(text.find("binding ceiling"), std::string::npos);
+    EXPECT_NE(text.find("wrote "), std::string::npos);
+}
+
+TEST(AnalysisSvg, SkipsUnplottablePoints)
+{
+    roofline::RooflineModel model;
+    model.addComputeCeiling("peak", 10e9);
+    model.addBandwidthCeiling("stream", 10e9);
+    roofline::RooflinePlot plot("edge", model);
+    plot.addPoint("good", 1.0, 1e9);
+
+    std::vector<PhasePath> phases(1);
+    phases[0].label = "path";
+    phases[0].points = {
+        {std::numeric_limits<double>::infinity(), 1e9, 1, 0, 1},
+        {1.0, 2e9, 1, 1, 1},
+        {2.0, 0.0, 0, 1, 0}, // zero perf: unplottable
+        {4.0, 3e9, 1, 1, 1},
+    };
+    const std::string svg = renderRooflineSvg(plot, phases);
+    EXPECT_NE(svg.find("good"), std::string::npos);
+    EXPECT_NE(svg.find("path (phases)"), std::string::npos);
+    // Only the two plottable phase points produce markers (r='3').
+    size_t markers = 0, pos = 0;
+    while ((pos = svg.find("r='3'", pos)) != std::string::npos) {
+        ++markers;
+        pos += 5;
+    }
+    EXPECT_EQ(markers, 2u);
+}
+
+} // namespace

@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
-"""Validate the schema of a BENCH_*.json perf-trajectory file.
+"""Validate the schema of rfl's machine-readable JSON artifacts.
 
-CI runs this after bench/sim_throughput so schema regressions (renamed
-keys, missing workloads, non-numeric rates) fail the build. Absolute
-speeds are deliberately NOT checked: CI runners vary too much for a
-stable threshold, and the trajectory is judged offline.
+Two document kinds are recognized by content:
+  - BENCH_*.json perf-trajectory files (schema v2, "bench" key), and
+  - analysis.json roofline-analysis documents (schema v3,
+    kind == "rfl-analysis") produced by the analysis subsystem
+    (src/analysis/analysis.hh) via roofline_report.
 
-Usage: check_bench_schema.py BENCH_sim_throughput.json
+CI runs this after bench/sim_throughput and after roofline_report, so
+schema regressions (renamed keys, missing workloads, non-numeric rates,
+non-strict JSON) fail the build. Absolute speeds are deliberately NOT
+checked: CI runners vary too much for a stable threshold. Regression
+gating on the *analysis* numbers is a separate, threshold-based step
+(roofline_report --diff) because the simulator is deterministic.
+
+Usage: check_bench_schema.py <bench.json | analysis.json>
 """
 
 import json
+import math
 import sys
 
 
@@ -27,15 +36,15 @@ def require(obj: dict, key: str, types) -> object:
     return obj[key]
 
 
-def main() -> None:
-    if len(sys.argv) != 2:
-        fail("usage: check_bench_schema.py <bench.json>")
-    try:
-        with open(sys.argv[1]) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse {sys.argv[1]}: {e}")
+def finite_number(obj: dict, key: str, ctx: str) -> float:
+    value = require(obj, key, (int, float))
+    if isinstance(value, float) and not math.isfinite(value):
+        fail(f"{ctx}: key '{key}' is not finite "
+             f"(analysis.json must be strict JSON; inf encodes as null)")
+    return value
 
+
+def check_bench(doc: dict) -> None:
     if require(doc, "bench", str) != "sim_throughput":
         fail("bench name is not 'sim_throughput'")
     if require(doc, "schema_version", int) != 2:
@@ -78,6 +87,138 @@ def main() -> None:
           f"({len(workloads)} workloads, "
           f"hot-loop speedup {doc['hot_loop_speedup']:.2f}x, "
           f"batched {doc['batched_hot_loop_speedup']:.2f}x)")
+
+
+def check_ceilings(obj: dict, key: str, ctx: str) -> None:
+    ceilings = require(obj, key, list)
+    if not ceilings:
+        fail(f"{ctx}: {key} is empty")
+    for c in ceilings:
+        if not isinstance(c, dict):
+            fail(f"{ctx}: {key} entry is not an object")
+        require(c, "name", str)
+        if finite_number(c, "value", ctx) <= 0:
+            fail(f"{ctx}: {key} value must be positive")
+
+
+def check_analysis(doc: dict) -> None:
+    if require(doc, "schema_version", (int, float)) != 3:
+        fail("unknown schema_version (expected 3)")
+    require(doc, "campaign", str)
+
+    scenarios = require(doc, "scenarios", list)
+    if not scenarios:
+        fail("scenarios list is empty")
+    scenario_keys = set()
+    for s in scenarios:
+        if not isinstance(s, dict):
+            fail("scenario entry is not an object")
+        key = (require(s, "machine", str), require(s, "variant", str))
+        if key in scenario_keys:
+            fail(f"duplicate scenario {key}")
+        scenario_keys.add(key)
+        ctx = f"scenario {key}"
+        for field in ("peak_flops", "peak_bandwidth", "ridge"):
+            if finite_number(s, field, ctx) <= 0:
+                fail(f"{ctx}: {field} must be positive")
+        check_ceilings(s, "compute_ceilings", ctx)
+        check_ceilings(s, "bandwidth_ceilings", ctx)
+
+    kernels = require(doc, "kernels", list)
+    kernel_keys = set()
+    for k in kernels:
+        if not isinstance(k, dict):
+            fail("kernel entry is not an object")
+        key = tuple(require(k, f, str) for f in
+                    ("machine", "variant", "kernel", "size", "protocol"))
+        if key in kernel_keys:
+            fail(f"duplicate kernel row {key}")
+        kernel_keys.add(key)
+        ctx = f"kernel row {key}"
+        if (key[0], key[1]) not in scenario_keys:
+            fail(f"{ctx}: no matching scenario")
+        require(k, "cores", (int, float))
+        require(k, "lanes", (int, float))
+        for field in ("flops", "traffic_bytes", "seconds", "perf",
+                      "attainable", "pct_roof", "pct_peak",
+                      "achieved_bandwidth", "pct_peak_bw"):
+            finite_number(k, field, ctx)
+        if "oi" not in k:
+            fail(f"{ctx}: missing key 'oi'")
+        if k["oi"] is not None:
+            finite_number(k, "oi", ctx)
+        if require(k, "bound", str) not in ("memory", "compute"):
+            fail(f"{ctx}: bound must be memory|compute")
+        require(k, "binding_ceiling", str)
+
+    phases = require(doc, "phases", list)
+    for p in phases:
+        if not isinstance(p, dict):
+            fail("phase entry is not an object")
+        ctx = (f"phase row ({p.get('machine')}, {p.get('variant')}, "
+               f"{p.get('kernel')})")
+        for field in ("machine", "variant", "kernel", "size",
+                      "protocol"):
+            require(p, field, str)
+        if (p["machine"], p["variant"]) not in scenario_keys:
+            fail(f"{ctx}: no matching scenario")
+        if finite_number(p, "period", ctx) <= 0:
+            fail(f"{ctx}: period must be positive")
+        for field in ("total_flops", "total_traffic_bytes",
+                      "total_seconds"):
+            finite_number(p, field, ctx)
+        points = require(p, "points", list)
+        if not points:
+            fail(f"{ctx}: points list is empty")
+        flops = traffic = 0.0
+        for pt in points:
+            if not isinstance(pt, dict):
+                fail(f"{ctx}: point entry is not an object")
+            for field in ("perf", "flops", "traffic_bytes", "seconds"):
+                finite_number(pt, field, ctx)
+            if "oi" not in pt:
+                fail(f"{ctx}: point missing key 'oi'")
+            flops += pt["flops"]
+            traffic += pt["traffic_bytes"]
+        # Interval deltas are additive by construction; allow FP slack.
+        if abs(flops - p["total_flops"]) > max(1e-6 * flops, 1e-6):
+            fail(f"{ctx}: point flops sum {flops} != total "
+                 f"{p['total_flops']}")
+        if abs(traffic - p["total_traffic_bytes"]) > \
+                max(1e-6 * traffic, 1e-6):
+            fail(f"{ctx}: point traffic sum {traffic} != total "
+                 f"{p['total_traffic_bytes']}")
+
+    print(f"{sys.argv[1]}: schema OK "
+          f"(analysis v3: {len(scenarios)} scenarios, "
+          f"{len(kernels)} kernel rows, {len(phases)} phase rows)")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_schema.py <bench.json | analysis.json>")
+    try:
+        with open(sys.argv[1]) as f:
+            # parse_constant traps Infinity/NaN/-Infinity tokens that
+            # json.load would otherwise accept; analysis.json must be
+            # strict JSON (non-finite encodes as null).
+            doc = json.load(
+                f,
+                parse_constant=lambda tok: fail(
+                    f"non-strict JSON token '{tok}' "
+                    f"(non-finite values must encode as null)"))
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top-level value is not an object")
+    if "bench" in doc:
+        check_bench(doc)
+    elif doc.get("kind") == "rfl-analysis":
+        check_analysis(doc)
+    else:
+        fail("unrecognized document: neither a BENCH_*.json "
+             "('bench' key) nor an analysis.json (kind=rfl-analysis)")
 
 
 if __name__ == "__main__":
