@@ -9,6 +9,9 @@
  *   roofline_campaign --file my_campaign.txt   # your own grid
  *   roofline_campaign --threads 8              # host parallelism
  *   roofline_campaign --cache results.jsonl    # persistent cache
+ *   roofline_campaign --cache-stats            # hit/miss/size report
+ *   roofline_campaign --cache-gc               # drop dead configs,
+ *                                              # rewrite the spill
  *
  * Campaign file format (see src/campaign/spec.hh):
  *
@@ -23,12 +26,16 @@
  * simulated.
  */
 
+#include <filesystem>
 #include <iostream>
+#include <set>
 
 #include "campaign/executor.hh"
+#include "campaign/job_graph.hh"
 #include "campaign/sink.hh"
 #include "support/cli.hh"
 #include "support/csv.hh"
+#include "support/hash.hh"
 
 namespace
 {
@@ -61,6 +68,12 @@ main(int argc, char **argv)
                            "only)", "<out>/cache/campaign.jsonl");
     cli.addOption("out", "artifact directory (default: $RFL_OUT_DIR or "
                          "./out)");
+    cli.addOption("cache-stats",
+                  "print cache hit/miss/size statistics after the run");
+    cli.addOption("cache-gc",
+                  "compact the cache after the run: drop entries whose "
+                  "machine config is not in this campaign, rewrite the "
+                  "spill file");
     cli.parse(argc, argv);
 
     const std::string out = cli.get("out", outputDirectory());
@@ -94,6 +107,33 @@ main(int argc, char **argv)
     if (cache) {
         std::cout << "cache: " << cache->size() << " entries in "
                   << cache->spillPath() << "\n";
+    }
+
+    if (cache && cli.has("cache-gc")) {
+        // Live set = this campaign's machine configs; everything else
+        // in the cache belongs to grids no longer run against it.
+        std::set<std::string> live;
+        for (const cp::MachineEntry &m : spec.machines())
+            live.insert(hashToHex(m.config.stableHash()));
+        const size_t dropped = cache->compact(live);
+        std::cout << "cache-gc: dropped " << dropped
+                  << " entr(ies) from dead configs, kept "
+                  << cache->size() << ", rewrote "
+                  << cache->spillPath() << "\n";
+    }
+
+    if (cache && cli.has("cache-stats")) {
+        const cp::CacheStats cs = cache->stats();
+        const size_t lookups = cs.hits + cs.misses;
+        std::error_code ec;
+        const auto bytes = std::filesystem::file_size(
+            cache->spillPath(), ec);
+        std::cout << "cache-stats: " << cache->size() << " entries, "
+                  << cs.preloaded << " preloaded, " << cs.hits << "/"
+                  << lookups << " lookups hit, " << cs.stores
+                  << " stored this run, spill "
+                  << (ec ? 0 : static_cast<uintmax_t>(bytes))
+                  << " bytes\n";
     }
     return 0;
 }

@@ -143,14 +143,17 @@ scenarioPlot(const CampaignAnalysis &doc, const Scenario &scenario,
 namespace
 {
 
-ReportPaths
-writeReportFromPlots(const CampaignAnalysis &doc,
-                     const std::vector<ScenarioPlotSet> &plots,
-                     const std::string &dir, const std::string &name)
+/** Render every artifact to memory; the single source of truth the
+ *  disk writer and the service's in-RAM store both consume, so the
+ *  bytes cannot diverge between the two paths. */
+ReportArtifacts
+renderFromPlots(const CampaignAnalysis &doc,
+                const std::vector<ScenarioPlotSet> &plots,
+                const std::string &name)
 {
-    ensureDirectory(dir);
-    ReportPaths paths;
-    paths.json = writeAnalysisJson(doc, dir, name);
+    ReportArtifacts artifacts;
+    // Matches writeAnalysisJson's framing (trailing newline).
+    artifacts.json = encodeAnalysis(doc) + "\n";
 
     std::ostringstream html;
     html << "<!DOCTYPE html>\n<html lang='en'>\n<head>\n"
@@ -185,8 +188,8 @@ writeReportFromPlots(const CampaignAnalysis &doc,
         const std::vector<PhasePath> &phases = plots[si].phases;
         const std::string stem =
             name + "_" + slug(s.machine) + "_" + slug(s.variant);
-        paths.svgs.push_back(
-            writeRooflineSvg(plot, dir, stem, phases));
+        artifacts.svgs.emplace_back(stem + ".svg",
+                                    renderRooflineSvg(plot, phases));
 
         html << "<h2>" << escapeXml(s.machine) << ", "
              << escapeXml(s.variant) << "</h2>\n";
@@ -195,21 +198,52 @@ writeReportFromPlots(const CampaignAnalysis &doc,
              << formatByteRate(s.model.peakBandwidth()) << ", ridge "
              << formatSig(s.model.ridgePoint(), 3)
              << " flops/byte</p>\n";
-        html << renderRooflineSvg(plot, phases);
+        html << artifacts.svgs.back().second;
         htmlKernelTable(html, doc, s);
         htmlPhaseTable(html, doc, s);
     }
     html << "</body>\n</html>\n";
+    artifacts.html = html.str();
+    return artifacts;
+}
 
-    paths.html = dir + "/" + name + ".html";
-    std::ofstream out(paths.html);
+/** Write one in-memory artifact to @p dir/@p file. */
+std::string
+writeArtifact(const std::string &dir, const std::string &file,
+              const std::string &content)
+{
+    const std::string path = dir + "/" + file;
+    std::ofstream out(path);
     if (!out)
-        fatal("cannot write report '%s'", paths.html.c_str());
-    out << html.str();
+        fatal("cannot write report artifact '%s'", path.c_str());
+    out << content;
+    return path;
+}
+
+ReportPaths
+writeReportFromPlots(const CampaignAnalysis &doc,
+                     const std::vector<ScenarioPlotSet> &plots,
+                     const std::string &dir, const std::string &name)
+{
+    ensureDirectory(dir);
+    const ReportArtifacts artifacts =
+        renderFromPlots(doc, plots, name);
+    ReportPaths paths;
+    paths.json = writeArtifact(dir, name + ".json", artifacts.json);
+    for (const auto &[file, content] : artifacts.svgs)
+        paths.svgs.push_back(writeArtifact(dir, file, content));
+    paths.html = writeArtifact(dir, name + ".html", artifacts.html);
     return paths;
 }
 
 } // namespace
+
+ReportArtifacts
+renderAnalysisReport(const CampaignAnalysis &doc,
+                     const std::string &name)
+{
+    return renderFromPlots(doc, buildScenarioPlots(doc), name);
+}
 
 ReportPaths
 writeAnalysisReport(const CampaignAnalysis &doc, const std::string &dir,

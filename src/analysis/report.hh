@@ -39,6 +39,22 @@ struct ReportPaths
 };
 
 /**
+ * The full artifact set rendered to memory buffers: what
+ * writeAnalysisReport puts on disk, byte-identical, but addressable
+ * without a filesystem. The service layer builds one of these per
+ * finished campaign and streams the members from RAM; offline tools
+ * and tests compare them against the written files.
+ */
+struct ReportArtifacts
+{
+    std::string html; ///< <name>.html content
+    std::string json; ///< <name>.json content (trailing newline incl.)
+    /** One (filename, content) pair per scenario SVG, in scenario
+     *  order; filenames match writeAnalysisReport's basenames. */
+    std::vector<std::pair<std::string, std::string>> svgs;
+};
+
+/**
  * Rebuild the plot of one scenario: its model plus every matching
  * kernel row as a point. @p phases receives the scenario's phase
  * trajectories (ready for renderRooflineSvg).
@@ -46,6 +62,10 @@ struct ReportPaths
 roofline::RooflinePlot scenarioPlot(const CampaignAnalysis &doc,
                                     const Scenario &scenario,
                                     std::vector<PhasePath> *phases);
+
+/** Render the full artifact set to memory (see ReportArtifacts). */
+ReportArtifacts renderAnalysisReport(const CampaignAnalysis &doc,
+                                     const std::string &name);
 
 /** Write the full artifact set under @p dir (see file comment). */
 ReportPaths writeAnalysisReport(const CampaignAnalysis &doc,

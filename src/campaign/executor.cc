@@ -305,7 +305,7 @@ CampaignExecutor::CampaignExecutor(ExecutorOptions opts) : opts_(opts)
 }
 
 CampaignRun
-CampaignExecutor::run(const CampaignSpec &spec)
+CampaignExecutor::run(const CampaignSpec &spec) const
 {
     const auto start = std::chrono::steady_clock::now();
 

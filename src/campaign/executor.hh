@@ -100,14 +100,22 @@ struct CampaignRun
     std::vector<roofline::Measurement> measurements() const;
 };
 
-/** See file comment. */
+/**
+ * See file comment. The executor itself is immutable after
+ * construction (run() is const and keeps all per-run state on the
+ * stack), so one instance is safely shared by concurrent submitters —
+ * the service job queue runs overlapping campaigns through a single
+ * executor whose ResultCache multiplexes them.
+ */
 class CampaignExecutor
 {
   public:
     explicit CampaignExecutor(ExecutorOptions opts = {});
 
-    /** Expand @p spec and run every job; blocks until done. */
-    CampaignRun run(const CampaignSpec &spec);
+    /** Expand @p spec and run every job; blocks until done. Rethrows
+     *  the first worker failure (see support/thread_pool.hh), leaving
+     *  no background work behind. */
+    CampaignRun run(const CampaignSpec &spec) const;
 
   private:
     ExecutorOptions opts_;

@@ -1,5 +1,6 @@
 #include "campaign/result_cache.hh"
 
+#include <filesystem>
 #include <fstream>
 
 #include "campaign/serialize.hh"
@@ -76,6 +77,61 @@ ResultCache::contains(const std::string &key) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.count(key) != 0;
+}
+
+std::string
+cacheKeyConfigHash(const std::string &key)
+{
+    const size_t first = key.find('|');
+    if (first == std::string::npos)
+        return "";
+    const size_t second = key.find('|', first + 1);
+    if (second == std::string::npos)
+        return "";
+    return key.substr(first + 1, second - first - 1);
+}
+
+size_t
+ResultCache::compact(const std::set<std::string> &liveConfigHashes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    size_t dropped = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        const std::string hash = cacheKeyConfigHash(it->first);
+        if (!hash.empty() && liveConfigHashes.count(hash) == 0) {
+            it = entries_.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+
+    if (spillPath_.empty())
+        return dropped;
+
+    // Rewrite the spill to exactly the surviving entries. Even with
+    // zero drops this collapses append-only duplicate lines, so a
+    // compacted file loads one line per entry.
+    const std::string tmp = spillPath_ + ".compact.tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            fatal("result cache: cannot write '%s'", tmp.c_str());
+        for (const auto &[key, payload] : entries_) {
+            Json entry = Json::makeObject();
+            entry.set("key", Json::makeString(key));
+            entry.set("payload", Json::parse(payload));
+            out << entry.dump() << "\n";
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, spillPath_, ec);
+    if (ec) {
+        fatal("result cache: cannot replace '%s': %s",
+              spillPath_.c_str(), ec.message().c_str());
+    }
+    return dropped;
 }
 
 CacheStats

@@ -21,6 +21,7 @@
 
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 
 namespace rfl::campaign
@@ -61,6 +62,18 @@ class ResultCache
     /** @return true without touching hit/miss counters. */
     bool contains(const std::string &key) const;
 
+    /**
+     * Garbage-collect: drop every entry whose machine-config hash is
+     * not in @p liveConfigHashes (hex strings as rendered by
+     * hashToHex), then rewrite the spill file to exactly the
+     * surviving entries — the JSONL file otherwise grows without
+     * bound across runs, one line per store, duplicates included.
+     * The rewrite is atomic (temp file + rename), so a crash
+     * mid-compaction leaves the old spill intact. @return the number
+     * of entries dropped.
+     */
+    size_t compact(const std::set<std::string> &liveConfigHashes);
+
     CacheStats stats() const;
     size_t size() const;
     const std::string &spillPath() const { return spillPath_; }
@@ -71,6 +84,13 @@ class ResultCache
     std::string spillPath_;
     CacheStats stats_;
 };
+
+/**
+ * @return the machine-config hash segment of a cache key — every key
+ * kind (job_graph.hh) is "<kind>|<config hash>|..." — or "" for a key
+ * that doesn't follow the convention (never dropped by compact()).
+ */
+std::string cacheKeyConfigHash(const std::string &key);
 
 } // namespace rfl::campaign
 

@@ -7,6 +7,7 @@
 
 #include "kernels/registry.hh"
 #include "sim/config_io.hh"
+#include "support/hash.hh"
 #include "support/logging.hh"
 
 namespace rfl::campaign
@@ -273,6 +274,35 @@ CampaignSpec::validate() const
                           name_.c_str(), v.label.c_str(), core,
                           m.label.c_str(), m.config.totalCores());
     }
+}
+
+uint64_t
+CampaignSpec::stableHash() const
+{
+    Fnv1a h;
+    h.mix(name_);
+    h.mix(static_cast<uint64_t>(machines_.size()));
+    for (const MachineEntry &m : machines_) {
+        h.mix(m.label);
+        h.mix(m.config.stableHash());
+    }
+    h.mix(static_cast<uint64_t>(kernels_.size()));
+    for (const std::string &k : kernels_)
+        h.mix(k);
+    h.mix(static_cast<uint64_t>(traces_.size()));
+    for (const std::string &t : traces_)
+        h.mix(t);
+    h.mix(static_cast<uint64_t>(phases_.size()));
+    for (const PhaseEntry &p : phases_) {
+        h.mix(p.spec);
+        h.mix(p.period);
+    }
+    h.mix(static_cast<uint64_t>(variants_.size()));
+    for (const Variant &v : variants_) {
+        h.mix(v.label);
+        h.mix(v.opts.canonicalKey());
+    }
+    return h.value();
 }
 
 CampaignSpec

@@ -139,6 +139,17 @@ class CampaignSpec
      */
     void validate() const;
 
+    /**
+     * Stable (process-independent) hash over everything that shapes the
+     * campaign's results and artifacts: name, machine labels + config
+     * hashes, kernel/trace specs, phase entries, variant labels +
+     * canonical run options. Two specs hash equal iff a run of either
+     * produces byte-identical artifacts — the service job queue
+     * deduplicates concurrent submissions by this value, and it is the
+     * natural ticket id for a submitted campaign.
+     */
+    uint64_t stableHash() const;
+
   private:
     std::string name_;
     std::vector<MachineEntry> machines_;

@@ -1,0 +1,334 @@
+#include "service/api.hh"
+
+#include <cstdlib>
+
+#include "campaign/serialize.hh"
+#include "support/logging.hh"
+
+namespace rfl::service
+{
+
+namespace
+{
+
+using campaign::Json;
+
+HttpResponse
+jsonResponse(int status, const Json &doc)
+{
+    HttpResponse resp;
+    resp.status = status;
+    resp.contentType = "application/json";
+    resp.body = doc.dump() + "\n";
+    return resp;
+}
+
+HttpResponse
+jsonError(int status, const std::string &message)
+{
+    Json doc = Json::makeObject();
+    doc.set("error", Json::makeString(message));
+    return jsonResponse(status, doc);
+}
+
+Json
+statusJson(const JobStatus &st)
+{
+    Json doc = Json::makeObject();
+    doc.set("id", Json::makeString(st.id));
+    doc.set("campaign", Json::makeString(st.campaign));
+    doc.set("state", Json::makeString(jobStateName(st.state)));
+    if (st.state == JobState::Failed)
+        doc.set("error", Json::makeString(st.error));
+    if (st.state == JobState::Queued && st.queuePosition > 0) {
+        doc.set("queue_position",
+                Json::makeNumber(
+                    static_cast<double>(st.queuePosition)));
+    }
+    if (st.state == JobState::Done) {
+        Json stats = Json::makeObject();
+        stats.set("jobs",
+                  Json::makeNumber(static_cast<double>(st.jobs)));
+        stats.set("simulated",
+                  Json::makeNumber(static_cast<double>(st.simulated)));
+        stats.set("cache_hits",
+                  Json::makeNumber(static_cast<double>(st.cacheHits)));
+        stats.set("wall_seconds", Json::makeNumber(st.wallSeconds));
+        stats.set("threads", Json::makeNumber(
+                                 static_cast<double>(st.threadsUsed)));
+        stats.set("scenarios",
+                  Json::makeNumber(
+                      static_cast<double>(st.scenarioCount)));
+        doc.set("stats", std::move(stats));
+
+        Json links = Json::makeObject();
+        const std::string base = "/v1/campaigns/" + st.id;
+        links.set("analysis", Json::makeString(base + "/analysis"));
+        links.set("report", Json::makeString(base + "/report.html"));
+        links.set("roofline",
+                  Json::makeString(base + "/roofline.svg"));
+        doc.set("links", std::move(links));
+    }
+    return doc;
+}
+
+} // namespace
+
+ApiHandler::ApiHandler(JobQueue &queue, SessionTable &sessions)
+    : queue_(queue), sessions_(sessions),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+ApiHandler::setServerStats(std::function<HttpServerStats()> supplier)
+{
+    serverStats_ = std::move(supplier);
+}
+
+HttpResponse
+ApiHandler::handle(const HttpRequest &req)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    HttpResponse resp;
+    // Liveness probes are exempt: a throttled /healthz reads as a
+    // dead service to an orchestrator.
+    if (req.path != "/healthz" && !sessions_.admit(req.clientAddr))
+        resp = jsonError(429, "rate limited");
+    else
+        resp = dispatch(req);
+    sessions_.logRequest(
+        req.clientAddr, req.method, req.target, resp.status,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count());
+    return resp;
+}
+
+HttpResponse
+ApiHandler::dispatch(const HttpRequest &req)
+{
+    if (req.path == "/healthz") {
+        if (req.method != "GET")
+            return jsonError(405, "use GET");
+        return health();
+    }
+    if (req.path == "/statsz") {
+        if (req.method != "GET")
+            return jsonError(405, "use GET");
+        return statsz();
+    }
+    if (req.path == "/v1/campaigns") {
+        if (req.method != "POST")
+            return jsonError(405, "use POST to submit a campaign");
+        return submitCampaign(req);
+    }
+    if (req.path.rfind("/v1/campaigns/", 0) == 0)
+        return campaignRoute(req);
+    return jsonError(404, "no such endpoint: " + req.path);
+}
+
+HttpResponse
+ApiHandler::submitCampaign(const HttpRequest &req)
+{
+    if (req.body.empty())
+        return jsonError(400, "empty campaign spec");
+
+    // Raw spec text, or a {"spec": "..."} JSON envelope.
+    std::string specText = req.body;
+    const size_t first = req.body.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos && req.body[first] == '{') {
+        Json envelope;
+        if (!Json::tryParse(req.body, &envelope) ||
+            envelope.kind() != Json::Kind::Object ||
+            !envelope.has("spec") ||
+            envelope.at("spec").kind() != Json::Kind::String) {
+            return jsonError(
+                400, "JSON body must be {\"spec\": \"<campaign>\"}");
+        }
+        specText = envelope.at("spec").asString();
+    }
+
+    const SubmitOutcome outcome = queue_.submit(specText);
+    switch (outcome.kind) {
+      case SubmitOutcome::Kind::Invalid:
+        return jsonError(400, outcome.error);
+      case SubmitOutcome::Kind::QueueFull:
+        return jsonError(429, "campaign queue is full, retry later");
+      case SubmitOutcome::Kind::Accepted:
+      case SubmitOutcome::Kind::Deduplicated: {
+        JobStatus st;
+        Json doc;
+        if (queue_.status(outcome.id, &st)) {
+            doc = statusJson(st);
+        } else {
+            doc = Json::makeObject();
+            doc.set("id", Json::makeString(outcome.id));
+            doc.set("state",
+                    Json::makeString(jobStateName(outcome.state)));
+        }
+        doc.set("deduplicated",
+                Json::makeBool(outcome.kind ==
+                               SubmitOutcome::Kind::Deduplicated));
+        return jsonResponse(
+            outcome.kind == SubmitOutcome::Kind::Accepted ? 202 : 200,
+            doc);
+      }
+    }
+    return jsonError(500, "unreachable submit outcome");
+}
+
+HttpResponse
+ApiHandler::campaignRoute(const HttpRequest &req)
+{
+    if (req.method != "GET")
+        return jsonError(405, "use GET");
+
+    // "/v1/campaigns/<id>[/<artifact>]"
+    const std::string rest = req.path.substr(14);
+    const size_t slash = rest.find('/');
+    const std::string id = rest.substr(0, slash);
+    const std::string artifact =
+        slash == std::string::npos ? "" : rest.substr(slash + 1);
+
+    JobStatus st;
+    if (id.empty() || !queue_.status(id, &st))
+        return jsonError(404, "unknown campaign ticket '" + id + "'");
+
+    if (artifact.empty())
+        return jsonResponse(200, statusJson(st));
+
+    if (st.state == JobState::Failed)
+        return jsonError(500, "campaign failed: " + st.error);
+    if (st.state != JobState::Done) {
+        Json doc = statusJson(st);
+        doc.set("error",
+                Json::makeString("campaign not finished; poll "
+                                 "/v1/campaigns/" +
+                                 id));
+        return jsonResponse(409, doc);
+    }
+
+    HttpResponse resp;
+    if (artifact == "analysis") {
+        if (!queue_.analysisJson(id, &resp.body))
+            return jsonError(500, "analysis artifact missing");
+        resp.contentType = "application/json";
+        return resp;
+    }
+    if (artifact == "report.html") {
+        if (!queue_.reportHtml(id, &resp.body))
+            return jsonError(500, "report artifact missing");
+        resp.contentType = "text/html; charset=utf-8";
+        resp.chunked = true; // streamed from memory
+        return resp;
+    }
+    if (artifact == "roofline.svg") {
+        const std::string idxText = req.queryParam("scenario", "0");
+        char *end = nullptr;
+        const long idx = std::strtol(idxText.c_str(), &end, 10);
+        if (end == idxText.c_str() || *end != '\0' || idx < 0)
+            return jsonError(400, "scenario must be a non-negative "
+                                  "integer");
+        if (!queue_.svg(id, static_cast<size_t>(idx), &resp.body)) {
+            return jsonError(
+                404, "no scenario " + idxText + " (campaign has " +
+                         std::to_string(st.scenarioCount) + ")");
+        }
+        resp.contentType = "image/svg+xml";
+        resp.chunked = true;
+        return resp;
+    }
+    return jsonError(404, "unknown artifact '" + artifact +
+                              "' (use analysis, report.html or "
+                              "roofline.svg)");
+}
+
+HttpResponse
+ApiHandler::health() const
+{
+    Json doc = Json::makeObject();
+    doc.set("status", Json::makeString("ok"));
+    doc.set(
+        "uptime_seconds",
+        Json::makeNumber(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count()));
+    return jsonResponse(200, doc);
+}
+
+HttpResponse
+ApiHandler::statsz() const
+{
+    Json doc = Json::makeObject();
+
+    const JobQueueStats q = queue_.stats();
+    Json queue = Json::makeObject();
+    queue.set("depth",
+              Json::makeNumber(static_cast<double>(q.depth)));
+    queue.set("running",
+              Json::makeNumber(static_cast<double>(q.running)));
+    queue.set("done", Json::makeNumber(static_cast<double>(q.done)));
+    queue.set("failed",
+              Json::makeNumber(static_cast<double>(q.failed)));
+    queue.set("submitted",
+              Json::makeNumber(static_cast<double>(q.submitted)));
+    queue.set("accepted",
+              Json::makeNumber(static_cast<double>(q.accepted)));
+    queue.set("deduplicated",
+              Json::makeNumber(static_cast<double>(q.deduplicated)));
+    queue.set("rejected_full",
+              Json::makeNumber(static_cast<double>(q.rejectedFull)));
+    queue.set(
+        "rejected_invalid",
+        Json::makeNumber(static_cast<double>(q.rejectedInvalid)));
+    queue.set("executed",
+              Json::makeNumber(static_cast<double>(q.executed)));
+    doc.set("queue", std::move(queue));
+
+    const campaign::CacheStats c = queue_.cacheStats();
+    Json cache = Json::makeObject();
+    cache.set("hits", Json::makeNumber(static_cast<double>(c.hits)));
+    cache.set("misses",
+              Json::makeNumber(static_cast<double>(c.misses)));
+    cache.set("stores",
+              Json::makeNumber(static_cast<double>(c.stores)));
+    cache.set("preloaded",
+              Json::makeNumber(static_cast<double>(c.preloaded)));
+    const double lookups = static_cast<double>(c.hits + c.misses);
+    cache.set("hit_rate",
+              Json::makeNumber(lookups > 0
+                                   ? static_cast<double>(c.hits) /
+                                         lookups
+                                   : 0.0));
+    doc.set("cache", std::move(cache));
+
+    const SessionStats s = sessions_.stats();
+    Json sessions = Json::makeObject();
+    sessions.set("admitted",
+                 Json::makeNumber(static_cast<double>(s.admitted)));
+    sessions.set("rate_limited",
+                 Json::makeNumber(static_cast<double>(s.rateLimited)));
+    sessions.set("clients",
+                 Json::makeNumber(static_cast<double>(s.clients)));
+    doc.set("sessions", std::move(sessions));
+
+    if (serverStats_) {
+        const HttpServerStats h = serverStats_();
+        Json http = Json::makeObject();
+        http.set("connections",
+                 Json::makeNumber(
+                     static_cast<double>(h.connectionsAccepted)));
+        http.set("requests",
+                 Json::makeNumber(
+                     static_cast<double>(h.requestsServed)));
+        http.set("parse_errors",
+                 Json::makeNumber(static_cast<double>(h.parseErrors)));
+        http.set("bytes_out",
+                 Json::makeNumber(static_cast<double>(h.bytesOut)));
+        doc.set("http", std::move(http));
+    }
+    return jsonResponse(200, doc);
+}
+
+} // namespace rfl::service

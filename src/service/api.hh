@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The roofline service's JSON API: HTTP in, campaign artifacts out.
+ *
+ * Endpoints (DESIGN.md §10, README "Serving"):
+ *   POST /v1/campaigns                   submit a campaign spec (the
+ *        text format of campaign/spec.hh, either raw in the body or
+ *        as {"spec": "..."} JSON). 202 + ticket on acceptance, 200
+ *        when an identical spec is already known (deduplicated), 400
+ *        on an invalid spec, 429 when the queue is full.
+ *   GET  /v1/campaigns/<id>              poll status (state, queue
+ *        position, execution stats, artifact links).
+ *   GET  /v1/campaigns/<id>/analysis     analysis.json (schema v3),
+ *        byte-identical to roofline_report's file output.
+ *   GET  /v1/campaigns/<id>/report.html  the HTML report, streamed
+ *        chunked from memory.
+ *   GET  /v1/campaigns/<id>/roofline.svg one scenario's SVG roofline
+ *        (?scenario=N, default 0), streamed chunked.
+ *   GET  /healthz                        liveness + uptime.
+ *   GET  /statsz                         queue depth, cache hit rate,
+ *        in-flight counts, session and HTTP counters.
+ *
+ * Artifact endpoints answer 409 while the campaign is still queued or
+ * running (poll the status endpoint), 404 for unknown tickets, and
+ * 500 with the failure message for failed campaigns.
+ *
+ * The handler is plain request -> response and owns no socket state,
+ * so it is directly testable without a server. Rate limiting
+ * (session.hh) applies to everything except /healthz — liveness
+ * probes must never be throttled.
+ */
+
+#ifndef RFL_SERVICE_API_HH
+#define RFL_SERVICE_API_HH
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "service/http_server.hh"
+#include "service/job_queue.hh"
+#include "service/session.hh"
+
+namespace rfl::service
+{
+
+/** See file comment. */
+class ApiHandler
+{
+  public:
+    ApiHandler(JobQueue &queue, SessionTable &sessions);
+
+    /**
+     * Wire the owning server's counters into /statsz (optional; the
+     * server cannot be constructed before its handler exists).
+     */
+    void setServerStats(std::function<HttpServerStats()> supplier);
+
+    /** Route one request; thread-safe. */
+    HttpResponse handle(const HttpRequest &req);
+
+  private:
+    HttpResponse dispatch(const HttpRequest &req);
+    HttpResponse submitCampaign(const HttpRequest &req);
+    HttpResponse campaignRoute(const HttpRequest &req);
+    HttpResponse health() const;
+    HttpResponse statsz() const;
+
+    JobQueue &queue_;
+    SessionTable &sessions_;
+    std::function<HttpServerStats()> serverStats_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace rfl::service
+
+#endif // RFL_SERVICE_API_HH

@@ -1,0 +1,340 @@
+#include "service/job_queue.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "analysis/analysis.hh"
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace rfl::service
+{
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+    }
+    return "?";
+}
+
+JobQueue::JobQueue(JobQueueOptions opts) : opts_(std::move(opts))
+{
+    // A resident service must never exit(1) on a user error buried in
+    // a worker; from here on fatal() throws and lands in job status.
+    setFatalThrows(true);
+
+    cache_ = opts_.cachePath.empty()
+                 ? std::make_unique<campaign::ResultCache>()
+                 : std::make_unique<campaign::ResultCache>(
+                       opts_.cachePath);
+    opts_.exec.cache = cache_.get();
+    executor_ = campaign::CampaignExecutor(opts_.exec);
+
+    if (opts_.workers < 1)
+        opts_.workers = 1;
+    workers_.reserve(static_cast<size_t>(opts_.workers));
+    for (int i = 0; i < opts_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobQueue::~JobQueue()
+{
+    stop();
+}
+
+void
+JobQueue::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+    workers_.clear();
+}
+
+SubmitOutcome
+JobQueue::submit(const std::string &specText)
+{
+    SubmitOutcome outcome;
+
+    // Parse + validate outside the lock: validation instantiates
+    // kernels and must not serialize concurrent submitters.
+    campaign::CampaignSpec spec;
+    try {
+        spec = campaign::parseCampaignSpec(specText);
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.submitted;
+        ++stats_.rejectedInvalid;
+        outcome.kind = SubmitOutcome::Kind::Invalid;
+        outcome.error = e.what();
+        return outcome;
+    }
+
+    const std::string id = hashToHex(spec.stableHash());
+    bool enqueued = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.submitted;
+
+        const auto it = jobs_.find(id);
+        if (it != jobs_.end()) {
+            Record &rec = *it->second;
+            if (rec.state == JobState::Failed) {
+                // A failure may have been transient (cache disk full,
+                // pruned trace dir): a resubmission retries — through
+                // the same backpressure bound as a fresh job, so mass
+                // retries cannot grow the queue past its limit.
+                if (queue_.size() >= opts_.maxQueued) {
+                    ++stats_.rejectedFull;
+                    outcome.kind = SubmitOutcome::Kind::QueueFull;
+                    return outcome;
+                }
+                // Drop the failure's eviction-order entry: leaving it
+                // would make a successful retry evictable as if it
+                // had finished back then.
+                const auto stale = std::find(finishedOrder_.begin(),
+                                             finishedOrder_.end(),
+                                             id);
+                if (stale != finishedOrder_.end())
+                    finishedOrder_.erase(stale);
+                rec.state = JobState::Queued;
+                rec.error.clear();
+                --stats_.failed;
+                queue_.push_back(id);
+                ++stats_.accepted;
+                outcome.kind = SubmitOutcome::Kind::Accepted;
+                outcome.state = JobState::Queued;
+                enqueued = true;
+            } else {
+                ++stats_.deduplicated;
+                outcome.kind = SubmitOutcome::Kind::Deduplicated;
+                outcome.state = rec.state;
+            }
+            outcome.id = id;
+        } else if (queue_.size() >= opts_.maxQueued) {
+            ++stats_.rejectedFull;
+            outcome.kind = SubmitOutcome::Kind::QueueFull;
+        } else {
+            auto rec = std::make_shared<Record>();
+            rec->id = id;
+            rec->spec = std::move(spec);
+            jobs_[id] = std::move(rec);
+            queue_.push_back(id);
+            ++stats_.accepted;
+            outcome.kind = SubmitOutcome::Kind::Accepted;
+            outcome.id = id;
+            outcome.state = JobState::Queued;
+            enqueued = true;
+        }
+    }
+    if (enqueued)
+        queueCv_.notify_one();
+    return outcome;
+}
+
+void
+JobQueue::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Record> rec;
+        campaign::CampaignSpec spec;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueCv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (stopping_)
+                return;
+            const std::string id = queue_.front();
+            queue_.pop_front();
+            rec = jobs_.at(id);
+            rec->state = JobState::Running;
+            ++stats_.running;
+            ++stats_.executed;
+            spec = rec->spec; // run off a copy, outside the lock
+        }
+
+        JobState final = JobState::Done;
+        std::string error;
+        size_t jobs = 0, simulated = 0, cacheHits = 0;
+        double wallSeconds = 0.0;
+        int threadsUsed = 0;
+        analysis::ReportArtifacts artifacts;
+        try {
+            const campaign::CampaignRun run = executor_.run(spec);
+            const analysis::CampaignAnalysis doc =
+                analysis::analyzeCampaign(run);
+            artifacts =
+                analysis::renderAnalysisReport(doc, spec.name());
+            jobs = run.jobs.size();
+            simulated = run.simulated;
+            cacheHits = run.cacheHits;
+            wallSeconds = run.wallSeconds;
+            threadsUsed = run.threadsUsed;
+        } catch (const std::exception &e) {
+            final = JobState::Failed;
+            error = e.what();
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --stats_.running;
+            rec->state = final;
+            if (final == JobState::Done) {
+                ++stats_.done;
+                rec->jobs = jobs;
+                rec->simulated = simulated;
+                rec->cacheHits = cacheHits;
+                rec->wallSeconds = wallSeconds;
+                rec->threadsUsed = threadsUsed;
+                rec->artifacts = std::move(artifacts);
+            } else {
+                ++stats_.failed;
+                rec->error = error;
+                warn("service: campaign %s failed: %s",
+                     rec->id.c_str(), error.c_str());
+            }
+            finishedOrder_.push_back(rec->id);
+            evictFinishedLocked();
+        }
+        stateCv_.notify_all();
+    }
+}
+
+void
+JobQueue::evictFinishedLocked()
+{
+    while (finishedOrder_.size() > opts_.maxFinished) {
+        const std::string victim = finishedOrder_.front();
+        finishedOrder_.pop_front();
+        const auto it = jobs_.find(victim);
+        if (it == jobs_.end())
+            continue; // stale entry: evicted via an earlier duplicate
+        const JobState state = it->second->state;
+        if (state == JobState::Queued || state == JobState::Running)
+            continue; // failed-and-retried; re-listed when it finishes
+        if (state == JobState::Done)
+            --stats_.done;
+        else
+            --stats_.failed;
+        jobs_.erase(it);
+    }
+}
+
+std::shared_ptr<const JobQueue::Record>
+JobQueue::find(const std::string &id) const
+{
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second;
+}
+
+bool
+JobQueue::status(const std::string &id, JobStatus *out) const
+{
+    RFL_ASSERT(out != nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto rec = find(id);
+    if (!rec)
+        return false;
+    *out = JobStatus{};
+    out->id = rec->id;
+    out->campaign = rec->spec.name();
+    out->state = rec->state;
+    out->error = rec->error;
+    if (rec->state == JobState::Queued) {
+        for (size_t i = 0; i < queue_.size(); ++i) {
+            if (queue_[i] == id) {
+                out->queuePosition = i + 1;
+                break;
+            }
+        }
+    }
+    if (rec->state == JobState::Done) {
+        out->jobs = rec->jobs;
+        out->simulated = rec->simulated;
+        out->cacheHits = rec->cacheHits;
+        out->wallSeconds = rec->wallSeconds;
+        out->threadsUsed = rec->threadsUsed;
+        out->scenarioCount = rec->artifacts.svgs.size();
+    }
+    return true;
+}
+
+bool
+JobQueue::analysisJson(const std::string &id, std::string *out) const
+{
+    RFL_ASSERT(out != nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto rec = find(id);
+    if (!rec || rec->state != JobState::Done)
+        return false;
+    *out = rec->artifacts.json;
+    return true;
+}
+
+bool
+JobQueue::reportHtml(const std::string &id, std::string *out) const
+{
+    RFL_ASSERT(out != nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto rec = find(id);
+    if (!rec || rec->state != JobState::Done)
+        return false;
+    *out = rec->artifacts.html;
+    return true;
+}
+
+bool
+JobQueue::svg(const std::string &id, size_t scenario,
+              std::string *out) const
+{
+    RFL_ASSERT(out != nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto rec = find(id);
+    if (!rec || rec->state != JobState::Done ||
+        scenario >= rec->artifacts.svgs.size()) {
+        return false;
+    }
+    *out = rec->artifacts.svgs[scenario].second;
+    return true;
+}
+
+bool
+JobQueue::waitFor(const std::string &id, double timeoutSeconds) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return stateCv_.wait_for(
+        lock, std::chrono::duration<double>(timeoutSeconds), [&] {
+            const auto rec = find(id);
+            return rec && (rec->state == JobState::Done ||
+                           rec->state == JobState::Failed);
+        });
+}
+
+JobQueueStats
+JobQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JobQueueStats s = stats_;
+    s.depth = queue_.size();
+    return s;
+}
+
+campaign::CacheStats
+JobQueue::cacheStats() const
+{
+    return cache_->stats();
+}
+
+} // namespace rfl::service

@@ -1,5 +1,6 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -10,6 +11,7 @@ namespace
 {
 
 bool g_verbose = true;
+std::atomic<bool> g_fatal_throws{false};
 
 void
 vreport(FILE *stream, const char *prefix, const char *fmt, va_list ap)
@@ -36,9 +38,27 @@ fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
+    if (g_fatal_throws.load(std::memory_order_relaxed)) {
+        char buf[1024];
+        std::vsnprintf(buf, sizeof(buf), fmt, ap);
+        va_end(ap);
+        throw FatalError(buf);
+    }
     vreport(stderr, "fatal: ", fmt, ap);
     va_end(ap);
     std::exit(1);
+}
+
+bool
+setFatalThrows(bool enable)
+{
+    return g_fatal_throws.exchange(enable, std::memory_order_relaxed);
+}
+
+bool
+fatalThrows()
+{
+    return g_fatal_throws.load(std::memory_order_relaxed);
 }
 
 void

@@ -19,6 +19,7 @@
 #define RFL_SUPPORT_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace rfl
@@ -28,9 +29,39 @@ namespace rfl
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Exit(1) with a formatted message; use for user-caused errors. */
+/**
+ * What fatal() throws in throwing mode (see setFatalThrows): the
+ * formatted message is what()’s text. Long-lived processes (the
+ * roofline service) catch this at request/job boundaries and turn it
+ * into an error response instead of dying.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * Exit(1) with a formatted message; use for user-caused errors. In
+ * throwing mode (setFatalThrows(true)) it throws FatalError instead,
+ * so a resident process can reject one bad request and keep serving.
+ */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Route fatal() to throw FatalError instead of exiting the process.
+ * Process-global: a daemon sets it once at startup, before spawning
+ * workers. CLI tools keep the default (exit) so shell pipelines see
+ * status 1. @return the previous setting.
+ */
+bool setFatalThrows(bool enable);
+
+/** @return whether fatal() currently throws instead of exiting. */
+bool fatalThrows();
 
 /** Print a warning to stderr. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -8,6 +8,14 @@
  * minimal: submit() enqueues a task, wait() blocks until every submitted
  * task (including tasks submitted *by* running tasks, as the campaign
  * executor does when a job unblocks its dependents) has finished.
+ *
+ * A task that throws does not kill the process (the pre-hardening
+ * behavior was std::terminate via the unwound worker loop): the first
+ * exception is captured and rethrown by the next wait() on the
+ * submitter's thread, so the campaign executor — and through it the
+ * service job queue — sees worker failures as ordinary exceptions.
+ * Later exceptions from the same batch are dropped (first one wins);
+ * the pool stays usable after the rethrow.
  */
 
 #ifndef RFL_SUPPORT_THREAD_POOL_HH
@@ -15,6 +23,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -71,12 +80,19 @@ class ThreadPool
     /**
      * Block until every submitted task has completed (the queue is empty
      * and no worker is mid-task). Tasks may submit follow-up work before
-     * returning; wait() covers those too.
+     * returning; wait() covers those too. Rethrows the first exception
+     * any task threw since the last wait() (see file comment).
      */
     void wait()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        idle_.wait(lock, [this] { return pending_ == 0; });
+        std::exception_ptr failure;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            idle_.wait(lock, [this] { return pending_ == 0; });
+            std::swap(failure, failure_);
+        }
+        if (failure)
+            std::rethrow_exception(failure);
     }
 
     int threadCount() const { return static_cast<int>(workers_.size()); }
@@ -95,9 +111,16 @@ class ThreadPool
                 task = std::move(queue_.front());
                 queue_.pop_front();
             }
-            task();
+            std::exception_ptr failure;
+            try {
+                task();
+            } catch (...) {
+                failure = std::current_exception();
+            }
             {
                 std::unique_lock<std::mutex> lock(mutex_);
+                if (failure && !failure_)
+                    failure_ = failure;
                 if (--pending_ == 0)
                     idle_.notify_all();
             }
@@ -111,6 +134,8 @@ class ThreadPool
     std::vector<std::thread> workers_;
     size_t pending_ = 0; ///< queued + running tasks
     bool stopping_ = false;
+    /** First uncollected task exception; dropped if never wait()ed. */
+    std::exception_ptr failure_;
 };
 
 } // namespace rfl

@@ -158,4 +158,82 @@ TEST(ResultCache, LaterSpillLinesWin)
     std::remove(path.c_str());
 }
 
+TEST(ResultCache, KeyConfigHashExtraction)
+{
+    EXPECT_EQ(cacheKeyConfigHash("measure|abc123|daxpy:n=256|opts"),
+              "abc123");
+    EXPECT_EQ(cacheKeyConfigHash("ceiling|ffff|cores=0"), "ffff");
+    EXPECT_EQ(cacheKeyConfigHash("no-separators"), "");
+    EXPECT_EQ(cacheKeyConfigHash("one|field"), "");
+}
+
+TEST(ResultCache, CompactDropsDeadConfigs)
+{
+    const std::string path =
+        ::testing::TempDir() + "rfl_cache_gc_test.jsonl";
+    std::remove(path.c_str());
+    {
+        ResultCache cache(path);
+        cache.store("measure|live|daxpy:n=256|o", "{\"v\":1}");
+        cache.store("ceiling|live|cores=0", "{\"v\":2}");
+        cache.store("measure|dead|daxpy:n=256|o", "{\"v\":3}");
+        cache.store("phase|dead|fft:n=64|period=8|o", "{\"v\":4}");
+
+        EXPECT_EQ(cache.compact({"live"}), 2u);
+        EXPECT_EQ(cache.size(), 2u);
+        std::string got;
+        EXPECT_TRUE(cache.lookup("ceiling|live|cores=0", &got));
+        EXPECT_FALSE(cache.lookup("measure|dead|daxpy:n=256|o", &got));
+    }
+    {
+        // The rewritten spill must reload to exactly the survivors.
+        ResultCache cache(path);
+        EXPECT_EQ(cache.stats().preloaded, 2u);
+        std::string got;
+        EXPECT_TRUE(cache.lookup("measure|live|daxpy:n=256|o", &got));
+        EXPECT_EQ(got, "{\"v\":1}");
+        EXPECT_FALSE(cache.lookup("phase|dead|fft:n=64|period=8|o",
+                                  &got));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, CompactCollapsesDuplicateSpillLines)
+{
+    const std::string path =
+        ::testing::TempDir() + "rfl_cache_gc_dup_test.jsonl";
+    std::remove(path.c_str());
+    {
+        ResultCache cache(path);
+        for (int i = 0; i < 10; ++i)
+            cache.store("measure|m|k|o",
+                        "{\"v\":" + std::to_string(i) + "}");
+        // Ten appended lines, one live entry; compaction shrinks the
+        // file even when nothing is dropped.
+        EXPECT_EQ(cache.compact({"m"}), 0u);
+    }
+    std::ifstream in(path);
+    int lines = 0;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++lines;
+    EXPECT_EQ(lines, 1);
+    ResultCache reload(path);
+    std::string got;
+    EXPECT_TRUE(reload.lookup("measure|m|k|o", &got));
+    EXPECT_EQ(got, "{\"v\":9}");
+    std::remove(path.c_str());
+}
+
+TEST(ResultCache, CompactKeysWithoutConfigHashSurvive)
+{
+    ResultCache cache;
+    cache.store("legacy-key-no-pipes", "{\"v\":1}");
+    cache.store("measure|dead|k|o", "{\"v\":2}");
+    EXPECT_EQ(cache.compact({}), 1u);
+    std::string got;
+    EXPECT_TRUE(cache.lookup("legacy-key-no-pipes", &got));
+}
+
 } // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "campaign/spec.hh"
+#include "support/logging.hh"
 
 namespace
 {
@@ -103,6 +104,69 @@ TEST(CampaignSpec, ParseText)
     EXPECT_EQ(warm.opts.measure.cores, (std::vector<int>{0, 1}));
     EXPECT_EQ(warm.opts.memPolicy, MemPolicy::Interleave);
     EXPECT_FALSE(warm.opts.prefetchEnabled);
+}
+
+TEST(CampaignSpec, StableHashIsContentAddressed)
+{
+    const char *const text =
+        "name = hash-test\n"
+        "machine = small\n"
+        "kernel = daxpy:n=4096\n"
+        "phase = fft:n=1024 period=2048\n"
+        "variant = cold-1c: protocol=cold cores=0 reps=1\n";
+    // Same content, same hash — including across parses (the service
+    // dedups concurrent submissions by this).
+    EXPECT_EQ(parseCampaignSpec(text).stableHash(),
+              parseCampaignSpec(text).stableHash());
+
+    // Every grid dimension moves the hash.
+    const uint64_t base = parseCampaignSpec(text).stableHash();
+    const char *const variants[] = {
+        "name = other\n"
+        "machine = small\n"
+        "kernel = daxpy:n=4096\n"
+        "phase = fft:n=1024 period=2048\n"
+        "variant = cold-1c: protocol=cold cores=0 reps=1\n",
+        "name = hash-test\n"
+        "machine = default\n"
+        "kernel = daxpy:n=4096\n"
+        "phase = fft:n=1024 period=2048\n"
+        "variant = cold-1c: protocol=cold cores=0 reps=1\n",
+        "name = hash-test\n"
+        "machine = small\n"
+        "kernel = daxpy:n=8192\n"
+        "phase = fft:n=1024 period=2048\n"
+        "variant = cold-1c: protocol=cold cores=0 reps=1\n",
+        "name = hash-test\n"
+        "machine = small\n"
+        "kernel = daxpy:n=4096\n"
+        "phase = fft:n=1024 period=4096\n"
+        "variant = cold-1c: protocol=cold cores=0 reps=1\n",
+        "name = hash-test\n"
+        "machine = small\n"
+        "kernel = daxpy:n=4096\n"
+        "phase = fft:n=1024 period=2048\n"
+        "variant = cold-1c: protocol=warm cores=0 reps=1\n",
+    };
+    for (const char *other : variants)
+        EXPECT_NE(parseCampaignSpec(other).stableHash(), base)
+            << other;
+}
+
+TEST(CampaignSpec, FatalThrowsModeTurnsParseErrorsIntoExceptions)
+{
+    // The daemon-mode contract: with setFatalThrows(true), a bad spec
+    // throws FatalError (catchable per request) instead of exit(1).
+    const bool prev = rfl::setFatalThrows(true);
+    try {
+        parseCampaignSpec("machine = warp-drive\n");
+        rfl::setFatalThrows(prev);
+        FAIL() << "bad spec did not throw in fatal-throws mode";
+    } catch (const rfl::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("machine expects"),
+                  std::string::npos);
+    }
+    rfl::setFatalThrows(prev);
 }
 
 TEST(CampaignSpecDeath, InvalidSpecs)

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Concurrent-deduplication tests for the service job queue: identical
+ * campaign specs submitted by any number of concurrent clients must
+ * execute exactly once, and every submitter must read the same
+ * cache-consistent artifacts.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/job_queue.hh"
+
+namespace
+{
+
+using namespace rfl::service;
+
+const char *const kSpec =
+    "name = dedup-test\n"
+    "machine = small\n"
+    "kernel = daxpy:n=4096\n"
+    "kernel = sum:n=4096\n"
+    "variant = cold-1c: protocol=cold cores=0 reps=1\n";
+
+TEST(ServiceDedup, ConcurrentIdenticalSubmissionsRunOnce)
+{
+    JobQueueOptions opts;
+    opts.workers = 2;
+    opts.exec.threads = 2;
+    JobQueue queue(opts);
+
+    constexpr int kClients = 8;
+    std::vector<SubmitOutcome> outcomes(kClients);
+    {
+        // All clients race their submissions through the same queue.
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (int i = 0; i < kClients; ++i) {
+            clients.emplace_back([&queue, &outcomes, i] {
+                outcomes[static_cast<size_t>(i)] =
+                    queue.submit(kSpec);
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    }
+
+    // Exactly one submission created the job; the rest deduplicated
+    // onto the same ticket.
+    int accepted = 0, deduplicated = 0;
+    std::string id;
+    for (const SubmitOutcome &o : outcomes) {
+        if (o.kind == SubmitOutcome::Kind::Accepted)
+            ++accepted;
+        else if (o.kind == SubmitOutcome::Kind::Deduplicated)
+            ++deduplicated;
+        else
+            FAIL() << "unexpected submit outcome";
+        if (id.empty())
+            id = o.id;
+        EXPECT_EQ(o.id, id) << "dedup must yield one shared ticket";
+    }
+    EXPECT_EQ(accepted, 1);
+    EXPECT_EQ(deduplicated, kClients - 1);
+
+    ASSERT_TRUE(queue.waitFor(id, 60.0));
+
+    // One execution, visible to every client.
+    const JobQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.done, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.deduplicated,
+              static_cast<uint64_t>(kClients - 1));
+
+    // Every client reads the same bytes.
+    std::string first;
+    ASSERT_TRUE(queue.analysisJson(id, &first));
+    EXPECT_FALSE(first.empty());
+    for (int i = 0; i < kClients; ++i) {
+        std::string again;
+        ASSERT_TRUE(queue.analysisJson(id, &again));
+        EXPECT_EQ(again, first);
+    }
+}
+
+TEST(ServiceDedup, ResubmitAfterCompletionHitsSameTicket)
+{
+    JobQueueOptions opts;
+    opts.workers = 1;
+    opts.exec.threads = 1;
+    JobQueue queue(opts);
+
+    const SubmitOutcome first = queue.submit(kSpec);
+    ASSERT_EQ(first.kind, SubmitOutcome::Kind::Accepted);
+    ASSERT_TRUE(queue.waitFor(first.id, 60.0));
+
+    // Hours-later resubmission of the same spec: no new execution,
+    // the finished ticket answers immediately.
+    const SubmitOutcome second = queue.submit(kSpec);
+    EXPECT_EQ(second.kind, SubmitOutcome::Kind::Deduplicated);
+    EXPECT_EQ(second.id, first.id);
+    EXPECT_EQ(second.state, JobState::Done);
+    EXPECT_EQ(queue.stats().executed, 1u);
+
+    // A *different* spec is a different ticket.
+    const SubmitOutcome third = queue.submit(
+        "name = dedup-test-other\n"
+        "machine = small\n"
+        "kernel = daxpy:n=4096\n"
+        "variant = cold-1c: protocol=cold cores=0 reps=1\n");
+    ASSERT_EQ(third.kind, SubmitOutcome::Kind::Accepted);
+    EXPECT_NE(third.id, first.id);
+    ASSERT_TRUE(queue.waitFor(third.id, 60.0));
+    EXPECT_EQ(queue.stats().executed, 2u);
+}
+
+} // namespace

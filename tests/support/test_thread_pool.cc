@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -56,6 +57,70 @@ TEST(ThreadPool, WaitIsReusable)
     pool.submit([&ran] { ++ran; });
     pool.wait();
     EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownOnWait)
+{
+    // Regression: a throwing task used to unwind the worker loop and
+    // std::terminate the process. The submitter must see it instead.
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() did not rethrow the task's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task failed");
+    }
+}
+
+TEST(ThreadPool, OtherTasksStillRunWhenOneThrows)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&ran, i] {
+            if (i == 7)
+                throw std::runtime_error("one bad task");
+            ++ran;
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 19);
+}
+
+TEST(ThreadPool, PoolUsableAfterException)
+{
+    // The first wait() collects the failure; the pool then behaves as
+    // if freshly built — the service job queue reuses pools this way.
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; });
+    pool.wait(); // must not rethrow the already-collected exception
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, FirstExceptionWins)
+{
+    ThreadPool pool(1); // sequential: deterministic first thrower
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.submit([] { throw std::runtime_error("second"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() did not rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(ThreadPool, DestructorSwallowsUncollectedException)
+{
+    // A pool destroyed without a final wait() must not terminate.
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("never collected"); });
+    // Destructor runs here.
 }
 
 TEST(ThreadPool, SingleThreadPoolIsSequential)

@@ -1,8 +1,12 @@
 #!/usr/bin/env python3
 """Validate the schema of rfl's machine-readable JSON artifacts.
 
-Two document kinds are recognized by content:
-  - BENCH_*.json perf-trajectory files (schema v2, "bench" key), and
+Three document kinds are recognized by content:
+  - BENCH_sim_throughput.json perf-trajectory files (schema v2,
+    bench == "sim_throughput"),
+  - BENCH_service_throughput.json service-load files (schema v1,
+    bench == "service_throughput") produced by bench/service_throughput
+    against the roofline-as-a-service daemon (src/service/), and
   - analysis.json roofline-analysis documents (schema v3,
     kind == "rfl-analysis") produced by the analysis subsystem
     (src/analysis/analysis.hh) via roofline_report.
@@ -87,6 +91,66 @@ def check_bench(doc: dict) -> None:
           f"({len(workloads)} workloads, "
           f"hot-loop speedup {doc['hot_loop_speedup']:.2f}x, "
           f"batched {doc['batched_hot_loop_speedup']:.2f}x)")
+
+
+def check_service(doc: dict) -> None:
+    if require(doc, "schema_version", int) != 1:
+        fail("unknown schema_version (expected 1)")
+    require(doc, "unit", str)
+    require(doc, "rfl_fast", bool)
+
+    clients = require(doc, "clients", int)
+    if clients < 64:
+        fail(f"clients is {clients}; the load bench must drive >= 64 "
+             f"concurrent clients")
+    require(doc, "requests_per_client", int)
+    if require(doc, "total_requests", int) <= 0:
+        fail("total_requests must be positive")
+    if require(doc, "dropped_connections", int) != 0:
+        fail("dropped_connections must be 0 (acceptance: no client "
+             "is ever dropped under load)")
+    if finite_number(doc, "rps", "service") <= 0:
+        fail("rps must be positive")
+    for key in ("cold_submit_seconds", "cached_submit_seconds"):
+        if finite_number(doc, key, "service") <= 0:
+            fail(f"{key} must be positive")
+    hit_rate = finite_number(doc, "cache_hit_rate", "service")
+    if not 0.0 <= hit_rate <= 1.0:
+        fail("cache_hit_rate must be within [0, 1]")
+    if require(doc, "dedup_hits", int) <= 0:
+        fail("dedup_hits must be positive (the bench resubmits an "
+             "identical campaign)")
+
+    latency = require(doc, "latency_us", dict)
+    for key in ("p50", "p90", "p99", "max"):
+        if finite_number(latency, key, "latency_us") <= 0:
+            fail(f"latency_us.{key} must be positive")
+    if not (latency["p50"] <= latency["p90"] <= latency["p99"]
+            <= latency["max"]):
+        fail("latency percentiles must be monotonic")
+
+    endpoints = require(doc, "endpoints", list)
+    names = set()
+    for e in endpoints:
+        if not isinstance(e, dict):
+            fail("endpoint entry is not an object")
+        name = require(e, "name", str)
+        if name in names:
+            fail(f"duplicate endpoint '{name}'")
+        names.add(name)
+        if require(e, "requests", int) <= 0:
+            fail(f"endpoint '{name}': requests must be positive")
+        for key in ("p50_us", "p90_us", "p99_us"):
+            if finite_number(e, key, f"endpoint {name}") <= 0:
+                fail(f"endpoint '{name}': {key} must be positive")
+    for required in ("status", "analysis", "submit-dedup"):
+        if required not in names:
+            fail(f"required endpoint '{required}' missing")
+
+    print(f"{sys.argv[1]}: schema OK "
+          f"(service v1: {clients} clients, {doc['rps']:.0f} req/s, "
+          f"p99 {latency['p99']:.0f} us, "
+          f"hit-rate {hit_rate:.2f})")
 
 
 def check_ceilings(obj: dict, key: str, ctx: str) -> None:
@@ -212,7 +276,9 @@ def main() -> None:
 
     if not isinstance(doc, dict):
         fail("top-level value is not an object")
-    if "bench" in doc:
+    if doc.get("bench") == "service_throughput":
+        check_service(doc)
+    elif "bench" in doc:
         check_bench(doc)
     elif doc.get("kind") == "rfl-analysis":
         check_analysis(doc)

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Smoke-test the roofline-as-a-service daemon end to end:
+#   start roofline_serve on an ephemeral port -> submit a small
+#   campaign -> poll to completion -> validate analysis.json against
+#   the schema checker -> exercise dedup + statsz -> SIGTERM and
+#   assert a clean (exit 0) shutdown.
+# Run by CI in both the Release and ASan/UBSan jobs:
+#   tools/service_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD=${1:-build}
+WORK=$(mktemp -d)
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$BUILD"/roofline_serve --port 0 --port-file "$WORK/port" --quiet \
+    --out "$WORK/out" > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    kill -0 "$SERVE_PID" || { echo "FAIL: daemon died on startup"; \
+        cat "$WORK/serve.log"; exit 1; }
+    sleep 0.1
+done
+[ -s "$WORK/port" ] || { echo "FAIL: no port file"; exit 1; }
+PORT=$(cat "$WORK/port")
+BASE="http://127.0.0.1:$PORT"
+echo "daemon on $BASE"
+
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"'
+
+SPEC='name = ci-smoke
+machine = small
+kernel = daxpy:n=4096
+kernel = sum:n=4096
+variant = cold-1c: protocol=cold cores=0 reps=1'
+
+ID=$(printf '%s\n' "$SPEC" | curl -fsS -X POST --data-binary @- \
+    "$BASE/v1/campaigns" |
+    python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+echo "ticket $ID"
+
+STATE=""
+for _ in $(seq 1 300); do
+    STATE=$(curl -fsS "$BASE/v1/campaigns/$ID" |
+        python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+    [ "$STATE" = done ] && break
+    [ "$STATE" = failed ] && { echo "FAIL: campaign failed"; \
+        curl -fsS "$BASE/v1/campaigns/$ID"; exit 1; }
+    sleep 0.1
+done
+[ "$STATE" = done ] || { echo "FAIL: campaign stuck in '$STATE'"; exit 1; }
+
+curl -fsS "$BASE/v1/campaigns/$ID/analysis" > "$WORK/analysis.json"
+python3 tools/check_bench_schema.py "$WORK/analysis.json"
+
+# Artifact endpoints stream usable documents. (Capture to files:
+# grep -q closing the pipe early would fail curl under pipefail.)
+curl -fsS "$BASE/v1/campaigns/$ID/report.html" > "$WORK/report.html"
+grep -q '<!DOCTYPE html>' "$WORK/report.html"
+curl -fsS "$BASE/v1/campaigns/$ID/roofline.svg" > "$WORK/roofline.svg"
+grep -q '<svg' "$WORK/roofline.svg"
+
+# An identical resubmission deduplicates instead of re-executing.
+printf '%s\n' "$SPEC" | curl -fsS -X POST --data-binary @- \
+    "$BASE/v1/campaigns" | grep -q '"deduplicated":true'
+curl -fsS "$BASE/statsz" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+assert s["queue"]["executed"] == 1, s
+assert s["queue"]["deduplicated"] == 1, s
+assert s["cache"]["stores"] >= 2, s
+print("statsz OK:", json.dumps(s["queue"]))'
+
+# Graceful shutdown: SIGTERM must end the process with exit code 0.
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "FAIL: daemon exited non-zero on SIGTERM"
+    cat "$WORK/serve.log"
+    exit 1
+fi
+grep -q "shutting down gracefully" "$WORK/serve.log"
+echo "service smoke OK"
