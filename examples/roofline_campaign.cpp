@@ -12,6 +12,10 @@
  *   roofline_campaign --cache-stats            # hit/miss/size report
  *   roofline_campaign --cache-gc               # drop dead configs,
  *                                              # rewrite the spill
+ *   roofline_campaign --telemetry-dir tel/     # metrics.json +
+ *                                              # trace.jsonl (load the
+ *                                              # trace in
+ *                                              # chrome://tracing)
  *
  * Campaign file format (see src/campaign/spec.hh):
  *
@@ -27,6 +31,7 @@
  */
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <set>
 
@@ -36,6 +41,10 @@
 #include "support/cli.hh"
 #include "support/csv.hh"
 #include "support/hash.hh"
+#include "support/logging.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/sim_counters.hh"
+#include "telemetry/span.hh"
 
 namespace
 {
@@ -74,6 +83,10 @@ main(int argc, char **argv)
                   "compact the cache after the run: drop entries whose "
                   "machine config is not in this campaign, rewrite the "
                   "spill file");
+    cli.addOption("telemetry-dir",
+                  "write metrics.json and trace.jsonl (chrome://tracing "
+                  "format) into this directory; also enables the "
+                  "simulator's hot-path counters");
     cli.parse(argc, argv);
 
     const std::string out = cli.get("out", outputDirectory());
@@ -102,8 +115,45 @@ main(int argc, char **argv)
         exec.cache = cache.get();
     }
 
-    const cp::CampaignRun run = cp::CampaignExecutor(exec).run(spec);
+    const std::string telemetry_dir = cli.get("telemetry-dir", "");
+    telemetry::Tracer tracer;
+    telemetry::Tracer *const tracer_ptr =
+        telemetry_dir.empty() ? nullptr : &tracer;
+    if (tracer_ptr) {
+        ensureDirectory(telemetry_dir);
+        telemetry::setSimTelemetryEnabled(true);
+    }
+
+    cp::CampaignRun run;
+    {
+        // Scope so the root span closes before the trace is written.
+        telemetry::TraceScope traceScope(tracer_ptr);
+        telemetry::Span root("campaign");
+        root.attr("campaign", spec.name());
+        run = cp::CampaignExecutor(exec).run(spec, tracer_ptr);
+    }
     cp::emitCampaign(run, out, std::cout);
+
+    if (tracer_ptr) {
+        const std::string trace_path = telemetry_dir + "/trace.jsonl";
+        std::ofstream trace_out(trace_path);
+        if (!trace_out)
+            fatal("cannot write '%s'", trace_path.c_str());
+        tracer.writeTraceJsonl(trace_out);
+
+        const std::string metrics_path =
+            telemetry_dir + "/metrics.json";
+        std::ofstream metrics_out(metrics_path);
+        if (!metrics_out)
+            fatal("cannot write '%s'", metrics_path.c_str());
+        metrics_out << "{\"kind\":\"rfl-metrics\",\"schema_version\":1,"
+                    << "\"campaign\":\"" << spec.name()
+                    << "\",\"metrics\":"
+                    << telemetry::Registry::global().renderJsonGrouped()
+                    << "}\n";
+        std::cout << "telemetry: " << metrics_path << ", " << trace_path
+                  << " (" << tracer.size() << " spans)\n";
+    }
     if (cache) {
         std::cout << "cache: " << cache->size() << " entries in "
                   << cache->spillPath() << "\n";

@@ -19,6 +19,8 @@
  *   GET  /v1/campaigns/<id>        poll status
  *   GET  /v1/campaigns/<id>/analysis|report.html|roofline.svg
  *   GET  /healthz, /statsz
+ *   GET  /metricsz                 Prometheus text exposition
+ *   GET  /tracez?job=<ticket>      chrome://tracing span tree
  *
  * SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, finish
  * in-flight requests and campaigns, exit 0.
@@ -37,6 +39,7 @@
 #include "service/session.hh"
 #include "support/cli.hh"
 #include "support/csv.hh"
+#include "telemetry/sim_counters.hh"
 
 namespace
 {
@@ -105,6 +108,10 @@ serve(int argc, char **argv)
         static_cast<int>(cli.getInt("sim-threads", 0));
     qopts.exec.traceDir = out + "/traces";
     qopts.cachePath = cache_path;
+    // A resident daemon wants the simulator's fleet counters in every
+    // /metricsz scrape; the per-batch cost is negligible next to the
+    // campaigns themselves.
+    telemetry::setSimTelemetryEnabled(true);
     sv::JobQueue queue(qopts);
 
     sv::SessionOptions sopts;

@@ -8,6 +8,8 @@
 #include "support/csv.hh"
 #include "support/logging.hh"
 #include "support/units.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
 
 namespace rfl::analysis
 {
@@ -242,6 +244,8 @@ ReportArtifacts
 renderAnalysisReport(const CampaignAnalysis &doc,
                      const std::string &name)
 {
+    telemetry::Span span("analysis-render");
+    span.attr("campaign", name);
     return renderFromPlots(doc, buildScenarioPlots(doc), name);
 }
 
@@ -249,6 +253,12 @@ ReportPaths
 writeAnalysisReport(const CampaignAnalysis &doc, const std::string &dir,
                     const std::string &name)
 {
+    telemetry::Span span("analysis-report");
+    span.attr("campaign", name);
+    telemetry::Registry::global()
+        .counter("rfl_analysis_reports_total",
+                 "analysis report bundles written to disk")
+        .inc();
     return writeReportFromPlots(doc, buildScenarioPlots(doc), dir,
                                 name);
 }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <random>
 
 #include "analysis/phase.hh"
@@ -14,6 +15,8 @@
 #include "support/hash.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/sim_counters.hh"
 #include "trace/trace_file.hh"
 #include "trace/trace_kernel.hh"
 
@@ -30,9 +33,33 @@ struct RunState
     std::vector<size_t> remainingDeps; // per job
     std::vector<std::vector<size_t>> dependents;
     std::vector<size_t> completionOrder;
+    std::map<std::string, CampaignRun::KindStats> jobsByKind;
     std::atomic<size_t> simulated{0};
     std::atomic<size_t> cacheHits{0};
 };
+
+/** Process-global campaign metrics; registered once, bumped per job. */
+struct CampaignMetrics
+{
+    telemetry::Counter &cacheHits;
+    telemetry::Counter &cacheMisses;
+    telemetry::Histogram &jobSeconds;
+};
+
+CampaignMetrics &
+campaignMetrics()
+{
+    telemetry::Registry &reg = telemetry::Registry::global();
+    static CampaignMetrics m{
+        reg.counter("rfl_campaign_cache_hits_total",
+                    "campaign jobs answered by the result cache"),
+        reg.counter("rfl_campaign_cache_misses_total",
+                    "campaign jobs that had to execute"),
+        reg.histogram("rfl_campaign_job_seconds",
+                      "host wall seconds per executed campaign job"),
+    };
+    return m;
+}
 
 /**
  * Record one traced kernel's access stream into a content-addressed
@@ -67,20 +94,28 @@ recordTrace(const sim::MachineConfig &config, const std::string &spec,
         ".tmp";
 
     const TraceRecordParams params = traceRecordParams(config);
-    sim::Machine machine(config);
+    std::optional<sim::Machine> machine;
     AddressArena::Scope scope;
-    const auto kernel = kernels::createKernel(spec);
-    kernel->init(params.seed);
-    machine.setDependentAccesses(kernel->dependentAccesses());
+    std::unique_ptr<kernels::Kernel> kernel;
+    {
+        telemetry::Span build("machine-build");
+        machine.emplace(config);
+        kernel = kernels::createKernel(spec);
+        kernel->init(params.seed);
+        machine->setDependentAccesses(kernel->dependentAccesses());
+    }
 
     trace::TraceWriter writer(tmp);
     writer.setDependentAccesses(kernel->dependentAccesses());
     {
-        kernels::SimEngine engine(machine, 0, params.lanes,
+        telemetry::Span sim("simulate");
+        kernels::SimEngine engine(*machine, 0, params.lanes,
                                   /*use_fma=*/true);
         engine.setTraceWriter(&writer);
         kernel->run(engine, 0, 1);
     }
+
+    telemetry::Span encode("encode");
     writer.finish();
 
     TraceInfo info;
@@ -118,63 +153,94 @@ executeJob(const CampaignSpec &spec, const Job &job,
     JobResult result;
 
     std::string payload;
-    if (cache && cache->lookup(job.cacheKey, &payload)) {
-        result.fromCache = true;
-        bool valid = true;
-        switch (job.kind) {
-          case JobKind::Ceiling:
-            result.model = decodeModel(payload);
-            break;
-          case JobKind::TraceRecord:
-            // A cached recording is only as good as the file it points
-            // at: someone may have pruned the trace directory.
-            result.trace = decodeTraceInfo(payload);
-            valid = traceFileValid(result.trace);
-            break;
-          case JobKind::PhaseSample:
-            result.phases = decodePhaseTrajectory(payload);
-            break;
-          default:
-            result.measurement = decodeMeasurement(payload);
-            break;
+    {
+        telemetry::Span probe("cache-probe");
+        if (cache && cache->lookup(job.cacheKey, &payload)) {
+            result.fromCache = true;
+            bool valid = true;
+            switch (job.kind) {
+              case JobKind::Ceiling:
+                result.model = decodeModel(payload);
+                break;
+              case JobKind::TraceRecord:
+                // A cached recording is only as good as the file it
+                // points at: someone may have pruned the trace
+                // directory.
+                result.trace = decodeTraceInfo(payload);
+                valid = traceFileValid(result.trace);
+                break;
+              case JobKind::PhaseSample:
+                result.phases = decodePhaseTrajectory(payload);
+                break;
+              default:
+                result.measurement = decodeMeasurement(payload);
+                break;
+            }
+            if (valid) {
+                probe.attr("outcome", "hit");
+                ++cacheHits;
+                campaignMetrics().cacheHits.inc();
+                return result;
+            }
+            probe.attr("outcome", "stale");
+            result = JobResult{};
+        } else {
+            probe.attr("outcome", "miss");
         }
-        if (valid) {
-            ++cacheHits;
-            return result;
-        }
-        result = JobResult{};
     }
+    campaignMetrics().cacheMisses.inc();
 
     const MachineEntry &machine = spec.machines()[job.machineIndex];
     const RunOptions &opts = spec.variants()[job.variantIndex].opts;
 
     switch (job.kind) {
       case JobKind::Ceiling: {
-        roofline::Experiment exp(machine.config);
-        exp.machine().setMemPolicy(opts.memPolicy);
-        exp.machine().setPrefetchEnabled(opts.prefetchEnabled);
-        result.model = exp.probe().characterize(opts.measure.cores);
-        if (cache)
+        std::optional<roofline::Experiment> exp;
+        {
+            telemetry::Span build("machine-build");
+            exp.emplace(machine.config);
+            exp->machine().setMemPolicy(opts.memPolicy);
+            exp->machine().setPrefetchEnabled(opts.prefetchEnabled);
+        }
+        {
+            telemetry::Span sim("simulate");
+            result.model =
+                exp->probe().characterize(opts.measure.cores);
+        }
+        if (cache) {
+            telemetry::Span encode("encode");
             cache->store(job.cacheKey, encodeModel(result.model));
+        }
         break;
       }
       case JobKind::Measure: {
-        roofline::Experiment exp(machine.config);
-        exp.machine().setMemPolicy(opts.memPolicy);
-        exp.machine().setPrefetchEnabled(opts.prefetchEnabled);
-        result.measurement = exp.measureSpec(
-            spec.kernels()[job.kernelIndex], opts.measure);
-        if (cache)
+        std::optional<roofline::Experiment> exp;
+        {
+            telemetry::Span build("machine-build");
+            exp.emplace(machine.config);
+            exp->machine().setMemPolicy(opts.memPolicy);
+            exp->machine().setPrefetchEnabled(opts.prefetchEnabled);
+        }
+        {
+            telemetry::Span sim("simulate");
+            result.measurement = exp->measureSpec(
+                spec.kernels()[job.kernelIndex], opts.measure);
+        }
+        if (cache) {
+            telemetry::Span encode("encode");
             cache->store(job.cacheKey,
                          encodeMeasurement(result.measurement));
+        }
         break;
       }
       case JobKind::TraceRecord: {
         result.trace =
             recordTrace(machine.config, spec.traces()[job.kernelIndex],
                         exec_opts.traceDir, job.id);
-        if (cache)
+        if (cache) {
+            telemetry::Span encode("encode");
             cache->store(job.cacheKey, encodeTraceInfo(result.trace));
+        }
         break;
       }
       case JobKind::TraceReplay: {
@@ -182,35 +248,53 @@ executeJob(const CampaignSpec &spec, const Job &job,
         // the trace file behind.
         RFL_ASSERT(job.deps.size() == 2);
         const TraceInfo &info = results[job.deps[1]].trace;
-        trace::TraceKernel kernel(info.path);
-
-        sim::Machine sim_machine(machine.config);
-        sim_machine.setMemPolicy(opts.memPolicy);
-        sim_machine.setPrefetchEnabled(opts.prefetchEnabled);
-        roofline::Measurer measurer(sim_machine);
+        std::optional<trace::TraceKernel> kernel;
+        std::optional<sim::Machine> sim_machine;
+        {
+            telemetry::Span build("machine-build");
+            kernel.emplace(info.path);
+            sim_machine.emplace(machine.config);
+            sim_machine->setMemPolicy(opts.memPolicy);
+            sim_machine->setPrefetchEnabled(opts.prefetchEnabled);
+        }
+        roofline::Measurer measurer(*sim_machine);
         // Replay is single-stream: run on the variant's first core.
         roofline::MeasureOptions mopts = opts.measure;
         mopts.cores = {opts.measure.cores.front()};
-        result.measurement = measurer.measure(kernel, mopts);
+        {
+            telemetry::Span sim("simulate");
+            result.measurement = measurer.measure(*kernel, mopts);
+        }
         // Label the measurement by what was traced, not the replay
         // mechanism, so sinks show "trace(daxpy:n=65536)" rows.
         result.measurement.kernel =
             "trace(" + spec.traces()[job.kernelIndex] + ")";
-        if (cache)
+        if (cache) {
+            telemetry::Span encode("encode");
             cache->store(job.cacheKey,
                          encodeMeasurement(result.measurement));
+        }
         break;
       }
       case JobKind::PhaseSample: {
         const PhaseEntry &phase = spec.phases()[job.kernelIndex];
-        sim::Machine sim_machine(machine.config);
-        sim_machine.setMemPolicy(opts.memPolicy);
-        sim_machine.setPrefetchEnabled(opts.prefetchEnabled);
-        result.phases = analysis::samplePhasesSpec(
-            sim_machine, phase.spec, opts.measure, phase.period);
-        if (cache)
+        std::optional<sim::Machine> sim_machine;
+        {
+            telemetry::Span build("machine-build");
+            sim_machine.emplace(machine.config);
+            sim_machine->setMemPolicy(opts.memPolicy);
+            sim_machine->setPrefetchEnabled(opts.prefetchEnabled);
+        }
+        {
+            telemetry::Span sim("simulate");
+            result.phases = analysis::samplePhasesSpec(
+                *sim_machine, phase.spec, opts.measure, phase.period);
+        }
+        if (cache) {
+            telemetry::Span encode("encode");
             cache->store(job.cacheKey,
                          encodePhaseTrajectory(result.phases));
+        }
         break;
       }
     }
@@ -305,9 +389,11 @@ CampaignExecutor::CampaignExecutor(ExecutorOptions opts) : opts_(opts)
 }
 
 CampaignRun
-CampaignExecutor::run(const CampaignSpec &spec) const
+CampaignExecutor::run(const CampaignSpec &spec,
+                      telemetry::Tracer *tracer) const
 {
     const auto start = std::chrono::steady_clock::now();
+    telemetry::ensureGlobalSimCollector();
 
     const JobGraph graph = JobGraph::expand(spec);
 
@@ -332,13 +418,34 @@ CampaignExecutor::run(const CampaignSpec &spec) const
     // its newly-unblocked dependents.
     std::function<void(size_t)> submitJob = [&](size_t id) {
         pool.submit([&, id] {
-            run.results[id] =
-                executeJob(spec, run.jobs[id], run.results, opts_,
-                           state.simulated, state.cacheHits);
+            // One scope per pool task: the worker thread binds the
+            // campaign's tracer for exactly this job.
+            telemetry::TraceScope traceScope(tracer);
+            const Job &job = run.jobs[id];
+            const auto jobStart = std::chrono::steady_clock::now();
+            {
+                telemetry::Span span(jobKindName(job.kind));
+                span.attr("job", std::to_string(id));
+                span.attr("machine",
+                          spec.machines()[job.machineIndex].label);
+                run.results[id] =
+                    executeJob(spec, job, run.results, opts_,
+                               state.simulated, state.cacheHits);
+                if (run.results[id].fromCache)
+                    span.attr("cached", "true");
+            }
+            const double jobSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - jobStart)
+                    .count();
+            campaignMetrics().jobSeconds.observe(jobSeconds);
             std::vector<size_t> ready;
             {
                 std::lock_guard<std::mutex> lock(state.mutex);
                 state.completionOrder.push_back(id);
+                auto &ks = state.jobsByKind[jobKindName(job.kind)];
+                ks.count += 1;
+                ks.seconds += jobSeconds;
                 for (size_t dep_id : state.dependents[id]) {
                     RFL_ASSERT(state.remainingDeps[dep_id] > 0);
                     if (--state.remainingDeps[dep_id] == 0)
@@ -357,6 +464,7 @@ CampaignExecutor::run(const CampaignSpec &spec) const
 
     RFL_ASSERT(state.completionOrder.size() == run.jobs.size());
     run.completionOrder = std::move(state.completionOrder);
+    run.jobsByKind = std::move(state.jobsByKind);
     run.simulated = state.simulated.load();
     run.cacheHits = state.cacheHits.load();
     run.wallSeconds =

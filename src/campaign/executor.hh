@@ -17,6 +17,7 @@
 #ifndef RFL_CAMPAIGN_EXECUTOR_HH
 #define RFL_CAMPAIGN_EXECUTOR_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "campaign/spec.hh"
 #include "roofline/measurement.hh"
 #include "roofline/model.hh"
+#include "telemetry/span.hh"
 
 namespace rfl::campaign
 {
@@ -77,6 +79,16 @@ struct CampaignRun
     double wallSeconds = 0.0;///< host wall time of run()
     int threadsUsed = 0;
 
+    /** Per-JobKind execution breakdown (host seconds are per job, so
+     *  they over-count wall time when jobs overlap across threads). */
+    struct KindStats
+    {
+        size_t count = 0;
+        double seconds = 0.0;
+    };
+    /** Keyed by jobKindName(); only kinds that occurred appear. */
+    std::map<std::string, KindStats> jobsByKind;
+
     /** Measurement of one grid cell; panics when indices are invalid. */
     const roofline::Measurement &
     measurementFor(size_t machineIdx, size_t kernelIdx,
@@ -114,8 +126,11 @@ class CampaignExecutor
 
     /** Expand @p spec and run every job; blocks until done. Rethrows
      *  the first worker failure (see support/thread_pool.hh), leaving
-     *  no background work behind. */
-    CampaignRun run(const CampaignSpec &spec) const;
+     *  no background work behind. When @p tracer is non-null, every
+     *  job records a span tree (cache-probe / machine-build / simulate
+     *  / encode) into it. */
+    CampaignRun run(const CampaignSpec &spec,
+                    telemetry::Tracer *tracer = nullptr) const;
 
   private:
     ExecutorOptions opts_;

@@ -129,6 +129,16 @@ printCampaignStats(const CampaignRun &run, std::ostream &os)
        << " jobs (" << run.simulated << " simulated, " << run.cacheHits
        << " from cache) on " << run.threadsUsed << " host thread(s) in "
        << formatSig(run.wallSeconds, 4) << " s\n";
+    if (run.jobsByKind.empty())
+        return;
+    os << "  by kind:";
+    bool first = true;
+    for (const auto &[kind, stats] : run.jobsByKind) {
+        os << (first ? " " : ", ") << kind << " x" << stats.count << " ("
+           << formatSig(stats.seconds, 3) << " s)";
+        first = false;
+    }
+    os << "\n";
 }
 
 } // namespace rfl::campaign

@@ -4,6 +4,7 @@
 
 #include "campaign/serialize.hh"
 #include "support/logging.hh"
+#include "telemetry/metrics.hh"
 
 namespace rfl::service
 {
@@ -72,12 +73,64 @@ statusJson(const JobStatus &st)
     return doc;
 }
 
+/**
+ * Per-endpoint service-time histogram with bounded label cardinality:
+ * fixed endpoints by name, campaign artifact routes collapsed to one
+ * template, everything else "other".
+ */
+telemetry::Histogram &
+endpointHistogram(const std::string &path)
+{
+    std::string endpoint;
+    if (path == "/healthz" || path == "/statsz" ||
+        path == "/metricsz" || path == "/tracez" ||
+        path == "/v1/campaigns") {
+        endpoint = path;
+    } else if (path.rfind("/v1/campaigns/", 0) == 0) {
+        endpoint = "/v1/campaigns/{id}";
+    } else {
+        endpoint = "other";
+    }
+    return telemetry::Registry::global().histogram(
+        "rfl_http_request_seconds", "request service time by endpoint",
+        {{"endpoint", endpoint}});
+}
+
 } // namespace
 
 ApiHandler::ApiHandler(JobQueue &queue, SessionTable &sessions)
     : queue_(queue), sessions_(sessions),
       start_(std::chrono::steady_clock::now())
 {
+    telemetry::Registry &reg = telemetry::Registry::global();
+    metricsCollector_ = reg.addCollector(
+        [this,
+         &admitted = reg.counter("rfl_sessions_admitted_total",
+                                 "requests admitted past rate limits"),
+         &limited = reg.counter("rfl_sessions_rate_limited_total",
+                                "requests answered 429"),
+         &clients = reg.gauge("rfl_sessions_clients",
+                              "distinct client addresses tracked"),
+         &conns = reg.counter("rfl_http_connections_total",
+                              "TCP connections accepted"),
+         &reqs = reg.counter("rfl_http_requests_total",
+                             "HTTP requests served"),
+         &parseErrors = reg.counter("rfl_http_parse_errors_total",
+                                    "malformed or oversized requests"),
+         &bytesOut = reg.counter("rfl_http_bytes_out_total",
+                                 "response bytes written")] {
+            const SessionStats s = sessions_.stats();
+            admitted.mirror(s.admitted);
+            limited.mirror(s.rateLimited);
+            clients.set(static_cast<double>(s.clients));
+            if (serverStats_) {
+                const HttpServerStats h = serverStats_();
+                conns.mirror(h.connectionsAccepted);
+                reqs.mirror(h.requestsServed);
+                parseErrors.mirror(h.parseErrors);
+                bytesOut.mirror(h.bytesOut);
+            }
+        });
 }
 
 void
@@ -90,23 +143,41 @@ HttpResponse
 ApiHandler::handle(const HttpRequest &req)
 {
     const auto t0 = std::chrono::steady_clock::now();
+
+    // Propagate the client's request id or mint one; it joins the
+    // access-log line with the campaign job's root span.
+    std::string requestId = req.header("x-request-id");
+    if (requestId.empty()) {
+        requestId =
+            "r" + std::to_string(nextRequestId_.fetch_add(
+                                     1, std::memory_order_relaxed) +
+                                 1);
+    }
+
     HttpResponse resp;
-    // Liveness probes are exempt: a throttled /healthz reads as a
-    // dead service to an orchestrator.
-    if (req.path != "/healthz" && !sessions_.admit(req.clientAddr))
+    // Liveness probes and metric scrapers are exempt: a throttled
+    // /healthz reads as a dead service to an orchestrator, and a
+    // throttled scrape reads as an outage on a dashboard.
+    const bool exempt = req.path == "/healthz" ||
+                        req.path == "/statsz" ||
+                        req.path == "/metricsz";
+    if (!exempt && !sessions_.admit(req.clientAddr))
         resp = jsonError(429, "rate limited");
     else
-        resp = dispatch(req);
-    sessions_.logRequest(
-        req.clientAddr, req.method, req.target, resp.status,
+        resp = dispatch(req, requestId);
+    const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
-            .count());
+            .count();
+    endpointHistogram(req.path).observe(seconds);
+    sessions_.logRequest(req.clientAddr, req.method, req.target,
+                         resp.status, seconds, requestId);
     return resp;
 }
 
 HttpResponse
-ApiHandler::dispatch(const HttpRequest &req)
+ApiHandler::dispatch(const HttpRequest &req,
+                     const std::string &requestId)
 {
     if (req.path == "/healthz") {
         if (req.method != "GET")
@@ -118,10 +189,20 @@ ApiHandler::dispatch(const HttpRequest &req)
             return jsonError(405, "use GET");
         return statsz();
     }
+    if (req.path == "/metricsz") {
+        if (req.method != "GET")
+            return jsonError(405, "use GET");
+        return metricsz();
+    }
+    if (req.path == "/tracez") {
+        if (req.method != "GET")
+            return jsonError(405, "use GET");
+        return tracez(req);
+    }
     if (req.path == "/v1/campaigns") {
         if (req.method != "POST")
             return jsonError(405, "use POST to submit a campaign");
-        return submitCampaign(req);
+        return submitCampaign(req, requestId);
     }
     if (req.path.rfind("/v1/campaigns/", 0) == 0)
         return campaignRoute(req);
@@ -129,7 +210,8 @@ ApiHandler::dispatch(const HttpRequest &req)
 }
 
 HttpResponse
-ApiHandler::submitCampaign(const HttpRequest &req)
+ApiHandler::submitCampaign(const HttpRequest &req,
+                           const std::string &requestId)
 {
     if (req.body.empty())
         return jsonError(400, "empty campaign spec");
@@ -149,7 +231,7 @@ ApiHandler::submitCampaign(const HttpRequest &req)
         specText = envelope.at("spec").asString();
     }
 
-    const SubmitOutcome outcome = queue_.submit(specText);
+    const SubmitOutcome outcome = queue_.submit(specText, requestId);
     switch (outcome.kind) {
       case SubmitOutcome::Kind::Invalid:
         return jsonError(400, outcome.error);
@@ -260,75 +342,40 @@ ApiHandler::health() const
 HttpResponse
 ApiHandler::statsz() const
 {
-    Json doc = Json::makeObject();
+    // One source of truth: the same registry /metricsz scrapes,
+    // rendered in the grouped-JSON shape /statsz has always served
+    // (the queue/cache/sessions/http groups come from the naming
+    // convention — see telemetry/metrics.hh).
+    HttpResponse resp;
+    resp.contentType = "application/json";
+    resp.body = telemetry::Registry::global().renderJsonGrouped() + "\n";
+    return resp;
+}
 
-    const JobQueueStats q = queue_.stats();
-    Json queue = Json::makeObject();
-    queue.set("depth",
-              Json::makeNumber(static_cast<double>(q.depth)));
-    queue.set("running",
-              Json::makeNumber(static_cast<double>(q.running)));
-    queue.set("done", Json::makeNumber(static_cast<double>(q.done)));
-    queue.set("failed",
-              Json::makeNumber(static_cast<double>(q.failed)));
-    queue.set("submitted",
-              Json::makeNumber(static_cast<double>(q.submitted)));
-    queue.set("accepted",
-              Json::makeNumber(static_cast<double>(q.accepted)));
-    queue.set("deduplicated",
-              Json::makeNumber(static_cast<double>(q.deduplicated)));
-    queue.set("rejected_full",
-              Json::makeNumber(static_cast<double>(q.rejectedFull)));
-    queue.set(
-        "rejected_invalid",
-        Json::makeNumber(static_cast<double>(q.rejectedInvalid)));
-    queue.set("executed",
-              Json::makeNumber(static_cast<double>(q.executed)));
-    doc.set("queue", std::move(queue));
+HttpResponse
+ApiHandler::metricsz() const
+{
+    HttpResponse resp;
+    resp.contentType = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = telemetry::Registry::global().renderPrometheus();
+    return resp;
+}
 
-    const campaign::CacheStats c = queue_.cacheStats();
-    Json cache = Json::makeObject();
-    cache.set("hits", Json::makeNumber(static_cast<double>(c.hits)));
-    cache.set("misses",
-              Json::makeNumber(static_cast<double>(c.misses)));
-    cache.set("stores",
-              Json::makeNumber(static_cast<double>(c.stores)));
-    cache.set("preloaded",
-              Json::makeNumber(static_cast<double>(c.preloaded)));
-    const double lookups = static_cast<double>(c.hits + c.misses);
-    cache.set("hit_rate",
-              Json::makeNumber(lookups > 0
-                                   ? static_cast<double>(c.hits) /
-                                         lookups
-                                   : 0.0));
-    doc.set("cache", std::move(cache));
-
-    const SessionStats s = sessions_.stats();
-    Json sessions = Json::makeObject();
-    sessions.set("admitted",
-                 Json::makeNumber(static_cast<double>(s.admitted)));
-    sessions.set("rate_limited",
-                 Json::makeNumber(static_cast<double>(s.rateLimited)));
-    sessions.set("clients",
-                 Json::makeNumber(static_cast<double>(s.clients)));
-    doc.set("sessions", std::move(sessions));
-
-    if (serverStats_) {
-        const HttpServerStats h = serverStats_();
-        Json http = Json::makeObject();
-        http.set("connections",
-                 Json::makeNumber(
-                     static_cast<double>(h.connectionsAccepted)));
-        http.set("requests",
-                 Json::makeNumber(
-                     static_cast<double>(h.requestsServed)));
-        http.set("parse_errors",
-                 Json::makeNumber(static_cast<double>(h.parseErrors)));
-        http.set("bytes_out",
-                 Json::makeNumber(static_cast<double>(h.bytesOut)));
-        doc.set("http", std::move(http));
+HttpResponse
+ApiHandler::tracez(const HttpRequest &req) const
+{
+    const std::string job = req.queryParam("job");
+    if (job.empty())
+        return jsonError(400, "tracez requires ?job=<ticket>");
+    HttpResponse resp;
+    if (!queue_.traceJson(job, &resp.body)) {
+        return jsonError(404, "no trace for ticket '" + job +
+                                  "' (unknown, unfinished, or "
+                                  "evicted)");
     }
-    return jsonResponse(200, doc);
+    resp.contentType = "application/json";
+    resp.chunked = true;
+    return resp;
 }
 
 } // namespace rfl::service

@@ -18,28 +18,41 @@
  *        (?scenario=N, default 0), streamed chunked.
  *   GET  /healthz                        liveness + uptime.
  *   GET  /statsz                         queue depth, cache hit rate,
- *        in-flight counts, session and HTTP counters.
+ *        in-flight counts, session and HTTP counters — a grouped JSON
+ *        rendering of the global telemetry registry.
+ *   GET  /metricsz                       the same registry in
+ *        Prometheus text exposition format (0.0.4).
+ *   GET  /tracez?job=<ticket>            chrome://tracing span tree of
+ *        a finished campaign's execution.
  *
  * Artifact endpoints answer 409 while the campaign is still queued or
  * running (poll the status endpoint), 404 for unknown tickets, and
  * 500 with the failure message for failed campaigns.
  *
+ * Every request carries a request id (client-supplied X-Request-Id
+ * header, or minted here) that joins the access-log line with the
+ * job's root span.
+ *
  * The handler is plain request -> response and owns no socket state,
  * so it is directly testable without a server. Rate limiting
- * (session.hh) applies to everything except /healthz — liveness
- * probes must never be throttled.
+ * (session.hh) applies to everything except /healthz, /statsz and
+ * /metricsz — liveness probes and metric scrapers must never be
+ * throttled (a throttled scrape reads as an outage on a dashboard).
  */
 
 #ifndef RFL_SERVICE_API_HH
 #define RFL_SERVICE_API_HH
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <string>
 
 #include "service/http_server.hh"
 #include "service/job_queue.hh"
 #include "service/session.hh"
+#include "telemetry/metrics.hh"
 
 namespace rfl::service
 {
@@ -60,16 +73,25 @@ class ApiHandler
     HttpResponse handle(const HttpRequest &req);
 
   private:
-    HttpResponse dispatch(const HttpRequest &req);
-    HttpResponse submitCampaign(const HttpRequest &req);
+    HttpResponse dispatch(const HttpRequest &req,
+                          const std::string &requestId);
+    HttpResponse submitCampaign(const HttpRequest &req,
+                                const std::string &requestId);
     HttpResponse campaignRoute(const HttpRequest &req);
     HttpResponse health() const;
     HttpResponse statsz() const;
+    HttpResponse metricsz() const;
+    HttpResponse tracez(const HttpRequest &req) const;
 
     JobQueue &queue_;
     SessionTable &sessions_;
     std::function<HttpServerStats()> serverStats_;
     std::chrono::steady_clock::time_point start_;
+    /** Minted ids for requests arriving without X-Request-Id. */
+    std::atomic<uint64_t> nextRequestId_{0};
+    /** Mirrors session + HTTP server stats into the global registry;
+     *  declared last so it deregisters before the members it reads. */
+    telemetry::Registry::CollectorHandle metricsCollector_;
 };
 
 } // namespace rfl::service

@@ -6,6 +6,7 @@
 #include "analysis/analysis.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
+#include "telemetry/span.hh"
 
 namespace rfl::service
 {
@@ -40,6 +41,71 @@ JobQueue::JobQueue(JobQueueOptions opts) : opts_(std::move(opts))
     workers_.reserve(static_cast<size_t>(opts_.workers));
     for (int i = 0; i < opts_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+
+    // Register the queue's view of the global metrics. Mirroring (not
+    // inc()) makes the *current* queue's absolute counters win the
+    // scrape, so a process that builds queues repeatedly (tests) still
+    // reports the live instance's numbers.
+    telemetry::Registry &reg = telemetry::Registry::global();
+    turnaround_ = &reg.histogram(
+        "rfl_queue_turnaround_seconds",
+        "submit-to-finish latency of executed campaigns");
+    metricsCollector_ = reg.addCollector(
+        [this,
+         &depth = reg.gauge("rfl_queue_depth", "campaigns waiting"),
+         &running =
+             reg.gauge("rfl_queue_running", "campaigns executing"),
+         &done = reg.gauge("rfl_queue_done",
+                           "finished campaigns retained in memory"),
+         &failed = reg.gauge("rfl_queue_failed",
+                             "failed campaigns retained in memory"),
+         &submitted = reg.counter("rfl_queue_submitted_total",
+                                  "campaign submissions received"),
+         &accepted = reg.counter("rfl_queue_accepted_total",
+                                 "new campaigns enqueued"),
+         &dedup =
+             reg.counter("rfl_queue_deduplicated_total",
+                         "submissions answered by an existing ticket"),
+         &rejFull =
+             reg.counter("rfl_queue_rejected_full_total",
+                         "submissions rejected by backpressure"),
+         &rejInvalid = reg.counter("rfl_queue_rejected_invalid_total",
+                                   "submissions with invalid specs"),
+         &executed = reg.counter("rfl_queue_executed_total",
+                                 "campaigns actually run"),
+         &cHits = reg.counter("rfl_cache_hits_total",
+                              "result-cache lookups answered"),
+         &cMisses = reg.counter("rfl_cache_misses_total",
+                                "result-cache lookups missed"),
+         &cStores = reg.counter("rfl_cache_stores_total",
+                                "result-cache entries stored"),
+         &cPreloaded = reg.counter("rfl_cache_preloaded_total",
+                                   "cache entries preloaded from disk"),
+         &cRate = reg.gauge("rfl_cache_hit_rate",
+                            "result-cache hit rate")] {
+            const JobQueueStats q = stats();
+            depth.set(static_cast<double>(q.depth));
+            running.set(static_cast<double>(q.running));
+            done.set(static_cast<double>(q.done));
+            failed.set(static_cast<double>(q.failed));
+            submitted.mirror(q.submitted);
+            accepted.mirror(q.accepted);
+            dedup.mirror(q.deduplicated);
+            rejFull.mirror(q.rejectedFull);
+            rejInvalid.mirror(q.rejectedInvalid);
+            executed.mirror(q.executed);
+
+            const campaign::CacheStats c = cacheStats();
+            cHits.mirror(c.hits);
+            cMisses.mirror(c.misses);
+            cStores.mirror(c.stores);
+            cPreloaded.mirror(c.preloaded);
+            const double lookups =
+                static_cast<double>(c.hits + c.misses);
+            cRate.set(lookups > 0
+                          ? static_cast<double>(c.hits) / lookups
+                          : 0.0);
+        });
 }
 
 JobQueue::~JobQueue()
@@ -63,7 +129,8 @@ JobQueue::stop()
 }
 
 SubmitOutcome
-JobQueue::submit(const std::string &specText)
+JobQueue::submit(const std::string &specText,
+                 const std::string &requestId)
 {
     SubmitOutcome outcome;
 
@@ -110,6 +177,8 @@ JobQueue::submit(const std::string &specText)
                     finishedOrder_.erase(stale);
                 rec.state = JobState::Queued;
                 rec.error.clear();
+                rec.requestId = requestId;
+                rec.submittedAt = std::chrono::steady_clock::now();
                 --stats_.failed;
                 queue_.push_back(id);
                 ++stats_.accepted;
@@ -129,6 +198,8 @@ JobQueue::submit(const std::string &specText)
             auto rec = std::make_shared<Record>();
             rec->id = id;
             rec->spec = std::move(spec);
+            rec->requestId = requestId;
+            rec->submittedAt = std::chrono::steady_clock::now();
             jobs_[id] = std::move(rec);
             queue_.push_back(id);
             ++stats_.accepted;
@@ -149,6 +220,7 @@ JobQueue::workerLoop()
     for (;;) {
         std::shared_ptr<Record> rec;
         campaign::CampaignSpec spec;
+        std::string requestId;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             queueCv_.wait(lock, [this] {
@@ -163,6 +235,7 @@ JobQueue::workerLoop()
             ++stats_.running;
             ++stats_.executed;
             spec = rec->spec; // run off a copy, outside the lock
+            requestId = rec->requestId;
         }
 
         JobState final = JobState::Done;
@@ -171,8 +244,18 @@ JobQueue::workerLoop()
         double wallSeconds = 0.0;
         int threadsUsed = 0;
         analysis::ReportArtifacts artifacts;
+        telemetry::Tracer tracer;
         try {
-            const campaign::CampaignRun run = executor_.run(spec);
+            // Scope + root span live for exactly this execution; the
+            // executor's pool workers bind the same tracer per job.
+            telemetry::TraceScope traceScope(&tracer);
+            telemetry::Span root("campaign");
+            root.attr("ticket", rec->id);
+            root.attr("campaign", spec.name());
+            if (!requestId.empty())
+                root.attr("request_id", requestId);
+            const campaign::CampaignRun run =
+                executor_.run(spec, &tracer);
             const analysis::CampaignAnalysis doc =
                 analysis::analyzeCampaign(run);
             artifacts =
@@ -186,11 +269,18 @@ JobQueue::workerLoop()
             final = JobState::Failed;
             error = e.what();
         }
+        std::string traceJson = tracer.renderChromeTrace();
 
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --stats_.running;
             rec->state = final;
+            rec->traceJson = std::move(traceJson);
+            turnaround_->observe(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() -
+                    rec->submittedAt)
+                    .count());
             if (final == JobState::Done) {
                 ++stats_.done;
                 rec->jobs = jobs;
@@ -307,6 +397,18 @@ JobQueue::svg(const std::string &id, size_t scenario,
         return false;
     }
     *out = rec->artifacts.svgs[scenario].second;
+    return true;
+}
+
+bool
+JobQueue::traceJson(const std::string &id, std::string *out) const
+{
+    RFL_ASSERT(out != nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto rec = find(id);
+    if (!rec || rec->traceJson.empty())
+        return false;
+    *out = rec->traceJson;
     return true;
 }
 

@@ -32,6 +32,7 @@
 #ifndef RFL_SERVICE_JOB_QUEUE_HH
 #define RFL_SERVICE_JOB_QUEUE_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -45,6 +46,7 @@
 #include "analysis/report.hh"
 #include "campaign/executor.hh"
 #include "campaign/result_cache.hh"
+#include "telemetry/metrics.hh"
 
 namespace rfl::service
 {
@@ -146,8 +148,11 @@ class JobQueue
     JobQueue(const JobQueue &) = delete;
     JobQueue &operator=(const JobQueue &) = delete;
 
-    /** Parse, validate, dedup and enqueue @p specText. */
-    SubmitOutcome submit(const std::string &specText);
+    /** Parse, validate, dedup and enqueue @p specText. @p requestId
+     *  (the API layer's per-request id) is attached to the job's root
+     *  span so access-log lines and trace trees correlate. */
+    SubmitOutcome submit(const std::string &specText,
+                         const std::string &requestId = "");
 
     /** @return false when @p id is unknown. */
     bool status(const std::string &id, JobStatus *out) const;
@@ -159,6 +164,9 @@ class JobQueue
     /** SVG of scenarios()[@p scenario]; false when out of range. */
     bool svg(const std::string &id, size_t scenario,
              std::string *out) const;
+    /** Chrome trace-event JSON of the job's execution (Done or
+     *  Failed — a failed campaign still has a partial trace). */
+    bool traceJson(const std::string &id, std::string *out) const;
     ///@}
 
     /**
@@ -181,12 +189,16 @@ class JobQueue
         campaign::CampaignSpec spec;
         JobState state = JobState::Queued;
         std::string error;
+        std::string requestId; ///< API request that enqueued it
+        std::chrono::steady_clock::time_point submittedAt;
         size_t jobs = 0;
         size_t simulated = 0;
         size_t cacheHits = 0;
         double wallSeconds = 0.0;
         int threadsUsed = 0;
         analysis::ReportArtifacts artifacts;
+        /** Chrome trace of the execution; set when it finishes. */
+        std::string traceJson;
     };
 
     void workerLoop();
@@ -208,6 +220,15 @@ class JobQueue
     std::vector<std::thread> workers_;
     bool stopping_ = false;
     JobQueueStats stats_;
+
+    /** Submit-to-finish latency (global registry; set in ctor). */
+    telemetry::Histogram *turnaround_ = nullptr;
+    /**
+     * Mirrors stats_/cacheStats() into the rfl_queue and rfl_cache
+     * metric families on every scrape. Declared last: its destructor
+     * deregisters the collector before any member it reads dies.
+     */
+    telemetry::Registry::CollectorHandle metricsCollector_;
 };
 
 } // namespace rfl::service

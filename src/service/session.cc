@@ -71,10 +71,11 @@ void
 SessionTable::logRequest(const std::string &client,
                          const std::string &method,
                          const std::string &target, int status,
-                         double seconds)
+                         double seconds, const std::string &requestId)
 {
     if (!opts_.logRequests)
         return;
+    LogContext ctx(requestId);
     inform("http %s \"%s %s\" %d %.3fms", client.c_str(),
            method.c_str(), target.c_str(), status, seconds * 1e3);
 }

@@ -66,11 +66,12 @@ class SessionTable
      */
     bool admit(const std::string &client);
 
-    /** Log one served request (no-op when logging is off). */
+    /** Log one served request (no-op when logging is off). @p
+     *  requestId tags the line so it correlates with job spans. */
     void logRequest(const std::string &client,
                     const std::string &method,
                     const std::string &target, int status,
-                    double seconds);
+                    double seconds, const std::string &requestId = "");
 
     SessionStats stats() const;
 

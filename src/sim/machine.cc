@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "support/logging.hh"
+#include "telemetry/sim_counters.hh"
 
 namespace rfl::sim
 {
@@ -66,8 +67,14 @@ Machine::drainBatchSources() const
     // flushPendingBatch() re-enters the machine only through data-path
     // calls (simulateBatch and below), which never drain, so this loop
     // cannot recurse.
+    RFL_TELEM(if (!batchSources_.empty()) {
+        telemetry::simCounters().drains.fetch_add(
+            1, std::memory_order_relaxed);
+        telemDraining_ = true;
+    });
     for (BatchSource *source : batchSources_)
         source->flushPendingBatch();
+    RFL_TELEM(telemDraining_ = false);
 }
 
 void
@@ -331,6 +338,13 @@ Machine::storeNT(int core, uint64_t addr, uint32_t bytes)
 void
 Machine::simulateBatch(const trace::AccessBatch &b, int core_override)
 {
+    RFL_TELEM({
+        using telemetry::simCounters;
+        (telemDraining_ ? simCounters().drainFlushBatches
+                        : simCounters().capacityFlushBatches)
+            .fetch_add(1, std::memory_order_relaxed);
+        simCounters().records.fetch_add(b.n, std::memory_order_relaxed);
+    });
     if (core_override >= 0) {
         simulateBatchSpan(b, 0, b.n, core_override);
         if (samplePeriod_)
@@ -377,6 +391,15 @@ Machine::simulateBatchSpan(const trace::AccessBatch &b, uint32_t begin,
     const bool coalesce =
         fastPath_ && (l1pfCheapRepeat_ || !prefetchEnabled_);
     const uint32_t line_shift = lineShift_;
+
+#ifdef RFL_TELEMETRY
+    // Hoist the runtime gate out of the consume loop and accumulate in
+    // locals; publish once at span end. The hot loop never touches an
+    // atomic, and pays nothing beyond this one load when disabled.
+    const bool telem_on = telemetry::simTelemetryEnabled();
+    uint64_t telem_runs = 0;
+    uint64_t telem_run_records = 0;
+#endif
 
     // retireFp() with the core lookup hoisted into cc.
     auto retire_fp = [&](uint8_t width_byte, uint64_t count) {
@@ -466,6 +489,12 @@ Machine::simulateBatchSpan(const trace::AccessBatch &b, uint32_t begin,
                                      writes, reads);
                     if (prefetchEnabled_)
                         l1pf->countObservedN(reads + writes);
+#ifdef RFL_TELEMETRY
+                    if (telem_on) {
+                        ++telem_runs;
+                        telem_run_records += j - i;
+                    }
+#endif
                     i = j;
                     continue;
                 }
@@ -508,6 +537,16 @@ Machine::simulateBatchSpan(const trace::AccessBatch &b, uint32_t begin,
             break;
         }
     }
+
+#ifdef RFL_TELEMETRY
+    if (telem_on && telem_runs) {
+        using telemetry::simCounters;
+        simCounters().coalescedRuns.fetch_add(telem_runs,
+                                              std::memory_order_relaxed);
+        simCounters().coalescedRecords.fetch_add(
+            telem_run_records, std::memory_order_relaxed);
+    }
+#endif
 }
 
 void

@@ -566,6 +566,16 @@ class Machine
      * snapshot() must be able to force it.
      */
     mutable std::vector<BatchSource *> batchSources_;
+
+#ifdef RFL_TELEMETRY
+    /**
+     * True while drainBatchSources() is flushing: lets simulateBatch()
+     * classify the batch it consumes by flush cause (observation-point
+     * drain vs producer-buffer capacity). Telemetry-only; never read by
+     * simulation logic.
+     */
+    mutable bool telemDraining_ = false;
+#endif
 };
 
 // The data-path entry points and the resident-line fast path are inline:

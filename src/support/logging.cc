@@ -1,8 +1,12 @@
 #include "support/logging.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <utility>
 
 namespace rfl
 {
@@ -12,23 +16,77 @@ namespace
 
 bool g_verbose = true;
 std::atomic<bool> g_fatal_throws{false};
+thread_local std::string tl_request_id;
 
+/**
+ * The one sink: "<RFC3339-UTC ms timestamp> <level>[ rid=<id>]:
+ * <message>\n", composed into a single buffer and written with one
+ * fputs so concurrent threads' lines never interleave mid-line.
+ */
 void
-vreport(FILE *stream, const char *prefix, const char *fmt, va_list ap)
+vreport(FILE *stream, const char *level, const char *fmt, va_list ap)
 {
-    std::fprintf(stream, "%s", prefix);
-    std::vfprintf(stream, fmt, ap);
-    std::fprintf(stream, "\n");
+    std::timespec ts{};
+    std::timespec_get(&ts, TIME_UTC);
+    std::tm tm{};
+    gmtime_r(&ts.tv_sec, &tm);
+
+    char line[2048];
+    size_t off = std::strftime(line, sizeof(line), "%Y-%m-%dT%H:%M:%S",
+                               &tm);
+    off += static_cast<size_t>(std::snprintf(
+        line + off, sizeof(line) - off, ".%03ldZ %s",
+        ts.tv_nsec / 1000000, level));
+    if (!tl_request_id.empty() && off < sizeof(line)) {
+        off += static_cast<size_t>(
+            std::snprintf(line + off, sizeof(line) - off, " rid=%s",
+                          tl_request_id.c_str()));
+    }
+    if (off < sizeof(line)) {
+        off += static_cast<size_t>(
+            std::snprintf(line + off, sizeof(line) - off, ": "));
+    }
+    if (off < sizeof(line)) {
+        const int n =
+            std::vsnprintf(line + off, sizeof(line) - off, fmt, ap);
+        if (n > 0)
+            off = std::min(off + static_cast<size_t>(n),
+                           sizeof(line) - 1);
+    }
+    // Truncation above is deliberate: one bounded line per message.
+    if (off > sizeof(line) - 2)
+        off = sizeof(line) - 2;
+    line[off] = '\n';
+    line[off + 1] = '\0';
+    std::fputs(line, stream);
 }
 
 } // namespace
+
+LogContext::LogContext(std::string requestId)
+    : prev_(std::exchange(
+          tl_request_id,
+          requestId.empty() ? tl_request_id : std::move(requestId)))
+{
+}
+
+LogContext::~LogContext()
+{
+    tl_request_id = std::move(prev_);
+}
+
+const std::string &
+LogContext::currentRequestId()
+{
+    return tl_request_id;
+}
 
 void
 panic(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport(stderr, "panic: ", fmt, ap);
+    vreport(stderr, "panic", fmt, ap);
     va_end(ap);
     std::abort();
 }
@@ -44,7 +102,7 @@ fatal(const char *fmt, ...)
         va_end(ap);
         throw FatalError(buf);
     }
-    vreport(stderr, "fatal: ", fmt, ap);
+    vreport(stderr, "fatal", fmt, ap);
     va_end(ap);
     std::exit(1);
 }
@@ -66,7 +124,7 @@ warn(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vreport(stderr, "warn: ", fmt, ap);
+    vreport(stderr, "warn", fmt, ap);
     va_end(ap);
 }
 
@@ -77,7 +135,7 @@ inform(const char *fmt, ...)
         return;
     va_list ap;
     va_start(ap, fmt);
-    vreport(stdout, "info: ", fmt, ap);
+    vreport(stderr, "info", fmt, ap);
     va_end(ap);
 }
 

@@ -12,7 +12,14 @@
  *   - warn():   something is off but execution can continue.
  *   - inform(): status messages.
  *
- * All channels go to stderr except inform(), which goes to stdout.
+ * Every channel goes through ONE structured stderr sink: each line is
+ * "<RFC3339-UTC timestamp> <level>[ rid]: <message>". stdout stays
+ * clean for program output — results, tables, JSON — so piping a CLI
+ * into a file or another tool never interleaves diagnostics into the
+ * data (inform() historically went to stdout and did exactly that).
+ * The optional request id is thread-local, set via LogContext: the
+ * service tags every line a request emits with the same id that lands
+ * in the job's trace spans.
  */
 
 #ifndef RFL_SUPPORT_LOGGING_HH
@@ -66,8 +73,29 @@ bool fatalThrows();
 /** Print a warning to stderr. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Print a status message to stdout. */
+/** Print a status message to stderr (never stdout; see file comment). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * RAII thread-local request-id tag: while alive, every log line this
+ * thread emits carries "rid=<id>" after the level. Scopes nest (the
+ * innermost non-empty id wins); an empty id leaves lines untagged.
+ */
+class LogContext
+{
+  public:
+    explicit LogContext(std::string requestId);
+    ~LogContext();
+
+    LogContext(const LogContext &) = delete;
+    LogContext &operator=(const LogContext &) = delete;
+
+    /** The calling thread's current request id ("" when untagged). */
+    static const std::string &currentRequestId();
+
+  private:
+    std::string prev_;
+};
 
 /** Enable/disable inform() output globally (warnings are never muted). */
 void setVerbose(bool verbose);

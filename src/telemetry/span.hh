@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Span tracing: where did the wall time of one request/job/campaign go?
+ *
+ * The model is deliberately small:
+ *   - A Tracer collects finished spans for one traced unit of work
+ *     (one campaign execution, one CLI run). It owns the clock epoch,
+ *     so timestamps are microseconds since the trace began.
+ *   - A TraceScope binds a Tracer to the current thread (RAII,
+ *     nestable). Spans record into the scope's *per-thread buffer* —
+ *     no lock, no atomic — and the buffer is flushed into the tracer
+ *     under one lock when the scope ends (or when it grows past a
+ *     limit). Thread-pool workers open one scope per task.
+ *   - A Span is an RAII stopwatch: construction stamps the start,
+ *     destruction stamps the duration and appends the record. Spans
+ *     carry a name, string attributes, and their parent (the
+ *     innermost open span on the same thread), so each job's spans
+ *     form a tree.
+ *
+ * With no TraceScope active on the thread, Span construction is two
+ * thread-local reads and no other work — instrumentation stays in the
+ * code unconditionally and costs ~nothing when nobody is tracing.
+ *
+ * Export: the chrome://tracing "trace event" JSON format (complete
+ * "X" events). writeTraceJsonl() streams one event object per line
+ * inside a top-level array — valid JSON *and* line-oriented, so the
+ * file is both greppable and loadable by chrome://tracing / Perfetto.
+ */
+
+#ifndef RFL_TELEMETRY_SPAN_HH
+#define RFL_TELEMETRY_SPAN_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace rfl::telemetry
+{
+
+/** One finished span. */
+struct SpanRecord
+{
+    std::string name;
+    uint64_t startUs = 0; ///< microseconds since the tracer's epoch
+    uint64_t durUs = 0;
+    uint32_t tid = 0;   ///< tracer-assigned thread row (dense, stable)
+    uint64_t id = 0;    ///< unique within the tracer, > 0
+    uint64_t parent = 0;///< id of the enclosing span; 0 = root
+    std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/** See file comment. All methods are thread-safe. */
+class Tracer
+{
+  public:
+    Tracer();
+
+    /** Microseconds since this tracer's construction. */
+    uint64_t nowUs() const;
+
+    /** Dense per-tracer row for the calling thread. */
+    uint32_t tidForThisThread();
+
+    /** Next unique span id (> 0). */
+    uint64_t nextSpanId();
+
+    /** Bulk-append finished spans (a scope flushing its buffer). */
+    void record(std::vector<SpanRecord> &&spans);
+
+    /** Snapshot of everything recorded so far, in record order. */
+    std::vector<SpanRecord> spans() const;
+
+    /** @return number of spans recorded so far. */
+    size_t size() const;
+
+    /** Chrome trace-event JSON: {"traceEvents":[...]} in one string. */
+    std::string renderChromeTrace() const;
+
+    /**
+     * Same events, streamed one per line inside a top-level JSON
+     * array ("JSONL inside []"): loadable by chrome://tracing,
+     * greppable line by line.
+     */
+    void writeTraceJsonl(std::ostream &os) const;
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> spans_;
+    std::map<std::thread::id, uint32_t> tids_;
+    uint64_t nextId_ = 1;
+};
+
+/**
+ * Binds @p tracer to the current thread for this scope's lifetime
+ * (nullptr = tracing disabled, all spans no-ops). Scopes nest; the
+ * inner scope wins until it ends.
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(Tracer *tracer);
+    ~TraceScope();
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    /** The innermost active scope on this thread (nullptr = none). */
+    static TraceScope *current();
+
+    Tracer *tracer() const { return tracer_; }
+
+  private:
+    friend class Span;
+
+    /** Append one finished span; flushes when the buffer is large. */
+    void add(SpanRecord &&rec);
+    void flush();
+
+    Tracer *tracer_;
+    TraceScope *prev_;
+    uint32_t tid_ = 0;
+    /** Innermost open span id on this thread (parent for new spans). */
+    uint64_t openSpan_ = 0;
+    std::vector<SpanRecord> buffer_;
+};
+
+/** RAII span; see file comment. */
+class Span
+{
+  public:
+    explicit Span(std::string name);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach a string attribute (no-op when not tracing). */
+    void attr(std::string key, std::string value);
+
+    /** @return whether a tracer is actually collecting this span. */
+    bool active() const { return scope_ != nullptr; }
+
+  private:
+    TraceScope *scope_;
+    SpanRecord rec_;
+};
+
+} // namespace rfl::telemetry
+
+#endif // RFL_TELEMETRY_SPAN_HH

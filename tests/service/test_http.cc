@@ -284,16 +284,21 @@ TEST(HttpServiceRateLimit, OverRateClientsGet429ButHealthzPasses)
 
     HttpClient client("127.0.0.1", server.port());
     ClientResponse resp;
-    // Burst of 2 passes, the third is throttled.
-    ASSERT_TRUE(client.request("GET", "/statsz", &resp));
-    EXPECT_EQ(resp.status, 200);
-    ASSERT_TRUE(client.request("GET", "/statsz", &resp));
-    EXPECT_EQ(resp.status, 200);
-    ASSERT_TRUE(client.request("GET", "/statsz", &resp));
+    // Burst of 2 passes, the third is throttled (unknown tickets are
+    // still rate-limited requests).
+    ASSERT_TRUE(client.request("GET", "/v1/campaigns/nope", &resp));
+    EXPECT_EQ(resp.status, 404);
+    ASSERT_TRUE(client.request("GET", "/v1/campaigns/nope", &resp));
+    EXPECT_EQ(resp.status, 404);
+    ASSERT_TRUE(client.request("GET", "/v1/campaigns/nope", &resp));
     EXPECT_EQ(resp.status, 429);
 
-    // Liveness probes bypass the limiter.
+    // Liveness probes and metric scrapers bypass the limiter.
     ASSERT_TRUE(client.request("GET", "/healthz", &resp));
+    EXPECT_EQ(resp.status, 200);
+    ASSERT_TRUE(client.request("GET", "/statsz", &resp));
+    EXPECT_EQ(resp.status, 200);
+    ASSERT_TRUE(client.request("GET", "/metricsz", &resp));
     EXPECT_EQ(resp.status, 200);
 
     EXPECT_GE(sessions.stats().rateLimited, 1u);
@@ -322,6 +327,82 @@ TEST_F(HttpServiceTest, StatszReportsDedupAndCacheCounters)
     EXPECT_NE(resp.body.find("\"deduplicated\":1"),
               std::string::npos);
     EXPECT_NE(resp.body.find("\"stores\":"), std::string::npos);
+}
+
+TEST_F(HttpServiceTest, MetricszCountersMoveAcrossSubmitToDone)
+{
+    HttpClient client("127.0.0.1", server_->port());
+    ClientResponse resp;
+
+    // A metric's value on the line "name 3" / "name{labels} 3".
+    const auto metricValue = [](const std::string &text,
+                                const std::string &name) -> double {
+        std::istringstream lines(text);
+        for (std::string line; std::getline(lines, line);) {
+            if (line.rfind(name, 0) != 0)
+                continue;
+            const char after = line.size() > name.size()
+                                   ? line[name.size()]
+                                   : '\0';
+            if (after != ' ' && after != '{')
+                continue; // prefix of a longer family name
+            const size_t sp = line.rfind(' ');
+            return std::stod(line.substr(sp + 1));
+        }
+        ADD_FAILURE() << "metric " << name << " not exposed";
+        return -1.0;
+    };
+
+    ASSERT_TRUE(client.request("GET", "/metricsz", &resp));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_NE(resp.headers["content-type"].find("version=0.0.4"),
+              std::string::npos)
+        << "Prometheus scrapers key on the 0.0.4 content type";
+    const double executedBefore =
+        metricValue(resp.body, "rfl_queue_executed_total");
+
+    const std::string id = submitAndWait(client, kSpec);
+
+    ASSERT_TRUE(client.request("GET", "/metricsz", &resp));
+    EXPECT_EQ(resp.status, 200);
+    // The full submit -> done cycle must be visible in the registry:
+    // queue counters, turnaround histogram and HTTP families all move.
+    EXPECT_EQ(metricValue(resp.body, "rfl_queue_executed_total"),
+              executedBefore + 1);
+    EXPECT_GE(metricValue(resp.body, "rfl_queue_submitted_total"),
+              1.0);
+    EXPECT_GE(
+        metricValue(resp.body, "rfl_queue_turnaround_seconds_count"),
+        1.0);
+    EXPECT_GE(metricValue(resp.body, "rfl_campaign_job_seconds_count"),
+              1.0);
+    EXPECT_GE(metricValue(resp.body, "rfl_http_requests_total"), 2.0);
+    EXPECT_NE(resp.body.find("# TYPE rfl_queue_executed_total counter"),
+              std::string::npos);
+    EXPECT_NE(resp.body.find(
+                  "rfl_http_request_seconds_bucket{endpoint="),
+              std::string::npos)
+        << "per-endpoint latency histograms must be labeled";
+
+    // /statsz serves the same registry as JSON, same numbers.
+    ASSERT_TRUE(client.request("GET", "/statsz", &resp));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("\"executed\":1"), std::string::npos);
+
+    // And the span tree of the finished job is fetchable.
+    ASSERT_TRUE(client.request("GET", "/tracez", &resp));
+    EXPECT_EQ(resp.status, 400) << "?job=<ticket> is required";
+    ASSERT_TRUE(client.request(
+        "GET", "/tracez?job=0123456789abcdef", &resp));
+    EXPECT_EQ(resp.status, 404);
+    ASSERT_TRUE(client.request("GET", "/tracez?job=" + id, &resp));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(resp.body.find("\"name\":\"campaign\""),
+              std::string::npos);
+    EXPECT_NE(resp.body.find("\"name\":\"simulate\""),
+              std::string::npos)
+        << "executor-level spans must ride the job's tracer";
 }
 
 } // namespace

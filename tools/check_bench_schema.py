@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Validate the schema of rfl's machine-readable JSON artifacts.
 
-Three document kinds are recognized by content:
+Four document kinds are recognized by content:
   - BENCH_sim_throughput.json perf-trajectory files (schema v2,
     bench == "sim_throughput"),
   - BENCH_service_throughput.json service-load files (schema v1,
     bench == "service_throughput") produced by bench/service_throughput
-    against the roofline-as-a-service daemon (src/service/), and
+    against the roofline-as-a-service daemon (src/service/),
   - analysis.json roofline-analysis documents (schema v3,
     kind == "rfl-analysis") produced by the analysis subsystem
-    (src/analysis/analysis.hh) via roofline_report.
+    (src/analysis/analysis.hh) via roofline_report, and
+  - metrics.json telemetry snapshots (schema v1, kind == "rfl-metrics")
+    written by roofline_campaign --telemetry-dir from the metrics
+    registry (src/telemetry/metrics.hh).
 
 CI runs this after bench/sim_throughput and after roofline_report, so
 schema regressions (renamed keys, missing workloads, non-numeric rates,
@@ -258,6 +261,47 @@ def check_analysis(doc: dict) -> None:
           f"{len(kernels)} kernel rows, {len(phases)} phase rows)")
 
 
+def check_metrics(doc: dict) -> None:
+    if require(doc, "schema_version", int) != 1:
+        fail("unknown schema_version (expected 1)")
+    require(doc, "campaign", str)
+
+    metrics = require(doc, "metrics", dict)
+    if not metrics:
+        fail("metrics object is empty (was telemetry enabled?)")
+    leaves = 0
+    for group, members in metrics.items():
+        if not isinstance(members, dict):
+            fail(f"metrics group '{group}' is not an object")
+        if not members:
+            fail(f"metrics group '{group}' is empty")
+        for name, value in members.items():
+            ctx = f"metric {group}.{name}"
+            if isinstance(value, dict):
+                # Histogram summary from Registry::renderJsonGrouped.
+                for field in ("count", "sum", "p50", "p90", "p99"):
+                    finite_number(value, field, ctx)
+                if value["count"] < 0:
+                    fail(f"{ctx}: count must be non-negative")
+            elif isinstance(value, (int, float)):
+                if isinstance(value, float) and not math.isfinite(value):
+                    fail(f"{ctx}: value is not finite")
+            else:
+                fail(f"{ctx}: value must be a number or a histogram "
+                     f"summary object")
+            leaves += 1
+
+    # A campaign run with telemetry enabled always reports at least its
+    # own cache-probe counters; an empty campaign group means the
+    # executor instrumentation regressed.
+    if "campaign" not in metrics:
+        fail("metrics group 'campaign' missing (executor counters)")
+
+    print(f"{sys.argv[1]}: schema OK "
+          f"(metrics v1: campaign '{doc['campaign']}', "
+          f"{len(metrics)} groups, {leaves} metrics)")
+
+
 def main() -> None:
     if len(sys.argv) != 2:
         fail("usage: check_bench_schema.py <bench.json | analysis.json>")
@@ -282,9 +326,12 @@ def main() -> None:
         check_bench(doc)
     elif doc.get("kind") == "rfl-analysis":
         check_analysis(doc)
+    elif doc.get("kind") == "rfl-metrics":
+        check_metrics(doc)
     else:
-        fail("unrecognized document: neither a BENCH_*.json "
-             "('bench' key) nor an analysis.json (kind=rfl-analysis)")
+        fail("unrecognized document: not a BENCH_*.json ('bench' key), "
+             "an analysis.json (kind=rfl-analysis), or a metrics.json "
+             "(kind=rfl-metrics)")
 
 
 if __name__ == "__main__":

@@ -2,8 +2,9 @@
 # Smoke-test the roofline-as-a-service daemon end to end:
 #   start roofline_serve on an ephemeral port -> submit a small
 #   campaign -> poll to completion -> validate analysis.json against
-#   the schema checker -> exercise dedup + statsz -> SIGTERM and
-#   assert a clean (exit 0) shutdown.
+#   the schema checker -> exercise dedup + statsz -> scrape /metricsz
+#   and /tracez (job counters must have moved) -> SIGTERM and assert a
+#   clean (exit 0) shutdown.
 # Run by CI in both the Release and ASan/UBSan jobs:
 #   tools/service_smoke.sh <build-dir>
 set -euo pipefail
@@ -71,6 +72,47 @@ assert s["queue"]["executed"] == 1, s
 assert s["queue"]["deduplicated"] == 1, s
 assert s["cache"]["stores"] >= 2, s
 print("statsz OK:", json.dumps(s["queue"]))'
+
+# The Prometheus exposition serves the same registry: the job we just
+# ran must be visible in the counters, not scraped as all-zeros.
+curl -fsS "$BASE/metricsz" > "$WORK/metrics.prom"
+python3 - "$WORK/metrics.prom" <<'EOF'
+import sys
+
+values = {}
+for line in open(sys.argv[1]):
+    if line.startswith("#") or not line.strip():
+        continue
+    name, _, value = line.rpartition(" ")
+    values[name] = float(value)
+
+def require_positive(metric):
+    if values.get(metric, 0.0) <= 0.0:
+        sys.exit(f"FAIL: /metricsz {metric} = "
+                 f"{values.get(metric, '<absent>')}; job counters "
+                 f"must move after an executed campaign")
+
+require_positive("rfl_queue_executed_total")
+require_positive("rfl_queue_submitted_total")
+require_positive("rfl_queue_deduplicated_total")
+require_positive("rfl_queue_turnaround_seconds_count")
+require_positive("rfl_campaign_job_seconds_count")
+require_positive("rfl_http_requests_total")
+require_positive("rfl_sim_records_total")
+print("metricsz OK:",
+      f"executed={values['rfl_queue_executed_total']:.0f}",
+      f"sim_records={values['rfl_sim_records_total']:.0f}")
+EOF
+
+# The finished job's span tree is served as chrome://tracing JSON.
+curl -fsS "$BASE/tracez?job=$ID" > "$WORK/trace.json"
+python3 - "$WORK/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+names = {e["name"] for e in events}
+assert {"campaign", "simulate", "encode"} <= names, names
+print(f"tracez OK: {len(events)} spans")
+EOF
 
 # Graceful shutdown: SIGTERM must end the process with exit code 0.
 kill -TERM "$SERVE_PID"
