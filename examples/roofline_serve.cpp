@@ -75,6 +75,11 @@ serve(int argc, char **argv)
                   "2");
     cli.addOption("sim-threads", "host threads per campaign (0 = all "
                                  "hardware threads)", "0");
+    cli.addOption("job-timeout",
+                  "wall-clock seconds each campaign job may run "
+                  "before it is cancelled and the ticket lands in "
+                  "timed_out (0 = unlimited)",
+                  "0");
     cli.addOption("queue-depth", "max queued campaigns before 429",
                   "32");
     cli.addOption("retain", "finished campaigns kept in memory "
@@ -106,6 +111,7 @@ serve(int argc, char **argv)
         static_cast<size_t>(cli.getInt("retain", 256));
     qopts.exec.threads =
         static_cast<int>(cli.getInt("sim-threads", 0));
+    qopts.exec.jobTimeoutSeconds = cli.getDouble("job-timeout", 0.0);
     qopts.exec.traceDir = out + "/traces";
     qopts.cachePath = cache_path;
     // A resident daemon wants the simulator's fleet counters in every

@@ -1,5 +1,6 @@
 #include "campaign/executor.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -12,6 +13,8 @@
 #include "kernels/registry.hh"
 #include "roofline/experiment.hh"
 #include "support/address_arena.hh"
+#include "support/cancel.hh"
+#include "support/failpoint.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
@@ -62,6 +65,21 @@ campaignMetrics()
 }
 
 /**
+ * Between-stage seam of a job: deadline check plus named fault
+ * injection. An error-action failpoint fails the job via fatal()
+ * (which throws in service mode), a throw-action one throws
+ * FailpointError directly; either way the job fails cleanly between
+ * stages, never mid-simulation.
+ */
+void
+stageGate(const char *failpointName, const char *stage)
+{
+    checkCancelled(stage);
+    if (failpoint::fire(failpointName))
+        fatal("campaign: injected fault before %s stage", stage);
+}
+
+/**
  * Record one traced kernel's access stream into a content-addressed
  * file under @p trace_dir. The stream depends only on the kernel spec
  * and the record parameters (machine max lanes, fixed seed) — see
@@ -97,6 +115,7 @@ recordTrace(const sim::MachineConfig &config, const std::string &spec,
     std::optional<sim::Machine> machine;
     AddressArena::Scope scope;
     std::unique_ptr<kernels::Kernel> kernel;
+    stageGate("job.machine-build", "machine-build");
     {
         telemetry::Span build("machine-build");
         machine.emplace(config);
@@ -107,6 +126,7 @@ recordTrace(const sim::MachineConfig &config, const std::string &spec,
 
     trace::TraceWriter writer(tmp);
     writer.setDependentAccesses(kernel->dependentAccesses());
+    stageGate("job.simulate", "simulate");
     {
         telemetry::Span sim("simulate");
         kernels::SimEngine engine(*machine, 0, params.lanes,
@@ -115,6 +135,7 @@ recordTrace(const sim::MachineConfig &config, const std::string &spec,
         kernel->run(engine, 0, 1);
     }
 
+    stageGate("job.encode", "encode");
     telemetry::Span encode("encode");
     writer.finish();
 
@@ -196,18 +217,21 @@ executeJob(const CampaignSpec &spec, const Job &job,
     switch (job.kind) {
       case JobKind::Ceiling: {
         std::optional<roofline::Experiment> exp;
+        stageGate("job.machine-build", "machine-build");
         {
             telemetry::Span build("machine-build");
             exp.emplace(machine.config);
             exp->machine().setMemPolicy(opts.memPolicy);
             exp->machine().setPrefetchEnabled(opts.prefetchEnabled);
         }
+        stageGate("job.simulate", "simulate");
         {
             telemetry::Span sim("simulate");
             result.model =
                 exp->probe().characterize(opts.measure.cores);
         }
         if (cache) {
+            stageGate("job.encode", "encode");
             telemetry::Span encode("encode");
             cache->store(job.cacheKey, encodeModel(result.model));
         }
@@ -215,18 +239,21 @@ executeJob(const CampaignSpec &spec, const Job &job,
       }
       case JobKind::Measure: {
         std::optional<roofline::Experiment> exp;
+        stageGate("job.machine-build", "machine-build");
         {
             telemetry::Span build("machine-build");
             exp.emplace(machine.config);
             exp->machine().setMemPolicy(opts.memPolicy);
             exp->machine().setPrefetchEnabled(opts.prefetchEnabled);
         }
+        stageGate("job.simulate", "simulate");
         {
             telemetry::Span sim("simulate");
             result.measurement = exp->measureSpec(
                 spec.kernels()[job.kernelIndex], opts.measure);
         }
         if (cache) {
+            stageGate("job.encode", "encode");
             telemetry::Span encode("encode");
             cache->store(job.cacheKey,
                          encodeMeasurement(result.measurement));
@@ -238,6 +265,7 @@ executeJob(const CampaignSpec &spec, const Job &job,
             recordTrace(machine.config, spec.traces()[job.kernelIndex],
                         exec_opts.traceDir, job.id);
         if (cache) {
+            stageGate("job.encode", "encode");
             telemetry::Span encode("encode");
             cache->store(job.cacheKey, encodeTraceInfo(result.trace));
         }
@@ -250,6 +278,7 @@ executeJob(const CampaignSpec &spec, const Job &job,
         const TraceInfo &info = results[job.deps[1]].trace;
         std::optional<trace::TraceKernel> kernel;
         std::optional<sim::Machine> sim_machine;
+        stageGate("job.machine-build", "machine-build");
         {
             telemetry::Span build("machine-build");
             kernel.emplace(info.path);
@@ -261,6 +290,7 @@ executeJob(const CampaignSpec &spec, const Job &job,
         // Replay is single-stream: run on the variant's first core.
         roofline::MeasureOptions mopts = opts.measure;
         mopts.cores = {opts.measure.cores.front()};
+        stageGate("job.simulate", "simulate");
         {
             telemetry::Span sim("simulate");
             result.measurement = measurer.measure(*kernel, mopts);
@@ -270,6 +300,7 @@ executeJob(const CampaignSpec &spec, const Job &job,
         result.measurement.kernel =
             "trace(" + spec.traces()[job.kernelIndex] + ")";
         if (cache) {
+            stageGate("job.encode", "encode");
             telemetry::Span encode("encode");
             cache->store(job.cacheKey,
                          encodeMeasurement(result.measurement));
@@ -279,18 +310,21 @@ executeJob(const CampaignSpec &spec, const Job &job,
       case JobKind::PhaseSample: {
         const PhaseEntry &phase = spec.phases()[job.kernelIndex];
         std::optional<sim::Machine> sim_machine;
+        stageGate("job.machine-build", "machine-build");
         {
             telemetry::Span build("machine-build");
             sim_machine.emplace(machine.config);
             sim_machine->setMemPolicy(opts.memPolicy);
             sim_machine->setPrefetchEnabled(opts.prefetchEnabled);
         }
+        stageGate("job.simulate", "simulate");
         {
             telemetry::Span sim("simulate");
             result.phases = analysis::samplePhasesSpec(
                 *sim_machine, phase.spec, opts.measure, phase.period);
         }
         if (cache) {
+            stageGate("job.encode", "encode");
             telemetry::Span encode("encode");
             cache->store(job.cacheKey,
                          encodePhaseTrajectory(result.phases));
@@ -414,6 +448,18 @@ CampaignExecutor::run(const CampaignSpec &spec,
     ThreadPool pool(opts_.threads);
     run.threadsUsed = pool.threadCount();
 
+    // Deadline plumbing: the run deadline (spec `timeout =`) is fixed
+    // at start; each job additionally gets jobTimeoutSeconds from its
+    // own start, the earlier deadline winning. All tokens link one
+    // abort flag — the first failure (timeout or otherwise) cancels
+    // every sibling at its next drain check.
+    std::atomic<bool> abortRun{false};
+    const bool hasRunDeadline = spec.timeoutSeconds() > 0.0;
+    const auto runDeadline =
+        start + std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(spec.timeoutSeconds()));
+
     // submitJob is recursive through the pool: finishing a job submits
     // its newly-unblocked dependents.
     std::function<void(size_t)> submitJob = [&](size_t id) {
@@ -423,7 +469,24 @@ CampaignExecutor::run(const CampaignSpec &spec,
             telemetry::TraceScope traceScope(tracer);
             const Job &job = run.jobs[id];
             const auto jobStart = std::chrono::steady_clock::now();
-            {
+            CancelToken token;
+            token.linkAbortFlag(&abortRun);
+            if (hasRunDeadline)
+                token.setDeadline(runDeadline);
+            if (opts_.jobTimeoutSeconds > 0.0) {
+                const auto jobDeadline =
+                    jobStart +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            opts_.jobTimeoutSeconds));
+                token.setDeadline(hasRunDeadline
+                                      ? std::min(runDeadline,
+                                                 jobDeadline)
+                                      : jobDeadline);
+            }
+            CancelScope cancelScope(&token);
+            try {
                 telemetry::Span span(jobKindName(job.kind));
                 span.attr("job", std::to_string(id));
                 span.attr("machine",
@@ -433,6 +496,11 @@ CampaignExecutor::run(const CampaignSpec &spec,
                                state.simulated, state.cacheHits);
                 if (run.results[id].fromCache)
                     span.attr("cached", "true");
+            } catch (...) {
+                // The pool keeps (and rethrows) only the first
+                // failure; the flag makes the rest unwind fast.
+                abortRun.store(true, std::memory_order_relaxed);
+                throw;
             }
             const double jobSeconds =
                 std::chrono::duration<double>(

@@ -48,6 +48,17 @@ struct ExecutorOptions
      * disk and re-recorded if the file vanished or no longer matches.
      */
     std::string traceDir = "rfl-traces";
+    /**
+     * Wall-clock budget per job in seconds; 0 disables. Combined with
+     * the spec's own `timeout =` (the earlier deadline wins) into a
+     * CancelToken bound to the worker for the job's duration; the
+     * simulator polls it at batch-drain boundaries. The first job to
+     * exceed its deadline throws TimedOutError AND flips a shared
+     * abort flag, so every sibling job of the same run unwinds at its
+     * next drain check instead of running to completion — run() never
+     * leaves a worker grinding on behalf of a dead campaign.
+     */
+    double jobTimeoutSeconds = 0.0;
 };
 
 /** Outcome of one job. */
@@ -125,10 +136,11 @@ class CampaignExecutor
     explicit CampaignExecutor(ExecutorOptions opts = {});
 
     /** Expand @p spec and run every job; blocks until done. Rethrows
-     *  the first worker failure (see support/thread_pool.hh), leaving
-     *  no background work behind. When @p tracer is non-null, every
-     *  job records a span tree (cache-probe / machine-build / simulate
-     *  / encode) into it. */
+     *  the first worker failure (see support/thread_pool.hh) — a
+     *  TimedOutError when a job overran its deadline — leaving no
+     *  background work behind. When @p tracer is non-null, every job
+     *  records a span tree (cache-probe / machine-build / simulate /
+     *  encode) into it. */
     CampaignRun run(const CampaignSpec &spec,
                     telemetry::Tracer *tracer = nullptr) const;
 

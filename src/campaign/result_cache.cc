@@ -1,13 +1,65 @@
 #include "campaign/result_cache.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
 #include "campaign/serialize.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
+#include "support/retry.hh"
+#include "telemetry/metrics.hh"
 
 namespace rfl::campaign
 {
+
+namespace
+{
+
+/** fsync a directory so a freshly created/renamed dirent is durable.
+ *  Best-effort: some filesystems reject directory fsync, and a failed
+ *  one only weakens durability, never correctness. */
+void
+fsyncDirectory(const std::filesystem::path &dir)
+{
+    const std::string path = dir.empty() ? "." : dir.string();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return;
+    if (::fsync(fd) != 0)
+        warn("result cache: fsync of directory '%s' failed",
+             path.c_str());
+    ::close(fd);
+}
+
+/** Write @p blob to @p path and fsync it; @return success. */
+bool
+writeFileSynced(const std::string &path, const std::string &blob)
+{
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    size_t off = 0;
+    while (off < blob.size()) {
+        const ssize_t n =
+            ::write(fd, blob.data() + off, blob.size() - off);
+        if (n < 0) {
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        return false;
+    }
+    return ::close(fd) == 0;
+}
+
+} // namespace
 
 ResultCache::ResultCache(const std::string &spillPath)
     : spillPath_(spillPath)
@@ -22,13 +74,24 @@ ResultCache::ResultCache(const std::string &spillPath)
         if (line.empty())
             continue;
         // A corrupt line (e.g. an append truncated by a crash) costs
-        // one re-simulation, not the whole cache: warn and skip.
+        // one re-simulation, not the whole cache: set it aside in the
+        // quarantine file — evidence for a post-mortem — and move on.
         Json entry;
-        if (!Json::tryParse(line, &entry) ||
+        if (RFL_FAILPOINT("cache.spill.read") ||
+            !Json::tryParse(line, &entry) ||
             entry.kind() != Json::Kind::Object ||
             !entry.has("key") || !entry.has("payload")) {
-            warn("result cache %s:%d: skipping unparsable entry",
+            warn("result cache %s:%d: quarantining unparsable entry",
                  spillPath_.c_str(), lineno);
+            std::ofstream q(spillPath_ + ".quarantine",
+                            std::ios::app);
+            if (q)
+                q << line << "\n";
+            ++stats_.quarantined;
+            telemetry::Registry::global()
+                .counter("rfl_cache_quarantined_lines_total",
+                         "unparsable spill lines set aside on load")
+                .inc();
             continue;
         }
         // Later lines win: the file is append-only.
@@ -61,15 +124,27 @@ ResultCache::store(const std::string &key, const std::string &payload)
     ++stats_.stores;
     if (spillPath_.empty())
         return;
-    std::ofstream out(spillPath_, std::ios::app);
-    if (!out)
-        fatal("result cache: cannot append to '%s'", spillPath_.c_str());
     Json entry = Json::makeObject();
     entry.set("key", Json::makeString(key));
     // Payloads are JSON already; re-parse so the spill line nests them
     // as a value rather than an escaped string.
     entry.set("payload", Json::parse(payload));
-    out << entry.dump() << "\n";
+    const std::string line = entry.dump() + "\n";
+    // A transient append failure (sick disk, injected fault) costs a
+    // few milliseconds of backoff, not the campaign.
+    const bool ok = retryWithBackoff("cache-append", [&] {
+        if (RFL_FAILPOINT("cache.spill.append"))
+            return false;
+        std::ofstream out(spillPath_, std::ios::app);
+        if (!out)
+            return false;
+        out << line;
+        out.flush();
+        return out.good();
+    });
+    if (!ok)
+        fatal("result cache: cannot append to '%s'",
+              spillPath_.c_str());
 }
 
 bool
@@ -113,17 +188,33 @@ ResultCache::compact(const std::set<std::string> &liveConfigHashes)
     // Rewrite the spill to exactly the surviving entries. Even with
     // zero drops this collapses append-only duplicate lines, so a
     // compacted file loads one line per entry.
+    std::string blob;
+    for (const auto &[key, payload] : entries_) {
+        Json entry = Json::makeObject();
+        entry.set("key", Json::makeString(key));
+        entry.set("payload", Json::parse(payload));
+        blob += entry.dump();
+        blob += "\n";
+    }
+
+    // Crash-only discipline: the temp file AND its directory entry
+    // must be on disk before the rename publishes it, else a crash
+    // right after the rename could leave an empty (or hole-y) spill.
     const std::string tmp = spillPath_ + ".compact.tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out)
-            fatal("result cache: cannot write '%s'", tmp.c_str());
-        for (const auto &[key, payload] : entries_) {
-            Json entry = Json::makeObject();
-            entry.set("key", Json::makeString(key));
-            entry.set("payload", Json::parse(payload));
-            out << entry.dump() << "\n";
-        }
+    const std::filesystem::path dir =
+        std::filesystem::path(spillPath_).parent_path();
+    const bool wrote = retryWithBackoff("cache-compact", [&] {
+        if (RFL_FAILPOINT("cache.compact.write"))
+            return false;
+        return writeFileSynced(tmp, blob);
+    });
+    if (!wrote)
+        fatal("result cache: cannot write '%s'", tmp.c_str());
+    fsyncDirectory(dir);
+
+    if (RFL_FAILPOINT("cache.compact.rename")) {
+        fatal("result cache: cannot replace '%s': injected fault",
+              spillPath_.c_str());
     }
     std::error_code ec;
     std::filesystem::rename(tmp, spillPath_, ec);
@@ -131,6 +222,7 @@ ResultCache::compact(const std::set<std::string> &liveConfigHashes)
         fatal("result cache: cannot replace '%s': %s",
               spillPath_.c_str(), ec.message().c_str());
     }
+    fsyncDirectory(dir);
     return dropped;
 }
 

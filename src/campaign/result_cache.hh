@@ -14,6 +14,14 @@
  *
  * Later lines win on duplicate keys (append-only updates). All methods
  * are thread-safe; the executor calls them from pool workers.
+ *
+ * Crash-only recovery: a line truncated by a crash (or any other
+ * unparsable line) is moved to `<spill>.quarantine` on load — counted
+ * in rfl_cache_quarantined_lines_total — and costs one re-simulation,
+ * never the cache. Spill appends retry transient failures with
+ * backoff (support/retry.hh); compaction fsyncs the temp file and its
+ * directory before the rename, so a crash at any instant leaves
+ * either the old or the new spill fully intact on disk.
  */
 
 #ifndef RFL_CAMPAIGN_RESULT_CACHE_HH
@@ -30,10 +38,11 @@ namespace rfl::campaign
 /** Hit/miss accounting of one cache instance. */
 struct CacheStats
 {
-    size_t hits = 0;      ///< lookups answered from memory
-    size_t misses = 0;    ///< lookups that found nothing
-    size_t stores = 0;    ///< entries stored this run
-    size_t preloaded = 0; ///< entries loaded from the spill file on open
+    size_t hits = 0;        ///< lookups answered from memory
+    size_t misses = 0;      ///< lookups that found nothing
+    size_t stores = 0;      ///< entries stored this run
+    size_t preloaded = 0;   ///< entries loaded from the spill file on open
+    size_t quarantined = 0; ///< unparsable spill lines set aside on open
 };
 
 /** See file comment. */

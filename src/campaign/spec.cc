@@ -198,6 +198,16 @@ CampaignSpec::addVariant(const std::string &label,
     return addVariant(label, opts);
 }
 
+CampaignSpec &
+CampaignSpec::setTimeout(double seconds)
+{
+    if (seconds < 0.0)
+        fatal("campaign '%s': timeout must be >= 0, got %g",
+              name_.c_str(), seconds);
+    timeoutSeconds_ = seconds;
+    return *this;
+}
+
 void
 CampaignSpec::validate() const
 {
@@ -302,6 +312,10 @@ CampaignSpec::stableHash() const
         h.mix(v.label);
         h.mix(v.opts.canonicalKey());
     }
+    // The timeout does not change result bytes, but a timed-out ticket
+    // must not shadow a later, more patient resubmission in the
+    // service's dedup map — distinct budget, distinct ticket.
+    h.mix(timeoutSeconds_);
     return h.value();
 }
 
@@ -331,6 +345,14 @@ parseCampaignSpec(const std::string &text)
 
         if (key == "name") {
             name = value;
+        } else if (key == "timeout") {
+            char *end = nullptr;
+            const double seconds = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' || seconds < 0.0)
+                fatal("campaign line %d: timeout expects seconds >= 0, "
+                      "got '%s'",
+                      lineno, value.c_str());
+            spec.setTimeout(seconds);
         } else if (key == "machine") {
             if (value == "default")
                 spec.addMachine(sim::MachineConfig::defaultPlatform());
@@ -408,6 +430,7 @@ parseCampaignSpec(const std::string &text)
         named.addPhase(p.spec, p.period);
     for (const Variant &v : spec.variants())
         named.addVariant(v.label, v.opts);
+    named.setTimeout(spec.timeoutSeconds());
     named.validate();
     return named;
 }

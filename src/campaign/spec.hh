@@ -14,6 +14,7 @@
  *   name = overview
  *   machine = default                 # preset: default | small | scalar
  *   machine = @my-box.cfg             # or a sim/config_io file
+ *   timeout = 2.5                     # run wall budget, seconds
  *   kernel = sum:n=1048576
  *   kernel = triad:n=4194304
  *   trace = daxpy:n=65536             # record once, replay per variant
@@ -114,6 +115,11 @@ class CampaignSpec
     /** Variant with default machine-level knobs. */
     CampaignSpec &addVariant(const std::string &label,
                              const roofline::MeasureOptions &measure);
+    /** Wall-clock budget for the whole run, seconds; 0 disables (the
+     *  default). A run exceeding it is cancelled at the next batch-
+     *  drain boundary and fails with TimedOutError (support/cancel.hh);
+     *  the service surfaces that as the TimedOut job state. */
+    CampaignSpec &setTimeout(double seconds);
     ///@}
 
     const std::string &name() const { return name_; }
@@ -122,6 +128,7 @@ class CampaignSpec
     const std::vector<std::string> &traces() const { return traces_; }
     const std::vector<PhaseEntry> &phases() const { return phases_; }
     const std::vector<Variant> &variants() const { return variants_; }
+    double timeoutSeconds() const { return timeoutSeconds_; }
 
     /** Number of measurement runs the grid expands to (trace-replay
      *  and phase-sample runs included). */
@@ -159,6 +166,8 @@ class CampaignSpec
     /** Kernel specs to phase-sample (see file comment). */
     std::vector<PhaseEntry> phases_;
     std::vector<Variant> variants_;
+    /** Run wall budget in seconds; 0 = unlimited. */
+    double timeoutSeconds_ = 0.0;
 };
 
 /** Parse the text format (see file comment); fatal() on errors. */

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "campaign/serialize.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "telemetry/metrics.hh"
 
@@ -32,6 +33,17 @@ jsonError(int status, const std::string &message)
     return jsonResponse(status, doc);
 }
 
+/** 429 with a Retry-After hint so well-behaved clients back off for a
+ *  sane interval instead of hammering or guessing. */
+HttpResponse
+backpressureError(const std::string &message, int retryAfterSeconds)
+{
+    HttpResponse resp = jsonError(429, message);
+    resp.headers.emplace_back("Retry-After",
+                              std::to_string(retryAfterSeconds));
+    return resp;
+}
+
 Json
 statusJson(const JobStatus &st)
 {
@@ -39,7 +51,8 @@ statusJson(const JobStatus &st)
     doc.set("id", Json::makeString(st.id));
     doc.set("campaign", Json::makeString(st.campaign));
     doc.set("state", Json::makeString(jobStateName(st.state)));
-    if (st.state == JobState::Failed)
+    if (st.state == JobState::Failed ||
+        st.state == JobState::TimedOut)
         doc.set("error", Json::makeString(st.error));
     if (st.state == JobState::Queued && st.queuePosition > 0) {
         doc.set("queue_position",
@@ -162,7 +175,7 @@ ApiHandler::handle(const HttpRequest &req)
                         req.path == "/statsz" ||
                         req.path == "/metricsz";
     if (!exempt && !sessions_.admit(req.clientAddr))
-        resp = jsonError(429, "rate limited");
+        resp = backpressureError("rate limited", 1);
     else
         resp = dispatch(req, requestId);
     const double seconds =
@@ -236,7 +249,8 @@ ApiHandler::submitCampaign(const HttpRequest &req,
       case SubmitOutcome::Kind::Invalid:
         return jsonError(400, outcome.error);
       case SubmitOutcome::Kind::QueueFull:
-        return jsonError(429, "campaign queue is full, retry later");
+        return backpressureError("campaign queue is full, retry later",
+                                 2);
       case SubmitOutcome::Kind::Accepted:
       case SubmitOutcome::Kind::Deduplicated: {
         JobStatus st;
@@ -282,6 +296,9 @@ ApiHandler::campaignRoute(const HttpRequest &req)
 
     if (st.state == JobState::Failed)
         return jsonError(500, "campaign failed: " + st.error);
+    if (st.state == JobState::TimedOut)
+        return jsonError(504, "campaign timed out: " + st.error +
+                                  " (resubmit to retry)");
     if (st.state != JobState::Done) {
         Json doc = statusJson(st);
         doc.set("error",
@@ -290,6 +307,13 @@ ApiHandler::campaignRoute(const HttpRequest &req)
                                  id));
         return jsonResponse(409, doc);
     }
+
+    // Fault-injection seam for artifact streaming: the client gets a
+    // well-formed 503 and the artifact stays intact for the retry.
+    if (RFL_FAILPOINT("api.stream"))
+        return jsonError(503,
+                         "artifact stream unavailable (injected "
+                         "fault), retry");
 
     HttpResponse resp;
     if (artifact == "analysis") {

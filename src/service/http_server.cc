@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include "service/net_util.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 
 namespace rfl::service
@@ -119,6 +120,7 @@ httpStatusText(int status)
       case 429: return "Too Many Requests";
       case 500: return "Internal Server Error";
       case 503: return "Service Unavailable";
+      case 504: return "Gateway Timeout";
       default: return "Unknown";
     }
 }
@@ -235,6 +237,13 @@ HttpServer::acceptLoop()
                 std::chrono::milliseconds(10));
             continue;
         }
+        // Fault-injection seam: a triggered accept failpoint drops the
+        // connection post-accept — the client sees a reset, the loop
+        // keeps serving.
+        if (RFL_FAILPOINT("http.accept")) {
+            ::close(fd);
+            continue;
+        }
         char ip[INET_ADDRSTRLEN] = "?";
         ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
         {
@@ -280,6 +289,10 @@ readRequest(int fd, std::string &buffer, HttpRequest &req,
     size_t bodyLen = 0;
     bool haveHead = false;
     char chunk[4096];
+
+    // Fault-injection seam: a receive fault reads as a peer reset.
+    if (RFL_FAILPOINT("http.recv"))
+        return ReadResult::Closed;
 
     for (;;) {
         // Checked every iteration, not only on receive timeouts: a
@@ -344,6 +357,10 @@ size_t
 writeResponse(int fd, const HttpResponse &resp, bool keepAlive,
               size_t chunkBytes)
 {
+    // Fault-injection seam: a send fault reads as a transport error —
+    // the caller closes the connection, exactly as for a real one.
+    if (RFL_FAILPOINT("http.send"))
+        return 0;
     std::ostringstream head;
     head << "HTTP/1.1 " << resp.status << " "
          << httpStatusText(resp.status) << "\r\n"
@@ -351,6 +368,8 @@ writeResponse(int fd, const HttpResponse &resp, bool keepAlive,
          << "Content-Type: " << resp.contentType << "\r\n"
          << "Connection: " << (keepAlive ? "keep-alive" : "close")
          << "\r\n";
+    for (const auto &[name, value] : resp.headers)
+        head << name << ": " << value << "\r\n";
     if (resp.chunked) {
         // Chunk framing: size in hex, CRLF, data, CRLF; zero-size
         // chunk terminates. Frames are written straight from the

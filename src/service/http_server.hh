@@ -38,6 +38,8 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "support/thread_pool.hh"
 
@@ -71,6 +73,9 @@ struct HttpResponse
     int status = 200;
     std::string contentType = "application/json";
     std::string body;
+    /** Extra response headers (e.g. Retry-After on 429), emitted
+     *  verbatim after the standard ones. */
+    std::vector<std::pair<std::string, std::string>> headers;
     /** Stream the body as Transfer-Encoding: chunked (artifacts). */
     bool chunked = false;
     /** Force "Connection: close" after this response. */

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "analysis/analysis.hh"
+#include "support/cancel.hh"
+#include "support/failpoint.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
 #include "telemetry/span.hh"
@@ -19,6 +21,7 @@ jobStateName(JobState state)
       case JobState::Running: return "running";
       case JobState::Done: return "done";
       case JobState::Failed: return "failed";
+      case JobState::TimedOut: return "timed_out";
     }
     return "?";
 }
@@ -59,6 +62,10 @@ JobQueue::JobQueue(JobQueueOptions opts) : opts_(std::move(opts))
                            "finished campaigns retained in memory"),
          &failed = reg.gauge("rfl_queue_failed",
                              "failed campaigns retained in memory"),
+         &timedOut =
+             reg.gauge("rfl_queue_timed_out",
+                       "deadline-cancelled campaigns retained in "
+                       "memory"),
          &submitted = reg.counter("rfl_queue_submitted_total",
                                   "campaign submissions received"),
          &accepted = reg.counter("rfl_queue_accepted_total",
@@ -88,6 +95,7 @@ JobQueue::JobQueue(JobQueueOptions opts) : opts_(std::move(opts))
             running.set(static_cast<double>(q.running));
             done.set(static_cast<double>(q.done));
             failed.set(static_cast<double>(q.failed));
+            timedOut.set(static_cast<double>(q.timedOut));
             submitted.mirror(q.submitted);
             accepted.mirror(q.accepted);
             dedup.mirror(q.deduplicated);
@@ -134,6 +142,17 @@ JobQueue::submit(const std::string &specText,
 {
     SubmitOutcome outcome;
 
+    // Fault-injection seam: a triggered submit failpoint degrades
+    // into ordinary backpressure — the client sees a well-formed 429,
+    // never a dropped request.
+    if (RFL_FAILPOINT("queue.submit")) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.submitted;
+        ++stats_.rejectedFull;
+        outcome.kind = SubmitOutcome::Kind::QueueFull;
+        return outcome;
+    }
+
     // Parse + validate outside the lock: validation instantiates
     // kernels and must not serialize concurrent submitters.
     campaign::CampaignSpec spec;
@@ -157,11 +176,13 @@ JobQueue::submit(const std::string &specText,
         const auto it = jobs_.find(id);
         if (it != jobs_.end()) {
             Record &rec = *it->second;
-            if (rec.state == JobState::Failed) {
+            if (rec.state == JobState::Failed ||
+                rec.state == JobState::TimedOut) {
                 // A failure may have been transient (cache disk full,
-                // pruned trace dir): a resubmission retries — through
-                // the same backpressure bound as a fresh job, so mass
-                // retries cannot grow the queue past its limit.
+                // pruned trace dir, deadline too tight for a cold
+                // cache): a resubmission retries — through the same
+                // backpressure bound as a fresh job, so mass retries
+                // cannot grow the queue past its limit.
                 if (queue_.size() >= opts_.maxQueued) {
                     ++stats_.rejectedFull;
                     outcome.kind = SubmitOutcome::Kind::QueueFull;
@@ -175,11 +196,14 @@ JobQueue::submit(const std::string &specText,
                                              id);
                 if (stale != finishedOrder_.end())
                     finishedOrder_.erase(stale);
+                if (rec.state == JobState::TimedOut)
+                    --stats_.timedOut;
+                else
+                    --stats_.failed;
                 rec.state = JobState::Queued;
                 rec.error.clear();
                 rec.requestId = requestId;
                 rec.submittedAt = std::chrono::steady_clock::now();
-                --stats_.failed;
                 queue_.push_back(id);
                 ++stats_.accepted;
                 outcome.kind = SubmitOutcome::Kind::Accepted;
@@ -254,6 +278,13 @@ JobQueue::workerLoop()
             root.attr("campaign", spec.name());
             if (!requestId.empty())
                 root.attr("request_id", requestId);
+            // Fault-injection seam: error-action fails the job (fatal
+            // throws here — the queue runs in fatal-throws mode),
+            // sleep-action stalls this worker, which is how tests
+            // exercise waitFor() timeouts under a wedged drain.
+            if (RFL_FAILPOINT("queue.drain"))
+                fatal("service: injected fault draining campaign %s",
+                      rec->id.c_str());
             const campaign::CampaignRun run =
                 executor_.run(spec, &tracer);
             const analysis::CampaignAnalysis doc =
@@ -265,6 +296,9 @@ JobQueue::workerLoop()
             cacheHits = run.cacheHits;
             wallSeconds = run.wallSeconds;
             threadsUsed = run.threadsUsed;
+        } catch (const TimedOutError &e) {
+            final = JobState::TimedOut;
+            error = e.what();
         } catch (const std::exception &e) {
             final = JobState::Failed;
             error = e.what();
@@ -290,10 +324,13 @@ JobQueue::workerLoop()
                 rec->threadsUsed = threadsUsed;
                 rec->artifacts = std::move(artifacts);
             } else {
-                ++stats_.failed;
+                if (final == JobState::TimedOut)
+                    ++stats_.timedOut;
+                else
+                    ++stats_.failed;
                 rec->error = error;
-                warn("service: campaign %s failed: %s",
-                     rec->id.c_str(), error.c_str());
+                warn("service: campaign %s %s: %s", rec->id.c_str(),
+                     jobStateName(final), error.c_str());
             }
             finishedOrder_.push_back(rec->id);
             evictFinishedLocked();
@@ -316,6 +353,8 @@ JobQueue::evictFinishedLocked()
             continue; // failed-and-retried; re-listed when it finishes
         if (state == JobState::Done)
             --stats_.done;
+        else if (state == JobState::TimedOut)
+            --stats_.timedOut;
         else
             --stats_.failed;
         jobs_.erase(it);
@@ -420,7 +459,8 @@ JobQueue::waitFor(const std::string &id, double timeoutSeconds) const
         lock, std::chrono::duration<double>(timeoutSeconds), [&] {
             const auto rec = find(id);
             return rec && (rec->state == JobState::Done ||
-                           rec->state == JobState::Failed);
+                           rec->state == JobState::Failed ||
+                           rec->state == JobState::TimedOut);
         });
 }
 

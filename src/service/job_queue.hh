@@ -83,9 +83,13 @@ enum class JobState
     Running,
     Done,
     Failed,
+    /** Exceeded its deadline (spec `timeout =` or the executor's
+     *  per-job budget) and was cancelled cooperatively; the worker is
+     *  free, the ticket answers 504, and a resubmission retries. */
+    TimedOut,
 };
 
-/** @return "queued", "running", "done" or "failed". */
+/** @return "queued", "running", "done", "failed" or "timed_out". */
 const char *jobStateName(JobState state);
 
 /** Snapshot of one job, as reported by GET /v1/campaigns/<id>. */
@@ -94,7 +98,7 @@ struct JobStatus
     std::string id;
     std::string campaign; ///< spec name
     JobState state = JobState::Queued;
-    std::string error;        ///< Failed only
+    std::string error;        ///< Failed/TimedOut only
     size_t queuePosition = 0; ///< 1-based; Queued only
     /** Execution stats; Done only. */
     size_t jobs = 0;
@@ -128,6 +132,7 @@ struct JobQueueStats
     size_t running = 0; ///< currently executing
     size_t done = 0;
     size_t failed = 0;
+    size_t timedOut = 0; ///< deadline-cancelled, retained in memory
     uint64_t submitted = 0;     ///< all submit() calls
     uint64_t accepted = 0;      ///< new jobs enqueued
     uint64_t deduplicated = 0;  ///< answered by an existing ticket
@@ -170,9 +175,9 @@ class JobQueue
     ///@}
 
     /**
-     * Block until @p id reaches Done or Failed (used by tests and the
-     * load bench; HTTP clients poll instead). @return false on
-     * timeout or unknown id.
+     * Block until @p id reaches Done, Failed or TimedOut (used by
+     * tests and the load bench; HTTP clients poll instead). @return
+     * false on timeout or unknown id.
      */
     bool waitFor(const std::string &id, double timeoutSeconds) const;
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <ostream>
 
+#include "support/cancel.hh"
 #include "support/logging.hh"
 #include "telemetry/sim_counters.hh"
 
@@ -349,6 +350,7 @@ Machine::simulateBatch(const trace::AccessBatch &b, int core_override)
         simulateBatchSpan(b, 0, b.n, core_override);
         if (samplePeriod_)
             maybeSample();
+        checkCancelled("simulate");
         return;
     }
     // Split the batch into maximal same-core spans so the span loop can
@@ -365,9 +367,14 @@ Machine::simulateBatch(const trace::AccessBatch &b, int core_override)
         simulateBatchSpan(b, i, j, core);
         i = j;
     }
-    // Batch-drain boundary: the interval sampler's only check point.
+    // Batch-drain boundary: the interval sampler's only check point,
+    // and the simulator's only cancellation point. With no deadline
+    // bound to the thread this is one thread-local load (cancel.hh);
+    // batches are hundreds of accesses, so it is far below the
+    // sim-throughput noise floor either way.
     if (samplePeriod_)
         maybeSample();
+    checkCancelled("simulate");
 }
 
 void

@@ -1,0 +1,24 @@
+#include "support/cancel.hh"
+
+namespace rfl
+{
+
+namespace detail
+{
+thread_local const CancelToken *tlCancelToken = nullptr;
+} // namespace detail
+
+void
+checkCancelled(const char *what)
+{
+    if (!cancelPending())
+        return;
+    std::string msg = "deadline exceeded";
+    if (what && *what) {
+        msg += " during ";
+        msg += what;
+    }
+    throw TimedOutError(msg);
+}
+
+} // namespace rfl

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Named failpoints: compiled-in fault-injection sites for chaos tests.
+ *
+ * A failpoint is a named hook at an I/O or execution seam — cache spill
+ * append, trace read, job simulate, socket send — that normally does
+ * nothing. Arming it attaches an *action* the seam performs when
+ * control passes through:
+ *
+ *   error        the seam behaves as if the operation failed (the call
+ *                site's own error path runs: a retry, a 500, a Failed
+ *                job);
+ *   throw        throw FailpointError from the seam (exercises unwind
+ *                paths that no organic failure reaches determinately);
+ *   sleep(<ms>)  delay before continuing (stalled worker, slow disk;
+ *                sliced so a bound cancellation deadline still fires —
+ *                see support/cancel.hh);
+ *   off          parse-and-ignore placeholder (arm without effect).
+ *
+ * Modifiers, appended with ':' after the action:
+ *   p=<0..1>     probabilistic trigger (deterministic per-failpoint
+ *                xorshift stream seeded by the failpoint name, so a
+ *                chaos run is reproducible for a fixed request order);
+ *   count=<n>    trigger at most n times, then stay silent.
+ *
+ * Configuration comes from the RFL_FAILPOINTS environment variable,
+ * parsed once at process start ("name=action,name=action,..." — e.g.
+ * RFL_FAILPOINTS='cache.spill.append=error:count=2,job.simulate=
+ * sleep(500):p=0.5'), or from the test-only runtime API (arm/disarm).
+ *
+ * Cost when unarmed is one relaxed atomic load and a predictable
+ * branch per seam (RFL_FAILPOINT compiles to a test-and-skip); the
+ * registry mutex is only ever touched while at least one failpoint is
+ * armed. Every trigger increments
+ * rfl_failpoint_triggers_total{name="<failpoint>"} in the global
+ * telemetry registry, so a chaos run's injected faults are visible on
+ * /metricsz next to the retries and failures they caused.
+ */
+
+#ifndef RFL_SUPPORT_FAILPOINT_HH
+#define RFL_SUPPORT_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rfl::failpoint
+{
+
+/** What an armed 'throw' action throws (and what seams that want a
+ *  distinct injected-fault type should catch). */
+class FailpointError : public std::runtime_error
+{
+  public:
+    explicit FailpointError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+namespace detail
+{
+/** Number of currently armed failpoints; the seam fast path. */
+extern std::atomic<uint32_t> armedCount;
+/** Slow path: look up @p name, run its action. @return true when the
+ *  'error' action fired (the caller simulates an operation failure). */
+bool evaluateSlow(const char *name);
+} // namespace detail
+
+/** @return whether any failpoint is armed (one relaxed load). */
+inline bool
+active()
+{
+    return detail::armedCount.load(std::memory_order_relaxed) != 0;
+}
+
+/**
+ * Evaluate the failpoint @p name: sleeps/throws per the armed action;
+ * @return true when the call site should simulate a failure ('error'
+ * action). False (with no side effect) when unarmed.
+ */
+inline bool
+fire(const char *name)
+{
+    return active() && detail::evaluateSlow(name);
+}
+
+/**
+ * Arm @p name with @p actionSpec ("error", "throw", "sleep(250)",
+ * "error:p=0.5:count=3", ...). Re-arming replaces the previous action
+ * and resets its trigger/count state. @return false (with the parse
+ * problem in @p err when non-null) on a malformed spec.
+ */
+bool arm(const std::string &name, const std::string &actionSpec,
+         std::string *err = nullptr);
+
+/** Disarm @p name; silently ignores unknown names. */
+void disarm(const std::string &name);
+
+/** Disarm everything (test teardown). */
+void disarmAll();
+
+/** Times @p name actually triggered (0 when never armed). */
+uint64_t triggerCount(const std::string &name);
+
+/** Names currently armed, sorted (diagnostics, /statsz). */
+std::vector<std::string> armedNames();
+
+/**
+ * Parse @p env (default RFL_FAILPOINTS) and arm every entry; malformed
+ * entries warn and are skipped, never fatal — a chaos harness must not
+ * be able to kill the process it is probing before it starts. Runs
+ * automatically before main() via a static initializer in
+ * failpoint.cc; call explicitly only in tests. @return entries armed.
+ */
+int armFromEnv(const char *env = "RFL_FAILPOINTS");
+
+} // namespace rfl::failpoint
+
+/**
+ * The seam macro: evaluates to true when the call site should simulate
+ * a failure. Usage:
+ *
+ *   if (RFL_FAILPOINT("cache.spill.append"))
+ *       ok = false;             // pretend the append failed
+ */
+#define RFL_FAILPOINT(name) (::rfl::failpoint::fire(name))
+
+#endif // RFL_SUPPORT_FAILPOINT_HH

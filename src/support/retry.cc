@@ -1,0 +1,88 @@
+#include "support/retry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+
+#include "support/cancel.hh"
+#include "telemetry/metrics.hh"
+
+namespace rfl
+{
+
+namespace
+{
+
+struct RetryCounters
+{
+    telemetry::Counter &attempts;
+    telemetry::Counter &success;
+    telemetry::Counter &exhausted;
+};
+
+RetryCounters
+countersFor(const char *op)
+{
+    telemetry::Registry &reg = telemetry::Registry::global();
+    const telemetry::Labels labels{{"op", op}};
+    return RetryCounters{
+        reg.counter("rfl_retry_attempts_total",
+                    "re-attempts after a transient failure", labels),
+        reg.counter("rfl_retry_success_total",
+                    "operations that recovered within the retry budget",
+                    labels),
+        reg.counter("rfl_retry_exhausted_total",
+                    "operations that failed every attempt", labels),
+    };
+}
+
+} // namespace
+
+bool
+retryWithBackoff(const char *op, const RetryPolicy &policy,
+                 const std::function<bool()> &attempt)
+{
+    // Jitter stream: thread-local so concurrent retriers decorrelate,
+    // seeded once per thread (quality is irrelevant, distinctness is
+    // the point).
+    thread_local std::mt19937_64 rng{std::random_device{}()};
+
+    const int attempts = std::max(policy.attempts, 1);
+    for (int i = 0; i < attempts; ++i) {
+        if (i > 0) {
+            RetryCounters c = countersFor(op);
+            c.attempts.inc();
+            const double exp =
+                policy.baseDelayMs * static_cast<double>(1u << (i - 1));
+            const double jitter =
+                0.5 + std::uniform_real_distribution<double>(
+                          0.0, 1.0)(rng);
+            const double delayMs =
+                std::min(exp * jitter, policy.maxDelayMs);
+            const auto until =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(delayMs));
+            // Sliced like the failpoint sleep: a deadlined job's
+            // backoff must still honor the deadline.
+            while (std::chrono::steady_clock::now() < until) {
+                checkCancelled("retry backoff");
+                std::this_thread::sleep_for(
+                    std::min<std::chrono::steady_clock::duration>(
+                        until - std::chrono::steady_clock::now(),
+                        std::chrono::milliseconds(20)));
+            }
+        }
+        if (attempt()) {
+            if (i > 0)
+                countersFor(op).success.inc();
+            return true;
+        }
+    }
+    countersFor(op).exhausted.inc();
+    return false;
+}
+
+} // namespace rfl

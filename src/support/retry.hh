@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff + jitter for transient I/O.
+ *
+ * The campaign pipeline touches disk at a handful of seams (result
+ * cache spill, trace files); a transient failure there — full page
+ * cache, NFS hiccup, an injected failpoint — should cost a few
+ * milliseconds of backoff, not a failed campaign. retryWithBackoff
+ * runs an attempt closure until it reports success or the attempt
+ * budget is exhausted; between attempts it sleeps
+ * baseDelay * 2^attempt, jittered uniformly over [0.5x, 1.5x) so
+ * colliding retriers (several executor workers hitting the same sick
+ * disk) spread out instead of thundering in lockstep.
+ *
+ * Every retry is visible in the telemetry registry:
+ *   rfl_retry_attempts_total{op=...}   re-attempts after a failure
+ *   rfl_retry_success_total{op=...}    operations that recovered
+ *   rfl_retry_exhausted_total{op=...}  operations that never did
+ *
+ * The attempt closure returns true on success. Exceptions are NOT
+ * retried — they indicate non-transient trouble (bad spec, corrupt
+ * file) and propagate immediately. Backoff sleeps poll the thread's
+ * cancellation token (support/cancel.hh), so a retry loop inside a
+ * deadlined job cannot outlive its deadline.
+ */
+
+#ifndef RFL_SUPPORT_RETRY_HH
+#define RFL_SUPPORT_RETRY_HH
+
+#include <functional>
+
+namespace rfl
+{
+
+/** Retry knobs; defaults suit local-disk metadata operations. */
+struct RetryPolicy
+{
+    /** Total tries, first included (3 = one try + two retries). */
+    int attempts = 3;
+    /** Backoff before the first retry; doubles per retry. */
+    double baseDelayMs = 5.0;
+    /** Cap on a single backoff sleep (post-jitter). */
+    double maxDelayMs = 200.0;
+};
+
+/**
+ * Run @p attempt (returns true on success) up to @p policy.attempts
+ * times, backing off between tries. @p op labels the telemetry
+ * counters. @return whether any attempt succeeded.
+ */
+bool retryWithBackoff(const char *op, const RetryPolicy &policy,
+                      const std::function<bool()> &attempt);
+
+/** retryWithBackoff with default policy. */
+inline bool
+retryWithBackoff(const char *op, const std::function<bool()> &attempt)
+{
+    return retryWithBackoff(op, RetryPolicy{}, attempt);
+}
+
+} // namespace rfl
+
+#endif // RFL_SUPPORT_RETRY_HH

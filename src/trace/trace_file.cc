@@ -2,8 +2,10 @@
 
 #include <cstring>
 
+#include "support/failpoint.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
+#include "support/retry.hh"
 
 namespace rfl::trace
 {
@@ -199,6 +201,9 @@ void
 writeChunk(std::FILE *f, const std::string &path, uint32_t magic,
            uint32_t records, const std::vector<uint8_t> &payload)
 {
+    if (RFL_FAILPOINT("trace.write"))
+        fatal("trace: short write to '%s' (injected fault)",
+              path.c_str());
     std::vector<uint8_t> header;
     header.reserve(kChunkHeaderBytes);
     putU32(header, magic);
@@ -230,7 +235,15 @@ TraceWriter::TraceWriter(const std::string &path) : path_(path)
 
 TraceWriter::~TraceWriter()
 {
-    finish();
+    // finish() can throw in service mode (fatal -> exception, plus the
+    // trace.write failpoint); a throw escaping a destructor mid-unwind
+    // would terminate the process. Swallow it: the half-written file
+    // fails chunk validation on the next read, which is the recovery
+    // path anyway.
+    try {
+        finish();
+    } catch (...) {
+    }
 }
 
 void
@@ -320,6 +333,11 @@ TraceReader::open(const std::string &path)
     cursor_ = 0;
 
     std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (RFL_FAILPOINT("trace.read")) {
+        if (f)
+            std::fclose(f);
+        return fail("trace '" + path + "': cannot open (injected fault)");
+    }
     if (!f)
         return fail("trace '" + path + "': cannot open");
     std::fseek(f, 0, SEEK_END);
@@ -330,11 +348,18 @@ TraceReader::open(const std::string &path)
         return fail("trace '" + path + "': cannot size");
     }
     data_.resize(static_cast<size_t>(size));
-    const size_t got = data_.empty()
-                           ? 0
-                           : std::fread(data_.data(), 1, data_.size(), f);
+    // A short read is the transient flavor of trace trouble (the file
+    // exists and sized correctly); retry it before giving up.
+    const bool slurped = retryWithBackoff("trace-read", [&] {
+        std::fseek(f, 0, SEEK_SET);
+        const size_t got =
+            data_.empty()
+                ? 0
+                : std::fread(data_.data(), 1, data_.size(), f);
+        return got == data_.size();
+    });
     std::fclose(f);
-    if (got != data_.size())
+    if (!slurped)
         return fail("trace '" + path + "': short read");
 
     if (data_.size() < kFileHeaderBytes ||

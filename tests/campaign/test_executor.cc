@@ -12,6 +12,7 @@
 
 #include "campaign/executor.hh"
 #include "campaign/sink.hh"
+#include "support/cancel.hh"
 
 namespace
 {
@@ -173,6 +174,39 @@ TEST(CampaignExecutor, CeilingJobsCompleteBeforeTheirSweeps)
         EXPECT_GT(model.peakCompute(), 0.0);
         EXPECT_GT(model.peakBandwidth(), 0.0);
     }
+}
+
+TEST(CampaignExecutor, ExpiredRunBudgetThrowsTimedOut)
+{
+    // A spec-level `timeout =` is a whole-run wall budget; one that is
+    // effectively already spent must surface as TimedOutError from the
+    // first drain check, not hang or return a partial grid.
+    CampaignSpec spec = smallCampaign();
+    spec.setTimeout(1e-9);
+    ExecutorOptions opts;
+    opts.threads = 2;
+    EXPECT_THROW(CampaignExecutor(opts).run(spec), rfl::TimedOutError);
+}
+
+TEST(CampaignExecutor, ExpiredJobBudgetThrowsTimedOut)
+{
+    // Service-side per-job budget (ExecutorOptions::jobTimeoutSeconds)
+    // cancels the same way without any spec cooperation.
+    const CampaignSpec spec = smallCampaign();
+    ExecutorOptions opts;
+    opts.threads = 2;
+    opts.jobTimeoutSeconds = 1e-9;
+    EXPECT_THROW(CampaignExecutor(opts).run(spec), rfl::TimedOutError);
+}
+
+TEST(CampaignExecutor, GenerousBudgetsDoNotPerturbTheRun)
+{
+    CampaignSpec spec = smallCampaign();
+    spec.setTimeout(3600.0);
+    ExecutorOptions opts;
+    opts.jobTimeoutSeconds = 3600.0;
+    const CampaignRun run = CampaignExecutor(opts).run(spec);
+    EXPECT_EQ(run.measurements().size(), spec.gridSize());
 }
 
 TEST(CampaignExecutor, GridLookupsWork)

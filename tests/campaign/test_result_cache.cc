@@ -3,11 +3,14 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "campaign/result_cache.hh"
 #include "campaign/serialize.hh"
+#include "support/failpoint.hh"
+#include "support/logging.hh"
 
 namespace
 {
@@ -116,11 +119,12 @@ TEST(ResultCache, SpillPersistsAcrossInstances)
     std::remove(path.c_str());
 }
 
-TEST(ResultCache, CorruptSpillLinesAreSkippedNotFatal)
+TEST(ResultCache, CorruptSpillLinesAreQuarantinedNotFatal)
 {
     const std::string path =
         ::testing::TempDir() + "rfl_cache_corrupt_test.jsonl";
     std::remove(path.c_str());
+    std::remove((path + ".quarantine").c_str());
     {
         ResultCache cache(path);
         cache.store("good", "{\"v\":1}");
@@ -133,9 +137,75 @@ TEST(ResultCache, CorruptSpillLinesAreSkippedNotFatal)
     }
     ResultCache cache(path); // must not exit
     EXPECT_EQ(cache.stats().preloaded, 1u);
+    EXPECT_EQ(cache.stats().quarantined, 2u);
     std::string got;
     EXPECT_TRUE(cache.lookup("good", &got));
     EXPECT_FALSE(cache.lookup("trunc", &got));
+
+    // The bad lines are preserved verbatim for a post-mortem, not
+    // silently dropped.
+    std::ifstream q(path + ".quarantine");
+    ASSERT_TRUE(q.good());
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(q, line))
+        if (!line.empty())
+            lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "GARBAGE NOT JSON");
+
+    std::remove(path.c_str());
+    std::remove((path + ".quarantine").c_str());
+}
+
+TEST(ResultCache, FailedCompactionLeavesSpillIntact)
+{
+    // Crash-only discipline: when the publish step of a compaction
+    // fails (injected rename fault), the original spill must still
+    // reload fully — no torn or half-written cache file.
+    const std::string path =
+        ::testing::TempDir() + "rfl_cache_crash_test.jsonl";
+    std::remove(path.c_str());
+    {
+        ResultCache cache(path);
+        cache.store("measure|live|k|o", "{\"v\":1}");
+        cache.store("measure|dead|k|o", "{\"v\":2}");
+
+        ASSERT_TRUE(rfl::failpoint::arm("cache.compact.rename",
+                                        "error"));
+        const bool wasThrowing = rfl::setFatalThrows(true);
+        EXPECT_THROW(cache.compact({"live"}), rfl::FatalError);
+        rfl::setFatalThrows(wasThrowing);
+        rfl::failpoint::disarmAll();
+    }
+    // The pre-compaction file is untouched: both entries reload.
+    ResultCache reload(path);
+    EXPECT_EQ(reload.stats().preloaded, 2u);
+    std::string got;
+    EXPECT_TRUE(reload.lookup("measure|dead|k|o", &got));
+    EXPECT_EQ(got, "{\"v\":2}");
+    std::remove(path.c_str());
+    std::remove((path + ".compact.tmp").c_str());
+}
+
+TEST(ResultCache, TransientAppendFaultIsRetried)
+{
+    // One injected append failure costs a backoff, not the store:
+    // the retry layer re-attempts and the entry lands on disk.
+    const std::string path =
+        ::testing::TempDir() + "rfl_cache_retry_test.jsonl";
+    std::remove(path.c_str());
+    ASSERT_TRUE(
+        rfl::failpoint::arm("cache.spill.append", "error:count=1"));
+    {
+        ResultCache cache(path);
+        cache.store("k", "{\"v\":1}");
+    }
+    rfl::failpoint::disarmAll();
+    ResultCache reload(path);
+    EXPECT_EQ(reload.stats().preloaded, 1u);
+    std::string got;
+    EXPECT_TRUE(reload.lookup("k", &got));
     std::remove(path.c_str());
 }
 

@@ -153,6 +153,28 @@ TEST(CampaignSpec, StableHashIsContentAddressed)
             << other;
 }
 
+TEST(CampaignSpec, TimeoutParsesAndMovesTheHash)
+{
+    const char *const base =
+        "name = timeout-test\n"
+        "machine = small\n"
+        "kernel = daxpy:n=4096\n"
+        "variant = cold-1c: protocol=cold cores=0 reps=1\n";
+    const CampaignSpec none = parseCampaignSpec(base);
+    EXPECT_EQ(none.timeoutSeconds(), 0.0);
+
+    const CampaignSpec bounded = parseCampaignSpec(
+        std::string(base) + "timeout = 2.5\n");
+    EXPECT_EQ(bounded.timeoutSeconds(), 2.5);
+
+    // A ticket earned with a spent budget must not shadow a patient
+    // resubmission: distinct budgets are distinct content.
+    EXPECT_NE(bounded.stableHash(), none.stableHash());
+    EXPECT_NE(bounded.stableHash(),
+              parseCampaignSpec(std::string(base) + "timeout = 30\n")
+                  .stableHash());
+}
+
 TEST(CampaignSpec, FatalThrowsModeTurnsParseErrorsIntoExceptions)
 {
     // The daemon-mode contract: with setFatalThrows(true), a bad spec

@@ -292,6 +292,9 @@ TEST(HttpServiceRateLimit, OverRateClientsGet429ButHealthzPasses)
     EXPECT_EQ(resp.status, 404);
     ASSERT_TRUE(client.request("GET", "/v1/campaigns/nope", &resp));
     EXPECT_EQ(resp.status, 429);
+    // Backpressure responses tell well-behaved clients when to return.
+    ASSERT_NE(resp.headers.find("retry-after"), resp.headers.end());
+    EXPECT_EQ(resp.headers.at("retry-after"), "1");
 
     // Liveness probes and metric scrapers bypass the limiter.
     ASSERT_TRUE(client.request("GET", "/healthz", &resp));

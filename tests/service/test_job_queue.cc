@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "service/job_queue.hh"
+#include "support/failpoint.hh"
 
 namespace
 {
@@ -202,6 +203,101 @@ TEST(ServiceJobQueue, FinishedJobsEvictedBeyondRetentionBound)
     ASSERT_TRUE(queue.status(again.id, &st));
     EXPECT_EQ(st.state, JobState::Done);
     EXPECT_EQ(st.simulated, 0u) << "re-run must be pure cache hits";
+}
+
+TEST(ServiceJobQueue, WaitForTimesOutUnderStalledWorker)
+{
+    // A stalled worker (injected 1.5 s drain stall) must not wedge
+    // clients: waitFor with a short budget returns false, and the same
+    // ticket still completes once the stall clears.
+    ASSERT_TRUE(rfl::failpoint::arm("queue.drain", "sleep(1500)"));
+    JobQueueOptions opts;
+    opts.workers = 1;
+    opts.exec.threads = 1;
+    JobQueue queue(opts);
+
+    const SubmitOutcome o = queue.submit(kSmallSpec);
+    ASSERT_EQ(o.kind, SubmitOutcome::Kind::Accepted);
+    EXPECT_FALSE(queue.waitFor(o.id, 0.2))
+        << "waitFor must give up, not block on the stalled worker";
+
+    JobStatus st;
+    ASSERT_TRUE(queue.status(o.id, &st));
+    EXPECT_TRUE(st.state == JobState::Queued ||
+                st.state == JobState::Running);
+
+    rfl::failpoint::disarmAll();
+    ASSERT_TRUE(queue.waitFor(o.id, 60.0));
+    ASSERT_TRUE(queue.status(o.id, &st));
+    EXPECT_EQ(st.state, JobState::Done);
+}
+
+TEST(ServiceJobQueue, RunTimeoutSurfacesAsTimedOutNotHang)
+{
+    JobQueueOptions opts;
+    opts.workers = 1;
+    opts.exec.threads = 1;
+    JobQueue queue(opts);
+
+    const std::string spec =
+        std::string(kSmallSpec) + "timeout = 0.000001\n";
+    const SubmitOutcome o = queue.submit(spec);
+    ASSERT_EQ(o.kind, SubmitOutcome::Kind::Accepted);
+    ASSERT_TRUE(queue.waitFor(o.id, 60.0))
+        << "a timed-out campaign still finishes, as timed_out";
+
+    JobStatus st;
+    ASSERT_TRUE(queue.status(o.id, &st));
+    EXPECT_EQ(st.state, JobState::TimedOut);
+    EXPECT_NE(st.error.find("deadline exceeded"), std::string::npos)
+        << "error: " << st.error;
+    EXPECT_EQ(queue.stats().timedOut, 1u);
+    EXPECT_EQ(queue.stats().failed, 0u);
+
+    std::string body;
+    EXPECT_FALSE(queue.analysisJson(o.id, &body))
+        << "timed-out jobs expose no artifacts";
+
+    // Like Failed, TimedOut resubmission retries rather than
+    // deduplicating onto the dead ticket.
+    const SubmitOutcome retry = queue.submit(spec);
+    EXPECT_EQ(retry.kind, SubmitOutcome::Kind::Accepted);
+    EXPECT_EQ(retry.id, o.id);
+    ASSERT_TRUE(queue.waitFor(retry.id, 60.0));
+    EXPECT_EQ(queue.stats().timedOut, 1u)
+        << "retry replaces the timed-out record, not double-counts";
+}
+
+TEST(ServiceJobQueue, PerJobTimeoutOptionTimesOutCampaigns)
+{
+    // The service-level budget (--job-timeout) needs no cooperation
+    // from the submitted spec.
+    JobQueueOptions opts;
+    opts.workers = 1;
+    opts.exec.threads = 1;
+    opts.exec.jobTimeoutSeconds = 1e-6;
+    JobQueue queue(opts);
+
+    const SubmitOutcome o = queue.submit(kSmallSpec);
+    ASSERT_EQ(o.kind, SubmitOutcome::Kind::Accepted);
+    ASSERT_TRUE(queue.waitFor(o.id, 60.0));
+    JobStatus st;
+    ASSERT_TRUE(queue.status(o.id, &st));
+    EXPECT_EQ(st.state, JobState::TimedOut);
+}
+
+TEST(ServiceJobQueue, InjectedSubmitFaultDegradesToQueueFull)
+{
+    ASSERT_TRUE(rfl::failpoint::arm("queue.submit", "error:count=1"));
+    JobQueue queue;
+    const SubmitOutcome o = queue.submit(kSmallSpec);
+    EXPECT_EQ(o.kind, SubmitOutcome::Kind::QueueFull)
+        << "injected submit fault must map to well-formed backpressure";
+    rfl::failpoint::disarmAll();
+
+    const SubmitOutcome retry = queue.submit(kSmallSpec);
+    ASSERT_EQ(retry.kind, SubmitOutcome::Kind::Accepted);
+    ASSERT_TRUE(queue.waitFor(retry.id, 60.0));
 }
 
 TEST(ServiceJobQueue, SharedCacheServesOverlappingCampaigns)

@@ -1,0 +1,147 @@
+/** @file Tests for the named-failpoint fault-injection registry. */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/cancel.hh"
+#include "support/failpoint.hh"
+
+namespace
+{
+
+namespace failpoint = rfl::failpoint;
+
+/** Every test leaves the global registry clean. */
+class Failpoint : public ::testing::Test
+{
+  protected:
+    void TearDown() override { failpoint::disarmAll(); }
+};
+
+TEST_F(Failpoint, UnarmedFiresNothing)
+{
+    EXPECT_FALSE(failpoint::active());
+    EXPECT_FALSE(RFL_FAILPOINT("nothing.armed.here"));
+}
+
+TEST_F(Failpoint, ErrorActionTriggersAndCounts)
+{
+    const uint64_t before = failpoint::triggerCount("t.err");
+    ASSERT_TRUE(failpoint::arm("t.err", "error"));
+    EXPECT_TRUE(failpoint::active());
+    EXPECT_TRUE(RFL_FAILPOINT("t.err"));
+    EXPECT_TRUE(RFL_FAILPOINT("t.err"));
+    EXPECT_EQ(failpoint::triggerCount("t.err"), before + 2);
+    // Other names stay dark while one is armed.
+    EXPECT_FALSE(RFL_FAILPOINT("t.other"));
+}
+
+TEST_F(Failpoint, ThrowActionThrowsFailpointError)
+{
+    ASSERT_TRUE(failpoint::arm("t.throw", "throw"));
+    EXPECT_THROW(RFL_FAILPOINT("t.throw"), failpoint::FailpointError);
+}
+
+TEST_F(Failpoint, SleepActionDelays)
+{
+    ASSERT_TRUE(failpoint::arm("t.sleep", "sleep(30)"));
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(RFL_FAILPOINT("t.sleep")); // sleep is not an error
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(ms, 25.0);
+}
+
+TEST_F(Failpoint, SleepHonorsCancellation)
+{
+    // A bound, already-expired deadline cuts an injected stall short:
+    // the sliced sleep polls the thread's cancel token.
+    ASSERT_TRUE(failpoint::arm("t.stall", "sleep(60000)"));
+    rfl::CancelToken token;
+    token.setDeadlineIn(0.05);
+    rfl::CancelScope scope(&token);
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(RFL_FAILPOINT("t.stall"), rfl::TimedOutError);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_LT(seconds, 5.0) << "stall outlived its deadline";
+}
+
+TEST_F(Failpoint, CountModifierLimitsTriggers)
+{
+    ASSERT_TRUE(failpoint::arm("t.count", "error:count=2"));
+    EXPECT_TRUE(RFL_FAILPOINT("t.count"));
+    EXPECT_TRUE(RFL_FAILPOINT("t.count"));
+    EXPECT_FALSE(RFL_FAILPOINT("t.count")) << "count budget spent";
+    EXPECT_EQ(failpoint::triggerCount("t.count"), 2u);
+}
+
+TEST_F(Failpoint, ProbabilityZeroNeverTriggersOneAlwaysDoes)
+{
+    ASSERT_TRUE(failpoint::arm("t.never", "error:p=0"));
+    ASSERT_TRUE(failpoint::arm("t.always", "error:p=1"));
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_FALSE(RFL_FAILPOINT("t.never"));
+        EXPECT_TRUE(RFL_FAILPOINT("t.always"));
+    }
+}
+
+TEST_F(Failpoint, ProbabilisticStreamIsDeterministic)
+{
+    // Same name, same evaluation sequence -> same trigger pattern
+    // (the per-failpoint stream is seeded by the name): chaos
+    // failures reproduce.
+    std::vector<bool> first;
+    ASSERT_TRUE(failpoint::arm("t.coin", "error:p=0.5"));
+    for (int i = 0; i < 64; ++i)
+        first.push_back(RFL_FAILPOINT("t.coin"));
+    failpoint::disarm("t.coin");
+    ASSERT_TRUE(failpoint::arm("t.coin", "error:p=0.5"));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(RFL_FAILPOINT("t.coin"), first[static_cast<size_t>(i)]);
+    // And it is a real coin, not constant.
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(Failpoint, OffActionAndDisarm)
+{
+    ASSERT_TRUE(failpoint::arm("t.off", "off"));
+    EXPECT_FALSE(RFL_FAILPOINT("t.off"));
+    ASSERT_TRUE(failpoint::arm("t.on", "error"));
+    failpoint::disarm("t.on");
+    EXPECT_FALSE(RFL_FAILPOINT("t.on"));
+}
+
+TEST_F(Failpoint, MalformedSpecsRejectedWithError)
+{
+    std::string err;
+    EXPECT_FALSE(failpoint::arm("t.bad", "explode", &err));
+    EXPECT_NE(err.find("unknown action"), std::string::npos) << err;
+    EXPECT_FALSE(failpoint::arm("t.bad", "error:p=2", &err));
+    EXPECT_FALSE(failpoint::arm("t.bad", "error:count=0", &err));
+    EXPECT_FALSE(failpoint::arm("t.bad", "sleep(abc)", &err));
+    EXPECT_FALSE(failpoint::active());
+}
+
+TEST_F(Failpoint, ArmFromEnvParsesListSkipsMalformed)
+{
+    ::setenv("RFL_TEST_FAILPOINTS",
+             "a.one=error,bogus-entry,b.two=sleep(5):count=3,=error",
+             1);
+    EXPECT_EQ(failpoint::armFromEnv("RFL_TEST_FAILPOINTS"), 2);
+    const auto names = failpoint::armedNames();
+    EXPECT_EQ(names.size(), 2u);
+    EXPECT_TRUE(RFL_FAILPOINT("a.one"));
+    ::unsetenv("RFL_TEST_FAILPOINTS");
+}
+
+} // namespace

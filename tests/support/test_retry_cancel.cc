@@ -1,0 +1,153 @@
+/** @file Tests for retry-with-backoff and cooperative cancellation. */
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "support/cancel.hh"
+#include "support/retry.hh"
+
+namespace
+{
+
+using rfl::CancelScope;
+using rfl::CancelToken;
+using rfl::RetryPolicy;
+using rfl::retryWithBackoff;
+using rfl::TimedOutError;
+
+RetryPolicy
+fastPolicy(int attempts)
+{
+    RetryPolicy p;
+    p.attempts = attempts;
+    p.baseDelayMs = 1.0;
+    p.maxDelayMs = 4.0;
+    return p;
+}
+
+TEST(Retry, FirstTrySuccessRunsOnce)
+{
+    int calls = 0;
+    EXPECT_TRUE(retryWithBackoff("test-first", fastPolicy(3), [&] {
+        ++calls;
+        return true;
+    }));
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, RecoversWithinBudget)
+{
+    int calls = 0;
+    EXPECT_TRUE(retryWithBackoff("test-recover", fastPolicy(3), [&] {
+        return ++calls == 3;
+    }));
+    EXPECT_EQ(calls, 3);
+}
+
+TEST(Retry, ExhaustionReturnsFalse)
+{
+    int calls = 0;
+    EXPECT_FALSE(retryWithBackoff("test-exhaust", fastPolicy(4), [&] {
+        ++calls;
+        return false;
+    }));
+    EXPECT_EQ(calls, 4);
+}
+
+TEST(Retry, ExceptionsAreNotRetried)
+{
+    // Exceptions mean non-transient trouble; they propagate on the
+    // first attempt instead of burning the retry budget.
+    int calls = 0;
+    EXPECT_THROW(retryWithBackoff("test-throw", fastPolicy(5),
+                                  [&]() -> bool {
+                                      ++calls;
+                                      throw std::runtime_error("bad");
+                                  }),
+                 std::runtime_error);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, BackoffHonorsCancellation)
+{
+    // A deadlined thread must not wait out long backoffs: the sleep
+    // polls the bound cancel token and unwinds as TimedOutError.
+    RetryPolicy slow;
+    slow.attempts = 10;
+    slow.baseDelayMs = 60000.0;
+    slow.maxDelayMs = 60000.0;
+    CancelToken token;
+    token.setDeadlineIn(0.05);
+    CancelScope scope(&token);
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(
+        retryWithBackoff("test-cancel", slow, [] { return false; }),
+        TimedOutError);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_LT(seconds, 5.0) << "backoff outlived the deadline";
+}
+
+TEST(Cancel, NoTokenMeansNoCancellation)
+{
+    EXPECT_FALSE(rfl::cancelPending());
+    EXPECT_NO_THROW(rfl::checkCancelled("idle"));
+}
+
+TEST(Cancel, DeadlineExpiryThrowsWithContext)
+{
+    CancelToken token;
+    token.setDeadlineIn(0.0); // already expired
+    CancelScope scope(&token);
+    try {
+        rfl::checkCancelled("simulate");
+        FAIL() << "expired deadline not noticed";
+    } catch (const TimedOutError &e) {
+        EXPECT_STREQ(e.what(), "deadline exceeded during simulate");
+    }
+}
+
+TEST(Cancel, FutureDeadlineDoesNotFireEarly)
+{
+    CancelToken token;
+    token.setDeadlineIn(3600.0);
+    CancelScope scope(&token);
+    EXPECT_NO_THROW(rfl::checkCancelled());
+}
+
+TEST(Cancel, LinkedAbortFlagCancelsEveryToken)
+{
+    // The executor's pattern: every job's token shares one per-run
+    // abort flag, so the first failure cancels all siblings.
+    std::atomic<bool> abortRun{false};
+    CancelToken a, b;
+    a.linkAbortFlag(&abortRun);
+    b.linkAbortFlag(&abortRun);
+    EXPECT_FALSE(a.expired());
+    EXPECT_FALSE(b.expired());
+    abortRun.store(true);
+    EXPECT_TRUE(a.expired());
+    EXPECT_TRUE(b.expired());
+}
+
+TEST(Cancel, ExplicitCancelAndScopeNesting)
+{
+    CancelToken outer;
+    outer.cancel();
+    CancelScope outerScope(&outer);
+    EXPECT_TRUE(rfl::cancelPending());
+    {
+        CancelToken inner; // fresh token shadows the cancelled outer
+        CancelScope innerScope(&inner);
+        EXPECT_FALSE(rfl::cancelPending());
+    }
+    EXPECT_TRUE(rfl::cancelPending()) << "outer token not restored";
+}
+
+} // namespace

@@ -115,6 +115,38 @@ TEST(ThreadPool, FirstExceptionWins)
     }
 }
 
+TEST(ThreadPool, ConcurrentThrowersCaptureOneSwallowRest)
+{
+    // Many tasks throwing at once from different workers: exactly one
+    // exception surfaces at wait(), the rest are swallowed without
+    // terminating, and the pool stays usable.
+    ThreadPool pool(4);
+    std::atomic<int> threw{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&threw, i] {
+            ++threw;
+            throw std::runtime_error("concurrent #" +
+                                     std::to_string(i));
+        });
+    }
+    int caught = 0;
+    try {
+        pool.wait();
+    } catch (const std::runtime_error &e) {
+        ++caught;
+        EXPECT_EQ(std::string(e.what()).rfind("concurrent #", 0), 0u)
+            << "unexpected exception: " << e.what();
+    }
+    EXPECT_EQ(caught, 1);
+    EXPECT_EQ(threw.load(), 16);
+
+    // The swallowed failures must not resurface on the next cycle.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
 TEST(ThreadPool, DestructorSwallowsUncollectedException)
 {
     // A pool destroyed without a final wait() must not terminate.

@@ -297,6 +297,17 @@ def check_metrics(doc: dict) -> None:
     if "campaign" not in metrics:
         fail("metrics group 'campaign' missing (executor counters)")
 
+    # Fault-injection families only appear once a failpoint arms or a
+    # transient I/O retry fires; when present they must be well-formed
+    # non-negative scalars (chaos runs gate on these moving).
+    for group in ("failpoint", "retry"):
+        for name, value in metrics.get(group, {}).items():
+            if not isinstance(value, (int, float)) or \
+                    isinstance(value, bool) or value < 0:
+                fail(f"metric {group}.{name}: fault-injection "
+                     f"counters must be non-negative numbers, "
+                     f"got {value!r}")
+
     print(f"{sys.argv[1]}: schema OK "
           f"(metrics v1: campaign '{doc['campaign']}', "
           f"{len(metrics)} groups, {leaves} metrics)")
