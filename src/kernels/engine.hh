@@ -418,6 +418,10 @@ class SimEngine : public sim::Machine::BatchSource
             machine_.load(core_, addr, bytes);
             return;
         }
+        if (bypassBatching()) {
+            machine_.load(core_, addr, bytes);
+            return;
+        }
         if (batch_.n >= batchLimit_)
             flush();
         batch_.pushMem(trace::AccessKind::Load, core_, addr, bytes,
@@ -431,6 +435,10 @@ class SimEngine : public sim::Machine::BatchSource
             machine_.store(core_, addr, bytes);
             return;
         }
+        if (bypassBatching()) {
+            machine_.store(core_, addr, bytes);
+            return;
+        }
         if (batch_.n >= batchLimit_)
             flush();
         batch_.pushMem(trace::AccessKind::Store, core_, addr, bytes,
@@ -441,6 +449,10 @@ class SimEngine : public sim::Machine::BatchSource
     emitStoreNT(uint64_t addr, uint32_t bytes)
     {
         if (dispatch_ == Dispatch::Direct) {
+            machine_.storeNT(core_, addr, bytes);
+            return;
+        }
+        if (bypassBatching()) {
             machine_.storeNT(core_, addr, bytes);
             return;
         }
@@ -657,6 +669,30 @@ class SimEngine : public sim::Machine::BatchSource
   private:
     /** Move accumulated FP/uop retirements into batch_ as records. */
     void materializePending();
+
+    /**
+     * Latency fast path: when the machine is in dependent-access mode
+     * (pointer chasing), each access's latency is the quantity being
+     * modeled, and coalescing never applies — buffering records only to
+     * have the consume loop deliver them one by one is pure overhead.
+     * Route memory records straight to the machine instead. Safe
+     * because setDependentAccesses() drains attached sources before
+     * toggling, so the buffer is empty whenever the mode flips; FP and
+     * uop retirements keep accumulating (they commute with every
+     * memory access, see emitFp). Disabled while recording: a trace
+     * must contain every record. prevLine_ is cleared so a stale
+     * same-line hint can never leak across a bypass period.
+     */
+    bool
+    bypassBatching()
+    {
+        if (!machine_.dependentAccesses() || writer_ != nullptr)
+            [[likely]] {
+            return false;
+        }
+        prevLine_ = ~0ull;
+        return true;
+    }
 
     /**
      * Track the line of the memory record being appended.

@@ -1,0 +1,51 @@
+#include "kernels/parallel_drain.hh"
+
+#include <functional>
+#include <memory>
+
+#include "support/address_arena.hh"
+#include "support/logging.hh"
+
+namespace rfl::kernels
+{
+
+void
+runPartitionedParallel(sim::Machine &machine, Kernel &kernel,
+                       const std::vector<int> &cores, int lanes,
+                       bool use_fma, int threads)
+{
+    RFL_ASSERT(!cores.empty());
+    const int nparts = static_cast<int>(cores.size());
+    if (nparts > 1 && !kernel.parallelizable()) {
+        fatal("kernel '%s' does not support multi-core execution",
+              kernel.name().c_str());
+    }
+    for (int p = 1; p < nparts; ++p) {
+        RFL_ASSERT(cores[static_cast<size_t>(p)] >
+                   cores[static_cast<size_t>(p - 1)]);
+    }
+
+    // Engines attach on this thread; workers only emit through them.
+    std::vector<std::unique_ptr<SimEngine>> engines;
+    engines.reserve(static_cast<size_t>(nparts));
+    for (int p = 0; p < nparts; ++p) {
+        engines.push_back(std::make_unique<SimEngine>(
+            machine, cores[static_cast<size_t>(p)], lanes, use_fma));
+    }
+
+    AddressArena *arena = AddressArena::current();
+    std::vector<std::function<void()>> work;
+    work.reserve(static_cast<size_t>(nparts));
+    for (int p = 0; p < nparts; ++p) {
+        SimEngine &engine = *engines[static_cast<size_t>(p)];
+        work.push_back([&engine, &kernel, arena, p, nparts] {
+            AddressArena::Adoption adopt(arena);
+            kernel.run(engine, p, nparts);
+            engine.flush();
+        });
+    }
+    machine.drainParallel(work, threads);
+    // Engines detach here, on the calling thread, with empty buffers.
+}
+
+} // namespace rfl::kernels

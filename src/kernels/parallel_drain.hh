@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-core parallel drain of a partitioned kernel.
+ *
+ * runPartitionedParallel() is the multi-threaded counterpart of the
+ * Measurer's sequential per-part loop: one SimEngine per simulated
+ * core, every part's access stream generated and its private cache/TLB
+ * state simulated on its own host thread, shared-level (L3/IMC/DRAM)
+ * effects deferred and replayed deterministically at the end
+ * (Machine::drainParallel). Counters are bit-identical to running the
+ * parts sequentially in core order, for ANY host thread count —
+ * tests/sim/test_parallel_drain.cc proves it snapshot-by-snapshot.
+ *
+ * Threading rules encapsulated here so callers cannot get them wrong:
+ *   - engines are constructed and destroyed on the calling thread
+ *     (attach/detach mutate the machine's source list);
+ *   - each worker adopts the calling thread's AddressArena before
+ *     running its part (thread_locals do not propagate into a pool);
+ *   - each closure ends with an explicit flush so every record is
+ *     consumed inside the parallel session.
+ */
+
+#ifndef RFL_KERNELS_PARALLEL_DRAIN_HH
+#define RFL_KERNELS_PARALLEL_DRAIN_HH
+
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace rfl::kernels
+{
+
+/**
+ * Run @p kernel partitioned across @p cores on @p machine, draining the
+ * per-core access streams on up to @p threads host threads.
+ *
+ * Part p runs on simulated core cores[p]. @p cores must be strictly
+ * ascending: the deterministic merge replays deferred shared effects in
+ * core-id order, which reproduces the sequential reference only when
+ * part order and core order agree. @p threads <= 1 still goes through
+ * the same defer + merge pipeline, so the host thread count can never
+ * change a counter.
+ *
+ * @param lanes   vector width for every engine (1, 2, 4 or 8)
+ * @param use_fma use FMA when the machine has it
+ */
+void runPartitionedParallel(sim::Machine &machine, Kernel &kernel,
+                            const std::vector<int> &cores, int lanes,
+                            bool use_fma, int threads);
+
+} // namespace rfl::kernels
+
+#endif // RFL_KERNELS_PARALLEL_DRAIN_HH

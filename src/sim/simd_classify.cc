@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Mask-building kernel implementations and runtime ISA dispatch.
+ *
+ * The scalar kernel is the reference semantics; the SSE2/AVX2 kernels
+ * are compiled with per-function target attributes (no global -m flags)
+ * and selected once at startup via __builtin_cpu_supports, so a single
+ * binary runs correctly from plain SSE2 hosts up. All kernels write
+ * bit-identical masks — the vector paths only restructure the
+ * arithmetic, never the results — which test_fastpath_equivalence
+ * re-proves end to end by comparing Snapshots across SIMD on/off.
+ *
+ * The vector kernels read the kind plane in full 64-byte words (the
+ * plane is a fixed 4096-byte array, so word-aligned reads never leave
+ * the array even when the span ends mid-word); stray lanes outside the
+ * span are cleared by the edge-word range mask.
+ */
+
+#include "sim/simd_classify.hh"
+
+#if defined(RFL_SIMD) && RFL_SIMD &&                                       \
+    (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define RFL_SIMD_X86 1
+#else
+#define RFL_SIMD_X86 0
+#endif
+
+#if RFL_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace rfl::sim::simd
+{
+
+namespace
+{
+
+using MaskFn = void (*)(const trace::AccessBatch &, uint32_t, uint32_t,
+                        RunMasks &);
+
+/** Reference kernel: per-record predicate evaluation (see header). */
+void
+masksScalar(const trace::AccessBatch &b, uint32_t begin, uint32_t end,
+            RunMasks &m)
+{
+    for (uint32_t w0 = begin & ~63u; w0 < end; w0 += 64) {
+        uint64_t ext = 0, mem = 0, wr = 0;
+        const uint32_t lo = w0 < begin ? begin : w0;
+        const uint32_t hi = w0 + 64 < end ? w0 + 64 : end;
+        for (uint32_t j = lo; j < hi; ++j) {
+            const uint8_t kb = b.kind[j];
+            const uint8_t kv = kb & trace::kindValueMask;
+            const uint64_t bit = 1ull << (j & 63u);
+            // Extends a run: same-line-flagged Load/Store (0x10/0x11),
+            // Fp (3) or Other (4) — exactly kb >= Fp by the kind
+            // encoding (access_batch.hh).
+            if (kb >= static_cast<uint8_t>(trace::AccessKind::Fp))
+                ext |= bit;
+            if (kv <= static_cast<uint8_t>(trace::AccessKind::Store)) {
+                mem |= bit;
+                if (kv == static_cast<uint8_t>(trace::AccessKind::Store))
+                    wr |= bit;
+            }
+        }
+        m.ext[w0 >> 6] = ext;
+        m.mem[w0 >> 6] = mem;
+        m.wr[w0 >> 6] = wr;
+    }
+}
+
+#if RFL_SIMD_X86
+
+/** Zero the bits of an edge word outside [begin, end). */
+inline uint64_t
+rangeMask64(uint32_t word_base, uint32_t begin, uint32_t end)
+{
+    uint64_t mask = ~0ull;
+    if (word_base < begin)
+        mask &= ~0ull << (begin - word_base);
+    if (word_base + 64 > end)
+        mask &= ~0ull >> (word_base + 64 - end);
+    return mask;
+}
+
+/** SSE2: 16 records per compare, four compare groups per word. */
+__attribute__((target("sse2"))) void
+masksSse2(const trace::AccessBatch &b, uint32_t begin, uint32_t end,
+          RunMasks &m)
+{
+    const __m128i two = _mm_set1_epi8(2);
+    const __m128i one = _mm_set1_epi8(1);
+    const __m128i low = _mm_set1_epi8(0x0f);
+    for (uint32_t w0 = begin & ~63u; w0 < end; w0 += 64) {
+        uint64_t ext = 0, mem = 0, wr = 0;
+        for (uint32_t g = 0; g < 64; g += 16) {
+            const __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(&b.kind[w0 + g]));
+            const __m128i kv = _mm_and_si128(v, low);
+            const uint64_t e = static_cast<uint32_t>(
+                _mm_movemask_epi8(_mm_cmpgt_epi8(v, two)));
+            const uint64_t mm = static_cast<uint32_t>(
+                _mm_movemask_epi8(_mm_cmpgt_epi8(two, kv)));
+            const uint64_t ww = static_cast<uint32_t>(
+                _mm_movemask_epi8(_mm_cmpeq_epi8(kv, one)));
+            ext |= e << g;
+            mem |= mm << g;
+            wr |= ww << g;
+        }
+        const uint64_t keep = rangeMask64(w0, begin, end);
+        m.ext[w0 >> 6] = ext & keep;
+        m.mem[w0 >> 6] = mem & keep;
+        m.wr[w0 >> 6] = wr & keep;
+    }
+}
+
+/** AVX2: 32 records per compare, two compare groups per word. */
+__attribute__((target("avx2"))) void
+masksAvx2(const trace::AccessBatch &b, uint32_t begin, uint32_t end,
+          RunMasks &m)
+{
+    const __m256i two = _mm256_set1_epi8(2);
+    const __m256i one = _mm256_set1_epi8(1);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    for (uint32_t w0 = begin & ~63u; w0 < end; w0 += 64) {
+        uint64_t ext = 0, mem = 0, wr = 0;
+        for (uint32_t g = 0; g < 64; g += 32) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(&b.kind[w0 + g]));
+            const __m256i kv = _mm256_and_si256(v, low);
+            const uint64_t e = static_cast<uint32_t>(
+                _mm256_movemask_epi8(_mm256_cmpgt_epi8(v, two)));
+            const uint64_t mm = static_cast<uint32_t>(
+                _mm256_movemask_epi8(_mm256_cmpgt_epi8(two, kv)));
+            const uint64_t ww = static_cast<uint32_t>(
+                _mm256_movemask_epi8(_mm256_cmpeq_epi8(kv, one)));
+            ext |= e << g;
+            mem |= mm << g;
+            wr |= ww << g;
+        }
+        const uint64_t keep = rangeMask64(w0, begin, end);
+        m.ext[w0 >> 6] = ext & keep;
+        m.mem[w0 >> 6] = mem & keep;
+        m.wr[w0 >> 6] = wr & keep;
+    }
+}
+
+#endif // RFL_SIMD_X86
+
+const char *g_isa = "scalar";
+
+MaskFn
+resolve()
+{
+#if RFL_SIMD_X86
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2")) {
+        g_isa = "avx2";
+        return masksAvx2;
+    }
+    g_isa = "sse2";
+    return masksSse2;
+#else
+    return masksScalar;
+#endif
+}
+
+const MaskFn g_masks = resolve();
+
+} // namespace
+
+const char *
+activeIsa()
+{
+    return g_isa;
+}
+
+void
+buildRunMasks(const trace::AccessBatch &b, uint32_t begin, uint32_t end,
+              RunMasks &masks)
+{
+    masks.ensure(end);
+    if (begin >= end)
+        return;
+    g_masks(b, begin, end, masks);
+}
+
+} // namespace rfl::sim::simd

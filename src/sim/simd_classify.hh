@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Vectorized batch-classification pre-pass for the batched consume loop.
+ *
+ * AccessBatch is struct-of-arrays precisely so that per-record metadata
+ * can be derived plane-wise: buildRunMasks() sweeps a span's kind plane
+ * once and emits three bit-packed classification planes (one bit per
+ * record):
+ *
+ *   - ext: the record may extend a same-line run — exactly the byte
+ *     predicate the consume loop's scalar scan used per record
+ *     (kind >= Fp: same-line-flagged Load/Store, Fp, Other);
+ *   - mem: the record is a demand Load/Store (flagged or not);
+ *   - wr:  the record is a demand Store.
+ *
+ * With the planes in hand, Machine::simulateBatchSpanSimd() replaces
+ * the per-record scan entirely: a run's extent is one count-trailing-
+ * ones over `ext`, its read/write tallies are popcounts over `mem` and
+ * `wr`, and the (rare) interleaved Fp/Other records are recovered by
+ * iterating `ext & ~mem`. Per-record work in the hot loop collapses to
+ * roughly one popcount amortized.
+ *
+ * The sweep is independent byte compares, so it vectorizes trivially:
+ * an AVX2 kernel (32 records per compare) and an SSE2 kernel sit behind
+ * the portable scalar fallback, selected once at startup via
+ * __builtin_cpu_supports. All three produce bit-identical masks; the
+ * scalar kernel is the reference and the only one compiled when
+ * RFL_SIMD is off, so the CI no-SIMD job keeps the fallback honest.
+ *
+ * probeWay() is the companion read-only residency probe against the
+ * cache's flat sentinel-tag array (Cache::RawView): no stats, stamps,
+ * tick or MRU-memo movement, so the consume loop can verify a line is
+ * demand-resident before committing to a bulk update. It is deliberately
+ * a small inline scalar loop — one set scan is at most eight compares,
+ * and at that size branch-free SIMD through a dispatch pointer costs
+ * more than it saves.
+ */
+
+#ifndef RFL_SIM_SIMD_CLASSIFY_HH
+#define RFL_SIM_SIMD_CLASSIFY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "trace/access_batch.hh"
+
+namespace rfl::sim::simd
+{
+
+/**
+ * Bit-packed classification planes for one batch span (reused across
+ * batches, grown once). Bit j of word j/64 describes record j — bit
+ * positions are absolute batch indices, and every bit outside the span
+ * passed to buildRunMasks() is zero, so a run scan can never walk past
+ * the span end.
+ */
+struct RunMasks
+{
+    std::vector<uint64_t> ext; ///< record may extend a same-line run
+    std::vector<uint64_t> mem; ///< record is a demand Load/Store
+    std::vector<uint64_t> wr;  ///< record is a demand Store
+
+    void
+    ensure(uint32_t records)
+    {
+        const size_t words = (static_cast<size_t>(records) + 63) / 64;
+        if (ext.size() < words) {
+            ext.resize(words);
+            mem.resize(words);
+            wr.resize(words);
+        }
+    }
+};
+
+/** @return ISA level the dispatched classify kernel uses
+ *  ("avx2", "sse2" or "scalar"); for telemetry and tests. */
+const char *activeIsa();
+
+/**
+ * Fill the masks for records [begin, end) of @p b. Bit-exact across ISA
+ * levels; bits outside the span (including the edge words' stray bits)
+ * are cleared.
+ */
+void buildRunMasks(const trace::AccessBatch &b, uint32_t begin,
+                   uint32_t end, RunMasks &masks);
+
+/**
+ * Read-only probe of @p v for @p line_addr.
+ * @return flat way index, or Cache::noWay when not resident. The caller
+ * must still check Cache::flagPrefetched before treating the line as
+ * demand-resident (a prefetched line's first demand touch has counter
+ * effects a bulk touch must not skip).
+ */
+/**
+ * Host-side prefetch of the way-state lines of @p line_addr's set in
+ * @p v (tags, stamps, flags). The modeled L2/L3 metadata arrays exceed
+ * the host's own caches, so the serial miss walk is host-memory-latency
+ * bound; the batched consume pre-pass issues these for every predicted
+ * miss in the span, overlapping the latency across misses. Pure cache
+ * priming — no simulated effect whatsoever.
+ */
+inline void
+prefetchSet(const Cache::RawView &v, uint64_t line_addr)
+{
+    const uint64_t set = v.pow2 ? (line_addr & v.setMask)
+                                : (line_addr % v.numSets);
+    const size_t base = static_cast<size_t>(set) * v.assoc;
+    __builtin_prefetch(v.tags + base, 0, 2);
+    __builtin_prefetch(v.stamps + base, 1, 2);
+    __builtin_prefetch(v.flags + base, 1, 2);
+    if (v.assoc > 8) {
+        __builtin_prefetch(v.tags + base + 8, 0, 2);
+        __builtin_prefetch(v.stamps + base + 8, 1, 2);
+    }
+}
+
+inline size_t
+probeWay(const Cache::RawView &v, uint64_t line_addr)
+{
+    const uint64_t set = v.pow2 ? (line_addr & v.setMask)
+                                : (line_addr % v.numSets);
+    const uint64_t tag = v.pow2 ? (line_addr >> v.setShift)
+                                : (line_addr / v.numSets);
+    const size_t base = static_cast<size_t>(set) * v.assoc;
+    const uint64_t *tags = v.tags + base;
+    for (uint32_t w = 0; w < v.assoc; ++w) {
+        if (tags[w] == tag)
+            return base + w;
+    }
+    return Cache::noWay;
+}
+
+} // namespace rfl::sim::simd
+
+#endif // RFL_SIM_SIMD_CLASSIFY_HH

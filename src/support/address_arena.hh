@@ -41,7 +41,7 @@ class AddressArena
     /** Region alignment: buffers never share a page or cache set tail. */
     static constexpr uint64_t regionAlign = 2ull << 20;
 
-    AddressArena() = default;
+    AddressArena(); // defined in the .cc: draws a globally unique epoch
 
     /**
      * Record a host allocation and @return its canonical simulated base.
@@ -57,23 +57,32 @@ class AddressArena
      * Inline fast path: translate() runs for every simulated load and
      * store, and streaming kernels overwhelmingly stay inside the last
      * region hit, so the memo check must not cost a function call.
+     *
+     * Thread safety: the memo lives in thread-local storage (keyed by
+     * arena identity + registration epoch), so any number of threads
+     * may translate through the same arena concurrently — required by
+     * Machine::drainParallel(), where per-core worker threads all read
+     * one arena. Concurrent registerRegion() calls are NOT allowed:
+     * register every buffer before entering a parallel section.
      */
     uint64_t
     translatePointer(const void *p) const
     {
         const uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+        Memo &m = tlsMemo_;
+        if (m.arena != this || m.epoch != epoch_) [[unlikely]]
+            rebindMemo(m);
         // The memo can never point at a shadowed (freed-then-reused)
-        // host range: registerRegion() resets it whenever a new region
-        // appears. Four entries so kernels cycling through up to four
-        // operand buffers (triad's a/b/c) stay on the fast path.
-        for (size_t idx : recent_) {
-            if (idx < regions_.size()) {
-                const Region &r = regions_[idx];
-                if (addr - r.host < r.bytes) // unsigned: rejects < host
-                    return r.sim + (addr - r.host);
-            }
+        // host range: the epoch check above rebinds it whenever a new
+        // region appears. Entries hold the resolved (host, bytes, delta)
+        // triple, so a hit is one subtract and compare with no region-
+        // table indirection. Four entries so kernels cycling through up
+        // to four operand buffers (triad's a/b/c) stay on the fast path.
+        for (const MemoEntry &e : m.recent) {
+            if (addr - e.host < e.bytes) // unsigned: rejects < host
+                return addr + e.delta;
         }
-        return translateScan(addr);
+        return translateScan(addr, m);
     }
 
     /** Arena active on this thread, or nullptr. */
@@ -97,6 +106,30 @@ class AddressArena
      */
     class Scope;
 
+    /**
+     * RAII adoption of an EXISTING arena on the current thread:
+     * installs @p arena as this thread's translation context and
+     * restores the previous one on destruction. Used by parallel-drain
+     * worker threads so every core's kernel closure translates through
+     * the arena the main thread's Scope established (thread_local
+     * tlsCurrent_ does not propagate into pool threads by itself).
+     * Adopting nullptr is allowed and makes translation the identity.
+     */
+    class Adoption
+    {
+      public:
+        explicit Adoption(AddressArena *arena) : prev_(tlsCurrent_)
+        {
+            tlsCurrent_ = arena;
+        }
+        ~Adoption() { tlsCurrent_ = prev_; }
+        Adoption(const Adoption &) = delete;
+        Adoption &operator=(const Adoption &) = delete;
+
+      private:
+        AddressArena *prev_;
+    };
+
   private:
     struct Region
     {
@@ -105,23 +138,54 @@ class AddressArena
         uint64_t sim;
     };
 
+    /**
+     * Per-thread translation memo: round-robin cache of the region
+     * indices recent translations hit. Streaming kernels cycle through
+     * a handful of operand buffers, so almost every translation
+     * resolves against one of these with a couple of range compares
+     * (translate is called for every simulated load/store). Keyed by
+     * (arena, epoch): a registerRegion() bumps the epoch, invalidating
+     * every thread's memo so it can never point at a shadowed
+     * (freed-then-reallocated) host range.
+     */
+    /** One resolved region: sim = host address + delta (mod 2^64). An
+     *  empty slot has bytes == 0 and can never match. */
+    struct MemoEntry
+    {
+        uintptr_t host = 0;
+        size_t bytes = 0;
+        uint64_t delta = 0;
+    };
+
+    struct Memo
+    {
+        const AddressArena *arena = nullptr;
+        uint64_t epoch = 0;
+        MemoEntry recent[4];
+        uint32_t at = 0;
+    };
+
     /** Memo-miss path: scan regions newest-first; identity on no match.*/
-    uint64_t translateScan(uintptr_t addr) const;
+    uint64_t translateScan(uintptr_t addr, Memo &m) const;
+
+    /** Point @p m at this arena's newest region (cold path). */
+    void rebindMemo(Memo &m) const;
 
     static thread_local AddressArena *tlsCurrent_;
+    static thread_local Memo tlsMemo_;
 
     std::vector<Region> regions_;
     uint64_t next_ = baseAddress;
     /**
-     * Round-robin memo of regions recent translations hit. Streaming
-     * kernels cycle through a handful of operand buffers, so almost
-     * every translation resolves against one of these with a couple of
-     * range compares (translate is called for every simulated
-     * load/store). Entries are reset by registerRegion() so they can
-     * never point at a shadowed (freed-then-reallocated) host range.
+     * Drawn from a process-global monotonic counter at construction and
+     * on every registerRegion(), so it invalidates every thread's memo —
+     * including memos left by a DIFFERENT arena that happened to occupy
+     * the same address (Scope holds the arena by value, so consecutive
+     * scopes reuse a stack slot; a per-arena counter would repeat and
+     * let a stale memo resolve a reused host range with the old
+     * arena's delta).
      */
-    mutable size_t recent_[4] = {0, 0, 0, 0};
-    mutable uint32_t recentAt_ = 0;
+    uint64_t epoch_;
 };
 
 /** See the declaration inside AddressArena. */

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Deterministic-merge invariants of Machine::drainParallel.
+ *
+ * The parallel drain defers every shared-level (L3/IMC/DRAM) effect
+ * into per-core logs and replays them in core order at the end of the
+ * session (DESIGN.md §13). These tests attack the merge directly with
+ * hand-built per-core streams — not kernels — so the adversarial cases
+ * are explicit:
+ *
+ *   - two cores emitting interleaved streams that share L3 lines (the
+ *     replay order decides who misses and who hits);
+ *   - different batch limits per core, so flush boundaries (= deferred
+ *     epochs) split same-line streaks at unrelated points;
+ *   - the interval sampler armed across the session, including a period
+ *     change between two sessions, so sampling epochs replay mid-span;
+ *   - phase trajectories built through the full measurement stack.
+ *
+ * Everything must be bit-identical to running the same per-core streams
+ * sequentially in core order, for every host thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/phase.hh"
+#include "kernels/engine.hh"
+#include "sim/machine.hh"
+
+namespace
+{
+
+using namespace rfl;
+using namespace rfl::sim;
+
+void
+expectEqual(const Machine::Snapshot &ref, const Machine::Snapshot &got,
+            const std::string &ctx)
+{
+    ASSERT_EQ(ref.cores.size(), got.cores.size()) << ctx;
+    for (size_t c = 0; c < ref.cores.size(); ++c) {
+        const CoreCounters &a = ref.cores[c];
+        const CoreCounters &b = got.cores[c];
+        const std::string at = ctx + " core" + std::to_string(c);
+        for (size_t w = 0; w < 4; ++w)
+            EXPECT_EQ(a.fpRetired[w], b.fpRetired[w])
+                << at << " fpRetired[" << w << "]";
+        EXPECT_EQ(a.fpUops, b.fpUops) << at << " fpUops";
+        EXPECT_EQ(a.loadUops, b.loadUops) << at << " loadUops";
+        EXPECT_EQ(a.storeUops, b.storeUops) << at << " storeUops";
+        EXPECT_EQ(a.otherUops, b.otherUops) << at << " otherUops";
+        EXPECT_EQ(a.l2FillBytes, b.l2FillBytes) << at << " l2FillBytes";
+        EXPECT_EQ(a.l3FillBytes, b.l3FillBytes) << at << " l3FillBytes";
+        EXPECT_EQ(a.dramFillBytes, b.dramFillBytes)
+            << at << " dramFillBytes";
+        EXPECT_EQ(a.ntStoreBytes, b.ntStoreBytes) << at << " ntStoreBytes";
+        EXPECT_EQ(a.dramWritebackBytes, b.dramWritebackBytes)
+            << at << " dramWritebackBytes";
+        EXPECT_EQ(a.latencyCycles, b.latencyCycles)
+            << at << " latencyCycles";
+    }
+    auto expect_cache = [&](const std::vector<CacheStats> &ra,
+                            const std::vector<CacheStats> &rb,
+                            const char *level) {
+        ASSERT_EQ(ra.size(), rb.size()) << ctx << " " << level;
+        for (size_t i = 0; i < ra.size(); ++i) {
+            const CacheStats &a = ra[i];
+            const CacheStats &b = rb[i];
+            const std::string at =
+                ctx + " " + level + "[" + std::to_string(i) + "]";
+            EXPECT_EQ(a.readHits, b.readHits) << at << " readHits";
+            EXPECT_EQ(a.readMisses, b.readMisses) << at << " readMisses";
+            EXPECT_EQ(a.writeHits, b.writeHits) << at << " writeHits";
+            EXPECT_EQ(a.writeMisses, b.writeMisses) << at << " writeMisses";
+            EXPECT_EQ(a.writebacks, b.writebacks) << at << " writebacks";
+            EXPECT_EQ(a.prefetchFills, b.prefetchFills)
+                << at << " prefetchFills";
+            EXPECT_EQ(a.prefetchHits, b.prefetchHits)
+                << at << " prefetchHits";
+        }
+    };
+    expect_cache(ref.l1, got.l1, "l1");
+    expect_cache(ref.l2, got.l2, "l2");
+    expect_cache(ref.l3, got.l3, "l3");
+    ASSERT_EQ(ref.imcs.size(), got.imcs.size()) << ctx;
+    for (size_t i = 0; i < ref.imcs.size(); ++i) {
+        const std::string at = ctx + " imc[" + std::to_string(i) + "]";
+        EXPECT_EQ(ref.imcs[i].casReads, got.imcs[i].casReads) << at;
+        EXPECT_EQ(ref.imcs[i].casWrites, got.imcs[i].casWrites) << at;
+        EXPECT_EQ(ref.imcs[i].prefetchReads, got.imcs[i].prefetchReads)
+            << at;
+        EXPECT_EQ(ref.imcs[i].ntWrites, got.imcs[i].ntWrites) << at;
+    }
+    ASSERT_EQ(ref.tlbs.size(), got.tlbs.size()) << ctx;
+    for (size_t i = 0; i < ref.tlbs.size(); ++i) {
+        const std::string at = ctx + " tlb[" + std::to_string(i) + "]";
+        EXPECT_EQ(ref.tlbs[i].accesses, got.tlbs[i].accesses) << at;
+        EXPECT_EQ(ref.tlbs[i].l1Misses, got.tlbs[i].l1Misses) << at;
+        EXPECT_EQ(ref.tlbs[i].walks, got.tlbs[i].walks) << at;
+    }
+}
+
+/**
+ * Emit one core's hand-built stream: same-line streaks over a private
+ * region, periodic stores (dirty lines -> writebacks), NT stores, page
+ * changes every 4 KiB, accesses into a region BOTH cores touch (the
+ * shared-state battleground the merge replay has to order), and FP/uop
+ * retirements mixed in.
+ */
+void
+emitStream(kernels::SimEngine &e, int core)
+{
+    const uint64_t priv = (1ull << 32) + static_cast<uint64_t>(core) *
+                                             (8ull << 20);
+    const uint64_t shared = (1ull << 32) + (64ull << 20);
+    for (uint64_t i = 0; i < 6000; ++i) {
+        e.emitLoad(priv + 8 * i, 8); // 8-access streak per 64B line
+        if (i % 16 == 5)
+            e.emitStore(priv + 8 * i, 8);
+        if (i % 32 == 11)
+            e.emitStoreNT(priv + (1ull << 20) + 8 * i, 8);
+        if (i % 64 == 23) {
+            e.emitLoad(shared + 8 * (i % 512), 8);
+            e.emitStore(shared + 8 * (i % 512), 8);
+        }
+        if (i % 8 == 0)
+            e.emitFp(sim::VecWidth::W4, true, 2);
+        e.emitOther(1);
+    }
+}
+
+/**
+ * Drive both per-core streams, sequentially (threads == 0: classic
+ * engines, core order, no defer) or through drainParallel on the given
+ * host thread count. Batch limits 7 and 13 put every flush boundary —
+ * and therefore every deferred epoch — mid-streak, at different points
+ * per core.
+ */
+Machine::Snapshot
+driveTwoCores(Machine &machine, int threads)
+{
+    const Machine::Snapshot before = machine.snapshot();
+    if (threads == 0) {
+        for (int core = 0; core < 2; ++core) {
+            kernels::SimEngine e(machine, core, 4, true);
+            e.setBatchLimit(core == 0 ? 7 : 13);
+            emitStream(e, core);
+        }
+    } else {
+        std::vector<std::unique_ptr<kernels::SimEngine>> engines;
+        for (int core = 0; core < 2; ++core) {
+            engines.push_back(std::make_unique<kernels::SimEngine>(
+                machine, core, 4, true));
+            engines.back()->setBatchLimit(core == 0 ? 7 : 13);
+        }
+        std::vector<std::function<void()>> work;
+        for (int core = 0; core < 2; ++core) {
+            kernels::SimEngine &e = *engines[static_cast<size_t>(core)];
+            work.push_back([&e, core] {
+                emitStream(e, core);
+                e.flush();
+            });
+        }
+        machine.drainParallel(work, threads);
+    }
+    machine.flushAllCaches();
+    return machine.snapshot() - before;
+}
+
+TEST(ParallelDrainMerge, InterleavedStreamsAcrossThreadCounts)
+{
+    Machine ref(MachineConfig::defaultPlatform());
+    ref.setFastPath(true);
+    const Machine::Snapshot expected = driveTwoCores(ref, 0);
+
+    for (int threads : {1, 2, 8}) {
+        Machine m(MachineConfig::defaultPlatform());
+        m.setFastPath(true);
+        expectEqual(expected, driveTwoCores(m, threads),
+                    "two-core merge t=" + std::to_string(threads));
+    }
+}
+
+/** Same streams with the interval sampler armed: the sampler replays at
+ *  merge time, so the recorded sample trajectory — not just the totals —
+ *  matches the sequential run sample-for-sample, and a period change
+ *  between two sessions lands at the same stream position. The period
+ *  977 is prime, so sample boundaries fall mid-streak and mid-batch. */
+TEST(ParallelDrainMerge, SamplingTrajectoryAcrossThreadCounts)
+{
+    auto run = [](int threads) {
+        Machine m(MachineConfig::defaultPlatform());
+        m.setFastPath(true);
+        m.setSamplePeriod(977);
+        driveTwoCores(m, threads);
+        m.setSamplePeriod(313); // mid-span re-arm between sessions
+        driveTwoCores(m, threads);
+        m.setSamplePeriod(0);
+        return std::make_pair(m.snapshot(), m.samples());
+    };
+
+    const auto [ref_end, ref_samples] = run(0);
+    ASSERT_GT(ref_samples.size(), 4u)
+        << "sampler never fired; the invariant would be vacuous";
+
+    for (int threads : {1, 2, 8}) {
+        const auto [end, samples] = run(threads);
+        const std::string ctx =
+            "sampled merge t=" + std::to_string(threads);
+        expectEqual(ref_end, end, ctx + " totals");
+        ASSERT_EQ(ref_samples.size(), samples.size()) << ctx;
+        for (size_t i = 0; i < ref_samples.size(); ++i)
+            expectEqual(ref_samples[i], samples[i],
+                        ctx + " sample[" + std::to_string(i) + "]");
+    }
+}
+
+/** End-to-end: phase trajectories built through the measurement stack
+ *  are identical for every drain thread count. */
+TEST(ParallelDrainMerge, PhaseTrajectoriesIdenticalAcrossThreadCounts)
+{
+    auto sample = [](int drain_threads) {
+        Machine machine(MachineConfig::defaultPlatform());
+        roofline::MeasureOptions opts;
+        opts.cores = {0, 1, 2, 3};
+        opts.drainThreads = drain_threads;
+        return analysis::samplePhasesSpec(machine, "daxpy:n=8192", opts,
+                                          512);
+    };
+
+    const analysis::PhaseTrajectory ref = sample(1);
+    ASSERT_GT(ref.points.size(), 1u);
+
+    for (int threads : {2, 8}) {
+        const analysis::PhaseTrajectory got = sample(threads);
+        const std::string ctx =
+            "trajectory t=" + std::to_string(threads);
+        EXPECT_EQ(ref.totalFlops, got.totalFlops) << ctx;
+        EXPECT_EQ(ref.totalTrafficBytes, got.totalTrafficBytes) << ctx;
+        EXPECT_EQ(ref.totalSeconds, got.totalSeconds) << ctx;
+        ASSERT_EQ(ref.points.size(), got.points.size()) << ctx;
+        for (size_t i = 0; i < ref.points.size(); ++i) {
+            const std::string at =
+                ctx + " point[" + std::to_string(i) + "]";
+            EXPECT_EQ(ref.points[i].flops, got.points[i].flops) << at;
+            EXPECT_EQ(ref.points[i].trafficBytes,
+                      got.points[i].trafficBytes)
+                << at;
+            EXPECT_EQ(ref.points[i].seconds, got.points[i].seconds) << at;
+        }
+    }
+}
+
+} // namespace
