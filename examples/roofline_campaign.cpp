@@ -16,6 +16,10 @@
  *                                              # trace.jsonl (load the
  *                                              # trace in
  *                                              # chrome://tracing)
+ *   roofline_campaign --profile-out prof/      # profile the run: CPU
+ *                                              # samples collapsed to
+ *                                              # profile.json +
+ *                                              # flamegraph.svg
  *
  * Campaign file format (see src/campaign/spec.hh):
  *
@@ -43,6 +47,7 @@
 #include "support/hash.hh"
 #include "support/logging.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
 #include "telemetry/sim_counters.hh"
 #include "telemetry/span.hh"
 
@@ -87,6 +92,10 @@ main(int argc, char **argv)
                   "write metrics.json and trace.jsonl (chrome://tracing "
                   "format) into this directory; also enables the "
                   "simulator's hot-path counters");
+    cli.addOption("profile-out",
+                  "sample the run with the SIGPROF profiler and write "
+                  "profile.json + flamegraph.svg into this directory "
+                  "(requires -DRFL_PROFILER=ON)");
     cli.parse(argc, argv);
 
     const std::string out = cli.get("out", outputDirectory());
@@ -124,6 +133,19 @@ main(int argc, char **argv)
         telemetry::setSimTelemetryEnabled(true);
     }
 
+    const std::string profile_dir = cli.get("profile-out", "");
+    bool profiling = false;
+    if (!profile_dir.empty()) {
+        if (!telemetry::Profiler::compiledIn()) {
+            fatal("--profile-out requires a build with "
+                  "-DRFL_PROFILER=ON");
+        }
+        ensureDirectory(profile_dir);
+        profiling = telemetry::Profiler::instance().start({});
+        if (!profiling)
+            fatal("--profile-out: a profile is already running");
+    }
+
     cp::CampaignRun run;
     {
         // Scope so the root span closes before the trace is written.
@@ -131,6 +153,27 @@ main(int argc, char **argv)
         telemetry::Span root("campaign");
         root.attr("campaign", spec.name());
         run = cp::CampaignExecutor(exec).run(spec, tracer_ptr);
+    }
+
+    if (profiling) {
+        const telemetry::Profile profile =
+            telemetry::Profiler::instance().stop("campaign " +
+                                                 spec.name());
+        const std::string json_path = profile_dir + "/profile.json";
+        std::ofstream json_out(json_path);
+        if (!json_out)
+            fatal("cannot write '%s'", json_path.c_str());
+        json_out << telemetry::renderProfileJson(profile) << "\n";
+
+        const std::string svg_path = profile_dir + "/flamegraph.svg";
+        std::ofstream svg_out(svg_path);
+        if (!svg_out)
+            fatal("cannot write '%s'", svg_path.c_str());
+        svg_out << telemetry::renderFlamegraphSvg(
+            profile.stacks, "roofline_campaign " + spec.name());
+        std::cout << "profile: " << profile.samples << " samples ("
+                  << profile.dropped << " dropped) -> " << json_path
+                  << ", " << svg_path << "\n";
     }
     cp::emitCampaign(run, out, std::cout);
 

@@ -21,16 +21,21 @@
  *   GET  /healthz, /statsz
  *   GET  /metricsz                 Prometheus text exposition
  *   GET  /tracez?job=<ticket>      chrome://tracing span tree
+ *   GET  /seriesz                  metrics time-series rings (JSON)
+ *   GET  /dashz                    live HTML dashboard (sparklines)
+ *   GET  /profilez?seconds=N       CPU profile (JSON or flamegraph)
  *
  * SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, finish
  * in-flight requests and campaigns, exit 0.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "service/api.hh"
@@ -39,7 +44,9 @@
 #include "service/session.hh"
 #include "support/cli.hh"
 #include "support/csv.hh"
+#include "telemetry/metrics.hh"
 #include "telemetry/sim_counters.hh"
+#include "telemetry/timeseries.hh"
 
 namespace
 {
@@ -89,6 +96,12 @@ serve(int argc, char **argv)
     cli.addOption("rate", "per-client sustained requests/second "
                           "(0 = unlimited)", "0");
     cli.addOption("burst", "per-client burst allowance", "32");
+    cli.addOption("sample-interval-ms",
+                  "time-series scrape period for /seriesz and /dashz "
+                  "(0 disables the sampler)",
+                  "1000");
+    cli.addOption("sample-capacity",
+                  "points retained per time series", "600");
     cli.addOption("out", "artifact/trace directory (default: "
                          "$RFL_OUT_DIR or ./out)");
     cli.addOption("quiet", "suppress per-request log lines");
@@ -128,6 +141,22 @@ serve(int argc, char **argv)
 
     sv::ApiHandler api(queue, sessions);
 
+    // Time-series sampler behind /seriesz and /dashz: scrapes the
+    // global registry into fixed rings on its own thread; memory is
+    // bounded by capacity x maxSeries regardless of uptime.
+    telemetry::TimeSeriesOptions tsopts;
+    tsopts.intervalSeconds =
+        cli.getDouble("sample-interval-ms", 1000.0) / 1000.0;
+    tsopts.capacity = static_cast<size_t>(
+        std::max<long>(2, cli.getInt("sample-capacity", 600)));
+    std::unique_ptr<telemetry::TimeSeriesSampler> sampler;
+    if (tsopts.intervalSeconds > 0.0) {
+        sampler = std::make_unique<telemetry::TimeSeriesSampler>(
+            telemetry::Registry::global(), tsopts);
+        sampler->start();
+        api.setTimeSeriesSampler(sampler.get());
+    }
+
     sv::HttpServerOptions hopts;
     hopts.host = cli.get("host", "127.0.0.1");
     hopts.port = static_cast<int>(cli.getInt("port", 8080));
@@ -158,6 +187,8 @@ serve(int argc, char **argv)
     std::cout << "signal " << g_signal.load()
               << ": shutting down gracefully..." << std::endl;
     server.stop();
+    if (sampler)
+        sampler->stop();
     queue.stop();
 
     const sv::JobQueueStats q = queue.stats();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <mutex>
 #include <optional>
@@ -19,6 +20,7 @@
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/resource.hh"
 #include "telemetry/sim_counters.hh"
 #include "trace/trace_file.hh"
 #include "trace/trace_kernel.hh"
@@ -39,6 +41,7 @@ struct RunState
     std::map<std::string, CampaignRun::KindStats> jobsByKind;
     std::atomic<size_t> simulated{0};
     std::atomic<size_t> cacheHits{0};
+    telemetry::ResourceDelta resources; // run totals, under mutex
 };
 
 /** Process-global campaign metrics; registered once, bumped per job. */
@@ -63,6 +66,48 @@ campaignMetrics()
     };
     return m;
 }
+
+/** rfl_job_cpu_seconds{kind=}: registration is idempotent, so looking
+ *  it up per finished job is just a map find under the registry lock —
+ *  negligible next to a simulation job. */
+telemetry::Histogram &
+jobCpuHistogram(const char *kind)
+{
+    return telemetry::Registry::global().histogram(
+        "rfl_job_cpu_seconds",
+        "thread CPU seconds (user+system) per executed campaign job",
+        {{"kind", kind}});
+}
+
+/**
+ * A stage span that also brackets the stage with
+ * getrusage(RUSAGE_THREAD): when tracing is active the span carries
+ * the stage's CPU seconds and fault counts as attrs, correlating the
+ * trace tree with what the stage cost the machine. Costs two rusage
+ * syscalls per *traced* stage and nothing extra when untraced beyond
+ * the snapshot at construction.
+ */
+class StageSpan
+{
+  public:
+    explicit StageSpan(const char *name) : span_(name) {}
+
+    ~StageSpan()
+    {
+        if (!span_.active())
+            return;
+        const telemetry::ResourceDelta d = usage_.delta();
+        char cpu[32];
+        std::snprintf(cpu, sizeof(cpu), "%.6f", d.cpuSeconds());
+        span_.attr("cpu_s", cpu);
+        span_.attr("maj_faults", std::to_string(d.majorFaults));
+        span_.attr("min_faults", std::to_string(d.minorFaults));
+    }
+
+  private:
+    telemetry::Span span_;
+    telemetry::ScopedThreadUsage usage_;
+};
 
 /**
  * Between-stage seam of a job: deadline check plus named fault
@@ -117,7 +162,7 @@ recordTrace(const sim::MachineConfig &config, const std::string &spec,
     std::unique_ptr<kernels::Kernel> kernel;
     stageGate("job.machine-build", "machine-build");
     {
-        telemetry::Span build("machine-build");
+        StageSpan build("machine-build");
         machine.emplace(config);
         kernel = kernels::createKernel(spec);
         kernel->init(params.seed);
@@ -128,7 +173,7 @@ recordTrace(const sim::MachineConfig &config, const std::string &spec,
     writer.setDependentAccesses(kernel->dependentAccesses());
     stageGate("job.simulate", "simulate");
     {
-        telemetry::Span sim("simulate");
+        StageSpan sim("simulate");
         kernels::SimEngine engine(*machine, 0, params.lanes,
                                   /*use_fma=*/true);
         engine.setTraceWriter(&writer);
@@ -136,7 +181,7 @@ recordTrace(const sim::MachineConfig &config, const std::string &spec,
     }
 
     stageGate("job.encode", "encode");
-    telemetry::Span encode("encode");
+    StageSpan encode("encode");
     writer.finish();
 
     TraceInfo info;
@@ -219,20 +264,20 @@ executeJob(const CampaignSpec &spec, const Job &job,
         std::optional<roofline::Experiment> exp;
         stageGate("job.machine-build", "machine-build");
         {
-            telemetry::Span build("machine-build");
+            StageSpan build("machine-build");
             exp.emplace(machine.config);
             exp->machine().setMemPolicy(opts.memPolicy);
             exp->machine().setPrefetchEnabled(opts.prefetchEnabled);
         }
         stageGate("job.simulate", "simulate");
         {
-            telemetry::Span sim("simulate");
+            StageSpan sim("simulate");
             result.model =
                 exp->probe().characterize(opts.measure.cores);
         }
         if (cache) {
             stageGate("job.encode", "encode");
-            telemetry::Span encode("encode");
+            StageSpan encode("encode");
             cache->store(job.cacheKey, encodeModel(result.model));
         }
         break;
@@ -241,7 +286,7 @@ executeJob(const CampaignSpec &spec, const Job &job,
         std::optional<roofline::Experiment> exp;
         stageGate("job.machine-build", "machine-build");
         {
-            telemetry::Span build("machine-build");
+            StageSpan build("machine-build");
             exp.emplace(machine.config);
             exp->machine().setMemPolicy(opts.memPolicy);
             exp->machine().setPrefetchEnabled(opts.prefetchEnabled);
@@ -251,13 +296,13 @@ executeJob(const CampaignSpec &spec, const Job &job,
             mopts.drainThreads = exec_opts.drainThreads;
         stageGate("job.simulate", "simulate");
         {
-            telemetry::Span sim("simulate");
+            StageSpan sim("simulate");
             result.measurement = exp->measureSpec(
                 spec.kernels()[job.kernelIndex], mopts);
         }
         if (cache) {
             stageGate("job.encode", "encode");
-            telemetry::Span encode("encode");
+            StageSpan encode("encode");
             cache->store(job.cacheKey,
                          encodeMeasurement(result.measurement));
         }
@@ -269,7 +314,7 @@ executeJob(const CampaignSpec &spec, const Job &job,
                         exec_opts.traceDir, job.id);
         if (cache) {
             stageGate("job.encode", "encode");
-            telemetry::Span encode("encode");
+            StageSpan encode("encode");
             cache->store(job.cacheKey, encodeTraceInfo(result.trace));
         }
         break;
@@ -283,7 +328,7 @@ executeJob(const CampaignSpec &spec, const Job &job,
         std::optional<sim::Machine> sim_machine;
         stageGate("job.machine-build", "machine-build");
         {
-            telemetry::Span build("machine-build");
+            StageSpan build("machine-build");
             kernel.emplace(info.path);
             sim_machine.emplace(machine.config);
             sim_machine->setMemPolicy(opts.memPolicy);
@@ -295,7 +340,7 @@ executeJob(const CampaignSpec &spec, const Job &job,
         mopts.cores = {opts.measure.cores.front()};
         stageGate("job.simulate", "simulate");
         {
-            telemetry::Span sim("simulate");
+            StageSpan sim("simulate");
             result.measurement = measurer.measure(*kernel, mopts);
         }
         // Label the measurement by what was traced, not the replay
@@ -304,7 +349,7 @@ executeJob(const CampaignSpec &spec, const Job &job,
             "trace(" + spec.traces()[job.kernelIndex] + ")";
         if (cache) {
             stageGate("job.encode", "encode");
-            telemetry::Span encode("encode");
+            StageSpan encode("encode");
             cache->store(job.cacheKey,
                          encodeMeasurement(result.measurement));
         }
@@ -315,20 +360,20 @@ executeJob(const CampaignSpec &spec, const Job &job,
         std::optional<sim::Machine> sim_machine;
         stageGate("job.machine-build", "machine-build");
         {
-            telemetry::Span build("machine-build");
+            StageSpan build("machine-build");
             sim_machine.emplace(machine.config);
             sim_machine->setMemPolicy(opts.memPolicy);
             sim_machine->setPrefetchEnabled(opts.prefetchEnabled);
         }
         stageGate("job.simulate", "simulate");
         {
-            telemetry::Span sim("simulate");
+            StageSpan sim("simulate");
             result.phases = analysis::samplePhasesSpec(
                 *sim_machine, phase.spec, opts.measure, phase.period);
         }
         if (cache) {
             stageGate("job.encode", "encode");
-            telemetry::Span encode("encode");
+            StageSpan encode("encode");
             cache->store(job.cacheKey,
                          encodePhaseTrajectory(result.phases));
         }
@@ -494,11 +539,30 @@ CampaignExecutor::run(const CampaignSpec &spec,
                 span.attr("job", std::to_string(id));
                 span.attr("machine",
                           spec.machines()[job.machineIndex].label);
+                // The pool runs this job entirely on the current
+                // thread, so a RUSAGE_THREAD bracket is exactly the
+                // job's own consumption regardless of concurrency.
+                const telemetry::ScopedThreadUsage usage;
                 run.results[id] =
                     executeJob(spec, job, run.results, opts_,
                                state.simulated, state.cacheHits);
-                if (run.results[id].fromCache)
+                if (run.results[id].fromCache) {
                     span.attr("cached", "true");
+                } else {
+                    const telemetry::ResourceDelta res = usage.delta();
+                    run.results[id].resources = res;
+                    char cpu[32];
+                    std::snprintf(cpu, sizeof(cpu), "%.6f",
+                                  res.cpuSeconds());
+                    span.attr("cpu_s", cpu);
+                    jobCpuHistogram(jobKindName(job.kind))
+                        .observe(res.cpuSeconds());
+                    telemetry::Registry::global()
+                        .gauge("rfl_job_maxrss_bytes",
+                               "process peak RSS observed at the end "
+                               "of the most recent campaign job")
+                        .set(static_cast<double>(res.maxrssBytes));
+                }
             } catch (...) {
                 // The pool keeps (and rethrows) only the first
                 // failure; the flag makes the rest unwind fast.
@@ -517,6 +581,8 @@ CampaignExecutor::run(const CampaignSpec &spec,
                 auto &ks = state.jobsByKind[jobKindName(job.kind)];
                 ks.count += 1;
                 ks.seconds += jobSeconds;
+                ks.cpuSeconds += run.results[id].resources.cpuSeconds();
+                state.resources.add(run.results[id].resources);
                 for (size_t dep_id : state.dependents[id]) {
                     RFL_ASSERT(state.remainingDeps[dep_id] > 0);
                     if (--state.remainingDeps[dep_id] == 0)
@@ -536,6 +602,7 @@ CampaignExecutor::run(const CampaignSpec &spec,
     RFL_ASSERT(state.completionOrder.size() == run.jobs.size());
     run.completionOrder = std::move(state.completionOrder);
     run.jobsByKind = std::move(state.jobsByKind);
+    run.resources = state.resources;
     run.simulated = state.simulated.load();
     run.cacheHits = state.cacheHits.load();
     run.wallSeconds =

@@ -28,6 +28,7 @@
 #include "campaign/spec.hh"
 #include "roofline/measurement.hh"
 #include "roofline/model.hh"
+#include "telemetry/resource.hh"
 #include "telemetry/span.hh"
 
 namespace rfl::campaign
@@ -80,6 +81,9 @@ struct JobResult
     TraceInfo trace;
     /** Filled for PhaseSample jobs. */
     analysis::PhaseTrajectory phases;
+    /** What this job cost its worker thread (zeros for cache hits —
+     *  the probe is not worth a rusage syscall pair). */
+    telemetry::ResourceDelta resources;
 };
 
 /** Everything the aggregation/sink layer consumes (see sink.hh). */
@@ -103,9 +107,14 @@ struct CampaignRun
     {
         size_t count = 0;
         double seconds = 0.0;
+        double cpuSeconds = 0.0; ///< user+system across the kind's jobs
     };
     /** Keyed by jobKindName(); only kinds that occurred appear. */
     std::map<std::string, KindStats> jobsByKind;
+
+    /** Aggregated rusage across all executed jobs (CPU and faults
+     *  sum; maxrssBytes is the process peak observed). */
+    telemetry::ResourceDelta resources;
 
     /** Measurement of one grid cell; panics when indices are invalid. */
     const roofline::Measurement &

@@ -135,10 +135,17 @@ printCampaignStats(const CampaignRun &run, std::ostream &os)
     bool first = true;
     for (const auto &[kind, stats] : run.jobsByKind) {
         os << (first ? " " : ", ") << kind << " x" << stats.count << " ("
-           << formatSig(stats.seconds, 3) << " s)";
+           << formatSig(stats.seconds, 3) << " s wall, "
+           << formatSig(stats.cpuSeconds, 3) << " s cpu)";
         first = false;
     }
     os << "\n";
+    os << "  resources: " << formatSig(run.resources.cpuSeconds(), 3)
+       << " s cpu (" << formatSig(run.resources.cpuUserSeconds, 3)
+       << " usr + " << formatSig(run.resources.cpuSystemSeconds, 3)
+       << " sys), peak rss "
+       << run.resources.maxrssBytes / (1024 * 1024) << " MiB, "
+       << run.resources.majorFaults << " major fault(s)\n";
 }
 
 } // namespace rfl::campaign

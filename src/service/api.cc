@@ -1,11 +1,15 @@
 #include "service/api.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 #include "campaign/serialize.hh"
 #include "support/failpoint.hh"
 #include "support/logging.hh"
+#include "telemetry/build_info.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
 
 namespace rfl::service
 {
@@ -75,6 +79,26 @@ statusJson(const JobStatus &st)
                       static_cast<double>(st.scenarioCount)));
         doc.set("stats", std::move(stats));
 
+        // What the campaign cost the machine, not just how long it
+        // took: thread CPU seconds and fault counts summed across its
+        // jobs, peak process RSS observed (a level, not a sum — see
+        // telemetry/resource.hh).
+        Json res = Json::makeObject();
+        res.set("cpu_user_seconds",
+                Json::makeNumber(st.resources.cpuUserSeconds));
+        res.set("cpu_system_seconds",
+                Json::makeNumber(st.resources.cpuSystemSeconds));
+        res.set("maxrss_bytes",
+                Json::makeNumber(
+                    static_cast<double>(st.resources.maxrssBytes)));
+        res.set("minor_faults",
+                Json::makeNumber(
+                    static_cast<double>(st.resources.minorFaults)));
+        res.set("major_faults",
+                Json::makeNumber(
+                    static_cast<double>(st.resources.majorFaults)));
+        doc.set("resources", std::move(res));
+
         Json links = Json::makeObject();
         const std::string base = "/v1/campaigns/" + st.id;
         links.set("analysis", Json::makeString(base + "/analysis"));
@@ -97,7 +121,8 @@ endpointHistogram(const std::string &path)
     std::string endpoint;
     if (path == "/healthz" || path == "/statsz" ||
         path == "/metricsz" || path == "/tracez" ||
-        path == "/v1/campaigns") {
+        path == "/seriesz" || path == "/dashz" ||
+        path == "/profilez" || path == "/v1/campaigns") {
         endpoint = path;
     } else if (path.rfind("/v1/campaigns/", 0) == 0) {
         endpoint = "/v1/campaigns/{id}";
@@ -116,6 +141,7 @@ ApiHandler::ApiHandler(JobQueue &queue, SessionTable &sessions)
       start_(std::chrono::steady_clock::now())
 {
     telemetry::Registry &reg = telemetry::Registry::global();
+    telemetry::registerBuildInfoMetric(reg);
     metricsCollector_ = reg.addCollector(
         [this,
          &admitted = reg.counter("rfl_sessions_admitted_total",
@@ -152,6 +178,12 @@ ApiHandler::setServerStats(std::function<HttpServerStats()> supplier)
     serverStats_ = std::move(supplier);
 }
 
+void
+ApiHandler::setTimeSeriesSampler(telemetry::TimeSeriesSampler *sampler)
+{
+    sampler_ = sampler;
+}
+
 HttpResponse
 ApiHandler::handle(const HttpRequest &req)
 {
@@ -171,9 +203,14 @@ ApiHandler::handle(const HttpRequest &req)
     // Liveness probes and metric scrapers are exempt: a throttled
     // /healthz reads as a dead service to an orchestrator, and a
     // throttled scrape reads as an outage on a dashboard.
+    // /seriesz and /dashz join the exempt set: the dashboard refreshes
+    // itself every sampler interval, and a throttled refresh reads as
+    // a dead dashboard. /profilez is NOT exempt — it costs real CPU.
     const bool exempt = req.path == "/healthz" ||
                         req.path == "/statsz" ||
-                        req.path == "/metricsz";
+                        req.path == "/metricsz" ||
+                        req.path == "/seriesz" ||
+                        req.path == "/dashz";
     if (!exempt && !sessions_.admit(req.clientAddr))
         resp = backpressureError("rate limited", 1);
     else
@@ -211,6 +248,21 @@ ApiHandler::dispatch(const HttpRequest &req,
         if (req.method != "GET")
             return jsonError(405, "use GET");
         return tracez(req);
+    }
+    if (req.path == "/seriesz") {
+        if (req.method != "GET")
+            return jsonError(405, "use GET");
+        return seriesz();
+    }
+    if (req.path == "/dashz") {
+        if (req.method != "GET")
+            return jsonError(405, "use GET");
+        return dashz();
+    }
+    if (req.path == "/profilez") {
+        if (req.method != "GET")
+            return jsonError(405, "use GET");
+        return profilez(req);
     }
     if (req.path == "/v1/campaigns") {
         if (req.method != "POST")
@@ -360,7 +412,82 @@ ApiHandler::health() const
         Json::makeNumber(std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start_)
                              .count()));
+    // The same identity rfl_build_info carries in labels: "did the
+    // numbers change or did the binary?" answerable from a liveness
+    // probe.
+    const telemetry::BuildInfo &b = telemetry::buildInfo();
+    Json build = Json::makeObject();
+    build.set("git_sha", Json::makeString(b.gitSha));
+    build.set("compiler", Json::makeString(b.compiler));
+    build.set("build_type", Json::makeString(b.buildType));
+    build.set("simd", Json::makeString(b.simdTier));
+    build.set("profiler",
+              Json::makeBool(telemetry::Profiler::compiledIn()));
+    doc.set("build", std::move(build));
     return jsonResponse(200, doc);
+}
+
+HttpResponse
+ApiHandler::seriesz() const
+{
+    if (!sampler_)
+        return jsonError(503, "no time-series sampler attached");
+    HttpResponse resp;
+    resp.contentType = "application/json";
+    resp.body = sampler_->renderSeriesJson() + "\n";
+    return resp;
+}
+
+HttpResponse
+ApiHandler::dashz() const
+{
+    if (!sampler_)
+        return jsonError(503, "no time-series sampler attached");
+    HttpResponse resp;
+    resp.contentType = "text/html; charset=utf-8";
+    resp.body = sampler_->renderDashHtml();
+    resp.chunked = true;
+    return resp;
+}
+
+HttpResponse
+ApiHandler::profilez(const HttpRequest &req) const
+{
+    if (!telemetry::Profiler::compiledIn()) {
+        return jsonError(501,
+                         "profiler not compiled in "
+                         "(rebuild with -DRFL_PROFILER=ON)");
+    }
+
+    double seconds =
+        std::strtod(req.queryParam("seconds", "2").c_str(), nullptr);
+    seconds = std::clamp(seconds, 0.05, 30.0);
+    telemetry::ProfilerOptions opts;
+    const long hz =
+        std::strtol(req.queryParam("hz", "997").c_str(), nullptr, 10);
+    if (hz > 0)
+        opts.hz = static_cast<int>(std::clamp(hz, 50l, 5000l));
+
+    if (!telemetry::Profiler::instance().start(opts))
+        return jsonError(409, "a profile is already running");
+    // Blocks this request's server thread only; the profiler samples
+    // the whole process meanwhile.
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    const telemetry::Profile profile =
+        telemetry::Profiler::instance().stop(
+            "profilez " + std::to_string(opts.hz) + "Hz");
+
+    HttpResponse resp;
+    if (req.queryParam("format", "json") == "svg") {
+        resp.contentType = "image/svg+xml";
+        resp.body = telemetry::renderFlamegraphSvg(
+            profile.stacks, "roofline_serve CPU profile");
+        resp.chunked = true;
+        return resp;
+    }
+    resp.contentType = "application/json";
+    resp.body = telemetry::renderProfileJson(profile) + "\n";
+    return resp;
 }
 
 HttpResponse

@@ -24,6 +24,16 @@
  *        Prometheus text exposition format (0.0.4).
  *   GET  /tracez?job=<ticket>            chrome://tracing span tree of
  *        a finished campaign's execution.
+ *   GET  /seriesz                        metrics time-series rings as
+ *        JSON (kind "rfl-series"; see telemetry/timeseries.hh). 503
+ *        until a sampler is attached.
+ *   GET  /dashz                          self-contained live HTML
+ *        dashboard (SVG sparklines, auto-refresh, no scripts).
+ *   GET  /profilez?seconds=N&hz=H&format=json|svg
+ *        run the SIGPROF sampling profiler for N seconds (blocking
+ *        this request only) and return the collapsed profile as JSON
+ *        or a flamegraph SVG. 501 when compiled out
+ *        (-DRFL_PROFILER=OFF), 409 when a profile is already running.
  *
  * Artifact endpoints answer 409 while the campaign is still queued or
  * running (poll the status endpoint), 404 for unknown tickets, and
@@ -53,6 +63,7 @@
 #include "service/job_queue.hh"
 #include "service/session.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/timeseries.hh"
 
 namespace rfl::service
 {
@@ -69,6 +80,13 @@ class ApiHandler
      */
     void setServerStats(std::function<HttpServerStats()> supplier);
 
+    /**
+     * Attach the time-series sampler backing /seriesz and /dashz
+     * (optional; both answer 503 without one). The sampler must
+     * outlive the handler.
+     */
+    void setTimeSeriesSampler(telemetry::TimeSeriesSampler *sampler);
+
     /** Route one request; thread-safe. */
     HttpResponse handle(const HttpRequest &req);
 
@@ -82,9 +100,13 @@ class ApiHandler
     HttpResponse statsz() const;
     HttpResponse metricsz() const;
     HttpResponse tracez(const HttpRequest &req) const;
+    HttpResponse seriesz() const;
+    HttpResponse dashz() const;
+    HttpResponse profilez(const HttpRequest &req) const;
 
     JobQueue &queue_;
     SessionTable &sessions_;
+    telemetry::TimeSeriesSampler *sampler_ = nullptr;
     std::function<HttpServerStats()> serverStats_;
     std::chrono::steady_clock::time_point start_;
     /** Minted ids for requests arriving without X-Request-Id. */

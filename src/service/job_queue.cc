@@ -267,6 +267,7 @@ JobQueue::workerLoop()
         size_t jobs = 0, simulated = 0, cacheHits = 0;
         double wallSeconds = 0.0;
         int threadsUsed = 0;
+        telemetry::ResourceDelta resources;
         analysis::ReportArtifacts artifacts;
         telemetry::Tracer tracer;
         try {
@@ -296,6 +297,7 @@ JobQueue::workerLoop()
             cacheHits = run.cacheHits;
             wallSeconds = run.wallSeconds;
             threadsUsed = run.threadsUsed;
+            resources = run.resources;
         } catch (const TimedOutError &e) {
             final = JobState::TimedOut;
             error = e.what();
@@ -322,6 +324,7 @@ JobQueue::workerLoop()
                 rec->cacheHits = cacheHits;
                 rec->wallSeconds = wallSeconds;
                 rec->threadsUsed = threadsUsed;
+                rec->resources = resources;
                 rec->artifacts = std::move(artifacts);
             } else {
                 if (final == JobState::TimedOut)
@@ -395,6 +398,7 @@ JobQueue::status(const std::string &id, JobStatus *out) const
         out->cacheHits = rec->cacheHits;
         out->wallSeconds = rec->wallSeconds;
         out->threadsUsed = rec->threadsUsed;
+        out->resources = rec->resources;
         out->scenarioCount = rec->artifacts.svgs.size();
     }
     return true;

@@ -107,6 +107,8 @@ struct JobStatus
     double wallSeconds = 0.0;
     int threadsUsed = 0;
     size_t scenarioCount = 0; ///< SVG artifacts available
+    /** Aggregated rusage of the execution; Done/Failed only. */
+    telemetry::ResourceDelta resources;
 };
 
 /** What submit() decided. */
@@ -201,6 +203,7 @@ class JobQueue
         size_t cacheHits = 0;
         double wallSeconds = 0.0;
         int threadsUsed = 0;
+        telemetry::ResourceDelta resources;
         analysis::ReportArtifacts artifacts;
         /** Chrome trace of the execution; set when it finishes. */
         std::string traceJson;

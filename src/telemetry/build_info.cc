@@ -1,0 +1,91 @@
+#include "telemetry/build_info.hh"
+
+#include <cstdio>
+
+#include "sim/simd_classify.hh"
+
+#ifndef RFL_GIT_SHA
+#define RFL_GIT_SHA "unknown"
+#endif
+#ifndef RFL_BUILD_TYPE
+#define RFL_BUILD_TYPE "unset"
+#endif
+
+namespace rfl::telemetry
+{
+
+namespace
+{
+
+std::string
+compilerString()
+{
+    char buf[64];
+#if defined(__clang__)
+    std::snprintf(buf, sizeof(buf), "clang %d.%d.%d", __clang_major__,
+                  __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+    std::snprintf(buf, sizeof(buf), "gcc %d.%d.%d", __GNUC__,
+                  __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+    std::snprintf(buf, sizeof(buf), "unknown");
+#endif
+    return buf;
+}
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = [] {
+        BuildInfo b;
+        b.gitSha = RFL_GIT_SHA;
+        b.compiler = compilerString();
+        b.buildType = RFL_BUILD_TYPE;
+        if (b.buildType.empty())
+            b.buildType = "unset";
+        b.simdTier = sim::simd::activeIsa();
+        return b;
+    }();
+    return info;
+}
+
+void
+registerBuildInfoMetric(Registry &registry)
+{
+    const BuildInfo &b = buildInfo();
+    registry
+        .gauge("rfl_build_info",
+               "build identity; value is always 1, identity in labels",
+               {{"git_sha", b.gitSha},
+                {"compiler", b.compiler},
+                {"build_type", b.buildType},
+                {"simd", b.simdTier}})
+        .set(1.0);
+}
+
+std::string
+buildInfoJsonFields()
+{
+    const BuildInfo &b = buildInfo();
+    return "\"git_sha\":\"" + escapeJson(b.gitSha) +
+           "\",\"compiler\":\"" + escapeJson(b.compiler) +
+           "\",\"build_type\":\"" + escapeJson(b.buildType) +
+           "\",\"simd\":\"" + escapeJson(b.simdTier) + "\"";
+}
+
+} // namespace rfl::telemetry

@@ -309,6 +309,40 @@ Registry::runCollectorsLocked()
         fn();
 }
 
+std::vector<Registry::Sample>
+Registry::snapshot()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    runCollectorsLocked();
+
+    std::vector<Sample> out;
+    out.reserve(metrics_.size());
+    for (const auto &[key, e] : metrics_) {
+        Sample s;
+        s.name = e.name;
+        s.labels = e.labels;
+        switch (e.kind) {
+          case Kind::Counter:
+            s.kind = Sample::Kind::Counter;
+            s.value = static_cast<double>(e.counter->value());
+            break;
+          case Kind::Gauge:
+            s.kind = Sample::Kind::Gauge;
+            s.value = e.gauge->value();
+            break;
+          case Kind::Histogram:
+            s.kind = Sample::Kind::Histogram;
+            s.count = e.histogram->count();
+            s.sum = e.histogram->sum();
+            s.p50 = e.histogram->quantile(0.5);
+            s.p99 = e.histogram->quantile(0.99);
+            break;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
 std::string
 Registry::renderPrometheus()
 {

@@ -222,6 +222,32 @@ class Registry
     [[nodiscard]] CollectorHandle
     addCollector(std::function<void()> fn);
 
+    /**
+     * One metric's current value, as captured by snapshot(). Counters
+     * fill @c value with the running total; gauges with the level;
+     * histograms fill @c count / @c sum / @c p50 / @c p99 instead.
+     */
+    struct Sample
+    {
+        enum class Kind { Counter, Gauge, Histogram };
+        Kind kind = Kind::Counter;
+        std::string name;
+        Labels labels;
+        double value = 0.0; ///< counter total or gauge level
+        uint64_t count = 0; ///< histogram only
+        double sum = 0.0;   ///< histogram only
+        double p50 = 0.0;   ///< histogram only
+        double p99 = 0.0;   ///< histogram only
+    };
+
+    /**
+     * Capture every registered metric's current value (collectors run
+     * first, like the renderers). Family-sorted, same order as the
+     * exports — the time-series sampler scrapes this instead of
+     * parsing its own exposition text.
+     */
+    std::vector<Sample> snapshot();
+
     /** Prometheus text exposition (format 0.0.4), families sorted. */
     std::string renderPrometheus();
 

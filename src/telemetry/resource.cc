@@ -1,0 +1,94 @@
+#include "telemetry/resource.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sys/resource.h>
+
+namespace rfl::telemetry
+{
+
+namespace
+{
+
+double
+timevalSeconds(const timeval &tv)
+{
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+#ifdef RUSAGE_THREAD
+constexpr int kWho = RUSAGE_THREAD;
+#else
+// Portability fallback (non-Linux): process scope. Deltas are then
+// upper bounds when jobs overlap; Linux — the target — has the real
+// thing.
+constexpr int kWho = RUSAGE_SELF;
+#endif
+
+} // namespace
+
+ThreadUsage
+ThreadUsage::now()
+{
+    rusage ru;
+    std::memset(&ru, 0, sizeof(ru));
+    getrusage(kWho, &ru);
+    ThreadUsage u;
+    u.utimeSeconds = timevalSeconds(ru.ru_utime);
+    u.stimeSeconds = timevalSeconds(ru.ru_stime);
+    // ru_maxrss is kilobytes on Linux.
+    u.maxrssBytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+    u.minorFaults = static_cast<uint64_t>(ru.ru_minflt);
+    u.majorFaults = static_cast<uint64_t>(ru.ru_majflt);
+    return u;
+}
+
+void
+ResourceDelta::add(const ResourceDelta &other)
+{
+    cpuUserSeconds += other.cpuUserSeconds;
+    cpuSystemSeconds += other.cpuSystemSeconds;
+    maxrssBytes = std::max(maxrssBytes, other.maxrssBytes);
+    minorFaults += other.minorFaults;
+    majorFaults += other.majorFaults;
+}
+
+std::string
+ResourceDelta::json() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"cpu_user_seconds\":%.6f,"
+                  "\"cpu_system_seconds\":%.6f,"
+                  "\"maxrss_bytes\":%llu,"
+                  "\"minor_faults\":%llu,"
+                  "\"major_faults\":%llu}",
+                  cpuUserSeconds, cpuSystemSeconds,
+                  static_cast<unsigned long long>(maxrssBytes),
+                  static_cast<unsigned long long>(minorFaults),
+                  static_cast<unsigned long long>(majorFaults));
+    return buf;
+}
+
+ResourceDelta
+ScopedThreadUsage::delta() const
+{
+    const ThreadUsage end = ThreadUsage::now();
+    ResourceDelta d;
+    d.cpuUserSeconds =
+        std::max(0.0, end.utimeSeconds - start_.utimeSeconds);
+    d.cpuSystemSeconds =
+        std::max(0.0, end.stimeSeconds - start_.stimeSeconds);
+    d.maxrssBytes = end.maxrssBytes;
+    d.minorFaults = end.minorFaults >= start_.minorFaults
+                        ? end.minorFaults - start_.minorFaults
+                        : 0;
+    d.majorFaults = end.majorFaults >= start_.majorFaults
+                        ? end.majorFaults - start_.majorFaults
+                        : 0;
+    return d;
+}
+
+} // namespace rfl::telemetry

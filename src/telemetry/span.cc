@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "telemetry/metrics.hh"
+
 namespace rfl::telemetry
 {
 
@@ -59,7 +61,8 @@ writeEvent(std::ostream &os, const SpanRecord &s)
 
 // --------------------------------------------------------------- Tracer
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now())
+Tracer::Tracer(size_t maxSpans)
+    : epoch_(std::chrono::steady_clock::now()), maxSpans_(maxSpans)
 {
 }
 
@@ -93,10 +96,28 @@ Tracer::nextSpanId()
 void
 Tracer::record(std::vector<SpanRecord> &&spans)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (SpanRecord &s : spans)
-        spans_.push_back(std::move(s));
+    uint64_t droppedHere = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (SpanRecord &s : spans) {
+            if (spans_.size() >= maxSpans_) {
+                // Keep the oldest: early spans hold the trace's roots
+                // and the campaign's structure; the tail of a runaway
+                // trace is the repetitive part.
+                ++droppedHere;
+                continue;
+            }
+            spans_.push_back(std::move(s));
+        }
+        dropped_ += droppedHere;
+    }
     spans.clear();
+    if (droppedHere) {
+        Registry::global()
+            .counter("rfl_trace_dropped_spans_total",
+                     "spans dropped because a tracer hit its cap")
+            .inc(droppedHere);
+    }
 }
 
 std::vector<SpanRecord>
@@ -111,6 +132,13 @@ Tracer::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return spans_.size();
+}
+
+uint64_t
+Tracer::droppedSpans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
 }
 
 std::string

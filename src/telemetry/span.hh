@@ -59,7 +59,21 @@ struct SpanRecord
 class Tracer
 {
   public:
-    Tracer();
+    /**
+     * Default span cap. A span record is ~100 bytes plus attrs, so
+     * the default bounds one tracer near tens of MB worst case —
+     * large enough that real campaigns never hit it, small enough
+     * that a runaway instrumentation loop cannot OOM the service.
+     */
+    static constexpr size_t kDefaultMaxSpans = 1u << 18;
+
+    /**
+     * @p maxSpans bounds the retained span vector; spans recorded
+     * beyond the cap are dropped (oldest kept — the trace keeps its
+     * roots) and counted in droppedSpans() plus the global
+     * rfl_trace_dropped_spans_total counter.
+     */
+    explicit Tracer(size_t maxSpans = kDefaultMaxSpans);
 
     /** Microseconds since this tracer's construction. */
     uint64_t nowUs() const;
@@ -79,6 +93,12 @@ class Tracer
     /** @return number of spans recorded so far. */
     size_t size() const;
 
+    /** Spans rejected because the tracer was at its cap. */
+    uint64_t droppedSpans() const;
+
+    /** The retention cap this tracer was built with. */
+    size_t maxSpans() const { return maxSpans_; }
+
     /** Chrome trace-event JSON: {"traceEvents":[...]} in one string. */
     std::string renderChromeTrace() const;
 
@@ -91,10 +111,12 @@ class Tracer
 
   private:
     std::chrono::steady_clock::time_point epoch_;
+    size_t maxSpans_;
     mutable std::mutex mutex_;
     std::vector<SpanRecord> spans_;
     std::map<std::thread::id, uint32_t> tids_;
     uint64_t nextId_ = 1;
+    uint64_t dropped_ = 0;
 };
 
 /**

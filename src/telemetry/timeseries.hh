@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Metrics time-series: the registry's history, bounded by construction.
+ *
+ * /metricsz and /statsz are point snapshots — they answer "what is the
+ * queue depth?", never "what was it doing for the last ten minutes?".
+ * TimeSeriesSampler closes that gap without growing memory: a
+ * background thread scrapes Registry::snapshot() every interval and
+ * appends one derived point per series into a fixed-capacity ring
+ * buffer:
+ *
+ *   - counters  -> per-second rates ((cur - prev) / dt, from the
+ *                  actual inter-sample wall time, so a late sample
+ *                  cannot inflate a rate);
+ *   - gauges    -> the sampled value;
+ *   - histograms-> two series, the p50 and p99 quantile estimates.
+ *
+ * Memory is bounded by construction, not by policy: every ring holds
+ * exactly `capacity` float points (old points overwritten in place),
+ * and at most `maxSeries` distinct series are ever materialized —
+ * metrics discovered beyond the cap are counted in
+ * rfl_series_dropped_total and never allocated. No allocation happens
+ * on the sampling path after a series' first appearance.
+ *
+ * Two renderings of the same rings:
+ *   - renderSeriesJson(): strict-JSON export (kind "rfl-series",
+ *     schema v1, validated by tools/check_bench_schema.py), served at
+ *     GET /seriesz;
+ *   - renderDashHtml(): a dependency-free, self-contained HTML
+ *     dashboard with inline SVG sparklines (no scripts, no external
+ *     fetches; auto-refreshes via <meta http-equiv="refresh">),
+ *     served at GET /dashz. Headline panels cover queue depth,
+ *     running campaigns, request rate, cache hit ratio and drain
+ *     records/s; every other series renders in a grid below.
+ *
+ * Lock order: sampleNow() scrapes the registry (registry mutex) first
+ * and only then takes the sampler mutex to append points; renderers
+ * take the sampler mutex only. The sampler never holds both.
+ */
+
+#ifndef RFL_TELEMETRY_TIMESERIES_HH
+#define RFL_TELEMETRY_TIMESERIES_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace rfl::telemetry
+{
+
+/** Sampler knobs. */
+struct TimeSeriesOptions
+{
+    /** Scrape period of the background thread. */
+    double intervalSeconds = 1.0;
+    /** Points per series ring (oldest overwritten beyond this). */
+    size_t capacity = 600;
+    /** Distinct series materialized; discoveries beyond this are
+     *  counted in rfl_series_dropped_total, never allocated. */
+    size_t maxSeries = 512;
+};
+
+/** See file comment. */
+class TimeSeriesSampler
+{
+  public:
+    explicit TimeSeriesSampler(Registry &registry,
+                               TimeSeriesOptions opts = {});
+
+    /** Stops the background thread (if running). */
+    ~TimeSeriesSampler();
+
+    TimeSeriesSampler(const TimeSeriesSampler &) = delete;
+    TimeSeriesSampler &operator=(const TimeSeriesSampler &) = delete;
+
+    /** Start the background scrape thread; idempotent. */
+    void start();
+
+    /** Stop and join the background thread; idempotent. */
+    void stop();
+
+    /**
+     * Take one scrape synchronously (the background thread calls
+     * this; tests drive it directly for deterministic point counts).
+     * @p dtOverrideSeconds, when positive, replaces the measured
+     * inter-sample wall time in the rate math — tests use it to make
+     * counter->rate assertions exact.
+     */
+    void sampleNow(double dtOverrideSeconds = 0.0);
+
+    size_t capacity() const { return opts_.capacity; }
+    double intervalSeconds() const { return opts_.intervalSeconds; }
+    /** Distinct series materialized so far. */
+    size_t seriesCount() const;
+    /** Scrapes taken (monotonic). */
+    uint64_t samplesTaken() const;
+
+    /** One series' current ring contents, oldest first (tests). */
+    std::vector<float> points(const std::string &id) const;
+
+    /** Strict-JSON export (kind "rfl-series", schema v1). */
+    std::string renderSeriesJson() const;
+
+    /** Self-contained HTML dashboard with SVG sparklines. */
+    std::string renderDashHtml() const;
+
+  private:
+    /** Fixed-capacity ring of one derived series. */
+    struct Series
+    {
+        std::string id;   ///< name + labels + derivation suffix
+        std::string unit; ///< "rate" | "value" | "seconds"
+        std::vector<float> ring;
+        size_t head = 0;  ///< next write slot
+        size_t count = 0; ///< valid points (<= capacity)
+        double prevRaw = 0.0; ///< counter total at previous scrape
+        bool seeded = false;  ///< prevRaw valid (first scrape seeds)
+        double last = 0.0;    ///< most recent derived value
+
+        void push(float v, size_t capacity);
+        std::vector<float> ordered() const;
+    };
+
+    void threadLoop();
+    Series *findOrCreateLocked(const std::string &id,
+                               const std::string &unit);
+    void appendLocked(const std::string &id, const std::string &unit,
+                      double derived);
+    void appendCounterLocked(const std::string &id, double total,
+                             double dt);
+
+    Registry &registry_;
+    TimeSeriesOptions opts_;
+    Counter &droppedSeries_; ///< rfl_series_dropped_total
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Series> series_;
+    uint64_t samples_ = 0;
+    std::chrono::steady_clock::time_point lastSampleAt_{};
+    bool haveLastSample_ = false;
+
+    std::mutex threadMutex_;
+    std::condition_variable threadCv_;
+    std::thread thread_;
+    bool stopping_ = false;
+};
+
+} // namespace rfl::telemetry
+
+#endif // RFL_TELEMETRY_TIMESERIES_HH

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "telemetry/metrics.hh"
 #include "telemetry/span.hh"
 
 namespace
@@ -150,6 +151,48 @@ TEST(Tracer, BufferedSpansFlushWhenScopeEnds)
         // scope closes it must.
     }
     EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Tracer, CapBoundsRetainedSpansAndCountsDrops)
+{
+    using rfl::telemetry::Registry;
+    auto &dropped = Registry::global().counter(
+        "rfl_trace_dropped_spans_total", "t");
+    const uint64_t before = dropped.value();
+
+    Tracer tracer(/*maxSpans=*/4);
+    EXPECT_EQ(tracer.maxSpans(), 4u);
+    {
+        TraceScope scope(&tracer);
+        for (int i = 0; i < 10; ++i) {
+            Span s("s" + std::to_string(i));
+            (void)s;
+        }
+    }
+    // Memory bound by construction: the cap holds however many spans
+    // were recorded, and every rejected span is accounted for — both
+    // on the tracer and in the global counter.
+    EXPECT_EQ(tracer.size(), 4u);
+    EXPECT_EQ(tracer.droppedSpans(), 6u);
+    EXPECT_EQ(dropped.value() - before, 6u);
+    // Oldest kept: the trace's roots survive a runaway tail.
+    EXPECT_EQ(tracer.spans()[0].name, "s0");
+    EXPECT_EQ(tracer.spans()[3].name, "s3");
+}
+
+TEST(Tracer, DefaultCapIsLargeAndDropsNothingNormally)
+{
+    Tracer tracer;
+    EXPECT_EQ(tracer.maxSpans(), Tracer::kDefaultMaxSpans);
+    {
+        TraceScope scope(&tracer);
+        for (int i = 0; i < 2000; ++i) {
+            Span s("e");
+            (void)s;
+        }
+    }
+    EXPECT_EQ(tracer.size(), 2000u);
+    EXPECT_EQ(tracer.droppedSpans(), 0u);
 }
 
 } // namespace

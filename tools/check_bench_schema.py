@@ -13,7 +13,13 @@ Four document kinds are recognized by content:
     (src/analysis/analysis.hh) via roofline_report, and
   - metrics.json telemetry snapshots (schema v1, kind == "rfl-metrics")
     written by roofline_campaign --telemetry-dir from the metrics
-    registry (src/telemetry/metrics.hh).
+    registry (src/telemetry/metrics.hh),
+  - series exports (schema v1, kind == "rfl-series") served by the
+    daemon's GET /seriesz from the time-series sampler
+    (src/telemetry/timeseries.hh), and
+  - profile.json captures (schema v1, kind == "rfl-profile") written
+    by roofline_campaign --profile-out / served by GET /profilez from
+    the sampling profiler (src/telemetry/profiler.hh).
 
 CI runs this after bench/sim_throughput and after roofline_report, so
 schema regressions (renamed keys, missing workloads, non-numeric rates,
@@ -354,6 +360,89 @@ def check_metrics(doc: dict) -> None:
           f"{len(metrics)} groups, {leaves} metrics)")
 
 
+def check_series(doc: dict) -> None:
+    if require(doc, "schema_version", int) != 1:
+        fail("unknown schema_version (expected 1)")
+    if finite_number(doc, "interval_seconds", "series") <= 0:
+        fail("interval_seconds must be positive")
+    capacity = require(doc, "capacity", int)
+    if capacity < 2:
+        fail("capacity must be >= 2")
+    if require(doc, "samples", int) < 0:
+        fail("samples must be non-negative")
+
+    series = require(doc, "series", list)
+    names = set()
+    points_total = 0
+    for s in series:
+        if not isinstance(s, dict):
+            fail("series entry is not an object")
+        name = require(s, "name", str)
+        if name in names:
+            fail(f"duplicate series '{name}'")
+        names.add(name)
+        ctx = f"series '{name}'"
+        require(s, "unit", str)
+        points = require(s, "points", list)
+        # The memory bound the sampler promises: a ring never holds
+        # more than its fixed capacity, whatever the process uptime.
+        if len(points) > capacity:
+            fail(f"{ctx}: {len(points)} points exceed ring capacity "
+                 f"{capacity}")
+        for p in points:
+            if p is None:
+                continue  # non-finite values encode as null
+            if isinstance(p, bool) or not isinstance(p, (int, float)):
+                fail(f"{ctx}: point must be a number or null")
+            if not math.isfinite(p):
+                fail(f"{ctx}: point is not finite")
+        points_total += len(points)
+
+    print(f"{sys.argv[1]}: schema OK "
+          f"(series v1: {len(series)} series, {points_total} points, "
+          f"capacity {capacity})")
+
+
+def check_profile(doc: dict) -> None:
+    if require(doc, "schema_version", int) != 1:
+        fail("unknown schema_version (expected 1)")
+    require(doc, "label", str)
+    hz = require(doc, "hz", int)
+    if hz <= 0:
+        fail("hz must be positive")
+    if finite_number(doc, "seconds", "profile") < 0:
+        fail("seconds must be non-negative")
+    samples = require(doc, "samples", int)
+    if samples < 0:
+        fail("samples must be non-negative")
+    if require(doc, "dropped", int) < 0:
+        fail("dropped must be non-negative")
+
+    stacks = require(doc, "stacks", list)
+    seen = set()
+    total = 0
+    for s in stacks:
+        if not isinstance(s, dict):
+            fail("stack entry is not an object")
+        stack = require(s, "stack", str)
+        if not stack:
+            fail("stack string must be non-empty")
+        if stack in seen:
+            fail(f"duplicate collapsed stack '{stack}'")
+        seen.add(stack)
+        count = require(s, "count", int)
+        if count <= 0:
+            fail(f"stack '{stack}': count must be positive")
+        total += count
+    # Symbolization may drop frames but never invents samples.
+    if total > samples:
+        fail(f"stack counts sum to {total} > {samples} samples")
+
+    print(f"{sys.argv[1]}: schema OK "
+          f"(profile v1: '{doc['label']}', {samples} samples at "
+          f"{hz} Hz, {len(stacks)} collapsed stacks)")
+
+
 def main() -> None:
     if len(sys.argv) != 2:
         fail("usage: check_bench_schema.py <bench.json | analysis.json>")
@@ -380,10 +469,15 @@ def main() -> None:
         check_analysis(doc)
     elif doc.get("kind") == "rfl-metrics":
         check_metrics(doc)
+    elif doc.get("kind") == "rfl-series":
+        check_series(doc)
+    elif doc.get("kind") == "rfl-profile":
+        check_profile(doc)
     else:
         fail("unrecognized document: not a BENCH_*.json ('bench' key), "
-             "an analysis.json (kind=rfl-analysis), or a metrics.json "
-             "(kind=rfl-metrics)")
+             "an analysis.json (kind=rfl-analysis), a metrics.json "
+             "(kind=rfl-metrics), a series export (kind=rfl-series), "
+             "or a profile capture (kind=rfl-profile)")
 
 
 if __name__ == "__main__":

@@ -3,8 +3,12 @@
 #   start roofline_serve on an ephemeral port -> submit a small
 #   campaign -> poll to completion -> validate analysis.json against
 #   the schema checker -> exercise dedup + statsz -> scrape /metricsz
-#   and /tracez (job counters must have moved) -> SIGTERM and assert a
-#   clean (exit 0) shutdown.
+#   and /tracez (job counters must have moved) -> assert the
+#   time-series sampler advanced across submit->done (/seriesz +
+#   /dashz) -> exercise /profilez (200 + schema-valid profile when the
+#   profiler is compiled in, clean 501 when not; set
+#   RFL_EXPECT_PROFILER=0/1 to pin the expectation) -> SIGTERM and
+#   assert a clean (exit 0) shutdown.
 # Run by CI in both the Release and ASan/UBSan jobs:
 #   tools/service_smoke.sh <build-dir>
 set -euo pipefail
@@ -13,7 +17,9 @@ BUILD=${1:-build}
 WORK=$(mktemp -d)
 trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
+# 100 ms sampling so the submit->done window spans many series ticks.
 "$BUILD"/roofline_serve --port 0 --port-file "$WORK/port" --quiet \
+    --sample-interval-ms 100 \
     --out "$WORK/out" > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 
@@ -28,7 +34,21 @@ PORT=$(cat "$WORK/port")
 BASE="http://127.0.0.1:$PORT"
 echo "daemon on $BASE"
 
-curl -fsS "$BASE/healthz" | grep -q '"status":"ok"'
+curl -fsS "$BASE/healthz" > "$WORK/health.json"
+grep -q '"status":"ok"' "$WORK/health.json"
+# Build identity must be attributable: sha/compiler/simd in /healthz.
+python3 - "$WORK/health.json" <<'EOF'
+import json, sys
+build = json.load(open(sys.argv[1]))["build"]
+for key in ("git_sha", "compiler", "build_type", "simd", "profiler"):
+    assert key in build, (key, build)
+print("healthz build OK:", build["git_sha"], build["compiler"],
+      build["simd"], "profiler" if build["profiler"] else "no-profiler")
+EOF
+
+# Baseline sampler position before the campaign runs.
+SAMPLES_BEFORE=$(curl -fsS "$BASE/seriesz" | python3 -c \
+    'import json,sys; print(json.load(sys.stdin)["samples"])')
 
 SPEC='name = ci-smoke
 machine = small
@@ -113,6 +133,76 @@ names = {e["name"] for e in events}
 assert {"campaign", "simulate", "encode"} <= names, names
 print(f"tracez OK: {len(events)} spans")
 EOF
+
+# The job's resource accounting rode along: status JSON carries a
+# resources object. (A millisecond-scale smoke job can legitimately
+# bill 0 CPU at rusage tick granularity, so gate on shape + rss.)
+curl -fsS "$BASE/v1/campaigns/$ID" | python3 -c '
+import json, sys
+res = json.load(sys.stdin)["resources"]
+for key in ("cpu_user_seconds", "cpu_system_seconds", "maxrss_bytes",
+            "minor_faults", "major_faults"):
+    assert res[key] >= 0, (key, res)
+assert res["maxrss_bytes"] > 0, res
+print("resources OK: %.3fs usr, %d MiB peak rss" % (
+    res["cpu_user_seconds"], res["maxrss_bytes"] // (1 << 20)))'
+
+# The time-series sampler must have advanced across submit->done and
+# the export must be a schema-valid rfl-series document whose queue
+# counters saw the executed campaign.
+for _ in $(seq 1 50); do
+    curl -fsS "$BASE/seriesz" > "$WORK/series.json"
+    SAMPLES_NOW=$(python3 -c 'import json,sys;
+print(json.load(open(sys.argv[1]))["samples"])' "$WORK/series.json")
+    [ "$SAMPLES_NOW" -gt $((SAMPLES_BEFORE + 2)) ] && break
+    sleep 0.1
+done
+[ "$SAMPLES_NOW" -gt $((SAMPLES_BEFORE + 2)) ] || {
+    echo "FAIL: sampler stuck at $SAMPLES_NOW samples" \
+         "(was $SAMPLES_BEFORE before submit)"; exit 1; }
+python3 tools/check_bench_schema.py "$WORK/series.json"
+python3 - "$WORK/series.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+series = {s["name"]: s["points"] for s in doc["series"]}
+assert "rfl_queue_depth" in series, sorted(series)[:20]
+rate = series.get("rfl_queue_executed_total:rate", [])
+assert any(p and p > 0 for p in rate), \
+    "executed-campaign rate never moved: %r" % rate
+print(f"seriesz OK: {len(series)} series, {doc['samples']} samples")
+EOF
+
+# The dashboard is one self-contained page: sparklines inline, no
+# scripts, no external fetches.
+curl -fsS "$BASE/dashz" > "$WORK/dash.html"
+grep -q '<!DOCTYPE html>' "$WORK/dash.html"
+grep -q '<svg' "$WORK/dash.html"
+grep -q 'Queue depth' "$WORK/dash.html"
+! grep -q '<script' "$WORK/dash.html"
+echo "dashz OK: $(wc -c < "$WORK/dash.html") bytes, self-contained"
+
+# /profilez: a real capture when compiled in, a clean 501 when not.
+# RFL_EXPECT_PROFILER=0/1 pins the expectation (CI's no-SIMD job
+# builds with -DRFL_PROFILER=OFF and exports 0).
+PROFILE_CODE=$(curl -sS -o "$WORK/profile.json" -w '%{http_code}' \
+    "$BASE/profilez?seconds=0.3")
+case "${RFL_EXPECT_PROFILER:-}" in
+    0) [ "$PROFILE_CODE" = 501 ] || { echo "FAIL: expected 501 from" \
+           "/profilez without RFL_PROFILER, got $PROFILE_CODE"; exit 1; } ;;
+    1) [ "$PROFILE_CODE" = 200 ] || { echo "FAIL: expected 200 from" \
+           "/profilez, got $PROFILE_CODE"; exit 1; } ;;
+    *) [ "$PROFILE_CODE" = 200 ] || [ "$PROFILE_CODE" = 501 ] || {
+           echo "FAIL: /profilez returned $PROFILE_CODE"; exit 1; } ;;
+esac
+if [ "$PROFILE_CODE" = 200 ]; then
+    python3 tools/check_bench_schema.py "$WORK/profile.json"
+    curl -fsS "$BASE/profilez?seconds=0.2&format=svg" > "$WORK/flame.svg"
+    grep -q '<svg' "$WORK/flame.svg"
+    echo "profilez OK: capture + flamegraph served"
+else
+    grep -q 'RFL_PROFILER' "$WORK/profile.json"
+    echo "profilez OK: clean 501 without RFL_PROFILER"
+fi
 
 # Graceful shutdown: SIGTERM must end the process with exit code 0.
 kill -TERM "$SERVE_PID"
