@@ -20,6 +20,9 @@
  *                                              # samples collapsed to
  *                                              # profile.json +
  *                                              # flamegraph.svg
+ *   roofline_campaign --pmu-probe              # print the host's
+ *                                              # perf_event capability
+ *                                              # table and exit
  *
  * Campaign file format (see src/campaign/spec.hh):
  *
@@ -34,6 +37,7 @@
  * simulated.
  */
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -42,10 +46,12 @@
 #include "campaign/executor.hh"
 #include "campaign/job_graph.hh"
 #include "campaign/sink.hh"
+#include "pmu/perf_backend.hh"
 #include "support/cli.hh"
 #include "support/csv.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
+#include "support/table.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/profiler.hh"
 #include "telemetry/sim_counters.hh"
@@ -96,7 +102,39 @@ main(int argc, char **argv)
                   "sample the run with the SIGPROF profiler and write "
                   "profile.json + flamegraph.svg into this directory "
                   "(requires -DRFL_PROFILER=ON)");
+    cli.addOption("pmu-probe",
+                  "probe the host's perf_event capability (paranoid "
+                  "level, per-event liveness), print the event table "
+                  "and exit");
     cli.parse(argc, argv);
+
+    if (cli.has("pmu-probe")) {
+        // Capability report, not a measurement: open/close each
+        // configured event once and say what this host would give a
+        // `backend = perf` campaign. Exit 0 either way — an unprivileged
+        // host is an answer, not an error.
+        const pmu::PmuProbe probe = pmu::PerfEventBackend::probe();
+        Table t({"event", "source", "type:config", "live"});
+        for (const pmu::ProbedEvent &e : probe.events) {
+            char code[32];
+            std::snprintf(code, sizeof(code), "%u:0x%llx",
+                          e.mapping.type,
+                          static_cast<unsigned long long>(
+                              e.mapping.config));
+            t.addRow({pmu::eventName(e.mapping.id),
+                      e.mapping.fromEnv ? "env" : "default", code,
+                      e.live ? "yes" : "no"});
+        }
+        t.print(std::cout);
+        std::cout << "pmu: available="
+                  << (probe.available ? "true" : "false")
+                  << " paranoid=" << probe.paranoid
+                  << " events_live=" << probe.liveCount()
+                  << " events_dead=" << probe.deadCount() << "\n";
+        std::cout << "host-identity: " << cp::hostIdentityHash()
+                  << "\n";
+        return 0;
+    }
 
     const std::string out = cli.get("out", outputDirectory());
     ensureDirectory(out);

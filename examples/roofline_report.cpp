@@ -7,7 +7,7 @@
  * roofline_campaign) and emit the analysis artifact set — one
  * self-contained SVG roofline per scenario, an HTML report bundling
  * plots and derived-metric tables, and a machine-readable
- * analysis.json (schema v3):
+ * analysis.json (schema v4):
  *
  *   roofline_report                             # built-in gate campaign
  *   roofline_report --file my_campaign.txt
@@ -22,6 +22,15 @@
  * Pure diff mode (no simulation — compare two existing documents):
  *
  *   roofline_report --diff base_analysis.json new_analysis.json
+ *
+ * Sim-vs-silicon deltas: a campaign run with `backend = sim` AND
+ * `backend = perf` produces paired rows; the delta table compares each
+ * cell's hardware point against its simulated prediction. --hw-gate
+ * turns the comparison directional: exit 1 when any available hardware
+ * row lands more than --threshold-hw below the model (silicon beating
+ * the model never gates; unavailable rows are named, never failed):
+ *
+ *   roofline_report --file both_backends.txt --hw-gate
  *
  * Thresholds are relative fractions: --threshold-perf 0.05 gates a
  * >5% performance drop; --threshold-oi, --threshold-traffic,
@@ -123,6 +132,11 @@ main(int argc, char **argv)
                   "0.05");
     cli.addOption("threshold-ceiling", "relative ceiling-drop gate",
                   "0.02");
+    cli.addOption("hw-gate",
+                  "exit 1 when any available hardware row falls more "
+                  "than --threshold-hw below its simulated prediction");
+    cli.addOption("threshold-hw",
+                  "relative sim-vs-silicon perf-drop gate", "0.50");
     cli.parse(argc, argv);
 
     const analysis::DiffThresholds thr = thresholdsFromCli(cli);
@@ -174,6 +188,23 @@ main(int argc, char **argv)
         cp::writeCampaignReport(run, out, std::cout);
     analysisTable(doc).print(std::cout);
     std::cout << "\n";
+
+    // Sim-vs-silicon: printed whenever the document has hardware rows;
+    // gating is opt-in (--hw-gate) because the tolerance is a
+    // methodology question, not a correctness one.
+    const analysis::HardwareDeltaReport hw = analysis::hardwareDelta(doc);
+    if (!hw.empty()) {
+        std::cout << "sim-vs-silicon deltas:\n";
+        hw.table().print(std::cout);
+        const size_t violations =
+            hw.gate(cli.getDouble("threshold-hw", 0.50), std::cout);
+        std::cout << "\n";
+        if (cli.has("hw-gate") && violations > 0)
+            return 1;
+    } else if (cli.has("hw-gate")) {
+        std::cout << "hw-gate: no hardware rows in this campaign "
+                     "(add `backend = perf` to the spec)\n";
+    }
 
     if (cli.has("baseline")) {
         const analysis::CampaignAnalysis baseline =

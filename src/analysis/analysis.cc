@@ -92,6 +92,9 @@ kernelRowToJson(const KernelRow &r)
     j.set("flops", Json::makeNumber(r.flops));
     j.set("traffic_bytes", Json::makeNumber(r.trafficBytes));
     j.set("seconds", Json::makeNumber(r.seconds));
+    j.set("backend", Json::makeString(r.backend));
+    j.set("quality", Json::makeNumber(r.quality));
+    j.set("available", Json::makeBool(r.available));
     j.set("oi", jsonNumber(r.metrics.oi));
     j.set("perf", Json::makeNumber(r.metrics.perf));
     j.set("attainable", Json::makeNumber(r.metrics.attainable));
@@ -120,6 +123,13 @@ kernelRowFromJson(const Json &j)
     r.flops = j.at("flops").asNumber();
     r.trafficBytes = j.at("traffic_bytes").asNumber();
     r.seconds = j.at("seconds").asNumber();
+    // v3 rows predate provenance; every v3 row was simulated.
+    if (j.has("backend"))
+        r.backend = j.at("backend").asString();
+    if (j.has("quality"))
+        r.quality = j.at("quality").asNumber();
+    if (j.has("available"))
+        r.available = j.at("available").asBool();
     r.metrics.oi = numberField(j.at("oi"));
     r.metrics.perf = j.at("perf").asNumber();
     r.metrics.attainable = j.at("attainable").asNumber();
@@ -225,6 +235,9 @@ makeKernelRow(const std::string &machine, const std::string &variant,
     r.flops = m.flops;
     r.trafficBytes = m.trafficBytes;
     r.seconds = m.seconds;
+    r.backend = m.backend;
+    r.quality = m.quality;
+    r.available = m.available;
     r.metrics = deriveMetrics(m, model);
     return r;
 }
@@ -262,6 +275,10 @@ analyzeCampaign(const campaign::CampaignRun &run)
         switch (job.kind) {
           case JobKind::Measure:
           case JobKind::TraceReplay:
+          // Hardware rows flow into the same kernel table; unavailable
+          // placeholders are kept (available=false) so the delta table
+          // can name the missing cell instead of silently dropping it.
+          case JobKind::NativeMeasure:
             doc.kernels.push_back(makeKernelRow(
                 machine, run.spec.variants()[job.variantIndex].label,
                 run.results[job.id].measurement,
@@ -283,12 +300,19 @@ analyzeCampaign(const campaign::CampaignRun &run)
 Table
 analysisTable(const CampaignAnalysis &doc)
 {
-    Table t({"machine", "variant", "point", "I [f/B]", "P [GF/s]",
-             "roof(I) [GF/s]", "%roof", "%peak", "%bw", "bound",
-             "binding ceiling"});
+    Table t({"machine", "variant", "point", "backend", "I [f/B]",
+             "P [GF/s]", "roof(I) [GF/s]", "%roof", "%peak", "%bw",
+             "bound", "binding ceiling"});
     for (const KernelRow &r : doc.kernels) {
+        if (!r.available) {
+            // Hardware placeholder: zeros would derive a nonsense
+            // "compute bound at 0 GF/s" row — name the gap instead.
+            t.addRow({r.machine, r.variant, r.label(), r.backend, "-",
+                      "unavailable", "-", "-", "-", "-", "-", "-"});
+            continue;
+        }
         const DerivedMetrics &d = r.metrics;
-        t.addRow({r.machine, r.variant, r.label(),
+        t.addRow({r.machine, r.variant, r.label(), r.backend,
                   std::isinf(d.oi) ? "inf" : formatSig(d.oi, 4),
                   formatSig(d.perf / 1e9, 4),
                   formatSig(d.attainable / 1e9, 4),
@@ -304,7 +328,7 @@ encodeAnalysis(const CampaignAnalysis &doc)
 {
     Json j = Json::makeObject();
     j.set("kind", Json::makeString("rfl-analysis"));
-    j.set("schema_version", Json::makeNumber(3));
+    j.set("schema_version", Json::makeNumber(4));
     j.set("campaign", Json::makeString(doc.campaign));
 
     Json scenarios = Json::makeArray();
@@ -330,10 +354,13 @@ decodeAnalysis(const std::string &text)
     const Json j = Json::parse(text);
     if (!j.has("kind") || j.at("kind").asString() != "rfl-analysis")
         fatal("analysis.json: missing kind 'rfl-analysis'");
-    if (j.at("schema_version").asNumber() != 3)
+    // v3 is still accepted: committed baselines predate the v4
+    // provenance fields, which all default on decode.
+    const double version = j.at("schema_version").asNumber();
+    if (version != 3 && version != 4)
         fatal("analysis.json: unsupported schema_version %g "
-              "(expected 3)",
-              j.at("schema_version").asNumber());
+              "(expected 3 or 4)",
+              version);
 
     CampaignAnalysis doc;
     doc.campaign = j.at("campaign").asString();

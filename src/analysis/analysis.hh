@@ -7,9 +7,17 @@
  * trajectories) and derives a CampaignAnalysis — per-scenario roofline
  * models plus one row of derived metrics per measurement and one phase
  * trajectory per phase job. The document serializes to `analysis.json`
- * (schema v3, validated by tools/check_bench_schema.py) and round-trips
+ * (schema v4, validated by tools/check_bench_schema.py) and round-trips
  * losslessly, so the diff/regression engine (diff.hh) can compare a
  * fresh run against a committed baseline without re-simulating either.
+ *
+ * Schema v4 adds per-row provenance: `backend` ("sim" — simulated or
+ * trace-replayed — vs "perf" — measured on host silicon through the
+ * PMU), the multiplex `quality` fraction of the worst contributing
+ * hardware counter, and an `available` flag for hardware rows that
+ * could not be collected (perf_event_open denied). decodeAnalysis
+ * still accepts v3 documents — committed baselines predate the fields
+ * and default to backend="sim", quality=1, available=true.
  *
  * analysis.json is strict JSON (non-finite numbers are emitted as null
  * and reconstructed on decode), so standard tooling — python, jq, CI —
@@ -52,6 +60,12 @@ struct KernelRow
     double flops = 0.0;
     double trafficBytes = 0.0;
     double seconds = 0.0;
+    /** Row provenance: "sim" or "perf" (see Measurement::backend). */
+    std::string backend = "sim";
+    /** Worst multiplex quality of any contributing counter [0, 1]. */
+    double quality = 1.0;
+    /** False for hardware rows the host refused to collect. */
+    bool available = true;
     DerivedMetrics metrics;
 
     /** "kernel size (protocol)" — the row's plot label. */
@@ -94,10 +108,11 @@ KernelRow makeKernelRow(const std::string &machine,
 /** Standard derived-metrics table (one row per KernelRow). */
 Table analysisTable(const CampaignAnalysis &doc);
 
-/** Encode as schema-v3 analysis.json text (strict JSON; see above). */
+/** Encode as schema-v4 analysis.json text (strict JSON; see above). */
 std::string encodeAnalysis(const CampaignAnalysis &doc);
 
-/** Decode analysis.json text; fatal() on malformed/wrong-schema input.*/
+/** Decode analysis.json text (schema v3 or v4); fatal() on
+ *  malformed/wrong-schema input. */
 CampaignAnalysis decodeAnalysis(const std::string &text);
 
 /** Load and decode an analysis.json file; fatal() on errors. */

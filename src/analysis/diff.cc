@@ -58,6 +58,17 @@ compareMetric(DiffReport &report, const std::string &machine,
 std::string
 kernelKey(const KernelRow &r)
 {
+    // backend joins the key so a hardware row never pairs with a sim
+    // baseline row of the same cell: v3 baselines decode to "sim" and
+    // keep matching sim rows; perf rows only ever match perf rows.
+    return r.machine + "\x1f" + r.variant + "\x1f" + r.kernel + "\x1f" +
+           r.sizeLabel + "\x1f" + r.protocol + "\x1f" + r.backend;
+}
+
+/** kernelKey without the backend: the cell a sim/perf pair shares. */
+std::string
+cellKey(const KernelRow &r)
+{
     return r.machine + "\x1f" + r.variant + "\x1f" + r.kernel + "\x1f" +
            r.sizeLabel + "\x1f" + r.protocol;
 }
@@ -65,8 +76,11 @@ kernelKey(const KernelRow &r)
 std::string
 describeRow(const KernelRow &r)
 {
-    return r.label() + " [machine=" + r.machine +
-           " variant=" + r.variant + "]";
+    std::string desc = r.label() + " [machine=" + r.machine +
+                       " variant=" + r.variant + "]";
+    if (r.backend != "sim")
+        desc += " backend=" + r.backend;
+    return desc;
 }
 
 std::string
@@ -277,6 +291,122 @@ diffAnalyses(const CampaignAnalysis &baseline,
         if (!found)
             report.added.push_back(describePhaseRow(c));
     }
+    return report;
+}
+
+namespace
+{
+
+/** Signed relative delta; 0 when the base is degenerate. */
+double
+relDelta(double sim, double hw)
+{
+    if (!std::isfinite(sim) || !std::isfinite(hw) || sim <= 0.0)
+        return 0.0;
+    return (hw - sim) / sim;
+}
+
+} // namespace
+
+Table
+HardwareDeltaReport::table() const
+{
+    Table t({"machine", "variant", "point", "sim P [GF/s]",
+             "hw P [GF/s]", "dP %", "sim I", "hw I", "dI %",
+             "quality"});
+    for (const HardwareDelta &d : rows) {
+        if (!d.available) {
+            t.addRow({d.machine, d.variant, d.kernel,
+                      formatSig(d.simPerf / 1e9, 4), "unavailable", "-",
+                      std::isfinite(d.simOi) ? formatSig(d.simOi, 4)
+                                             : "inf",
+                      "-", "-", "-"});
+            continue;
+        }
+        t.addRow({d.machine, d.variant, d.kernel,
+                  formatSig(d.simPerf / 1e9, 4),
+                  formatSig(d.hwPerf / 1e9, 4),
+                  formatSig(100.0 * d.perfRel, 3),
+                  std::isfinite(d.simOi) ? formatSig(d.simOi, 4) : "inf",
+                  std::isfinite(d.hwOi) ? formatSig(d.hwOi, 4) : "inf",
+                  formatSig(100.0 * d.oiRel, 3),
+                  formatSig(d.quality, 3)});
+    }
+    return t;
+}
+
+size_t
+HardwareDeltaReport::gate(double maxPerfDrop, std::ostream &os) const
+{
+    size_t violations = 0;
+    for (const HardwareDelta &d : rows) {
+        if (!d.available) {
+            os << "note: hardware row unavailable (perf_event denied): "
+               << d.kernel << " [machine=" << d.machine
+               << " variant=" << d.variant << "]\n";
+            continue;
+        }
+        // Only the model-optimistic direction gates: silicon slower
+        // than the simulated prediction by more than the tolerance.
+        if (d.perfRel < -maxPerfDrop) {
+            ++violations;
+            os << "HW-DELTA: " << d.kernel << " [machine=" << d.machine
+               << " variant=" << d.variant << "] perf "
+               << formatSig(d.simPerf / 1e9, 4) << " -> "
+               << formatSig(d.hwPerf / 1e9, 4) << " GF/s ("
+               << formatSig(100.0 * d.perfRel, 3) << "%, tolerance "
+               << formatSig(-100.0 * maxPerfDrop, 3) << "%)\n";
+        }
+    }
+    for (const std::string &row : unmatched)
+        os << "note: no counterpart for " << row << "\n";
+    if (violations == 0)
+        os << "hardware delta gate: ok (" << rows.size()
+           << " cells compared)\n";
+    else
+        os << "hardware delta gate: " << violations
+           << " violation(s) across " << rows.size() << " cells\n";
+    return violations;
+}
+
+HardwareDeltaReport
+hardwareDelta(const CampaignAnalysis &doc)
+{
+    HardwareDeltaReport report;
+    for (const KernelRow &hw : doc.kernels) {
+        if (hw.backend != "perf")
+            continue;
+        const KernelRow *sim = nullptr;
+        for (const KernelRow &c : doc.kernels) {
+            if (c.backend == "sim" && cellKey(c) == cellKey(hw)) {
+                sim = &c;
+                break;
+            }
+        }
+        if (sim == nullptr) {
+            report.unmatched.push_back(describeRow(hw));
+            continue;
+        }
+        HardwareDelta d;
+        d.machine = hw.machine;
+        d.variant = hw.variant;
+        d.kernel = hw.label();
+        d.available = hw.available;
+        d.quality = hw.quality;
+        d.simPerf = sim->metrics.perf;
+        d.hwPerf = hw.metrics.perf;
+        d.perfRel = relDelta(d.simPerf, d.hwPerf);
+        d.simOi = sim->metrics.oi;
+        d.hwOi = hw.metrics.oi;
+        d.oiRel = relDelta(d.simOi, d.hwOi);
+        d.simSeconds = sim->seconds;
+        d.hwSeconds = hw.seconds;
+        d.secondsRel = relDelta(d.simSeconds, d.hwSeconds);
+        report.rows.push_back(std::move(d));
+    }
+    // The reverse direction (sim rows without silicon) is deliberately
+    // not reported: trace-replay and phase rows are sim-only by design
+    // and would drown the table in non-findings.
     return report;
 }
 

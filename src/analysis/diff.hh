@@ -5,8 +5,8 @@
  * diffAnalyses() compares two CampaignAnalysis documents (typically a
  * committed baseline analysis.json against a fresh run) row by row:
  * kernel and phase rows match on (machine, variant, kernel, size,
- * protocol), scenarios on (machine, variant). Each compared metric is
- * directional
+ * protocol, backend), scenarios on (machine, variant). Each compared
+ * metric is directional
  * — only changes for the worse gate: performance and operational
  * intensity dropping, traffic and runtime rising, ceiling peaks
  * dropping. A baseline row missing from the current document is always
@@ -83,6 +83,54 @@ struct DiffReport
 DiffReport diffAnalyses(const CampaignAnalysis &baseline,
                         const CampaignAnalysis &current,
                         const DiffThresholds &thresholds = {});
+
+/**
+ * One (machine, variant, kernel, size, protocol) cell measured by both
+ * backends: the simulated row and its silicon counterpart, with signed
+ * relative deltas (hardware - sim) / sim. An unavailable hardware row
+ * (perf_event denied on the measurement host) still produces an entry
+ * — available=false, deltas zero — so coverage gaps are named, never
+ * silently dropped.
+ */
+struct HardwareDelta
+{
+    std::string machine;
+    std::string variant;
+    std::string kernel; ///< row label ("kernel size (protocol)")
+    bool available = true;
+    double quality = 1.0;  ///< worst multiplex fraction, hardware row
+    double simPerf = 0.0, hwPerf = 0.0, perfRel = 0.0;
+    double simOi = 0.0, hwOi = 0.0, oiRel = 0.0;
+    double simSeconds = 0.0, hwSeconds = 0.0, secondsRel = 0.0;
+};
+
+/** Sim-vs-silicon comparison of one document (see hardwareDelta). */
+struct HardwareDeltaReport
+{
+    std::vector<HardwareDelta> rows; ///< matched cells, grid order
+    /** Hardware rows with no sim counterpart (and vice versa). */
+    std::vector<std::string> unmatched;
+
+    bool empty() const { return rows.empty() && unmatched.empty(); }
+
+    /** Delta table: one row per matched cell, quality column last. */
+    Table table() const;
+
+    /**
+     * Directional gate: fails (returns the violation count) when any
+     * *available* hardware row's performance lands more than
+     * @p maxPerfDrop below its simulated prediction — the model being
+     * optimistic against silicon is the regression direction; silicon
+     * beating the model never gates. Unavailable rows never fail.
+     */
+    size_t gate(double maxPerfDrop, std::ostream &os) const;
+};
+
+/**
+ * Pair every backend="perf" kernel row of @p doc with the backend="sim"
+ * row of the same (machine, variant, kernel, size, protocol) cell.
+ */
+HardwareDeltaReport hardwareDelta(const CampaignAnalysis &doc);
 
 } // namespace rfl::analysis
 

@@ -64,15 +64,26 @@ void
 htmlKernelTable(std::ostringstream &html, const CampaignAnalysis &doc,
                 const Scenario &s)
 {
-    html << "<table>\n<tr><th>point</th><th>I [flop/B]</th>"
+    html << "<table>\n<tr><th>point</th><th>backend</th>"
+            "<th>I [flop/B]</th>"
             "<th>P [Gflop/s]</th><th>roof(I) [Gflop/s]</th>"
             "<th>%roof</th><th>%peak</th><th>%bw</th><th>bound</th>"
-            "<th>binding ceiling</th></tr>\n";
+            "<th>binding ceiling</th><th>quality</th></tr>\n";
     for (const KernelRow &r : doc.kernels) {
         if (r.machine != s.machine || r.variant != s.variant)
             continue;
+        if (!r.available) {
+            // Hardware placeholder: name the gap instead of a row of
+            // zeros pretending the host measured something.
+            html << "<tr><td>" << escapeXml(r.label()) << "</td><td>"
+                 << escapeXml(r.backend)
+                 << "</td><td colspan='9'>unavailable (perf_event "
+                    "denied on measurement host)</td></tr>\n";
+            continue;
+        }
         const DerivedMetrics &d = r.metrics;
         html << "<tr><td>" << escapeXml(r.label()) << "</td><td>"
+             << escapeXml(r.backend) << "</td><td>"
              << oiText(d.oi) << "</td><td>"
              << formatSig(d.perf / 1e9, 4) << "</td><td>"
              << formatSig(d.attainable / 1e9, 4) << "</td><td>"
@@ -80,7 +91,8 @@ htmlKernelTable(std::ostringstream &html, const CampaignAnalysis &doc,
              << formatSig(d.pctPeak, 3) << "</td><td>"
              << formatSig(d.pctPeakBandwidth, 3) << "</td><td>"
              << boundClassName(d.bound) << "</td><td>"
-             << escapeXml(d.bindingCeiling) << "</td></tr>\n";
+             << escapeXml(d.bindingCeiling) << "</td><td>"
+             << formatSig(r.quality, 3) << "</td></tr>\n";
     }
     html << "</table>\n";
 }
@@ -123,9 +135,17 @@ scenarioPlot(const CampaignAnalysis &doc, const Scenario &scenario,
                                     ", " + scenario.variant,
                                 scenario.model);
     for (const KernelRow &r : doc.kernels) {
-        if (r.machine == scenario.machine &&
-            r.variant == scenario.variant)
-            plot.addPoint(r.label(), r.metrics.oi, r.metrics.perf);
+        if (r.machine != scenario.machine ||
+            r.variant != scenario.variant)
+            continue;
+        // Unavailable hardware placeholders (perf_event denied) carry
+        // no point; skipping here keeps addPoint's zero-value warning
+        // for rows that should have plotted but didn't.
+        if (!r.available)
+            continue;
+        const bool hw = r.backend == "perf";
+        plot.addPoint(hw ? r.label() + " [hw]" : r.label(),
+                      r.metrics.oi, r.metrics.perf, hw);
     }
     if (phases != nullptr) {
         for (const PhaseRow &r : doc.phases) {
@@ -182,7 +202,7 @@ renderFromPlots(const CampaignAnalysis &doc,
          << " scenario(s), " << doc.kernels.size()
          << " measurement(s), " << doc.phases.size()
          << " phase trajectorie(s). Generated by roofline_report "
-            "(analysis.json schema v3).</p>\n";
+            "(analysis.json schema v4).</p>\n";
 
     for (size_t si = 0; si < doc.scenarios.size(); ++si) {
         const Scenario &s = doc.scenarios[si];

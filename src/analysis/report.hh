@@ -9,7 +9,7 @@
  *   - <name>.html                     a self-contained report bundling
  *     every SVG inline with the derived-metrics tables;
  *   - <name>.json                     the machine-readable document
- *     (analysis.hh, schema v3) the regression gate consumes.
+ *     (analysis.hh, schema v4) the regression gate consumes.
  *
  * emitAnalysis() additionally prints the terminal rendering (ASCII
  * roofline per scenario + the derived-metrics table) the way bench

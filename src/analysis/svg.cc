@@ -27,6 +27,7 @@ constexpr const char *kGrid = "#f0efec";
 constexpr const char *kRoof = "#2a78d6";
 constexpr const char *kPoint = "#eb6834";
 constexpr const char *kPhase = "#1baf7a";
+constexpr const char *kHardware = "#7b4bd6"; ///< silicon-row diamonds
 
 std::string
 fmt(double v)
@@ -316,14 +317,25 @@ renderRooflineSvg(const roofline::RooflinePlot &plot,
             << " (phases)</text>\n";
     }
 
-    // Kernel points: marker + direct label.
+    // Kernel points: marker + direct label. Simulated rows stay the
+    // circles every existing golden pins; hardware (backend = perf)
+    // rows draw as diamonds in their own color so a mixed plot shows
+    // at a glance which points came from silicon.
     for (const roofline::PlotPoint &p : plot.points()) {
         if (!plottable(p.oi, p.perf))
             continue;
         const double x = v.px(p.oi), y = v.py(p.perf);
-        svg << "<circle cx='" << fmt(x) << "' cy='" << fmt(y)
-            << "' r='4.5' fill='" << kPoint << "' stroke='" << kSurface
-            << "' stroke-width='2'/>\n";
+        if (p.hardware) {
+            svg << "<path d='M " << fmt(x) << " " << fmt(y - 6) << " L "
+                << fmt(x + 6) << " " << fmt(y) << " L " << fmt(x) << " "
+                << fmt(y + 6) << " L " << fmt(x - 6) << " " << fmt(y)
+                << " Z' fill='" << kHardware << "' stroke='" << kSurface
+                << "' stroke-width='2'/>\n";
+        } else {
+            svg << "<circle cx='" << fmt(x) << "' cy='" << fmt(y)
+                << "' r='4.5' fill='" << kPoint << "' stroke='"
+                << kSurface << "' stroke-width='2'/>\n";
+        }
         svg << "<text x='" << fmt(x + 8) << "' y='" << fmt(y + 4)
             << "'>" << escapeXml(p.label) << "</text>\n";
     }

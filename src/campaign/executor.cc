@@ -12,7 +12,9 @@
 #include "analysis/phase.hh"
 #include "kernels/engine.hh"
 #include "kernels/registry.hh"
+#include "pmu/perf_backend.hh"
 #include "roofline/experiment.hh"
+#include "roofline/native_measurement.hh"
 #include "support/address_arena.hh"
 #include "support/cancel.hh"
 #include "support/failpoint.hh"
@@ -379,6 +381,58 @@ executeJob(const CampaignSpec &spec, const Job &job,
         }
         break;
       }
+      case JobKind::NativeMeasure: {
+        const std::string &kspec = spec.kernels()[job.kernelIndex];
+        roofline::Measurement &m = result.measurement;
+        if (!pmu::PerfEventBackend::available()) {
+            // Placeholder row: the labels are valid (so every sink and
+            // the delta table can name the missing cell) but the
+            // numbers are not. Deliberately NOT cached — a later run
+            // with PMU access must not hit a hollow entry.
+            StageSpan build("machine-build");
+            const std::unique_ptr<kernels::Kernel> kernel =
+                kernels::createKernel(kspec);
+            m.backend = "perf";
+            m.available = false;
+            m.quality = 0.0;
+            m.kernel = kernel->name();
+            m.sizeLabel = kernel->sizeLabel();
+            m.protocol = roofline::protocolName(opts.measure.protocol);
+            m.cores = static_cast<int>(opts.measure.cores.size());
+            m.lanes = opts.measure.lanes;
+            break;
+        }
+        std::unique_ptr<kernels::Kernel> kernel;
+        std::optional<roofline::NativeMeasurer> measurer;
+        stageGate("job.machine-build", "machine-build");
+        {
+            StageSpan build("machine-build");
+            kernel = kernels::createKernel(kspec);
+            measurer.emplace();
+        }
+        roofline::NativeMeasureOptions nopts;
+        nopts.protocol = opts.measure.protocol;
+        nopts.repetitions = opts.measure.repetitions;
+        nopts.warmupRuns = opts.measure.warmupRuns;
+        // lanes=0 means "machine maximum" on the sim; the host default
+        // is the 256-bit engine (4 doubles).
+        nopts.lanes = opts.measure.lanes > 0 ? opts.measure.lanes : 4;
+        nopts.useFma = opts.measure.useFma;
+        // One host thread per simulated core of the variant.
+        nopts.threads = static_cast<int>(opts.measure.cores.size());
+        nopts.seed = opts.measure.seed;
+        stageGate("job.simulate", "measure-native");
+        {
+            StageSpan sim("measure-native");
+            m = measurer->measure(*kernel, nopts).base;
+        }
+        if (cache) {
+            stageGate("job.encode", "encode");
+            StageSpan encode("encode");
+            cache->store(job.cacheKey, encodeMeasurement(m));
+        }
+        break;
+      }
     }
     ++simulated;
     return result;
@@ -420,6 +474,23 @@ CampaignRun::replayMeasurementFor(size_t machineIdx, size_t traceIdx,
           machineIdx, traceIdx, variantIdx);
 }
 
+const roofline::Measurement &
+CampaignRun::nativeMeasurementFor(size_t machineIdx, size_t kernelIdx,
+                                  size_t variantIdx) const
+{
+    for (const Job &job : jobs) {
+        if (job.kind == JobKind::NativeMeasure &&
+            job.machineIndex == machineIdx &&
+            job.kernelIndex == kernelIdx &&
+            job.variantIndex == variantIdx) {
+            return results[job.id].measurement;
+        }
+    }
+    panic("campaign: no native measurement for machine %zu kernel %zu "
+          "variant %zu",
+          machineIdx, kernelIdx, variantIdx);
+}
+
 const analysis::PhaseTrajectory &
 CampaignRun::phaseTrajectoryFor(size_t machineIdx, size_t phaseIdx,
                                 size_t variantIdx) const
@@ -445,7 +516,8 @@ CampaignRun::modelFor(size_t machineIdx, size_t variantIdx) const
     for (const Job &job : jobs) {
         if ((job.kind == JobKind::Measure ||
              job.kind == JobKind::TraceReplay ||
-             job.kind == JobKind::PhaseSample) &&
+             job.kind == JobKind::PhaseSample ||
+             job.kind == JobKind::NativeMeasure) &&
             job.machineIndex == machineIdx &&
             job.variantIndex == variantIdx) {
             return results[job.deps.front()].model;
@@ -462,6 +534,10 @@ CampaignRun::measurements() const
     for (const Job &job : jobs)
         if (job.kind == JobKind::Measure ||
             job.kind == JobKind::TraceReplay)
+            out.push_back(results[job.id].measurement);
+    for (const Job &job : jobs)
+        if (job.kind == JobKind::NativeMeasure &&
+            results[job.id].measurement.available)
             out.push_back(results[job.id].measurement);
     return out;
 }

@@ -126,6 +126,14 @@ struct CampaignRun
     replayMeasurementFor(size_t machineIdx, size_t traceIdx,
                          size_t variantIdx) const;
 
+    /** Hardware (backend = perf) measurement of one grid cell; panics
+     *  when the spec has no perf backend or indices are invalid. An
+     *  unavailable-host placeholder row still counts (check its
+     *  available flag). */
+    const roofline::Measurement &
+    nativeMeasurementFor(size_t machineIdx, size_t kernelIdx,
+                         size_t variantIdx) const;
+
     /** Phase trajectory of phases()[phaseIdx]; panics when absent. */
     const analysis::PhaseTrajectory &
     phaseTrajectoryFor(size_t machineIdx, size_t phaseIdx,
@@ -135,7 +143,8 @@ struct CampaignRun
     const roofline::RooflineModel &modelFor(size_t machineIdx,
                                             size_t variantIdx) const;
 
-    /** All measurements in deterministic grid order. */
+    /** All measurements in deterministic grid order (sim and replay
+     *  rows, then hardware rows — unavailable placeholders excluded). */
     std::vector<roofline::Measurement> measurements() const;
 };
 

@@ -1,5 +1,7 @@
 #include "campaign/job_graph.hh"
 
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <sstream>
 
@@ -39,6 +41,7 @@ jobKindName(JobKind kind)
       case JobKind::TraceRecord: return "trace-record";
       case JobKind::TraceReplay: return "trace-replay";
       case JobKind::PhaseSample: return "phase";
+      case JobKind::NativeMeasure: return "native-measure";
     }
     return "?";
 }
@@ -51,7 +54,7 @@ Job::describe(const CampaignSpec &spec) const
         << spec.machines()[machineIndex].label;
     if (kind != JobKind::TraceRecord)
         out << " variant=" << spec.variants()[variantIndex].label;
-    if (kind == JobKind::Measure)
+    if (kind == JobKind::Measure || kind == JobKind::NativeMeasure)
         out << " kernel=" << spec.kernels()[kernelIndex];
     else if (kind == JobKind::TraceRecord ||
              kind == JobKind::TraceReplay)
@@ -135,6 +138,42 @@ phaseSampleCacheKey(const sim::MachineConfig &config,
            "|" + opts.canonicalKey();
 }
 
+std::string
+hostIdentityHash()
+{
+    static const std::string cached = [] {
+        Fnv1a h;
+        // "model name" and "flags" of the first processor entry: the
+        // microarchitecture plus the ISA features visible to kernels.
+        std::ifstream in("/proc/cpuinfo");
+        std::string line;
+        bool model = false, flags = false;
+        while ((!model || !flags) && std::getline(in, line)) {
+            if (!model && line.rfind("model name", 0) == 0) {
+                h.mix(line);
+                model = true;
+            } else if (!flags && line.rfind("flags", 0) == 0) {
+                h.mix(line);
+                flags = true;
+            }
+        }
+        // The event map shapes what a hardware row contains: remapping
+        // an event must miss the old cache entries.
+        const char *events = std::getenv("RFL_PERF_EVENTS");
+        h.mix(std::string(events ? events : ""));
+        return hashToHex(h.value());
+    }();
+    return cached;
+}
+
+std::string
+nativeMeasureCacheKey(const std::string &kernelSpec,
+                      const RunOptions &opts)
+{
+    return "native|" + hostIdentityHash() + "|" + kernelSpec + "|" +
+           opts.canonicalKey();
+}
+
 JobGraph
 JobGraph::expand(const CampaignSpec &spec)
 {
@@ -166,9 +205,12 @@ JobGraph::expand(const CampaignSpec &spec)
     graph.ceilingJobs_ = graph.jobs_.size();
 
     // Measure jobs: machines x kernels x variants, each depending on its
-    // scenario's ceiling job.
+    // scenario's ceiling job. Skipped when the spec selects hardware
+    // rows only (backend = perf without sim).
+    const size_t simKernels =
+        spec.hasBackend("sim") ? spec.kernels().size() : 0;
     for (size_t mi = 0; mi < spec.machines().size(); ++mi) {
-        for (size_t ki = 0; ki < spec.kernels().size(); ++ki) {
+        for (size_t ki = 0; ki < simKernels; ++ki) {
             for (size_t vi = 0; vi < spec.variants().size(); ++vi) {
                 const Variant &v = spec.variants()[vi];
                 Job job;
@@ -251,6 +293,31 @@ JobGraph::expand(const CampaignSpec &spec)
             }
         }
     }
+
+    // NativeMeasure jobs last (backend = perf): machines x kernels x
+    // variants, appended after every sim job so sim job ids — and with
+    // them every pre-existing cached artifact — are unchanged by the
+    // presence of hardware rows.
+    if (spec.hasBackend("perf")) {
+        for (size_t mi = 0; mi < spec.machines().size(); ++mi) {
+            for (size_t ki = 0; ki < spec.kernels().size(); ++ki) {
+                for (size_t vi = 0; vi < spec.variants().size(); ++vi) {
+                    const Variant &v = spec.variants()[vi];
+                    Job job;
+                    job.id = graph.jobs_.size();
+                    job.kind = JobKind::NativeMeasure;
+                    job.machineIndex = mi;
+                    job.kernelIndex = ki;
+                    job.variantIndex = vi;
+                    job.cacheKey = nativeMeasureCacheKey(
+                        spec.kernels()[ki], v.opts);
+                    job.deps.push_back(
+                        ceilings.at({mi, ceilingSignature(v.opts)}));
+                    graph.jobs_.push_back(std::move(job));
+                }
+            }
+        }
+    }
     return graph;
 }
 
@@ -265,6 +332,7 @@ JobGraph::ceilingJobFor(const Job &job) const
       case JobKind::Measure:
       case JobKind::TraceReplay:
       case JobKind::PhaseSample:
+      case JobKind::NativeMeasure:
         break;
     }
     RFL_ASSERT(!job.deps.empty());

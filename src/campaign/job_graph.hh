@@ -19,6 +19,12 @@
  *     one machine with the interval sampler enabled, producing a
  *     PhaseTrajectory (analysis/phase.hh). Depends on its Ceiling job
  *     like a Measure job.
+ *   - NativeMeasure: run one kernel under one variant natively on the
+ *     host CPU with perf_event counters (backend = perf in the spec).
+ *     Depends on its Ceiling job so the hardware row can be plotted
+ *     against the scenario's simulated roofs. Cached under a
+ *     host-identity key (cpu model + flags + RFL_PERF_EVENTS hash):
+ *     hardware rows are not reproducible from MachineConfig alone.
  *
  * Every Measure job depends on its machine's Ceiling job for the
  * variant's signature, so a config is characterized exactly once and
@@ -51,10 +57,11 @@ enum class JobKind
     TraceRecord,
     TraceReplay,
     PhaseSample,
+    NativeMeasure,
 };
 
-/** @return "ceiling", "measure", "trace-record", "trace-replay" or
- *  "phase". */
+/** @return "ceiling", "measure", "trace-record", "trace-replay",
+ *  "phase" or "native-measure". */
 const char *jobKindName(JobKind kind);
 
 /** One schedulable unit. */
@@ -149,6 +156,23 @@ std::string traceReplayCacheKey(const sim::MachineConfig &config,
 std::string phaseSampleCacheKey(const sim::MachineConfig &config,
                                 const PhaseEntry &phase,
                                 const RunOptions &opts);
+
+/**
+ * Stable hex hash identifying the measurement host for native rows:
+ * cpu model name + feature flags (first /proc/cpuinfo processor) +
+ * the RFL_PERF_EVENTS map. Two hosts with the same hash count the
+ * same events on the same silicon. Computed once per process.
+ */
+std::string hostIdentityHash();
+
+/**
+ * Cache key of a native (hardware) measurement:
+ * "native|<host-identity>|<kernel spec>|<canonical run options>".
+ * Deliberately machine-config-free — the simulated machine does not
+ * shape what the host CPU does.
+ */
+std::string nativeMeasureCacheKey(const std::string &kernelSpec,
+                                  const RunOptions &opts);
 
 } // namespace rfl::campaign
 

@@ -439,6 +439,11 @@ encodeMeasurement(const roofline::Measurement &m)
     j.set("flops_sample", sampleToJson(m.flopsSample));
     j.set("traffic_sample", sampleToJson(m.trafficSample));
     j.set("seconds_sample", sampleToJson(m.secondsSample));
+    // Appended after every pre-existing key so older payloads decode
+    // with defaults and sim payload prefixes are unchanged.
+    j.set("backend", Json::makeString(m.backend));
+    j.set("quality", Json::makeNumber(m.quality));
+    j.set("available", Json::makeBool(m.available));
     return j.dump();
 }
 
@@ -460,6 +465,13 @@ decodeMeasurement(const std::string &payload)
     m.flopsSample = sampleFromJson(j.at("flops_sample"));
     m.trafficSample = sampleFromJson(j.at("traffic_sample"));
     m.secondsSample = sampleFromJson(j.at("seconds_sample"));
+    // Pre-backend cache entries (all sim) lack these keys.
+    if (j.has("backend"))
+        m.backend = j.at("backend").asString();
+    if (j.has("quality"))
+        m.quality = j.at("quality").asNumber();
+    if (j.has("available"))
+        m.available = j.at("available").asBool();
     return m;
 }
 

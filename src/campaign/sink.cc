@@ -19,15 +19,21 @@ writeCampaignCsv(const CampaignRun &run, const std::string &dir,
                   {"machine", "variant", "kernel", "size", "protocol",
                    "cores", "lanes", "flops", "traffic_bytes", "seconds",
                    "oi", "flops_per_sec", "expected_flops",
-                   "expected_traffic_bytes", "work_err", "traffic_err"});
+                   "expected_traffic_bytes", "work_err", "traffic_err",
+                   "backend", "quality"});
     // Trace-replay jobs produce ordinary measurements; they appear as
     // rows alongside direct kernel measurements (kernel column reads
-    // "trace(<spec>)").
+    // "trace(<spec>)"). Hardware (NativeMeasure) rows join the same
+    // table with backend=perf; unavailable placeholders are skipped —
+    // a CSV of zeros is worse than an absent row the report names.
     for (const Job &job : run.jobs) {
         if (job.kind != JobKind::Measure &&
-            job.kind != JobKind::TraceReplay)
+            job.kind != JobKind::TraceReplay &&
+            job.kind != JobKind::NativeMeasure)
             continue;
         const roofline::Measurement &m = run.results[job.id].measurement;
+        if (!m.available)
+            continue;
         csv.addRow({run.spec.machines()[job.machineIndex].label,
                     run.spec.variants()[job.variantIndex].label, m.kernel,
                     m.sizeLabel, m.protocol, std::to_string(m.cores),
@@ -38,7 +44,8 @@ writeCampaignCsv(const CampaignRun &run, const std::string &dir,
                     formatSig(m.expectedFlops, 12),
                     formatSig(m.expectedTrafficBytes, 12),
                     formatSig(m.workError(), 6),
-                    formatSig(m.trafficError(), 6)});
+                    formatSig(m.trafficError(), 6), m.backend,
+                    formatSig(m.quality, 6)});
     }
     return path;
 }
@@ -55,11 +62,20 @@ scenarioPlot(const CampaignRun &run, size_t machineIdx, size_t variantIdx,
     }
     roofline::RooflinePlot plot(t, run.modelFor(machineIdx, variantIdx));
     for (const Job &job : run.jobs) {
-        if ((job.kind == JobKind::Measure ||
-             job.kind == JobKind::TraceReplay) &&
-            job.machineIndex == machineIdx &&
-            job.variantIndex == variantIdx) {
+        if (job.machineIndex != machineIdx ||
+            job.variantIndex != variantIdx)
+            continue;
+        if (job.kind == JobKind::Measure ||
+            job.kind == JobKind::TraceReplay) {
             plot.addMeasurement(run.results[job.id].measurement);
+        } else if (job.kind == JobKind::NativeMeasure) {
+            const roofline::Measurement &m =
+                run.results[job.id].measurement;
+            if (!m.available)
+                continue;
+            plot.addPoint(m.kernel + " " + m.sizeLabel + " (" +
+                              m.protocol + ") [hw]",
+                          m.oi(), m.perf(), /*hardware=*/true);
         }
     }
     return plot;
@@ -68,16 +84,24 @@ scenarioPlot(const CampaignRun &run, size_t machineIdx, size_t variantIdx,
 Table
 summaryTable(const CampaignRun &run)
 {
-    Table t({"machine", "variant", "kernel", "size", "W [flops]",
-             "Q [bytes]", "T [s]", "I [f/B]", "P [GF/s]"});
+    Table t({"machine", "variant", "kernel", "size", "backend",
+             "W [flops]", "Q [bytes]", "T [s]", "I [f/B]", "P [GF/s]"});
     for (const Job &job : run.jobs) {
         if (job.kind != JobKind::Measure &&
-            job.kind != JobKind::TraceReplay)
+            job.kind != JobKind::TraceReplay &&
+            job.kind != JobKind::NativeMeasure)
             continue;
         const roofline::Measurement &m = run.results[job.id].measurement;
+        if (!m.available) {
+            t.addRow({run.spec.machines()[job.machineIndex].label,
+                      run.spec.variants()[job.variantIndex].label,
+                      m.kernel, m.sizeLabel, m.backend, "-", "-", "-",
+                      "-", "unavailable"});
+            continue;
+        }
         t.addRow({run.spec.machines()[job.machineIndex].label,
                   run.spec.variants()[job.variantIndex].label, m.kernel,
-                  m.sizeLabel, formatSig(m.flops, 6),
+                  m.sizeLabel, m.backend, formatSig(m.flops, 6),
                   formatSig(m.trafficBytes, 6), formatSig(m.seconds, 6),
                   formatSig(m.oi(), 4), formatSig(m.perf() / 1e9, 4)});
     }

@@ -61,7 +61,7 @@ void emitCampaign(const CampaignRun &run, const std::string &dir,
  * Analysis artifact set (see analysis/report.hh) under @p dir: derives
  * the CampaignAnalysis document from @p run and writes one SVG roofline
  * per scenario, an HTML report, and <campaign>.json (analysis.json
- * schema v3 — the file the regression gate diffs). @return the derived
+ * schema v4 — the file the regression gate diffs). @return the derived
  * document so callers can diff it in-process.
  */
 analysis::CampaignAnalysis writeCampaignReport(const CampaignRun &run,

@@ -214,6 +214,30 @@ CampaignSpec::setTimeout(double seconds)
     return *this;
 }
 
+CampaignSpec &
+CampaignSpec::addBackend(const std::string &backend)
+{
+    if (backend != "sim" && backend != "perf")
+        fatal("campaign '%s': backend expects sim|perf, got '%s'",
+              name_.c_str(), backend.c_str());
+    // The first explicit backend replaces the implicit {"sim"} default,
+    // so `backend = perf` alone means hardware rows only.
+    if (!backendsExplicit_) {
+        backends_.clear();
+        backendsExplicit_ = true;
+    }
+    if (!hasBackend(backend))
+        backends_.push_back(backend);
+    return *this;
+}
+
+bool
+CampaignSpec::hasBackend(const std::string &backend) const
+{
+    return std::find(backends_.begin(), backends_.end(), backend) !=
+           backends_.end();
+}
+
 void
 CampaignSpec::validate() const
 {
@@ -318,6 +342,14 @@ CampaignSpec::stableHash() const
         h.mix(v.label);
         h.mix(v.opts.canonicalKey());
     }
+    // Mixed only when non-default so every spec hash from before the
+    // backend key existed (implicitly backends = {"sim"}) is unchanged.
+    if (backends_ != std::vector<std::string>{"sim"}) {
+        h.mix(std::string("backends"));
+        h.mix(static_cast<uint64_t>(backends_.size()));
+        for (const std::string &b : backends_)
+            h.mix(b);
+    }
     // The timeout does not change result bytes, but a timed-out ticket
     // must not shadow a later, more patient resubmission in the
     // service's dedup map — distinct budget, distinct ticket.
@@ -399,6 +431,8 @@ parseCampaignSpec(const std::string &text)
                 period = static_cast<uint64_t>(v);
             }
             spec.addPhase(kernel_spec, period);
+        } else if (key == "backend") {
+            spec.addBackend(value);
         } else if (key == "variant") {
             const size_t colon = value.find(':');
             if (colon == std::string::npos)
@@ -436,6 +470,8 @@ parseCampaignSpec(const std::string &text)
         named.addPhase(p.spec, p.period);
     for (const Variant &v : spec.variants())
         named.addVariant(v.label, v.opts);
+    for (const std::string &b : spec.backends())
+        named.addBackend(b);
     named.setTimeout(spec.timeoutSeconds());
     named.validate();
     return named;

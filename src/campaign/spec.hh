@@ -21,6 +21,17 @@
  *   phase = fft:n=65536 period=4096   # phase-resolved sampling
  *   variant = cold-1c: protocol=cold cores=0 reps=1
  *   variant = warm-1s: protocol=warm cores=0-3 numa=local prefetch=off
+ *   backend = sim                     # measurement plane(s); repeatable
+ *   backend = perf                    # adds hardware rows via perf_event
+ *
+ * A *backend* entry selects a measurement plane. The default (`sim`)
+ * runs every kernel x variant on the simulated machines. Adding `perf`
+ * appends one NativeMeasure job per (machine, kernel, variant) that
+ * runs the kernel natively on the host CPU with perf_event counters —
+ * the paper's actual methodology — producing rows tagged
+ * backend="perf" next to the sim rows. On hosts where perf_event_open
+ * is denied the perf rows complete as unavailable placeholders (never
+ * failures), so the same spec is portable into CI containers.
  *
  * A *trace* entry names a kernel whose access stream is recorded once
  * per machine (trace-record job) into a content-addressed trace file,
@@ -120,6 +131,9 @@ class CampaignSpec
      *  drain boundary and fails with TimedOutError (support/cancel.hh);
      *  the service surfaces that as the TimedOut job state. */
     CampaignSpec &setTimeout(double seconds);
+    /** Add a measurement plane: "sim" or "perf" (see file comment).
+     *  Duplicates are ignored; the default is {"sim"}. */
+    CampaignSpec &addBackend(const std::string &backend);
     ///@}
 
     const std::string &name() const { return name_; }
@@ -129,6 +143,10 @@ class CampaignSpec
     const std::vector<PhaseEntry> &phases() const { return phases_; }
     const std::vector<Variant> &variants() const { return variants_; }
     double timeoutSeconds() const { return timeoutSeconds_; }
+    /** Measurement planes, in addition order; always non-empty. */
+    const std::vector<std::string> &backends() const { return backends_; }
+    /** @return whether @p backend is among backends(). */
+    bool hasBackend(const std::string &backend) const;
 
     /** Number of measurement runs the grid expands to (trace-replay
      *  and phase-sample runs included). */
@@ -166,6 +184,10 @@ class CampaignSpec
     /** Kernel specs to phase-sample (see file comment). */
     std::vector<PhaseEntry> phases_;
     std::vector<Variant> variants_;
+    /** Measurement planes; default {"sim"} (see addBackend). */
+    std::vector<std::string> backends_ = {"sim"};
+    /** Whether addBackend() replaced the implicit default yet. */
+    bool backendsExplicit_ = false;
     /** Run wall budget in seconds; 0 = unlimited. */
     double timeoutSeconds_ = 0.0;
 };

@@ -1,5 +1,6 @@
 #include "pmu/event.hh"
 
+#include <algorithm>
 #include <limits>
 
 #include "support/logging.hh"
@@ -77,9 +78,23 @@ allEvents()
     return events;
 }
 
+bool
+parseEventName(const std::string &name, EventId &out)
+{
+    for (EventId id : allEvents()) {
+        if (name == eventName(id)) {
+            out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
 Counts::Counts()
     : values_(static_cast<size_t>(numEvents), 0),
-      supported_(static_cast<size_t>(numEvents), false)
+      supported_(static_cast<size_t>(numEvents), false),
+      quality_(static_cast<size_t>(numEvents), 1.0),
+      derived_(static_cast<size_t>(numEvents), false)
 {
 }
 
@@ -102,14 +117,54 @@ Counts::supported(EventId id) const
     return supported_[static_cast<size_t>(id)];
 }
 
+double
+Counts::quality(EventId id) const
+{
+    return quality_[static_cast<size_t>(id)];
+}
+
+void
+Counts::setQuality(EventId id, double q)
+{
+    quality_[static_cast<size_t>(id)] = q;
+}
+
+double
+Counts::minQuality() const
+{
+    double q = 1.0;
+    for (int i = 0; i < numEvents; ++i) {
+        const auto id = static_cast<EventId>(i);
+        if (supported(id) && quality(id) < q)
+            q = quality(id);
+    }
+    return q;
+}
+
+bool
+Counts::derived(EventId id) const
+{
+    return derived_[static_cast<size_t>(id)];
+}
+
+void
+Counts::markDerived(EventId id)
+{
+    derived_[static_cast<size_t>(id)] = true;
+}
+
 Counts
 Counts::operator-(const Counts &rhs) const
 {
     Counts d;
     for (int i = 0; i < numEvents; ++i) {
         const auto id = static_cast<EventId>(i);
-        if (supported(id) && rhs.supported(id))
+        if (supported(id) && rhs.supported(id)) {
             d.set(id, get(id) - rhs.get(id));
+            d.setQuality(id, std::min(quality(id), rhs.quality(id)));
+            if (derived(id) || rhs.derived(id))
+                d.markDerived(id);
+        }
     }
     d.setSeconds(seconds_ - rhs.seconds_);
     return d;
@@ -126,6 +181,11 @@ Counts::subtractClamped(const Counts &overhead) const
         const uint64_t a = get(id);
         const uint64_t b = overhead.supported(id) ? overhead.get(id) : 0;
         d.set(id, a > b ? a - b : 0);
+        d.setQuality(id, overhead.supported(id)
+                             ? std::min(quality(id), overhead.quality(id))
+                             : quality(id));
+        if (derived(id) || overhead.derived(id))
+            d.markDerived(id);
     }
     const double s = seconds_ - overhead.seconds_;
     d.setSeconds(s > 0 ? s : 0.0);

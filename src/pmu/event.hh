@@ -58,6 +58,12 @@ const char *eventDescription(EventId id);
 std::vector<EventId> allEvents();
 
 /**
+ * Reverse of eventName(). @return false when @p name matches no event
+ * (out is untouched); used to parse the RFL_PERF_EVENTS map.
+ */
+bool parseEventName(const std::string &name, EventId &out);
+
+/**
  * Event values of one measured region plus the region's runtime.
  *
  * Values of events the backend does not support are 0 and flagged
@@ -76,6 +82,25 @@ class Counts
 
     /** @return whether the backend produced this event. */
     bool supported(EventId id) const;
+
+    /**
+     * Multiplex quality fraction of @p id: time_running/time_enabled of
+     * the underlying hardware counter. 1.0 means the event was counted
+     * for the whole region (the simulator and unmultiplexed hardware
+     * reads); below 1.0 the value is a scaled estimate.
+     */
+    double quality(EventId id) const;
+    void setQuality(EventId id, double q);
+
+    /** Lowest quality over supported events (1.0 when none are). */
+    double minQuality() const;
+
+    /**
+     * Whether @p id was derived from other counters rather than read
+     * directly (e.g. l3_hits = cache_references - cache_misses).
+     */
+    bool derived(EventId id) const;
+    void markDerived(EventId id);
 
     /** Region wall/virtual time in seconds. */
     double seconds() const { return seconds_; }
@@ -110,6 +135,8 @@ class Counts
   private:
     std::vector<uint64_t> values_;
     std::vector<bool> supported_;
+    std::vector<double> quality_;
+    std::vector<bool> derived_;
     double seconds_ = 0.0;
 };
 

@@ -2,27 +2,82 @@
  * @file
  * perf_event(2) counter backend for real hardware.
  *
- * Mirrors how the paper's tool talks to the PMU: program a group of
- * events, enable around the region, read deltas. Only the portable
- * generic events (cycles, instructions, LLC references/misses) are
- * wired up; the model-specific FP_ARITH and uncore IMC events need raw
- * event codes that vary per microarchitecture and are out of scope for a
- * container-portable build — supports() reports exactly what is live.
+ * Mirrors how the paper's tool talks to the PMU: core events are opened
+ * as ONE leader group (cycles is the leader) and read atomically in a
+ * single read(2) of the leader with PERF_FORMAT_GROUP — member values
+ * come from the same scheduling instant, so ratios like IPC or
+ * hits/misses are self-consistent. Every read also carries
+ * PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING: when the kernel multiplexes
+ * the group off the PMU, values are scaled by enabled/running and the
+ * per-event quality fraction (running/enabled) rides along in Counts.
+ *
+ * Counters are per-thread pinned (pid=0, cpu=-1, inherit=0) and count
+ * user space only, exactly the paper's measurement discipline.
+ *
+ * Portable generic events (cycles, instructions, LLC references/misses)
+ * are wired by default; the model-specific FP_ARITH and uncore IMC
+ * events vary per microarchitecture, so they are programmed at runtime
+ * via the RFL_PERF_EVENTS map:
+ *
+ *   RFL_PERF_EVENTS="fp_scalar_double=4:0x02c7,imc_cas_reads=21:0x304"
+ *
+ * i.e. comma-separated <event_name>=<type>:<config> entries, where
+ * <event_name> is an eventName() mnemonic, <type> is the perf_event
+ * attr type (4 = PERF_TYPE_RAW, or a dynamic PMU type from
+ * /sys/bus/event_source/devices/&lt;pmu&gt;/type) and <config> is the raw
+ * event code (decimal or 0x hex). Non-core PMU types (uncore IMC)
+ * cannot join a core event group; they are opened as singleton fds
+ * whose reads still carry their own time_enabled/running quality.
  *
  * On kernels that forbid unprivileged counting (perf_event_paranoid >= 2
  * without CAP_PERFMON) available() returns false and the measurement
- * layer falls back to the simulated machine.
+ * layer falls back to the simulated machine; probe() reports the
+ * paranoid level and per-event liveness for /healthz and --pmu-probe.
  */
 
 #ifndef RFL_PMU_PERF_BACKEND_HH
 #define RFL_PMU_PERF_BACKEND_HH
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "pmu/backend.hh"
 
 namespace rfl::pmu
 {
+
+/** One logical-event -> perf_event_attr programming entry. */
+struct EventMapping
+{
+    EventId id = EventId::Cycles;
+    uint32_t type = 0;   ///< perf_event_attr.type
+    uint64_t config = 0; ///< perf_event_attr.config
+    bool fromEnv = false; ///< programmed via RFL_PERF_EVENTS
+};
+
+/** probe(): one event's liveness on this host. */
+struct ProbedEvent
+{
+    EventMapping mapping;
+    bool live = false; ///< perf_event_open succeeded for this event
+};
+
+/** Capability probe result (see PerfEventBackend::probe()). */
+struct PmuProbe
+{
+    /** At least one event can actually be opened. */
+    bool available = false;
+    /**
+     * /proc/sys/kernel/perf_event_paranoid; valid kernel values are
+     * -1..4, -2 means the file was unreadable (non-Linux, masked /proc).
+     */
+    int paranoid = -2;
+    std::vector<ProbedEvent> events;
+    /** Number of live / dead entries in events. */
+    int liveCount() const;
+    int deadCount() const;
+};
 
 /** perf_event_open backend; see file comment for caveats. */
 class PerfEventBackend : public Backend
@@ -37,23 +92,67 @@ class PerfEventBackend : public Backend
     /** @return true when the host kernel lets us open a cycle counter. */
     static bool available();
 
+    /**
+     * Capability probe: paranoid level plus per-event liveness for the
+     * full mapping table (defaults + RFL_PERF_EVENTS). Opens and closes
+     * each event once; never constructs a backend. Also registers the
+     * rfl_pmu_* metric family so /statsz carries a pmu group even on
+     * hosts where perf is forbidden.
+     */
+    static PmuProbe probe();
+
+    /**
+     * The active mapping table: the built-in generic events overlaid
+     * with RFL_PERF_EVENTS entries (an env entry for an already-mapped
+     * event replaces the default; unknown names are rejected).
+     */
+    static std::vector<EventMapping> eventMappings();
+
+    /**
+     * Parse an RFL_PERF_EVENTS value. @return false (and set @p error)
+     * on malformed input; @p out receives parsed entries.
+     */
+    static bool parseEventMap(const std::string &text,
+                              std::vector<EventMapping> &out,
+                              std::string *error = nullptr);
+
     std::string name() const override { return "perf_event"; }
     bool supports(EventId id) const override;
     void begin() override;
     Counts end() override;
 
   private:
-    struct Fd
+    /** A member of the leader group: values[slot] of the group read. */
+    struct GroupMember
+    {
+        EventId id;
+        size_t slot;
+        int fd = -1;
+    };
+
+    /** A non-groupable (uncore PMU) event with its own fd. */
+    struct Singleton
     {
         EventId id;
         int fd = -1;
     };
 
-    /** Try to open one event; returns -1 on failure. */
-    static int openEvent(uint32_t type, uint64_t config);
+    /**
+     * Try to open one event; returns -1 on failure. @p groupFd is the
+     * leader fd (-1 opens a leader / singleton).
+     */
+    static int openEvent(uint32_t type, uint64_t config, int groupFd);
 
-    std::vector<Fd> fds_;
-    std::vector<uint64_t> beginValues_;
+    int leaderFd_ = -1;
+    std::vector<GroupMember> group_;
+    std::vector<Singleton> singles_;
+    /**
+     * Set when l3_hits is backed by the default generic CACHE_REFERENCES
+     * mapping: references = hits + misses, so end() reports
+     * hits = references - misses (clamped) and marks the event derived.
+     * An RFL_PERF_EVENTS override of l3_hits clears it.
+     */
+    bool l3HitsFromReferences_ = false;
     double beginSeconds_ = 0.0;
     bool inRegion_ = false;
 };

@@ -97,6 +97,24 @@ struct Measurement
     Sample trafficSample;
     Sample secondsSample;
 
+    /**
+     * Which measurement plane produced the row: "sim" (the simulated
+     * machine — fully reproducible from MachineConfig) or "perf" (host
+     * hardware through perf_event).
+     */
+    std::string backend = "sim";
+    /**
+     * Lowest multiplex quality fraction over the hardware counters the
+     * row's numbers came from (pmu::Counts::minQuality()). 1.0 for sim
+     * and for unmultiplexed hardware reads.
+     */
+    double quality = 1.0;
+    /**
+     * False for a "perf" placeholder row on a host where
+     * perf_event_open is denied: labels are valid, numbers are not.
+     */
+    bool available = true;
+
     /** Operational intensity I = W / Q (inf when Q == 0). */
     double oi() const;
     /** Performance P = W / T in flops/s. */

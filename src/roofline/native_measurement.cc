@@ -1,5 +1,6 @@
 #include "roofline/native_measurement.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -97,6 +98,7 @@ NativeMeasurer::measure(kernels::Kernel &kernel,
 
     NativeMeasurement nm;
     Measurement &m = nm.base;
+    m.backend = "perf";
     m.kernel = kernel.name();
     m.sizeLabel = kernel.sizeLabel();
     m.protocol = protocolName(opts.protocol);
@@ -129,6 +131,9 @@ NativeMeasurer::measure(kernels::Kernel &kernel,
         const double t1 = nowSeconds();
         if (use_perf) {
             const pmu::Counts pc = perf_->end();
+            // The row's quality is the worst multiplex fraction any
+            // contributing counter saw across all repetitions.
+            m.quality = std::min(m.quality, pc.minQuality());
             if (pc.supported(pmu::EventId::Cycles)) {
                 perf_cycles.add(
                     static_cast<double>(pc.get(pmu::EventId::Cycles)));

@@ -40,14 +40,15 @@ RooflinePlot::RooflinePlot(std::string title, RooflineModel model)
 }
 
 void
-RooflinePlot::addPoint(const std::string &label, double oi, double perf)
+RooflinePlot::addPoint(const std::string &label, double oi, double perf,
+                       bool hardware)
 {
     if (!std::isfinite(oi) || oi <= 0 || perf <= 0) {
         warn("roofline plot '%s': skipping point '%s' with I=%g P=%g",
              title_.c_str(), label.c_str(), oi, perf);
         return;
     }
-    points_.push_back({label, oi, perf});
+    points_.push_back({label, oi, perf, hardware});
 }
 
 void

@@ -31,6 +31,9 @@ struct PlotPoint
     std::string label;
     double oi = 0.0;   ///< flops/byte
     double perf = 0.0; ///< flops/s
+    /** True for silicon (backend = perf) rows; renderers draw these
+     *  with a distinct glyph so sim and hardware are tellable apart. */
+    bool hardware = false;
 };
 
 /** See file comment. */
@@ -40,7 +43,8 @@ class RooflinePlot
     RooflinePlot(std::string title, RooflineModel model);
 
     /** Add a point directly. */
-    void addPoint(const std::string &label, double oi, double perf);
+    void addPoint(const std::string &label, double oi, double perf,
+                  bool hardware = false);
 
     /** Add a measurement (skipped with a warning when oi is inf/0). */
     void addMeasurement(const Measurement &m);

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "campaign/serialize.hh"
+#include "pmu/perf_backend.hh"
 #include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "telemetry/build_info.hh"
@@ -402,6 +403,49 @@ ApiHandler::campaignRoute(const HttpRequest &req)
                               "roofline.svg)");
 }
 
+namespace
+{
+
+/**
+ * The host's PMU capability, probed once per process: the answer
+ * cannot change under a running service, and probing registers the
+ * rfl_pmu_* gauges so the pmu group is present in /statsz and
+ * /metricsz from the first scrape on regardless of request order.
+ */
+const pmu::PmuProbe &
+cachedPmuProbe()
+{
+    static const pmu::PmuProbe probe = pmu::PerfEventBackend::probe();
+    return probe;
+}
+
+/** The /healthz pmu block (shape asserted by tools/service_smoke.sh
+ *  against `roofline_campaign --pmu-probe`). */
+Json
+pmuHealthJson()
+{
+    const pmu::PmuProbe &probe = cachedPmuProbe();
+    Json pmu = Json::makeObject();
+    pmu.set("available", Json::makeBool(probe.available));
+    pmu.set("paranoid", Json::makeNumber(probe.paranoid));
+    pmu.set("events_live", Json::makeNumber(probe.liveCount()));
+    pmu.set("events_dead", Json::makeNumber(probe.deadCount()));
+    Json events = Json::makeArray();
+    for (const pmu::ProbedEvent &e : probe.events) {
+        Json ev = Json::makeObject();
+        ev.set("event",
+               Json::makeString(pmu::eventName(e.mapping.id)));
+        ev.set("source", Json::makeString(e.mapping.fromEnv ? "env"
+                                                            : "default"));
+        ev.set("live", Json::makeBool(e.live));
+        events.push(std::move(ev));
+    }
+    pmu.set("events", std::move(events));
+    return pmu;
+}
+
+} // namespace
+
 HttpResponse
 ApiHandler::health() const
 {
@@ -424,6 +468,10 @@ ApiHandler::health() const
     build.set("profiler",
               Json::makeBool(telemetry::Profiler::compiledIn()));
     doc.set("build", std::move(build));
+    // Hardware measurement capability: whether backend=perf campaign
+    // rows on this host will carry real counters or degrade to
+    // unavailable placeholders.
+    doc.set("pmu", pmuHealthJson());
     return jsonResponse(200, doc);
 }
 
@@ -496,7 +544,10 @@ ApiHandler::statsz() const
     // One source of truth: the same registry /metricsz scrapes,
     // rendered in the grouped-JSON shape /statsz has always served
     // (the queue/cache/sessions/http groups come from the naming
-    // convention — see telemetry/metrics.hh).
+    // convention — see telemetry/metrics.hh). Touching the probe
+    // guarantees the pmu group exists even when no campaign or
+    // /healthz request registered it yet.
+    cachedPmuProbe();
     HttpResponse resp;
     resp.contentType = "application/json";
     resp.body = telemetry::Registry::global().renderJsonGrouped() + "\n";

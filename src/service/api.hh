@@ -10,7 +10,7 @@
  *        on an invalid spec, 429 when the queue is full.
  *   GET  /v1/campaigns/<id>              poll status (state, queue
  *        position, execution stats, artifact links).
- *   GET  /v1/campaigns/<id>/analysis     analysis.json (schema v3),
+ *   GET  /v1/campaigns/<id>/analysis     analysis.json (schema v4),
  *        byte-identical to roofline_report's file output.
  *   GET  /v1/campaigns/<id>/report.html  the HTML report, streamed
  *        chunked from memory.

@@ -201,4 +201,105 @@ TEST(AnalysisDiff, TableListsEveryComparison)
     EXPECT_EQ(report.table().rowCount(), report.entries.size());
 }
 
+TEST(AnalysisDiff, BackendIsPartOfTheRowKey)
+{
+    // A hardware row must never pair with the sim baseline row of the
+    // same cell — a v3 baseline keeps diffing cleanly when the spec
+    // later turns on backend = perf, however slow the silicon is.
+    const CampaignAnalysis base = baseDoc();
+    CampaignAnalysis cur = base;
+    KernelRow hw = cur.kernels[0];
+    hw.backend = "perf";
+    hw.metrics.perf *= 0.5; // would gate hard if it matched the sim row
+    cur.kernels.push_back(hw);
+
+    const DiffReport report = diffAnalyses(base, cur);
+    EXPECT_FALSE(report.hasRegressions());
+    ASSERT_EQ(report.added.size(), 1u);
+    EXPECT_NE(report.added[0].find("backend=perf"), std::string::npos);
+}
+
+TEST(HardwareDelta, PairsBackendsAndComputesRelativeDeltas)
+{
+    CampaignAnalysis doc = baseDoc();
+    KernelRow hw = doc.kernels[0];
+    hw.backend = "perf";
+    hw.quality = 0.75;
+    hw.metrics.perf = doc.kernels[0].metrics.perf * 0.8;
+    hw.metrics.oi = doc.kernels[0].metrics.oi * 1.1;
+    hw.seconds = doc.kernels[0].seconds * 1.25;
+    doc.kernels.push_back(hw);
+
+    const analysis::HardwareDeltaReport report = hardwareDelta(doc);
+    EXPECT_TRUE(report.unmatched.empty());
+    ASSERT_EQ(report.rows.size(), 1u);
+    const analysis::HardwareDelta &d = report.rows[0];
+    EXPECT_TRUE(d.available);
+    EXPECT_DOUBLE_EQ(d.quality, 0.75);
+    EXPECT_NEAR(d.perfRel, -0.2, 1e-12);
+    EXPECT_NEAR(d.oiRel, 0.1, 1e-12);
+    EXPECT_NEAR(d.secondsRel, 0.25, 1e-12);
+    EXPECT_EQ(report.table().rowCount(), 1u);
+}
+
+TEST(HardwareDelta, GateIsDirectional)
+{
+    // Only the model-optimistic direction fails: silicon landing far
+    // below the simulated prediction. Silicon beating the model is
+    // news, not a regression.
+    CampaignAnalysis doc = baseDoc();
+    KernelRow hw = doc.kernels[0];
+    hw.backend = "perf";
+    hw.metrics.perf = doc.kernels[0].metrics.perf * 0.4; // -60%
+    doc.kernels.push_back(hw);
+
+    std::ostringstream os;
+    EXPECT_EQ(hardwareDelta(doc).gate(0.5, os), 1u);
+    EXPECT_NE(os.str().find("HW-DELTA"), std::string::npos);
+
+    doc.kernels[1].metrics.perf = doc.kernels[0].metrics.perf * 2.0;
+    std::ostringstream ok;
+    EXPECT_EQ(hardwareDelta(doc).gate(0.5, ok), 0u);
+    EXPECT_NE(ok.str().find("hardware delta gate: ok"),
+              std::string::npos);
+}
+
+TEST(HardwareDelta, UnavailableRowsAreNamedButNeverGate)
+{
+    // The CI container denies perf_event_open outright; the resulting
+    // placeholder row must surface in the report as a named gap and
+    // must never fail the gate.
+    CampaignAnalysis doc = baseDoc();
+    KernelRow hw = doc.kernels[0];
+    hw.backend = "perf";
+    hw.available = false;
+    hw.quality = 0.0;
+    hw.metrics = DerivedMetrics{};
+    doc.kernels.push_back(hw);
+
+    const analysis::HardwareDeltaReport report = hardwareDelta(doc);
+    ASSERT_EQ(report.rows.size(), 1u);
+    EXPECT_FALSE(report.rows[0].available);
+    std::ostringstream os;
+    EXPECT_EQ(report.gate(0.5, os), 0u);
+    EXPECT_NE(os.str().find("unavailable"), std::string::npos);
+    EXPECT_NE(os.str().find("triad"), std::string::npos);
+}
+
+TEST(HardwareDelta, HardwareRowWithoutSimCounterpartIsUnmatched)
+{
+    CampaignAnalysis doc = baseDoc();
+    doc.kernels[0].backend = "perf"; // perf-only campaign: no sim twin
+    const analysis::HardwareDeltaReport report = hardwareDelta(doc);
+    EXPECT_TRUE(report.rows.empty());
+    ASSERT_EQ(report.unmatched.size(), 1u);
+    EXPECT_NE(report.unmatched[0].find("triad"), std::string::npos);
+    EXPECT_FALSE(report.empty());
+}
+
+TEST(HardwareDelta, SimOnlyDocumentIsEmpty)
+{
+    EXPECT_TRUE(hardwareDelta(baseDoc()).empty());
+}
+
 } // namespace

@@ -130,9 +130,53 @@ TEST(AnalysisJson, StrictJsonHasNoBareInfTokens)
     EXPECT_EQ(text.find(":inf"), std::string::npos);
     EXPECT_EQ(text.find(":nan"), std::string::npos);
     EXPECT_NE(text.find("\"oi\":null"), std::string::npos);
-    EXPECT_NE(text.find("\"schema_version\":3"), std::string::npos);
+    EXPECT_NE(text.find("\"schema_version\":4"), std::string::npos);
+    EXPECT_NE(text.find("\"backend\":\"sim\""), std::string::npos);
     EXPECT_NE(text.find("\"kind\":\"rfl-analysis\""),
               std::string::npos);
+}
+
+TEST(AnalysisJson, ProvenanceFieldsRoundTrip)
+{
+    CampaignAnalysis doc = sampleDoc();
+    doc.kernels[0].backend = "perf";
+    doc.kernels[0].quality = 0.75;
+    doc.kernels[1].backend = "perf";
+    doc.kernels[1].available = false;
+    doc.kernels[1].quality = 0.0;
+
+    const CampaignAnalysis back = decodeAnalysis(encodeAnalysis(doc));
+    ASSERT_EQ(back.kernels.size(), 2u);
+    EXPECT_EQ(back.kernels[0].backend, "perf");
+    EXPECT_DOUBLE_EQ(back.kernels[0].quality, 0.75);
+    EXPECT_TRUE(back.kernels[0].available);
+    EXPECT_FALSE(back.kernels[1].available);
+    EXPECT_DOUBLE_EQ(back.kernels[1].quality, 0.0);
+}
+
+TEST(AnalysisJson, DecodesV3DocumentsWithSimDefaults)
+{
+    // Committed baselines (bench/analysis_baseline.json) predate the
+    // provenance fields; a v3 document must decode with every row an
+    // available simulated one so old baselines keep diffing cleanly.
+    std::string text = encodeAnalysis(sampleDoc());
+    const auto strip = [&text](const std::string &needle) {
+        for (size_t pos; (pos = text.find(needle)) != std::string::npos;)
+            text.erase(pos, needle.size());
+    };
+    strip("\"backend\":\"sim\",\"quality\":1,\"available\":true,");
+    const size_t v = text.find("\"schema_version\":4");
+    ASSERT_NE(v, std::string::npos);
+    text[v + std::string("\"schema_version\":").size()] = '3';
+    ASSERT_EQ(text.find("backend"), std::string::npos);
+
+    const CampaignAnalysis back = decodeAnalysis(text);
+    ASSERT_EQ(back.kernels.size(), 2u);
+    for (const KernelRow &r : back.kernels) {
+        EXPECT_EQ(r.backend, "sim");
+        EXPECT_DOUBLE_EQ(r.quality, 1.0);
+        EXPECT_TRUE(r.available);
+    }
 }
 
 TEST(AnalysisJson, DiffAfterRoundTripIsClean)
@@ -202,6 +246,30 @@ TEST(AnalysisSvg, SkipsUnplottablePoints)
         pos += 5;
     }
     EXPECT_EQ(markers, 2u);
+}
+
+TEST(AnalysisSvg, HardwarePointsRenderAsDiamonds)
+{
+    roofline::RooflineModel model;
+    model.addComputeCeiling("peak", 10e9);
+    model.addBandwidthCeiling("stream", 10e9);
+    roofline::RooflinePlot plot("hw", model);
+    plot.addPoint("triad n=4096 (cold)", 1.0, 1e9);
+    plot.addPoint("triad n=4096 (cold) [hw]", 1.0, 8e8,
+                  /*hardware=*/true);
+    const std::string svg = renderRooflineSvg(plot, {});
+    // The sim row keeps its circle glyph; the silicon row draws as a
+    // diamond path in the hardware color so mixed plots read at a
+    // glance.
+    EXPECT_NE(svg.find("r='4.5'"), std::string::npos);
+    EXPECT_NE(svg.find("#7b4bd6"), std::string::npos);
+    EXPECT_NE(svg.find("[hw]"), std::string::npos);
+    size_t circles = 0, pos = 0;
+    while ((pos = svg.find("r='4.5'", pos)) != std::string::npos) {
+        ++circles;
+        pos += 7;
+    }
+    EXPECT_EQ(circles, 1u);
 }
 
 } // namespace

@@ -99,4 +99,62 @@ TEST(JobGraph, CacheKeysAreUniqueAndContentAddressed)
               key0);
 }
 
+TEST(JobGraph, PerfBackendAppendsNativeJobsAfterEverySimJob)
+{
+    CampaignSpec spec = twoVariantSpec();
+    spec.addBackend("sim").addBackend("perf");
+    const JobGraph graph = JobGraph::expand(spec);
+
+    // The sim prefix must be byte-for-byte the sim-only expansion: job
+    // ids (and with them cached artifacts) may not move because
+    // hardware rows were requested.
+    const JobGraph simOnly = JobGraph::expand(twoVariantSpec());
+    ASSERT_GT(graph.size(), simOnly.size());
+    for (size_t i = 0; i < simOnly.size(); ++i) {
+        EXPECT_EQ(graph.jobs()[i].kind, simOnly.jobs()[i].kind);
+        EXPECT_EQ(graph.jobs()[i].cacheKey, simOnly.jobs()[i].cacheKey);
+    }
+    // 3 kernels x 2 variants native jobs, all trailing.
+    size_t native = 0;
+    for (size_t i = simOnly.size(); i < graph.size(); ++i) {
+        EXPECT_EQ(graph.jobs()[i].kind, JobKind::NativeMeasure);
+        ++native;
+    }
+    EXPECT_EQ(native, 6u);
+
+    // Each native job depends on its scenario's ceiling so the row can
+    // be plotted against the simulated roofs.
+    for (const Job &job : graph.jobs()) {
+        if (job.kind != JobKind::NativeMeasure)
+            continue;
+        ASSERT_EQ(job.deps.size(), 1u);
+        EXPECT_EQ(graph.jobs()[job.deps[0]].kind, JobKind::Ceiling);
+    }
+}
+
+TEST(JobGraph, PerfOnlyBackendSkipsSimMeasureJobs)
+{
+    CampaignSpec spec = twoVariantSpec();
+    spec.addBackend("perf");
+    const JobGraph graph = JobGraph::expand(spec);
+    for (const Job &job : graph.jobs())
+        EXPECT_NE(job.kind, JobKind::Measure);
+}
+
+TEST(JobGraph, NativeMeasureCacheKeyIsHostScoped)
+{
+    const CampaignSpec spec = twoVariantSpec();
+    const std::string key = nativeMeasureCacheKey(
+        spec.kernels()[0], spec.variants()[0].opts);
+    EXPECT_EQ(key.rfind("native|", 0), 0u);
+    // Host identity is process-stable; the key is machine-config-free
+    // by design (the simulated machine does not shape the host CPU),
+    // so the same kernel/options pair dedups across machine entries.
+    EXPECT_EQ(key, nativeMeasureCacheKey(spec.kernels()[0],
+                                         spec.variants()[0].opts));
+    EXPECT_NE(key, nativeMeasureCacheKey(spec.kernels()[1],
+                                         spec.variants()[0].opts));
+    EXPECT_NE(key.find(hostIdentityHash()), std::string::npos);
+}
+
 } // namespace

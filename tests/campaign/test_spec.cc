@@ -175,6 +175,58 @@ TEST(CampaignSpec, TimeoutParsesAndMovesTheHash)
                   .stableHash());
 }
 
+TEST(CampaignSpec, BackendKeyParsesAndDefaults)
+{
+    const char *base = "name = hw\n"
+                       "machine = small\n"
+                       "kernel = daxpy:n=4096\n"
+                       "variant = cold-1c: protocol=cold cores=0 reps=1\n";
+    // Default: sim only.
+    const CampaignSpec plain = parseCampaignSpec(base);
+    EXPECT_TRUE(plain.hasBackend("sim"));
+    EXPECT_FALSE(plain.hasBackend("perf"));
+
+    // The first explicit backend replaces the default; repeats append
+    // and dedup.
+    const CampaignSpec both = parseCampaignSpec(
+        std::string(base) +
+        "backend = perf\nbackend = sim\nbackend = sim\n");
+    EXPECT_TRUE(both.hasBackend("sim"));
+    EXPECT_TRUE(both.hasBackend("perf"));
+    EXPECT_EQ(both.backends().size(), 2u);
+
+    const CampaignSpec hwOnly =
+        parseCampaignSpec(std::string(base) + "backend = perf\n");
+    EXPECT_FALSE(hwOnly.hasBackend("sim"));
+    EXPECT_TRUE(hwOnly.hasBackend("perf"));
+}
+
+TEST(CampaignSpec, BackendMovesTheHashOnlyWhenNonDefault)
+{
+    const char *base = "name = hw\n"
+                       "machine = small\n"
+                       "kernel = daxpy:n=4096\n"
+                       "variant = cold-1c: protocol=cold cores=0 reps=1\n";
+    const CampaignSpec plain = parseCampaignSpec(base);
+    // `backend = sim` spelled out is the default: identical content,
+    // identical hash — explicit spelling must not invalidate every
+    // pre-existing ticket and cache entry.
+    const CampaignSpec simExplicit =
+        parseCampaignSpec(std::string(base) + "backend = sim\n");
+    EXPECT_EQ(plain.stableHash(), simExplicit.stableHash());
+
+    const CampaignSpec withPerf = parseCampaignSpec(
+        std::string(base) + "backend = sim\nbackend = perf\n");
+    EXPECT_NE(plain.stableHash(), withPerf.stableHash());
+}
+
+TEST(CampaignSpecDeath, BackendRejectsUnknownNames)
+{
+    CampaignSpec spec("bad");
+    EXPECT_EXIT(spec.addBackend("fpga"), ::testing::ExitedWithCode(1),
+                "sim|perf");
+}
+
 TEST(CampaignSpec, FatalThrowsModeTurnsParseErrorsIntoExceptions)
 {
     // The daemon-mode contract: with setFatalThrows(true), a bad spec

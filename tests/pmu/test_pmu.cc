@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "kernels/daxpy.hh"
 #include "kernels/engine.hh"
 #include "pmu/backend.hh"
@@ -88,6 +92,141 @@ TEST(Counts, DifferencePropagatesSupportIntersection)
     EXPECT_TRUE(d.supported(EventId::Cycles));
     EXPECT_EQ(d.get(EventId::Cycles), 6u);
     EXPECT_FALSE(d.supported(EventId::Instructions));
+}
+
+TEST(Counts, QualityDefaultsToPerfect)
+{
+    Counts c;
+    for (EventId id : allEvents()) {
+        EXPECT_DOUBLE_EQ(c.quality(id), 1.0) << eventName(id);
+        EXPECT_FALSE(c.derived(id)) << eventName(id);
+    }
+    EXPECT_DOUBLE_EQ(c.minQuality(), 1.0);
+}
+
+TEST(Counts, MinQualityCoversOnlySupportedEvents)
+{
+    Counts c;
+    c.set(EventId::Cycles, 100);
+    c.set(EventId::Instructions, 200);
+    c.setQuality(EventId::Cycles, 0.25);
+    // An unsupported event's quality must not drag the minimum down.
+    c.setQuality(EventId::L3Misses, 0.01);
+    EXPECT_DOUBLE_EQ(c.minQuality(), 0.25);
+}
+
+TEST(Counts, DifferencePropagatesWorstQualityAndDerivation)
+{
+    Counts a, b;
+    a.set(EventId::Cycles, 10);
+    a.setQuality(EventId::Cycles, 0.5);
+    a.markDerived(EventId::Cycles);
+    b.set(EventId::Cycles, 4);
+    b.setQuality(EventId::Cycles, 0.8);
+    const Counts d = a - b;
+    EXPECT_DOUBLE_EQ(d.quality(EventId::Cycles), 0.5);
+    EXPECT_TRUE(d.derived(EventId::Cycles));
+}
+
+TEST(Counts, SubtractClampedPropagatesQuality)
+{
+    Counts a, overhead;
+    a.set(EventId::Instructions, 100);
+    a.setQuality(EventId::Instructions, 0.9);
+    overhead.set(EventId::Instructions, 10);
+    overhead.setQuality(EventId::Instructions, 0.3);
+    const Counts d = a.subtractClamped(overhead);
+    EXPECT_EQ(d.get(EventId::Instructions), 90u);
+    EXPECT_DOUBLE_EQ(d.quality(EventId::Instructions), 0.3);
+}
+
+TEST(Events, ParseEventNameRoundTrips)
+{
+    for (EventId id : allEvents()) {
+        EventId out = EventId::NumEvents;
+        ASSERT_TRUE(parseEventName(eventName(id), out))
+            << eventName(id);
+        EXPECT_EQ(out, id);
+    }
+    EventId out = EventId::NumEvents;
+    EXPECT_FALSE(parseEventName("no_such_event", out));
+}
+
+TEST(PerfBackend, ParseEventMapAcceptsDecimalAndHex)
+{
+    std::vector<EventMapping> out;
+    std::string err;
+    ASSERT_TRUE(PerfEventBackend::parseEventMap(
+        "cycles=4:0x3c, instructions=4:192", out, &err))
+        << err;
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].id, EventId::Cycles);
+    EXPECT_EQ(out[0].type, 4u);
+    EXPECT_EQ(out[0].config, 0x3cu);
+    EXPECT_TRUE(out[0].fromEnv);
+    EXPECT_EQ(out[1].id, EventId::Instructions);
+    EXPECT_EQ(out[1].config, 192u);
+}
+
+TEST(PerfBackend, ParseEventMapRejectsMalformedEntries)
+{
+    std::vector<EventMapping> out;
+    std::string err;
+    EXPECT_FALSE(
+        PerfEventBackend::parseEventMap("cycles=banana", out, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(
+        PerfEventBackend::parseEventMap("bogus_event=4:1", out, &err));
+    EXPECT_FALSE(
+        PerfEventBackend::parseEventMap("cycles4:1", out, &err));
+}
+
+TEST(PerfBackend, EventMapOverridesDefaultsByEventId)
+{
+    // Overriding cycles must replace the generic mapping, not add a
+    // second cycles entry; a new event appends.
+    const char *saved = std::getenv("RFL_PERF_EVENTS");
+    setenv("RFL_PERF_EVENTS", "cycles=4:0x3c,imc_cas_reads=18:0x104",
+           1);
+    const std::vector<EventMapping> maps =
+        PerfEventBackend::eventMappings();
+    if (saved != nullptr)
+        setenv("RFL_PERF_EVENTS", saved, 1);
+    else
+        unsetenv("RFL_PERF_EVENTS");
+
+    size_t cycles_entries = 0;
+    bool cas_seen = false;
+    for (const EventMapping &m : maps) {
+        if (m.id == EventId::Cycles) {
+            ++cycles_entries;
+            EXPECT_EQ(m.type, 4u);
+            EXPECT_EQ(m.config, 0x3cu);
+            EXPECT_TRUE(m.fromEnv);
+        }
+        if (m.id == EventId::ImcCasReads) {
+            cas_seen = true;
+            EXPECT_EQ(m.type, 18u);
+        }
+    }
+    EXPECT_EQ(cycles_entries, 1u);
+    EXPECT_TRUE(cas_seen);
+}
+
+TEST(PerfBackend, ProbeShapeIsConsistent)
+{
+    const PmuProbe probe = PerfEventBackend::probe();
+    EXPECT_FALSE(probe.events.empty());
+    EXPECT_EQ(static_cast<size_t>(probe.liveCount() +
+                                  probe.deadCount()),
+              probe.events.size());
+    // available must agree with per-event liveness and the backend's
+    // own static answer.
+    EXPECT_EQ(probe.available, probe.liveCount() > 0);
+    EXPECT_EQ(probe.available, PerfEventBackend::available());
+    // paranoid: -2 (unreadable) or a kernel value in [-1, 4].
+    EXPECT_GE(probe.paranoid, -2);
+    EXPECT_LE(probe.paranoid, 4);
 }
 
 TEST(Events, NamesAreUniqueAndNonEmpty)

@@ -108,6 +108,35 @@ TEST(NativeMeasurer, ScalarLanesWork)
     EXPECT_DOUBLE_EQ(r.base.flops, 2.0 * (1 << 12));
 }
 
+TEST(NativeMeasurer, NoPerfFallbackIsDeterministic)
+{
+    // The degraded path CI always takes: perf disabled outright. The
+    // measurement must still be complete — W from the software
+    // retirement counters, Q from the analytic model — and labeled as
+    // such, so consumers never mistake a fallback row for silicon
+    // counter data.
+    NativeMeasurer nm;
+    kernels::Daxpy daxpy(1 << 14);
+    NativeMeasureOptions opts;
+    opts.usePerf = false;
+    opts.repetitions = 2;
+    opts.flushBufferBytes = 1 << 20;
+    const NativeMeasurement r = nm.measure(daxpy, opts);
+    EXPECT_EQ(r.trafficSource, "analytic");
+    EXPECT_FALSE(r.perfLive);
+    EXPECT_EQ(r.perfCycles, 0u);
+    // W comes from the engine's software flop counters: exact.
+    EXPECT_DOUBLE_EQ(r.base.flops, 2.0 * (1 << 14));
+    EXPECT_DOUBLE_EQ(r.base.workError(), 0.0);
+    EXPECT_DOUBLE_EQ(r.base.trafficBytes,
+                     daxpy.expectedColdTrafficBytes());
+    // Provenance: a hardware-path row, full quality (no multiplexing
+    // can degrade counters that were never opened), available.
+    EXPECT_EQ(r.base.backend, "perf");
+    EXPECT_DOUBLE_EQ(r.base.quality, 1.0);
+    EXPECT_TRUE(r.base.available);
+}
+
 TEST(NativeMeasurer, PerfFlagIsConsistent)
 {
     NativeMeasurer nm;

@@ -8,9 +8,12 @@ Four document kinds are recognized by content:
   - BENCH_service_throughput.json service-load files (schema v1,
     bench == "service_throughput") produced by bench/service_throughput
     against the roofline-as-a-service daemon (src/service/),
-  - analysis.json roofline-analysis documents (schema v3,
+  - analysis.json roofline-analysis documents (schema v3 or v4,
     kind == "rfl-analysis") produced by the analysis subsystem
-    (src/analysis/analysis.hh) via roofline_report, and
+    (src/analysis/analysis.hh) via roofline_report — v4 adds per-row
+    measurement provenance (backend sim|perf, multiplex quality in
+    [0, 1], available flag) and admits the same cell twice, once per
+    backend — and
   - metrics.json telemetry snapshots (schema v1, kind == "rfl-metrics")
     written by roofline_campaign --telemetry-dir from the metrics
     registry (src/telemetry/metrics.hh),
@@ -216,8 +219,12 @@ def check_ceilings(obj: dict, key: str, ctx: str) -> None:
 
 
 def check_analysis(doc: dict) -> None:
-    if require(doc, "schema_version", (int, float)) != 3:
-        fail("unknown schema_version (expected 3)")
+    # v4 adds per-row provenance (backend, quality, available); v3
+    # documents predate the fields and remain valid (every committed
+    # baseline is v3).
+    version = require(doc, "schema_version", (int, float))
+    if version not in (3, 4):
+        fail("unknown schema_version (expected 3 or 4)")
     require(doc, "campaign", str)
 
     scenarios = require(doc, "scenarios", list)
@@ -243,8 +250,21 @@ def check_analysis(doc: dict) -> None:
     for k in kernels:
         if not isinstance(k, dict):
             fail("kernel entry is not an object")
+        # backend joins the dedup key in v4: the same cell measured by
+        # sim AND silicon is two legitimate rows.
+        backend = "sim"
+        if version >= 4:
+            backend = require(k, "backend", str)
+            if backend not in ("sim", "perf"):
+                fail(f"backend must be sim|perf, got '{backend}'")
+            quality = finite_number(k, "quality", "kernel row")
+            if not 0.0 <= quality <= 1.0:
+                fail(f"quality must be in [0, 1], got {quality}")
+            if not isinstance(k.get("available"), bool):
+                fail("kernel row: available must be a bool")
         key = tuple(require(k, f, str) for f in
-                    ("machine", "variant", "kernel", "size", "protocol"))
+                    ("machine", "variant", "kernel", "size",
+                     "protocol")) + (backend,)
         if key in kernel_keys:
             fail(f"duplicate kernel row {key}")
         kernel_keys.add(key)
@@ -304,7 +324,7 @@ def check_analysis(doc: dict) -> None:
                  f"{p['total_traffic_bytes']}")
 
     print(f"{sys.argv[1]}: schema OK "
-          f"(analysis v3: {len(scenarios)} scenarios, "
+          f"(analysis v{version:g}: {len(scenarios)} scenarios, "
           f"{len(kernels)} kernel rows, {len(phases)} phase rows)")
 
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Smoke-test the roofline-as-a-service daemon end to end:
-#   start roofline_serve on an ephemeral port -> submit a small
+#   start roofline_serve on an ephemeral port -> assert the /healthz
+#   pmu block matches `roofline_campaign --pmu-probe` (and degrades
+#   cleanly without perf_event privilege) -> submit a small
 #   campaign -> poll to completion -> validate analysis.json against
 #   the schema checker -> exercise dedup + statsz -> scrape /metricsz
 #   and /tracez (job counters must have moved) -> assert the
@@ -44,6 +46,36 @@ for key in ("git_sha", "compiler", "build_type", "simd", "profiler"):
     assert key in build, (key, build)
 print("healthz build OK:", build["git_sha"], build["compiler"],
       build["simd"], "profiler" if build["profiler"] else "no-profiler")
+EOF
+
+# PMU capability: the /healthz pmu block must agree with the CLI probe
+# (same process-independent answer), and an unprivileged host must
+# degrade to a well-formed available=false block — never an error.
+"$BUILD"/roofline_campaign --pmu-probe > "$WORK/pmu.txt"
+grep -q '^pmu: available=' "$WORK/pmu.txt"
+PROBE_LINE=$(grep '^pmu: ' "$WORK/pmu.txt")
+python3 - "$WORK/health.json" "$PROBE_LINE" <<'EOF'
+import json, sys
+pmu = json.load(open(sys.argv[1]))["pmu"]
+for key in ("available", "paranoid", "events_live", "events_dead",
+            "events"):
+    assert key in pmu, (key, pmu)
+cli = dict(kv.split("=") for kv in sys.argv[2].split()[1:])
+assert pmu["available"] == (cli["available"] == "true"), (pmu, cli)
+assert int(pmu["paranoid"]) == int(cli["paranoid"]), (pmu, cli)
+assert int(pmu["events_live"]) == int(cli["events_live"]), (pmu, cli)
+assert int(pmu["events_dead"]) == int(cli["events_dead"]), (pmu, cli)
+assert len(pmu["events"]) == \
+    int(cli["events_live"]) + int(cli["events_dead"]), pmu
+for e in pmu["events"]:
+    assert e["source"] in ("default", "env"), e
+    assert isinstance(e["live"], bool), e
+if not pmu["available"]:
+    assert int(pmu["events_live"]) == 0, pmu
+print("healthz pmu OK:",
+      "available" if pmu["available"] else
+      "unavailable (degraded cleanly)",
+      "live=%d dead=%d" % (pmu["events_live"], pmu["events_dead"]))
 EOF
 
 # Baseline sampler position before the campaign runs.
@@ -119,6 +151,12 @@ require_positive("rfl_queue_turnaround_seconds_count")
 require_positive("rfl_campaign_job_seconds_count")
 require_positive("rfl_http_requests_total")
 require_positive("rfl_sim_records_total")
+# The pmu gauges must exist (the /healthz probe registered them) even
+# when the host denies perf_event and their value is legitimately 0.
+for metric in ("rfl_pmu_events_live", "rfl_pmu_events_dead"):
+    if metric not in values:
+        sys.exit(f"FAIL: /metricsz is missing {metric}; the pmu "
+                 "metric family must register on probe")
 print("metricsz OK:",
       f"executed={values['rfl_queue_executed_total']:.0f}",
       f"sim_records={values['rfl_sim_records_total']:.0f}")
