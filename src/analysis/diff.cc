@@ -174,6 +174,8 @@ DiffReport::print(std::ostream &os) const
     }
     for (const std::string &row : added)
         os << "note: new row not in baseline: " << row << "\n";
+    for (const std::string &row : notes)
+        os << "note: " << row << "\n";
     const size_t n = regressionCount();
     if (n == 0)
         os << "analysis diff: no regressions (" << entries.size()
@@ -221,6 +223,18 @@ diffAnalyses(const CampaignAnalysis &baseline,
         }
         if (cur == nullptr) {
             report.missing.push_back(describeRow(base));
+            continue;
+        }
+        // A placeholder hardware row (perf_event denied on that run's
+        // host) carries no trustworthy numbers: comparing it would gate
+        // every metric against zeros. Mirroring
+        // HardwareDeltaReport::gate, unavailable rows are named but
+        // never fail.
+        if (!base.available || !cur->available) {
+            report.notes.push_back(
+                std::string("hardware row unavailable in ") +
+                (!cur->available ? "current run" : "baseline") +
+                ", metrics not compared: " + describeRow(base));
             continue;
         }
         const std::string &kernel = base.label();

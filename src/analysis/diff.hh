@@ -64,6 +64,8 @@ struct DiffReport
     std::vector<DiffEntry> entries; ///< every compared metric
     std::vector<std::string> missing; ///< baseline rows absent now
     std::vector<std::string> added;   ///< current rows not in baseline
+    /** Rows matched but not compared (unavailable hardware side). */
+    std::vector<std::string> notes;
 
     bool hasRegressions() const;
     size_t regressionCount() const;

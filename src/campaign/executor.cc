@@ -40,6 +40,7 @@ struct RunState
     std::vector<size_t> remainingDeps; // per job
     std::vector<std::vector<size_t>> dependents;
     std::vector<size_t> completionOrder;
+    std::vector<size_t> nativeQueue; // ready NativeMeasure jobs, parked
     std::map<std::string, CampaignRun::KindStats> jobsByKind;
     std::atomic<size_t> simulated{0};
     std::atomic<size_t> cacheHits{0};
@@ -585,95 +586,126 @@ CampaignExecutor::run(const CampaignSpec &spec,
                     std::chrono::duration<double>(spec.timeoutSeconds()));
 
     // submitJob is recursive through the pool: finishing a job submits
-    // its newly-unblocked dependents.
-    std::function<void(size_t)> submitJob = [&](size_t id) {
-        pool.submit([&, id] {
-            // One scope per pool task: the worker thread binds the
-            // campaign's tracer for exactly this job.
-            telemetry::TraceScope traceScope(tracer);
-            const Job &job = run.jobs[id];
-            const auto jobStart = std::chrono::steady_clock::now();
-            CancelToken token;
-            token.linkAbortFlag(&abortRun);
-            if (hasRunDeadline)
-                token.setDeadline(runDeadline);
-            if (opts_.jobTimeoutSeconds > 0.0) {
-                const auto jobDeadline =
-                    jobStart +
-                    std::chrono::duration_cast<
-                        std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double>(
-                            opts_.jobTimeoutSeconds));
-                token.setDeadline(hasRunDeadline
-                                      ? std::min(runDeadline,
-                                                 jobDeadline)
-                                      : jobDeadline);
+    // its newly-unblocked dependents. NativeMeasure jobs are the
+    // exception — they observe the physical host (wall clock and PMU
+    // counters), so running them beside sim jobs on the shared pool
+    // multiplexes their counters against workers saturating the same
+    // cores and skews the sim-vs-silicon delta pessimistic. submitJob
+    // parks them instead; they run serially after the pool drains.
+    std::function<void(size_t)> submitJob;
+
+    const auto runJob = [&](size_t id) {
+        // One scope per task: the executing thread binds the
+        // campaign's tracer for exactly this job.
+        telemetry::TraceScope traceScope(tracer);
+        const Job &job = run.jobs[id];
+        const auto jobStart = std::chrono::steady_clock::now();
+        CancelToken token;
+        token.linkAbortFlag(&abortRun);
+        if (hasRunDeadline)
+            token.setDeadline(runDeadline);
+        if (opts_.jobTimeoutSeconds > 0.0) {
+            const auto jobDeadline =
+                jobStart +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        opts_.jobTimeoutSeconds));
+            token.setDeadline(hasRunDeadline
+                                  ? std::min(runDeadline,
+                                             jobDeadline)
+                                  : jobDeadline);
+        }
+        CancelScope cancelScope(&token);
+        try {
+            telemetry::Span span(jobKindName(job.kind));
+            span.attr("job", std::to_string(id));
+            span.attr("machine",
+                      spec.machines()[job.machineIndex].label);
+            // The job runs entirely on the current thread (a pool
+            // worker, or this thread for serial native jobs), so a
+            // RUSAGE_THREAD bracket is exactly the job's own
+            // consumption regardless of concurrency.
+            const telemetry::ScopedThreadUsage usage;
+            run.results[id] =
+                executeJob(spec, job, run.results, opts_,
+                           state.simulated, state.cacheHits);
+            if (run.results[id].fromCache) {
+                span.attr("cached", "true");
+            } else {
+                const telemetry::ResourceDelta res = usage.delta();
+                run.results[id].resources = res;
+                char cpu[32];
+                std::snprintf(cpu, sizeof(cpu), "%.6f",
+                              res.cpuSeconds());
+                span.attr("cpu_s", cpu);
+                jobCpuHistogram(jobKindName(job.kind))
+                    .observe(res.cpuSeconds());
+                telemetry::Registry::global()
+                    .gauge("rfl_job_maxrss_bytes",
+                           "process peak RSS observed at the end "
+                           "of the most recent campaign job")
+                    .set(static_cast<double>(res.maxrssBytes));
             }
-            CancelScope cancelScope(&token);
-            try {
-                telemetry::Span span(jobKindName(job.kind));
-                span.attr("job", std::to_string(id));
-                span.attr("machine",
-                          spec.machines()[job.machineIndex].label);
-                // The pool runs this job entirely on the current
-                // thread, so a RUSAGE_THREAD bracket is exactly the
-                // job's own consumption regardless of concurrency.
-                const telemetry::ScopedThreadUsage usage;
-                run.results[id] =
-                    executeJob(spec, job, run.results, opts_,
-                               state.simulated, state.cacheHits);
-                if (run.results[id].fromCache) {
-                    span.attr("cached", "true");
-                } else {
-                    const telemetry::ResourceDelta res = usage.delta();
-                    run.results[id].resources = res;
-                    char cpu[32];
-                    std::snprintf(cpu, sizeof(cpu), "%.6f",
-                                  res.cpuSeconds());
-                    span.attr("cpu_s", cpu);
-                    jobCpuHistogram(jobKindName(job.kind))
-                        .observe(res.cpuSeconds());
-                    telemetry::Registry::global()
-                        .gauge("rfl_job_maxrss_bytes",
-                               "process peak RSS observed at the end "
-                               "of the most recent campaign job")
-                        .set(static_cast<double>(res.maxrssBytes));
-                }
-            } catch (...) {
-                // The pool keeps (and rethrows) only the first
-                // failure; the flag makes the rest unwind fast.
-                abortRun.store(true, std::memory_order_relaxed);
-                throw;
+        } catch (...) {
+            // The pool keeps (and rethrows) only the first
+            // failure; the flag makes the rest unwind fast.
+            abortRun.store(true, std::memory_order_relaxed);
+            throw;
+        }
+        const double jobSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - jobStart)
+                .count();
+        campaignMetrics().jobSeconds.observe(jobSeconds);
+        std::vector<size_t> ready;
+        {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            state.completionOrder.push_back(id);
+            auto &ks = state.jobsByKind[jobKindName(job.kind)];
+            ks.count += 1;
+            ks.seconds += jobSeconds;
+            ks.cpuSeconds += run.results[id].resources.cpuSeconds();
+            state.resources.add(run.results[id].resources);
+            for (size_t dep_id : state.dependents[id]) {
+                RFL_ASSERT(state.remainingDeps[dep_id] > 0);
+                if (--state.remainingDeps[dep_id] == 0)
+                    ready.push_back(dep_id);
             }
-            const double jobSeconds =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - jobStart)
-                    .count();
-            campaignMetrics().jobSeconds.observe(jobSeconds);
-            std::vector<size_t> ready;
-            {
-                std::lock_guard<std::mutex> lock(state.mutex);
-                state.completionOrder.push_back(id);
-                auto &ks = state.jobsByKind[jobKindName(job.kind)];
-                ks.count += 1;
-                ks.seconds += jobSeconds;
-                ks.cpuSeconds += run.results[id].resources.cpuSeconds();
-                state.resources.add(run.results[id].resources);
-                for (size_t dep_id : state.dependents[id]) {
-                    RFL_ASSERT(state.remainingDeps[dep_id] > 0);
-                    if (--state.remainingDeps[dep_id] == 0)
-                        ready.push_back(dep_id);
-                }
-            }
-            for (size_t next : ready)
-                submitJob(next);
-        });
+        }
+        for (size_t next : ready)
+            submitJob(next);
+    };
+
+    submitJob = [&](size_t id) {
+        if (run.jobs[id].kind == JobKind::NativeMeasure) {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            state.nativeQueue.push_back(id);
+            return;
+        }
+        pool.submit([&runJob, id] { runJob(id); });
     };
 
     for (const Job &job : run.jobs)
         if (job.deps.empty())
             submitJob(job.id);
-    pool.wait();
+    // Drain the pool, then run any parked native jobs one at a time on
+    // this thread with the pool idle (the quiet-machine discipline the
+    // hardware rows need). A native job can unblock more work — pool
+    // jobs or further natives — so alternate until both are empty.
+    for (;;) {
+        pool.wait();
+        std::vector<size_t> natives;
+        {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            natives.swap(state.nativeQueue);
+        }
+        if (natives.empty())
+            break;
+        std::sort(natives.begin(), natives.end());
+        for (size_t id : natives)
+            runJob(id);
+    }
 
     RFL_ASSERT(state.completionOrder.size() == run.jobs.size());
     run.completionOrder = std::move(state.completionOrder);

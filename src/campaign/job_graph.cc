@@ -299,6 +299,12 @@ JobGraph::expand(const CampaignSpec &spec)
     // them every pre-existing cached artifact — are unchanged by the
     // presence of hardware rows.
     if (spec.hasBackend("perf")) {
+        // The cache key deliberately ignores the machine index (the
+        // row measures the host, not the simulated machine), so a
+        // multi-machine spec repeats keys. Chain each duplicate behind
+        // the first job with its key: one native run happens, the rest
+        // replay it from the cache instead of racing it cold.
+        std::map<std::string, size_t> firstByKey;
         for (size_t mi = 0; mi < spec.machines().size(); ++mi) {
             for (size_t ki = 0; ki < spec.kernels().size(); ++ki) {
                 for (size_t vi = 0; vi < spec.variants().size(); ++vi) {
@@ -311,8 +317,13 @@ JobGraph::expand(const CampaignSpec &spec)
                     job.variantIndex = vi;
                     job.cacheKey = nativeMeasureCacheKey(
                         spec.kernels()[ki], v.opts);
+                    // Ceiling first: ceilingJobFor follows deps.front().
                     job.deps.push_back(
                         ceilings.at({mi, ceilingSignature(v.opts)}));
+                    const auto [it, inserted] =
+                        firstByKey.emplace(job.cacheKey, job.id);
+                    if (!inserted)
+                        job.deps.push_back(it->second);
                     graph.jobs_.push_back(std::move(job));
                 }
             }

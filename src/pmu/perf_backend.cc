@@ -344,19 +344,45 @@ PerfEventBackend::PerfEventBackend()
                                [](const GroupMember &g) {
                                    return g.id == EventId::L3Hits;
                                });
-        if (it != group_.end() && it->fd != leaderFd_) {
-            close(it->fd);
-            // Keep later slots valid: only the last member may be
-            // removed without reindexing, so mark the id dead instead.
-            it->id = EventId::NumEvents;
+        if (it != group_.end()) {
+            if (it->fd == leaderFd_) {
+                // The doomed counter is the group leader (cycles and
+                // instructions both failed to open).
+                if (group_.size() == 1) {
+                    close(it->fd);
+                    leaderFd_ = -1;
+                    group_.clear();
+                } else {
+                    // Later members schedule under this leader, so its
+                    // fd must stay open and counting; mark the id dead
+                    // so end() never reports its value.
+                    it->id = EventId::NumEvents;
+                }
+            } else {
+                // Closing a sibling also removes it from the kernel's
+                // event group: erase it here too and compact later
+                // slots so the leader read's values[] stays aligned
+                // with group_ (and nr == group_.size() keeps holding).
+                close(it->fd);
+                const size_t slot = it->slot;
+                group_.erase(it);
+                for (GroupMember &g : group_)
+                    if (g.slot > slot)
+                        --g.slot;
+            }
+            l3HitsFromReferences_ = false;
             ++deadCount;
         }
     }
     PmuMetrics &met = pmuMetrics();
-    met.eventsLive.set(
-        static_cast<double>(group_.size() + singles_.size()));
+    const size_t liveGroup = static_cast<size_t>(
+        std::count_if(group_.begin(), group_.end(),
+                      [](const GroupMember &g) {
+                          return g.id != EventId::NumEvents;
+                      }));
+    met.eventsLive.set(static_cast<double>(liveGroup + singles_.size()));
     met.eventsDead.set(static_cast<double>(deadCount));
-    if (group_.empty() && singles_.empty()) {
+    if (liveGroup == 0 && singles_.empty()) {
         met.unavailable.inc();
         informUnavailableOnce();
     }

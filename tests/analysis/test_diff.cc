@@ -264,6 +264,42 @@ TEST(HardwareDelta, GateIsDirectional)
               std::string::npos);
 }
 
+TEST(AnalysisDiff, UnavailableHardwareRowsAreNotedNotGated)
+{
+    // A baseline with real hardware rows diffed against a run on a
+    // PMU-denied host pairs each perf row with its placeholder
+    // (available=false, all metrics zero). The placeholder must read
+    // as a named gap, never as a guaranteed perf regression.
+    CampaignAnalysis base = baseDoc();
+    KernelRow hw = base.kernels[0];
+    hw.backend = "perf";
+    base.kernels.push_back(hw);
+
+    CampaignAnalysis cur = base;
+    cur.kernels[1].available = false;
+    cur.kernels[1].quality = 0.0;
+    cur.kernels[1].metrics = DerivedMetrics{};
+    cur.kernels[1].trafficBytes = 0.0;
+    cur.kernels[1].seconds = 0.0;
+
+    const DiffReport report = diffAnalyses(base, cur);
+    EXPECT_FALSE(report.hasRegressions());
+    ASSERT_EQ(report.notes.size(), 1u);
+    EXPECT_NE(report.notes[0].find("unavailable"), std::string::npos);
+    EXPECT_NE(report.notes[0].find("backend=perf"), std::string::npos);
+    std::ostringstream os;
+    report.print(os);
+    EXPECT_NE(os.str().find("note: hardware row unavailable"),
+              std::string::npos);
+
+    // The opposite direction (baseline captured without PMU access)
+    // equally compares nothing — and the sim row still gates normally.
+    EXPECT_FALSE(diffAnalyses(cur, base).hasRegressions());
+    CampaignAnalysis slow = cur;
+    slow.kernels[0].metrics.perf *= 0.5;
+    EXPECT_TRUE(diffAnalyses(base, slow).hasRegressions());
+}
+
 TEST(HardwareDelta, UnavailableRowsAreNamedButNeverGate)
 {
     // The CI container denies perf_event_open outright; the resulting

@@ -5,6 +5,7 @@
  * identical re-run, and ceiling jobs completing before their sweeps.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -207,6 +208,36 @@ TEST(CampaignExecutor, GenerousBudgetsDoNotPerturbTheRun)
     opts.jobTimeoutSeconds = 3600.0;
     const CampaignRun run = CampaignExecutor(opts).run(spec);
     EXPECT_EQ(run.measurements().size(), spec.gridSize());
+}
+
+TEST(CampaignExecutor, NativeJobsRunAfterThePoolDrains)
+{
+    // NativeMeasure jobs observe the physical host, so the executor
+    // parks them until every pool job has finished and then runs them
+    // serially on a quiesced machine: in completionOrder every native
+    // job must follow every sim job. Holds whether or not this host
+    // grants perf_event_open (the placeholder path schedules the same).
+    CampaignSpec spec = smallCampaign();
+    spec.addBackend("sim").addBackend("perf");
+    ExecutorOptions opts;
+    opts.threads = 4;
+    const CampaignRun run = CampaignExecutor(opts).run(spec);
+
+    ASSERT_EQ(run.completionOrder.size(), run.jobs.size());
+    size_t lastSim = 0;
+    size_t firstNative = run.completionOrder.size();
+    size_t natives = 0;
+    for (size_t pos = 0; pos < run.completionOrder.size(); ++pos) {
+        const Job &job = run.jobs[run.completionOrder[pos]];
+        if (job.kind == JobKind::NativeMeasure) {
+            ++natives;
+            firstNative = std::min(firstNative, pos);
+        } else {
+            lastSim = std::max(lastSim, pos);
+        }
+    }
+    ASSERT_GT(natives, 0u);
+    EXPECT_LT(lastSim, firstNative);
 }
 
 TEST(CampaignExecutor, GridLookupsWork)

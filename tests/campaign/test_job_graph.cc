@@ -1,5 +1,6 @@
 /** @file Tests for CampaignSpec -> JobGraph expansion. */
 
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -139,6 +140,39 @@ TEST(JobGraph, PerfOnlyBackendSkipsSimMeasureJobs)
     const JobGraph graph = JobGraph::expand(spec);
     for (const Job &job : graph.jobs())
         EXPECT_NE(job.kind, JobKind::Measure);
+}
+
+TEST(JobGraph, DuplicateNativeKeysChainBehindTheFirstJob)
+{
+    // The native cache key ignores the machine index (the row measures
+    // the host, not the simulated machine), so a second machine entry
+    // repeats every key. Each duplicate must depend on the first job
+    // with its key: one native run happens, the rest replay it from
+    // the cache instead of racing it cold.
+    CampaignSpec spec = twoVariantSpec();
+    spec.addMachine("second", MachineConfig::smallTestMachine());
+    spec.addBackend("sim").addBackend("perf");
+    const JobGraph graph = JobGraph::expand(spec);
+
+    std::map<std::string, size_t> firstByKey;
+    for (const Job &job : graph.jobs()) {
+        if (job.kind != JobKind::NativeMeasure)
+            continue;
+        const auto [it, inserted] =
+            firstByKey.emplace(job.cacheKey, job.id);
+        if (inserted) {
+            ASSERT_EQ(job.deps.size(), 1u);
+            EXPECT_EQ(graph.jobs()[job.deps[0]].kind,
+                      JobKind::Ceiling);
+        } else {
+            ASSERT_EQ(job.deps.size(), 2u);
+            EXPECT_EQ(graph.jobs()[job.deps[0]].kind,
+                      JobKind::Ceiling);
+            EXPECT_EQ(job.deps[1], it->second);
+        }
+    }
+    // 3 kernels x 2 variants of unique keys, each duplicated once.
+    EXPECT_EQ(firstByKey.size(), 6u);
 }
 
 TEST(JobGraph, NativeMeasureCacheKeyIsHostScoped)
